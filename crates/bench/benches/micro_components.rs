@@ -1,0 +1,104 @@
+//! Criterion micro-benchmarks of the simulator's hot components: TLB
+//! probes, page walks, DRAM scheduling, and whole-simulator cycle
+//! throughput. These measure the *reproduction's* performance (useful when
+//! modifying the simulator), not the paper's results.
+#![allow(missing_docs)] // criterion_group! expands to undocumented items
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use mask_common::addr::{LineAddr, Vpn, PAGE_SIZE_4K_LOG2};
+use mask_common::config::{DesignKind, DramConfig, SimConfig};
+use mask_common::ids::{Asid, CoreId};
+use mask_common::req::{MemRequest, ReqId, RequestClass};
+use mask_dram::{ChannelPartition, Dram};
+use mask_gpu::{AppSpec, GpuSim};
+use mask_pagetable::PageTables;
+use mask_tlb::SharedL2Tlb;
+use mask_workloads::app_by_name;
+use std::hint::black_box;
+
+fn bench_l2_tlb(c: &mut Criterion) {
+    let mut tlb = SharedL2Tlb::new(512, 16, 2, 32);
+    for i in 0..512u64 {
+        tlb.fill(Asid::new((i % 2) as u16), Vpn(i), mask_common::addr::Ppn(i), true);
+    }
+    let mut i = 0u64;
+    c.bench_function("shared_l2_tlb_probe", |b| {
+        b.iter(|| {
+            i = i.wrapping_add(17);
+            black_box(tlb.probe(Asid::new((i % 2) as u16), Vpn(i % 1024)))
+        })
+    });
+}
+
+fn bench_page_walk_lines(c: &mut Criterion) {
+    let mut tables = PageTables::new(1, PAGE_SIZE_4K_LOG2);
+    for i in 0..4096u64 {
+        tables.ensure_mapped(Asid::new(0), Vpn(i * 7));
+    }
+    let mut i = 0u64;
+    c.bench_function("page_table_walk_line_lookup", |b| {
+        b.iter(|| {
+            i = (i + 1) % 4096;
+            black_box(tables.walk_line(
+                Asid::new(0),
+                Vpn((i * 7) % (4096 * 7)),
+                mask_common::req::WalkLevel::new(4),
+            ))
+        })
+    });
+}
+
+fn bench_dram_tick(c: &mut Criterion) {
+    let cfg = DramConfig::default();
+    let mut dram = Dram::new(&cfg, 2, true, ChannelPartition::shared());
+    let mut id = 0u64;
+    let mut now = 0u64;
+    c.bench_function("mask_dram_enqueue_tick", |b| {
+        b.iter(|| {
+            id += 1;
+            now += 1;
+            let class = if id.is_multiple_of(5) {
+                RequestClass::Translation(mask_common::req::WalkLevel::new(4))
+            } else {
+                RequestClass::Data
+            };
+            dram.enqueue(
+                MemRequest::new(
+                    ReqId(id),
+                    LineAddr(id * 37),
+                    Asid::new((id % 2) as u16),
+                    CoreId::new(0),
+                    class,
+                    now,
+                ),
+                now,
+            );
+            dram.tick(now);
+            black_box(dram.take_completions(now).len())
+        })
+    });
+}
+
+fn bench_full_sim_cycles(c: &mut Criterion) {
+    c.bench_function("gpu_sim_1000_cycles_2apps", |b| {
+        let mut cfg = SimConfig::new(DesignKind::Mask).with_max_cycles(u64::MAX);
+        cfg.gpu.n_cores = 4;
+        cfg.gpu.warps_per_core = 16;
+        let specs = [
+            AppSpec { profile: app_by_name("CONS").expect("known"), n_cores: 2 },
+            AppSpec { profile: app_by_name("LPS").expect("known"), n_cores: 2 },
+        ];
+        let mut sim = GpuSim::new(&cfg, &specs);
+        b.iter(|| {
+            sim.run(1000);
+            black_box(sim.now())
+        })
+    });
+}
+
+criterion_group!(
+    name = micro;
+    config = Criterion::default().sample_size(20).measurement_time(std::time::Duration::from_secs(3));
+    targets = bench_l2_tlb, bench_page_walk_lines, bench_dram_tick, bench_full_sim_cycles
+);
+criterion_main!(micro);

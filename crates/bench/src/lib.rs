@@ -1,0 +1,50 @@
+//! Shared helpers for the MASK paper-reproduction bench harnesses.
+//!
+//! Every `benches/*.rs` target is a plain binary (`harness = false`) that
+//! regenerates one of the paper's tables or figures and prints it. Two
+//! environment variables scale the whole suite:
+//!
+//! * `MASK_SIM_CYCLES` — cycles per simulation run (default 300 000:
+//!   100 000 warm-up + 200 000 measured, i.e. two full MASK epochs);
+//! * `MASK_PAIR_LIMIT` — number of two-application workloads (default 35).
+
+use mask_core::experiments::ExpOptions;
+use mask_core::table::Table;
+
+/// Builds experiment options, applying an experiment-specific cap on the
+/// number of pairs (heavy sweeps default to fewer pairs; `MASK_PAIR_LIMIT`
+/// always wins when set).
+pub fn options(default_pair_cap: usize) -> ExpOptions {
+    let mut opts = ExpOptions::default();
+    if std::env::var("MASK_PAIR_LIMIT").is_err() {
+        opts.pair_limit = opts.pair_limit.min(default_pair_cap);
+    }
+    opts
+}
+
+/// Prints a table and archives it as CSV under `target/mask-results/`.
+pub fn emit(table: &Table) {
+    println!("{table}");
+    println!();
+    let dir = std::path::Path::new("target/mask-results");
+    if std::fs::create_dir_all(dir).is_ok() {
+        let slug: String = table
+            .title
+            .chars()
+            .map(|c| if c.is_ascii_alphanumeric() { c.to_ascii_lowercase() } else { '_' })
+            .collect::<String>()
+            .split('_')
+            .filter(|s| !s.is_empty())
+            .collect::<Vec<_>>()
+            .join("_");
+        let _ = std::fs::write(dir.join(format!("{slug}.csv")), table.to_csv());
+    }
+}
+
+/// Prints the standard harness banner.
+pub fn banner(name: &str, opts: &ExpOptions) {
+    println!(
+        "=== {name} — cycles/run={} cores={} warps/core={} pairs={} ===\n",
+        opts.cycles, opts.n_cores, opts.warps_per_core, opts.pair_limit
+    );
+}

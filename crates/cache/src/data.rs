@@ -1,0 +1,236 @@
+//! A line-granularity set-associative data cache with LRU replacement and
+//! optional per-ASID way partitioning.
+//!
+//! Way partitioning implements the `Static` baseline of §7: "an oracle is
+//! used to partition GPU cores, but the shared L2 cache and memory channels
+//! are partitioned equally across applications". Probes search *all* ways
+//! (correctness is unaffected by partitioning); only victim selection is
+//! restricted to the ASID's way range.
+
+use mask_common::addr::LineAddr;
+use mask_common::ids::Asid;
+
+#[derive(Clone, Copy, Debug)]
+struct Way {
+    line: LineAddr,
+    last_used: u64,
+    valid: bool,
+}
+
+impl Default for Way {
+    fn default() -> Self {
+        Way { line: LineAddr(0), last_used: 0, valid: false }
+    }
+}
+
+/// A set-associative cache over physical lines.
+#[derive(Clone, Debug)]
+pub struct DataCache {
+    sets: Vec<Box<[Way]>>,
+    assoc: usize,
+    stamp: u64,
+    /// Way-range restriction per ASID (Static design); `None` = shared.
+    partition: Option<Vec<(usize, usize)>>,
+}
+
+impl DataCache {
+    /// Creates a cache of `bytes` capacity with `assoc` ways over 128 B
+    /// lines.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the configuration yields zero sets or zero ways.
+    pub fn new(bytes: usize, assoc: usize) -> Self {
+        let lines = bytes as u64 / mask_common::addr::LINE_SIZE;
+        let n_sets = (lines as usize / assoc).max(1);
+        assert!(assoc > 0 && lines > 0, "cache must have capacity");
+        DataCache {
+            sets: (0..n_sets).map(|_| vec![Way::default(); assoc].into_boxed_slice()).collect(),
+            assoc,
+            stamp: 0,
+            partition: None,
+        }
+    }
+
+    /// Splits the ways equally among `n_apps` address spaces (Static
+    /// design). ASID `i` may only allocate into its own way range.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n_apps` is zero or exceeds the associativity.
+    pub fn partition_ways(&mut self, n_apps: usize) {
+        assert!(n_apps > 0 && n_apps <= self.assoc, "cannot partition {} ways {n_apps} ways", self.assoc);
+        let per = self.assoc / n_apps;
+        let ranges = (0..n_apps)
+            .map(|i| {
+                let start = i * per;
+                let end = if i == n_apps - 1 { self.assoc } else { start + per };
+                (start, end)
+            })
+            .collect();
+        self.partition = Some(ranges);
+    }
+
+    /// Total line capacity.
+    pub fn capacity_lines(&self) -> usize {
+        self.sets.len() * self.assoc
+    }
+
+    /// Number of sets.
+    pub fn n_sets(&self) -> usize {
+        self.sets.len()
+    }
+
+    fn set_index(&self, line: LineAddr) -> usize {
+        // Low line bits index the set (plus a simple hash fold of higher
+        // bits to avoid pathological power-of-two strides).
+        let n = self.sets.len() as u64;
+        ((line.0 ^ (line.0 >> 16)) % n) as usize
+    }
+
+    /// Probes for `line`, updating LRU on hit.
+    pub fn probe(&mut self, line: LineAddr) -> bool {
+        self.stamp += 1;
+        let stamp = self.stamp;
+        let set = self.set_index(line);
+        if let Some(w) = self.sets[set].iter_mut().find(|w| w.valid && w.line == line) {
+            w.last_used = stamp;
+            true
+        } else {
+            false
+        }
+    }
+
+    /// Checks residency without perturbing LRU.
+    pub fn peek(&self, line: LineAddr) -> bool {
+        let set = self.set_index(line);
+        self.sets[set].iter().any(|w| w.valid && w.line == line)
+    }
+
+    /// Fills `line` on behalf of `asid`, evicting the LRU way within the
+    /// ASID's allowed range. Returns the evicted line, if any.
+    pub fn fill(&mut self, line: LineAddr, asid: Asid) -> Option<LineAddr> {
+        self.stamp += 1;
+        let stamp = self.stamp;
+        let set = self.set_index(line);
+        let (lo, hi) = match &self.partition {
+            Some(ranges) => *ranges.get(asid.index()).unwrap_or(&(0, self.assoc)),
+            None => (0, self.assoc),
+        };
+        let ways = &mut self.sets[set];
+        // Already resident (raced fills): refresh.
+        if let Some(w) = ways.iter_mut().find(|w| w.valid && w.line == line) {
+            w.last_used = stamp;
+            return None;
+        }
+        let victim_idx = (lo..hi)
+            .min_by_key(|&i| if ways[i].valid { ways[i].last_used } else { 0 })
+            .expect("way range is non-empty");
+        let victim = &mut ways[victim_idx];
+        let evicted = victim.valid.then_some(victim.line);
+        *victim = Way { line, last_used: stamp, valid: true };
+        evicted
+    }
+
+    /// Invalidates every line (context switch / flush experiments).
+    pub fn flush(&mut self) {
+        for set in &mut self.sets {
+            for w in set.iter_mut() {
+                w.valid = false;
+            }
+        }
+    }
+
+    /// Number of valid lines.
+    pub fn len(&self) -> usize {
+        self.sets.iter().flat_map(|s| s.iter()).filter(|w| w.valid).count()
+    }
+
+    /// Whether no lines are valid.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn cache() -> DataCache {
+        DataCache::new(16 * 1024, 4) // 128 lines, 32 sets
+    }
+
+    #[test]
+    fn miss_then_fill_then_hit() {
+        let mut c = cache();
+        let line = LineAddr(1234);
+        assert!(!c.probe(line));
+        c.fill(line, Asid::new(0));
+        assert!(c.probe(line));
+        assert!(c.peek(line));
+    }
+
+    #[test]
+    fn lru_eviction_within_set() {
+        let mut c = DataCache::new(512, 4); // a single set of 4 ways
+        assert_eq!(c.n_sets(), 1);
+        for i in 0..4u64 {
+            c.fill(LineAddr(i), Asid::new(0));
+        }
+        assert!(c.probe(LineAddr(0))); // 0 is now MRU; 1 is LRU
+        let evicted = c.fill(LineAddr(99), Asid::new(0));
+        assert_eq!(evicted, Some(LineAddr(1)));
+        assert!(c.peek(LineAddr(0)));
+    }
+
+    #[test]
+    fn refill_of_resident_line_evicts_nothing() {
+        let mut c = cache();
+        c.fill(LineAddr(7), Asid::new(0));
+        assert_eq!(c.fill(LineAddr(7), Asid::new(0)), None);
+        assert_eq!(c.len(), 1);
+    }
+
+    #[test]
+    fn partition_restricts_victims_not_hits() {
+        let mut c = DataCache::new(512, 4); // one set
+        c.partition_ways(2);
+        // App 0 may use ways 0-1, app 1 ways 2-3.
+        c.fill(LineAddr(1), Asid::new(0));
+        c.fill(LineAddr(2), Asid::new(0));
+        c.fill(LineAddr(3), Asid::new(1));
+        c.fill(LineAddr(4), Asid::new(1));
+        // App 0 filling again may only evict its own lines.
+        let evicted = c.fill(LineAddr(5), Asid::new(0)).expect("must evict");
+        assert!(evicted == LineAddr(1) || evicted == LineAddr(2));
+        // App 1's lines are untouched and still probeable by anyone.
+        assert!(c.probe(LineAddr(3)));
+        assert!(c.probe(LineAddr(4)));
+    }
+
+    #[test]
+    fn flush_clears_cache() {
+        let mut c = cache();
+        for i in 0..50u64 {
+            c.fill(LineAddr(i * 3), Asid::new(0));
+        }
+        assert!(!c.is_empty());
+        c.flush();
+        assert!(c.is_empty());
+        assert!(!c.probe(LineAddr(3)));
+    }
+
+    #[test]
+    fn capacity_matches_geometry() {
+        let c = DataCache::new(2 * 1024 * 1024, 16);
+        assert_eq!(c.capacity_lines(), 16384); // 2 MB / 128 B
+        assert_eq!(c.n_sets(), 1024);
+    }
+
+    #[test]
+    #[should_panic(expected = "cannot partition")]
+    fn partition_more_apps_than_ways_panics() {
+        let mut c = DataCache::new(512, 4);
+        c.partition_ways(5);
+    }
+}

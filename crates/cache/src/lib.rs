@@ -1,0 +1,29 @@
+//! Data caches, MSHRs, and MASK's Address-Translation-Aware L2 Bypass.
+//!
+//! This crate models the data-cache side of the GPU memory hierarchy:
+//!
+//! * a line-granularity set-associative [`data::DataCache`] with optional
+//!   per-ASID way partitioning (used by the `Static` baseline),
+//! * miss-status holding registers ([`mshr::MshrTable`]) that merge
+//!   concurrent misses to the same line,
+//! * the banked, timed **shared L2 cache** ([`l2::SharedL2Cache`]) whose
+//!   queueing latency is a first-order effect in the paper (§4.3, §5.3),
+//! * the **Address-Translation-Aware L2 Bypass** monitor
+//!   ([`bypass::BypassMonitor`]) — mechanism ❷ of Fig. 10 (§5.3): per
+//!   walk-level hit-rate tracking that lets low-locality translation
+//!   requests skip the L2 entirely.
+//!
+//! Simplification: all accesses are modelled as reads. GPU L1/L2 caches in
+//! this class of study are effectively read caches (GPGPU-Sim models
+//! write-evict L1s); stores contribute negligibly to the translation
+//! interference the paper studies.
+
+pub mod bypass;
+pub mod data;
+pub mod l2;
+pub mod mshr;
+
+pub use bypass::BypassMonitor;
+pub use data::DataCache;
+pub use l2::{L2Response, SharedL2Cache};
+pub use mshr::{MshrAlloc, MshrEntry, MshrTable};

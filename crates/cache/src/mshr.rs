@@ -1,0 +1,147 @@
+//! Miss-status holding registers.
+//!
+//! MSHRs merge concurrent misses to the same line: the first (primary) miss
+//! sends one request down the hierarchy; secondary misses attach as
+//! waiters. The paper's Fig. 6 metric — warps stalled per TLB miss — is
+//! read straight off the translation MSHRs: "we add a 6-bit counter to each
+//! TLB MSHR entry, which tracks the maximum number of warps that hit in the
+//! entry" (§5.4).
+
+use mask_common::addr::LineAddr;
+
+/// One MSHR entry: a pending line plus its waiters.
+#[derive(Clone, Debug)]
+pub struct MshrEntry<W> {
+    /// The line being fetched.
+    pub line: LineAddr,
+    /// Waiters to notify on fill (the primary miss is `waiters[0]`).
+    pub waiters: Vec<W>,
+}
+
+/// Outcome of allocating into an MSHR table.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum MshrAlloc {
+    /// First miss on this line: a request must be sent downstream.
+    Primary,
+    /// Merged into an existing entry: no new downstream request.
+    Secondary,
+    /// Table full and line not present: caller must stall and retry.
+    Full,
+}
+
+/// A table of MSHR entries keyed by line address.
+#[derive(Clone, Debug)]
+pub struct MshrTable<W> {
+    entries: Vec<MshrEntry<W>>,
+    capacity: usize,
+    /// Largest waiter count ever held by a single entry.
+    peak_waiters: usize,
+}
+
+impl<W> MshrTable<W> {
+    /// Creates a table with room for `capacity` distinct lines.
+    pub fn new(capacity: usize) -> Self {
+        assert!(capacity > 0, "MSHR table needs capacity");
+        MshrTable { entries: Vec::new(), capacity, peak_waiters: 0 }
+    }
+
+    /// Allocates `waiter` against `line`, merging if already pending.
+    pub fn allocate(&mut self, line: LineAddr, waiter: W) -> MshrAlloc {
+        if let Some(e) = self.entries.iter_mut().find(|e| e.line == line) {
+            e.waiters.push(waiter);
+            self.peak_waiters = self.peak_waiters.max(e.waiters.len());
+            return MshrAlloc::Secondary;
+        }
+        if self.entries.len() >= self.capacity {
+            return MshrAlloc::Full;
+        }
+        self.entries.push(MshrEntry { line, waiters: vec![waiter] });
+        self.peak_waiters = self.peak_waiters.max(1);
+        MshrAlloc::Primary
+    }
+
+    /// Completes `line`, returning all its waiters (empty if none pending).
+    pub fn complete(&mut self, line: LineAddr) -> Vec<W> {
+        match self.entries.iter().position(|e| e.line == line) {
+            Some(i) => self.entries.swap_remove(i).waiters,
+            None => Vec::new(),
+        }
+    }
+
+    /// Whether `line` has a pending entry.
+    pub fn contains(&self, line: LineAddr) -> bool {
+        self.entries.iter().any(|e| e.line == line)
+    }
+
+    /// Number of waiters currently attached to `line` (0 if absent).
+    pub fn waiters_on(&self, line: LineAddr) -> usize {
+        self.entries.iter().find(|e| e.line == line).map_or(0, |e| e.waiters.len())
+    }
+
+    /// Number of occupied entries.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// Whether no entries are occupied.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// Whether the table has no free entries.
+    pub fn is_full(&self) -> bool {
+        self.entries.len() >= self.capacity
+    }
+
+    /// Largest waiter count ever held by a single entry.
+    pub fn peak_waiters(&self) -> usize {
+        self.peak_waiters
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn primary_then_secondary_then_complete() {
+        let mut m: MshrTable<u32> = MshrTable::new(4);
+        assert_eq!(m.allocate(LineAddr(1), 10), MshrAlloc::Primary);
+        assert_eq!(m.allocate(LineAddr(1), 11), MshrAlloc::Secondary);
+        assert_eq!(m.allocate(LineAddr(2), 12), MshrAlloc::Primary);
+        assert_eq!(m.waiters_on(LineAddr(1)), 2);
+        let w = m.complete(LineAddr(1));
+        assert_eq!(w, vec![10, 11]);
+        assert!(!m.contains(LineAddr(1)));
+        assert_eq!(m.len(), 1);
+    }
+
+    #[test]
+    fn full_table_rejects_new_lines_but_merges_existing() {
+        let mut m: MshrTable<u32> = MshrTable::new(2);
+        assert_eq!(m.allocate(LineAddr(1), 1), MshrAlloc::Primary);
+        assert_eq!(m.allocate(LineAddr(2), 2), MshrAlloc::Primary);
+        assert!(m.is_full());
+        assert_eq!(m.allocate(LineAddr(3), 3), MshrAlloc::Full);
+        // Merging into an existing entry is still allowed when full.
+        assert_eq!(m.allocate(LineAddr(2), 4), MshrAlloc::Secondary);
+    }
+
+    #[test]
+    fn complete_absent_line_returns_empty() {
+        let mut m: MshrTable<u32> = MshrTable::new(2);
+        assert!(m.complete(LineAddr(9)).is_empty());
+        assert!(m.is_empty());
+    }
+
+    #[test]
+    fn peak_waiters_tracks_maximum() {
+        let mut m: MshrTable<u32> = MshrTable::new(2);
+        for i in 0..7 {
+            m.allocate(LineAddr(1), i);
+        }
+        m.complete(LineAddr(1));
+        m.allocate(LineAddr(2), 0);
+        assert_eq!(m.peak_waiters(), 7);
+    }
+}

@@ -1,0 +1,521 @@
+//! Configuration of the simulated GPU system.
+//!
+//! [`GpuConfig::maxwell`] reproduces Table 1 of the paper (the NVIDIA
+//! Maxwell-like baseline); [`GpuConfig::fermi`] and
+//! [`GpuConfig::integrated`] reproduce the two extra architectures of the
+//! generality study (§7.3, Table 4). [`DesignKind`] enumerates the eight
+//! designs compared in the evaluation (§7).
+
+use crate::addr::PAGE_SIZE_4K_LOG2;
+
+/// Which of the paper's evaluated designs to simulate (§7).
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
+pub enum DesignKind {
+    /// Static spatial partitioning: cores *and* L2 cache ways *and* DRAM
+    /// channels are split equally between applications (models NVIDIA GRID /
+    /// AMD FirePro; the `Static` baseline of §7).
+    Static,
+    /// Baseline variant with a shared page-walk cache after the L1 TLBs
+    /// (Power et al. \[106\]; Fig. 2a).
+    PwCache,
+    /// Baseline variant with a shared L2 TLB after the L1 TLBs (Fig. 2b).
+    SharedTlb,
+    /// `SharedTlb` plus TLB-Fill Tokens and the TLB bypass cache only
+    /// (the `MASK-TLB` component study of §7.2).
+    MaskTlb,
+    /// `SharedTlb` plus Address-Translation-Aware L2 Bypass only
+    /// (`MASK-Cache`).
+    MaskCache,
+    /// `SharedTlb` plus the Address-Space-Aware DRAM Scheduler only
+    /// (`MASK-DRAM`).
+    MaskDram,
+    /// The full MASK design: all three mechanisms together (§5).
+    Mask,
+    /// A hypothetical GPU where every L1 TLB access hits (`Ideal` in §7).
+    Ideal,
+}
+
+impl DesignKind {
+    /// All designs compared in Figures 11–15, in the paper's plotting order.
+    pub const ALL: [DesignKind; 8] = [
+        DesignKind::Static,
+        DesignKind::PwCache,
+        DesignKind::SharedTlb,
+        DesignKind::MaskTlb,
+        DesignKind::MaskCache,
+        DesignKind::MaskDram,
+        DesignKind::Mask,
+        DesignKind::Ideal,
+    ];
+
+    /// Whether the design places a shared L2 TLB after the L1 TLBs.
+    pub const fn has_shared_l2_tlb(self) -> bool {
+        !matches!(self, DesignKind::PwCache | DesignKind::Ideal)
+    }
+
+    /// Whether the design places a shared page-walk cache in the walker path.
+    pub const fn has_page_walk_cache(self) -> bool {
+        matches!(self, DesignKind::PwCache)
+    }
+
+    /// Whether TLB-Fill Tokens + the TLB bypass cache are active (§5.2).
+    pub const fn tokens_enabled(self) -> bool {
+        matches!(self, DesignKind::MaskTlb | DesignKind::Mask)
+    }
+
+    /// Whether Address-Translation-Aware L2 Bypass is active (§5.3).
+    pub const fn l2_bypass_enabled(self) -> bool {
+        matches!(self, DesignKind::MaskCache | DesignKind::Mask)
+    }
+
+    /// Whether the Address-Space-Aware DRAM Scheduler is active (§5.4).
+    pub const fn mask_dram_enabled(self) -> bool {
+        matches!(self, DesignKind::MaskDram | DesignKind::Mask)
+    }
+
+    /// Whether every L1 TLB access hits (no translation traffic at all).
+    pub const fn ideal_tlb(self) -> bool {
+        matches!(self, DesignKind::Ideal)
+    }
+
+    /// Whether shared resources (L2 ways, DRAM channels) are statically
+    /// partitioned between applications.
+    pub const fn static_partition(self) -> bool {
+        matches!(self, DesignKind::Static)
+    }
+
+    /// Short label used in experiment tables.
+    pub const fn label(self) -> &'static str {
+        match self {
+            DesignKind::Static => "Static",
+            DesignKind::PwCache => "PWCache",
+            DesignKind::SharedTlb => "SharedTLB",
+            DesignKind::MaskTlb => "MASK-TLB",
+            DesignKind::MaskCache => "MASK-Cache",
+            DesignKind::MaskDram => "MASK-DRAM",
+            DesignKind::Mask => "MASK",
+            DesignKind::Ideal => "Ideal",
+        }
+    }
+}
+
+impl core::fmt::Display for DesignKind {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        f.write_str(self.label())
+    }
+}
+
+/// TLB hierarchy parameters (Table 1).
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct TlbConfig {
+    /// Entries in each per-core, fully-associative L1 TLB.
+    pub l1_entries: usize,
+    /// L1 TLB lookup latency in cycles.
+    pub l1_latency: u64,
+    /// Total entries in the shared L2 TLB.
+    pub l2_entries: usize,
+    /// Associativity of the shared L2 TLB.
+    pub l2_assoc: usize,
+    /// Shared L2 TLB access latency in cycles.
+    pub l2_latency: u64,
+    /// Probe ports on the shared L2 TLB (requests accepted per cycle).
+    pub l2_ports: usize,
+    /// Entries in MASK's fully-associative TLB bypass cache (§5.2).
+    pub bypass_cache_entries: usize,
+}
+
+impl Default for TlbConfig {
+    fn default() -> Self {
+        TlbConfig {
+            l1_entries: 64,
+            l1_latency: 1,
+            l2_entries: 512,
+            l2_assoc: 16,
+            l2_latency: 10,
+            l2_ports: 2,
+            bypass_cache_entries: 32,
+        }
+    }
+}
+
+/// Page-walk-cache parameters (the `PWCache` baseline variant, Fig. 2a).
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct PwcConfig {
+    /// Capacity in bytes (the paper uses an 8 KB page walk cache).
+    pub bytes: usize,
+    /// Associativity (16-way per Table 1).
+    pub assoc: usize,
+    /// Access latency in cycles.
+    pub latency: u64,
+}
+
+impl Default for PwcConfig {
+    fn default() -> Self {
+        PwcConfig { bytes: 8 * 1024, assoc: 16, latency: 10 }
+    }
+}
+
+/// Data-cache parameters.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct CacheConfig {
+    /// Total capacity in bytes.
+    pub bytes: usize,
+    /// Associativity.
+    pub assoc: usize,
+    /// Access latency in cycles (pipeline depth, excluding queueing).
+    pub latency: u64,
+    /// Number of banks (1 for private L1s).
+    pub banks: usize,
+    /// Ports per bank (requests each bank accepts per cycle).
+    pub ports_per_bank: usize,
+    /// MSHR entries per bank.
+    pub mshrs: usize,
+}
+
+impl CacheConfig {
+    /// Table 1 private L1 data cache: 16 KB, 4-way, 1-cycle.
+    pub fn maxwell_l1() -> Self {
+        CacheConfig { bytes: 16 * 1024, assoc: 4, latency: 1, banks: 1, ports_per_bank: 2, mshrs: 32 }
+    }
+
+    /// Table 1 shared L2: 2 MB, 16-way, 16 banks, 2 ports/bank, 10-cycle.
+    /// MSHR depth follows GPGPU-Sim's default of 32 per bank.
+    pub fn maxwell_l2() -> Self {
+        CacheConfig {
+            bytes: 2 * 1024 * 1024,
+            assoc: 16,
+            latency: 10,
+            banks: 16,
+            ports_per_bank: 2,
+            mshrs: 32,
+        }
+    }
+}
+
+/// DRAM row-buffer management policy (§7.3 sensitivity study).
+#[derive(Clone, Copy, PartialEq, Eq, Debug, Default)]
+pub enum RowPolicy {
+    /// Keep rows open after access (baseline; best for row-locality).
+    #[default]
+    Open,
+    /// Precharge after every access (used by various CPUs; §7.3).
+    Closed,
+}
+
+/// Which memory scheduling algorithm the controller runs.
+#[derive(Clone, Copy, PartialEq, Eq, Debug, Default)]
+pub enum MemSchedKind {
+    /// First-ready, first-come-first-served [110, 152] (baseline, Table 1).
+    #[default]
+    FrFcfs,
+    /// A batch-oriented GPU scheduler in the spirit of Jog et al. \[60\]:
+    /// forms application-aware batches and drains them oldest-first,
+    /// preserving intra-batch row locality (§7.3 "another state-of-the-art
+    /// GPU memory scheduler").
+    GpuBatch,
+}
+
+/// DRAM timing and organization (GDDR5-like, Table 1), in core cycles.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct DramConfig {
+    /// Number of memory channels.
+    pub channels: usize,
+    /// Banks per channel (one rank).
+    pub banks_per_channel: usize,
+    /// log2 of the row-buffer size in bytes (2 KB rows -> 11).
+    pub row_size_log2: u32,
+    /// Column access latency for a row-buffer hit.
+    pub t_cas: u64,
+    /// Activate-to-read latency (added on a closed row).
+    pub t_rcd: u64,
+    /// Precharge latency (added on a row conflict).
+    pub t_rp: u64,
+    /// Cycles the channel data bus is occupied per line transfer (burst 8).
+    pub burst_cycles: u64,
+    /// Capacity of the per-channel request buffer (baseline FR-FCFS).
+    pub queue_capacity: usize,
+    /// Row-buffer management policy.
+    pub row_policy: RowPolicy,
+    /// Scheduling algorithm for the non-MASK queues.
+    pub sched: MemSchedKind,
+    /// MASK Golden queue capacity (address-translation FIFO, §5.4).
+    pub golden_capacity: usize,
+    /// MASK Silver queue capacity (§5.4).
+    pub silver_capacity: usize,
+    /// MASK Normal queue capacity (§5.4).
+    pub normal_capacity: usize,
+    /// `thresh_max` of Eq. 1 (set to 500 empirically, §6).
+    pub thresh_max: u64,
+}
+
+impl Default for DramConfig {
+    fn default() -> Self {
+        DramConfig {
+            channels: 8,
+            banks_per_channel: 8,
+            row_size_log2: 11,
+            t_cas: 12,
+            t_rcd: 12,
+            t_rp: 12,
+            burst_cycles: 4,
+            queue_capacity: 64,
+            row_policy: RowPolicy::Open,
+            sched: MemSchedKind::FrFcfs,
+            golden_capacity: 16,
+            silver_capacity: 64,
+            normal_capacity: 192,
+            thresh_max: 500,
+        }
+    }
+}
+
+/// Token-count adjustment policy (see `mask-tlb::tokens` for semantics).
+#[derive(Clone, Copy, PartialEq, Eq, Debug, Default)]
+pub enum TokenPolicyKind {
+    /// §5.2's literal ±2% delta rule (static in steady state).
+    Literal,
+    /// Direction-register hill climbing implied by §7.4 (default).
+    #[default]
+    HillClimb,
+}
+
+/// MASK mechanism tuning knobs (§5, §6 "Design Parameters").
+#[derive(Clone, Debug, PartialEq)]
+pub struct MaskParams {
+    /// Epoch length in cycles (100K cycles, §5.2).
+    pub epoch_cycles: u64,
+    /// `InitialTokens`: fraction of each app's total warps receiving tokens
+    /// after the first epoch (80%, §6).
+    pub initial_tokens_frac: f64,
+    /// Miss-rate change that triggers a token-count adjustment (±2%, §5.2).
+    pub miss_rate_delta: f64,
+    /// Step (fraction of total warps) by which the token count is adjusted
+    /// each epoch when contention changes. The paper does not specify its
+    /// step size; 25% converges to the steady-state token count within a
+    /// few epochs, matching the paper's observation that the mechanism is
+    /// "effective at reconfiguring the total number of tokens to a
+    /// steady-state value" (§6).
+    pub token_step_frac: f64,
+    /// Token-count adjustment policy.
+    pub token_policy: TokenPolicyKind,
+    /// Hysteresis margin for the L2-bypass decision (see
+    /// `mask-cache::bypass`): a walk level bypasses only when its hit rate
+    /// is at least this far below the data hit rate. 0.0 gives the paper's
+    /// literal comparison.
+    pub bypass_margin: f64,
+}
+
+impl Default for MaskParams {
+    fn default() -> Self {
+        MaskParams {
+            epoch_cycles: 100_000,
+            initial_tokens_frac: 0.8,
+            miss_rate_delta: 0.02,
+            token_step_frac: 0.25,
+            token_policy: TokenPolicyKind::default(),
+            bypass_margin: 0.05,
+        }
+    }
+}
+
+/// Full configuration of the simulated GPU (Table 1 by default).
+#[derive(Clone, Debug, PartialEq)]
+pub struct GpuConfig {
+    /// Number of shader cores (SMs).
+    pub n_cores: usize,
+    /// Warp contexts per core.
+    pub warps_per_core: usize,
+    /// Threads per warp.
+    pub warp_size: usize,
+    /// log2 of the page size (12 for 4 KB, 21 for the §7.3 2 MB study).
+    pub page_size_log2: u32,
+    /// TLB hierarchy parameters.
+    pub tlb: TlbConfig,
+    /// Page-walk-cache parameters (used only by [`DesignKind::PwCache`]).
+    pub pwc: PwcConfig,
+    /// Private L1 data cache parameters.
+    pub l1_cache: CacheConfig,
+    /// Shared L2 cache parameters.
+    pub l2_cache: CacheConfig,
+    /// DRAM parameters.
+    pub dram: DramConfig,
+    /// Concurrent page-table walks supported by the shared walker (§6).
+    pub walker_slots: usize,
+    /// Latency charged when a walk targets a page that has never been
+    /// touched (demand paging / far fault service time). The paper's
+    /// evaluation runs fault-free (§5.5 leaves fault handling to future
+    /// work), so the default is 0; the demand-paging sensitivity study
+    /// raises it.
+    pub page_fault_latency: u64,
+    /// MASK mechanism parameters.
+    pub mask: MaskParams,
+}
+
+impl GpuConfig {
+    /// The Maxwell-like baseline of Table 1: 30 cores, 64 warp contexts per
+    /// core, 64-entry L1 TLBs, 512-entry shared L2 TLB, 2 MB shared L2,
+    /// 8-channel GDDR5.
+    pub fn maxwell() -> Self {
+        GpuConfig {
+            n_cores: 30,
+            warps_per_core: 64,
+            warp_size: 64,
+            page_size_log2: PAGE_SIZE_4K_LOG2,
+            tlb: TlbConfig::default(),
+            pwc: PwcConfig::default(),
+            l1_cache: CacheConfig::maxwell_l1(),
+            l2_cache: CacheConfig::maxwell_l2(),
+            dram: DramConfig::default(),
+            walker_slots: 64,
+            page_fault_latency: 0,
+            mask: MaskParams::default(),
+        }
+    }
+
+    /// A Fermi-like GTX480 configuration (§7.3 generality study): 15 cores,
+    /// smaller L2, 6 memory channels. The shared walker scales with the
+    /// core count (the paper sizes its 64-thread walker for the 30-core
+    /// Maxwell baseline; a half-size chip carries a half-size walker).
+    pub fn fermi() -> Self {
+        let mut cfg = GpuConfig::maxwell();
+        cfg.n_cores = 15;
+        cfg.warps_per_core = 48;
+        cfg.l2_cache.bytes = 768 * 1024;
+        cfg.l2_cache.banks = 6;
+        cfg.dram.channels = 6;
+        cfg.walker_slots = 32;
+        cfg
+    }
+
+    /// An integrated-GPU configuration in the spirit of Power et al. \[106\]
+    /// (§7.3): fewer cores sharing a narrow CPU-style memory system.
+    pub fn integrated() -> Self {
+        let mut cfg = GpuConfig::maxwell();
+        cfg.n_cores = 8;
+        cfg.warps_per_core = 48;
+        cfg.l2_cache.bytes = 1024 * 1024;
+        cfg.l2_cache.banks = 4;
+        cfg.dram.channels = 2;
+        cfg.dram.banks_per_channel = 8;
+        cfg.dram.burst_cycles = 8; // narrower DDR-style bus
+        cfg.walker_slots = 16; // walker scales with the core count
+        cfg
+    }
+
+    /// Maximum number of radix levels a page walk traverses for this config.
+    pub fn walk_levels(&self) -> u8 {
+        crate::addr::levels_for_page_size(self.page_size_log2)
+    }
+}
+
+impl Default for GpuConfig {
+    fn default() -> Self {
+        GpuConfig::maxwell()
+    }
+}
+
+/// A complete simulation configuration: machine + design + run length.
+#[derive(Clone, Debug, PartialEq)]
+pub struct SimConfig {
+    /// The simulated machine.
+    pub gpu: GpuConfig,
+    /// Which evaluated design to model.
+    pub design: DesignKind,
+    /// Number of cycles to simulate.
+    pub max_cycles: u64,
+    /// Base PRNG seed (combined with app/core/warp ids).
+    pub seed: u64,
+}
+
+impl SimConfig {
+    /// A configuration for `design` on the Table 1 machine.
+    pub fn new(design: DesignKind) -> Self {
+        SimConfig { gpu: GpuConfig::maxwell(), design, max_cycles: default_max_cycles(), seed: 0xA55A_2018 }
+    }
+
+    /// Replaces the machine configuration.
+    pub fn with_gpu(mut self, gpu: GpuConfig) -> Self {
+        self.gpu = gpu;
+        self
+    }
+
+    /// Replaces the simulated cycle budget.
+    pub fn with_max_cycles(mut self, cycles: u64) -> Self {
+        self.max_cycles = cycles;
+        self
+    }
+
+    /// Replaces the base seed.
+    pub fn with_seed(mut self, seed: u64) -> Self {
+        self.seed = seed;
+        self
+    }
+}
+
+/// Default per-run cycle budget.
+///
+/// Honors the `MASK_SIM_CYCLES` environment variable so the full experiment
+/// suite can be scaled up for higher-fidelity runs (the paper simulates
+/// full benchmarks; we default to 300K cycles = 3 MASK epochs, which is
+/// enough for the epoch-based mechanisms to reach steady state).
+pub fn default_max_cycles() -> u64 {
+    std::env::var("MASK_SIM_CYCLES").ok().and_then(|v| v.parse().ok()).unwrap_or(300_000)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn design_feature_matrix_matches_paper() {
+        use DesignKind::*;
+        // Fig. 2: PWCache has a page-walk cache, no shared L2 TLB.
+        assert!(PwCache.has_page_walk_cache() && !PwCache.has_shared_l2_tlb());
+        // Fig. 2b / Fig. 10: SharedTLB and every MASK variant share an L2 TLB.
+        for d in [SharedTlb, MaskTlb, MaskCache, MaskDram, Mask] {
+            assert!(d.has_shared_l2_tlb(), "{d} should have a shared L2 TLB");
+        }
+        // Fig. 10: full MASK enables all three mechanisms.
+        assert!(Mask.tokens_enabled() && Mask.l2_bypass_enabled() && Mask.mask_dram_enabled());
+        // Component studies enable exactly one mechanism each.
+        assert!(MaskTlb.tokens_enabled() && !MaskTlb.l2_bypass_enabled() && !MaskTlb.mask_dram_enabled());
+        assert!(!MaskCache.tokens_enabled() && MaskCache.l2_bypass_enabled());
+        assert!(!MaskDram.l2_bypass_enabled() && MaskDram.mask_dram_enabled());
+        // Ideal has no translation overhead at all.
+        assert!(Ideal.ideal_tlb() && !Ideal.has_shared_l2_tlb());
+        // Only Static partitions shared resources.
+        assert!(Static.static_partition());
+        assert!(DesignKind::ALL.iter().filter(|d| d.static_partition()).count() == 1);
+    }
+
+    #[test]
+    fn maxwell_matches_table_1() {
+        let cfg = GpuConfig::maxwell();
+        assert_eq!(cfg.n_cores, 30);
+        assert_eq!(cfg.warps_per_core, 64);
+        assert_eq!(cfg.tlb.l1_entries, 64);
+        assert_eq!(cfg.tlb.l2_entries, 512);
+        assert_eq!(cfg.tlb.l2_assoc, 16);
+        assert_eq!(cfg.l2_cache.bytes, 2 * 1024 * 1024);
+        assert_eq!(cfg.l2_cache.banks, 16);
+        assert_eq!(cfg.dram.channels, 8);
+        assert_eq!(cfg.dram.banks_per_channel, 8);
+        assert_eq!(cfg.walker_slots, 64);
+        assert_eq!(cfg.walk_levels(), 4);
+    }
+
+    #[test]
+    fn large_pages_reduce_walk_depth() {
+        let mut cfg = GpuConfig::maxwell();
+        cfg.page_size_log2 = crate::addr::PAGE_SIZE_2M_LOG2;
+        assert_eq!(cfg.walk_levels(), 3);
+    }
+
+    #[test]
+    fn sim_config_builders() {
+        let cfg = SimConfig::new(DesignKind::Mask).with_max_cycles(1234).with_seed(7);
+        assert_eq!(cfg.max_cycles, 1234);
+        assert_eq!(cfg.seed, 7);
+        assert_eq!(cfg.design, DesignKind::Mask);
+    }
+}

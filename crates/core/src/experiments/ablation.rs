@@ -1,0 +1,106 @@
+//! Ablation studies of MASK's design choices (DESIGN.md experiment index).
+//!
+//! The paper fixes several micro-parameters empirically (§6): the token
+//! adjustment rule, the Golden-queue capacity, and the bypass comparison.
+//! These ablations quantify each choice on translation-heavy workloads.
+
+use super::ExpOptions;
+use crate::metrics::mean;
+use crate::runner::{PairRunner, RunOptions};
+use crate::table::Table;
+use mask_common::config::{DesignKind, GpuConfig, TokenPolicyKind};
+
+fn runner_with(opts: &ExpOptions, tweak: impl FnOnce(&mut GpuConfig)) -> PairRunner {
+    let mut gpu = GpuConfig::maxwell();
+    gpu.warps_per_core = opts.warps_per_core;
+    tweak(&mut gpu);
+    PairRunner::new(RunOptions {
+        n_cores: opts.n_cores,
+        max_cycles: opts.cycles,
+        seed: opts.seed,
+        warmup_cycles: 100_000,
+        gpu,
+    })
+}
+
+fn avg_ws(runner: &mut PairRunner, opts: &ExpOptions, design: DesignKind) -> f64 {
+    mean(opts.pressured_pairs().iter().map(|p| runner.run_pair(p.a, p.b, design).weighted_speedup))
+}
+
+/// Token-controller policy: §5.2's literal rule vs §7.4's direction-
+/// register hill climbing (see `mask-tlb::tokens`).
+pub fn token_policy(opts: &ExpOptions) -> Table {
+    let mut t = Table::new(
+        "Ablation: token adjustment policy (avg weighted speedup, MASK-TLB)",
+        &["policy", "MASK-TLB"],
+    );
+    for (label, policy) in
+        [("literal (Sec. 5.2)", TokenPolicyKind::Literal), ("hill-climb (Sec. 7.4)", TokenPolicyKind::HillClimb)]
+    {
+        let mut r = runner_with(opts, |g| g.mask.token_policy = policy);
+        t.row_f64(label, &[avg_ws(&mut r, opts, DesignKind::MaskTlb)]);
+    }
+    t
+}
+
+/// Bypass hysteresis margin: 0.0 is the paper's literal `level < data`
+/// comparison; larger margins skip marginal (lossy) bypasses.
+pub fn bypass_margin(opts: &ExpOptions) -> Table {
+    let mut t = Table::new(
+        "Ablation: L2-bypass hysteresis margin (avg weighted speedup, MASK-Cache)",
+        &["margin", "MASK-Cache"],
+    );
+    for margin in [0.0, 0.05, 0.15] {
+        let mut r = runner_with(opts, |g| g.mask.bypass_margin = margin);
+        t.row_f64(format!("{margin:.2}"), &[avg_ws(&mut r, opts, DesignKind::MaskCache)]);
+    }
+    t
+}
+
+/// Golden-queue capacity (the paper uses a 16-entry FIFO per channel).
+pub fn golden_capacity(opts: &ExpOptions) -> Table {
+    let mut t = Table::new(
+        "Ablation: Golden queue capacity (avg weighted speedup, MASK-DRAM)",
+        &["entries", "MASK-DRAM"],
+    );
+    for cap in [4usize, 16, 64] {
+        let mut r = runner_with(opts, |g| g.dram.golden_capacity = cap);
+        t.row_f64(cap.to_string(), &[avg_ws(&mut r, opts, DesignKind::MaskDram)]);
+    }
+    t
+}
+
+/// Epoch length (the paper empirically selects 100K cycles, §5.2).
+pub fn epoch_length(opts: &ExpOptions) -> Table {
+    let mut t = Table::new(
+        "Ablation: epoch length (avg weighted speedup, full MASK)",
+        &["epoch_cycles", "MASK"],
+    );
+    for epoch in [50_000u64, 100_000, 200_000] {
+        if epoch * 2 > opts.cycles {
+            continue;
+        }
+        let mut r = runner_with(opts, |g| g.mask.epoch_cycles = epoch);
+        t.row_f64(epoch.to_string(), &[avg_ws(&mut r, opts, DesignKind::Mask)]);
+    }
+    t
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tiny() -> ExpOptions {
+        ExpOptions { cycles: 5_000, pair_limit: 1, ..ExpOptions::quick() }
+    }
+
+    #[test]
+    fn ablations_produce_complete_tables() {
+        assert_eq!(token_policy(&tiny()).len(), 2);
+        assert_eq!(bypass_margin(&tiny()).len(), 3);
+        assert_eq!(golden_capacity(&tiny()).len(), 3);
+        // With tiny cycles, epochs longer than half the run are skipped.
+        let e = epoch_length(&tiny());
+        assert!(e.len() <= 3);
+    }
+}

@@ -1,0 +1,56 @@
+//! Figure 3: baseline designs vs. ideal performance (§3).
+//!
+//! "Figure 3 compares the performance of both baseline variants (PWCache
+//! ... and SharedTLB ...), running two separate applications concurrently,
+//! to an ideal scenario where every TLB access is a hit. ... both variants
+//! incur a significant performance overhead (45.0% and 40.6% on average)."
+
+use super::multiprog::sweep;
+use super::ExpOptions;
+use crate::table::Table;
+use mask_common::config::DesignKind;
+
+/// Runs Fig. 3: per-pair weighted speedup of PWCache and SharedTLB
+/// normalized to Ideal.
+pub fn run(opts: &ExpOptions) -> Table {
+    let designs = [DesignKind::PwCache, DesignKind::SharedTlb, DesignKind::Ideal];
+    let s = sweep(opts, &designs);
+    let mut t = Table::new(
+        "Figure 3: baseline designs vs. ideal performance (normalized weighted speedup)",
+        &["workload", "PWCache", "SharedTLB"],
+    );
+    let mut sums = [0.0f64; 2];
+    let mut n = 0usize;
+    for p in &s.pairs {
+        let ideal = s.outcomes[&(p.name(), DesignKind::Ideal)].weighted_speedup;
+        if ideal <= 0.0 {
+            continue;
+        }
+        let pw = s.outcomes[&(p.name(), DesignKind::PwCache)].weighted_speedup / ideal;
+        let sh = s.outcomes[&(p.name(), DesignKind::SharedTlb)].weighted_speedup / ideal;
+        t.row_f64(p.name(), &[pw, sh]);
+        sums[0] += pw;
+        sums[1] += sh;
+        n += 1;
+    }
+    if n > 0 {
+        t.row_f64("Average", &[sums[0] / n as f64, sums[1] / n as f64]);
+    }
+    t
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn baselines_lose_to_ideal() {
+        let opts = ExpOptions { cycles: 10_000, ..ExpOptions::quick() };
+        let t = run(&opts);
+        assert!(!t.is_empty());
+        let pw = t.value("Average", "PWCache").expect("avg");
+        let sh = t.value("Average", "SharedTLB").expect("avg");
+        assert!(pw <= 1.05, "PWCache normalized perf {pw} cannot beat ideal");
+        assert!(sh <= 1.05, "SharedTLB normalized perf {sh} cannot beat ideal");
+    }
+}

@@ -1,0 +1,101 @@
+//! §7.2: component-by-component analysis of MASK's mechanisms.
+//!
+//! Reports, per the paper's discussion:
+//!
+//! * shared-L2-TLB hit-rate change of `MASK-TLB` over `SharedTLB` (the
+//!   paper measures +49.9% on average) and the TLB bypass cache hit rate
+//!   (66.5%);
+//! * per-walk-level L2 cache hit rates and bypass volume under
+//!   `MASK-Cache`;
+//! * DRAM latency of translation vs data under `MASK-DRAM` compared to the
+//!   baseline.
+
+use super::ExpOptions;
+use crate::metrics::mean;
+use crate::table::Table;
+use mask_common::config::DesignKind;
+
+/// Runs the §7.2 analysis over the configured pairs.
+pub fn run(opts: &ExpOptions) -> Table {
+    let mut runner = opts.runner();
+    let pairs = opts.pressured_pairs();
+    let mut rows: Vec<(String, Vec<f64>)> = Vec::new();
+    let mut base_hit = Vec::new();
+    let mut tlb_hit = Vec::new();
+    let mut bypass_hits = Vec::new();
+    let mut diverted = Vec::new();
+    let mut base_xlat_lat = Vec::new();
+    let mut dram_xlat_lat = Vec::new();
+    let mut cache_bypassed = Vec::new();
+    for p in &pairs {
+        let base = runner.run_pair(p.a, p.b, DesignKind::SharedTlb);
+        let tlb = runner.run_pair(p.a, p.b, DesignKind::MaskTlb);
+        let cache = runner.run_pair(p.a, p.b, DesignKind::MaskCache);
+        let dram = runner.run_pair(p.a, p.b, DesignKind::MaskDram);
+        for i in 0..2 {
+            base_hit.push(base.stats.apps[i].l2_tlb.hit_rate());
+            tlb_hit.push(tlb.stats.apps[i].l2_tlb.hit_rate());
+            base_xlat_lat.push(base.stats.apps[i].dram_translation.avg_latency());
+            dram_xlat_lat.push(dram.stats.apps[i].dram_translation.avg_latency());
+            cache_bypassed.push(cache.stats.apps[i].l2_translation_bypassed as f64);
+        }
+        bypass_hits.push(tlb.stats.apps[0].tlb_bypass_cache.hit_rate());
+        diverted.push(tlb.stats.apps.iter().map(|a| a.fills_diverted).sum::<u64>() as f64);
+        rows.push((
+            p.name(),
+            vec![
+                base.weighted_speedup,
+                tlb.weighted_speedup,
+                cache.weighted_speedup,
+                dram.weighted_speedup,
+            ],
+        ));
+    }
+    let mut t = Table::new(
+        "Sec. 7.2: MASK component analysis",
+        &["metric", "value"],
+    );
+    let base_avg = mean(base_hit.iter().copied());
+    let tlb_avg = mean(tlb_hit.iter().copied());
+    t.row("SharedTLB avg L2 TLB hit rate", vec![format!("{base_avg:.3}")]);
+    t.row("MASK-TLB avg L2 TLB hit rate", vec![format!("{tlb_avg:.3}")]);
+    if base_avg > 0.0 {
+        t.row(
+            "L2 TLB hit-rate improvement (%)",
+            vec![format!("{:.1}", (tlb_avg / base_avg - 1.0) * 100.0)],
+        );
+    }
+    t.row("TLB bypass cache hit rate", vec![format!("{:.3}", mean(bypass_hits.iter().copied()))]);
+    t.row(
+        "Avg translation requests bypassing L2 (MASK-Cache)",
+        vec![format!("{:.0}", mean(cache_bypassed.iter().copied()))],
+    );
+    t.row(
+        "Baseline DRAM translation latency (cycles)",
+        vec![format!("{:.0}", mean(base_xlat_lat.iter().copied()))],
+    );
+    t.row(
+        "MASK-DRAM translation latency (cycles)",
+        vec![format!("{:.0}", mean(dram_xlat_lat.iter().copied()))],
+    );
+    let ws = |i: usize| mean(rows.iter().map(|(_, v)| v[i]));
+    t.row("Avg WS: SharedTLB", vec![format!("{:.3}", ws(0))]);
+    t.row("Avg WS: MASK-TLB", vec![format!("{:.3}", ws(1))]);
+    t.row("Avg WS: MASK-Cache", vec![format!("{:.3}", ws(2))]);
+    t.row("Avg WS: MASK-DRAM", vec![format!("{:.3}", ws(3))]);
+    t
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn component_table_has_all_metrics() {
+        let opts = ExpOptions { cycles: 8_000, pair_limit: 1, ..ExpOptions::quick() };
+        let t = run(&opts);
+        assert!(t.len() >= 10);
+        assert!(t.cell("TLB bypass cache hit rate", "value").is_some());
+        assert!(t.cell("Avg WS: MASK-DRAM", "value").is_some());
+    }
+}

@@ -1,0 +1,90 @@
+//! Table 4: generality across GPU architectures (§7.3).
+//!
+//! "we evaluate our two baseline variants (PWCache and SharedTLB) and MASK
+//! on two additional GPU architectures: the GTX480 (Fermi architecture),
+//! and an integrated GPU architecture" — average performance normalized to
+//! Ideal.
+
+use super::ExpOptions;
+use crate::metrics::mean;
+use crate::runner::{PairRunner, RunOptions};
+use crate::table::Table;
+use mask_common::config::{DesignKind, GpuConfig};
+
+/// The architectures of Table 4 plus the main (Maxwell) configuration.
+pub fn architectures() -> Vec<(&'static str, GpuConfig)> {
+    vec![
+        ("Maxwell", GpuConfig::maxwell()),
+        ("Fermi", GpuConfig::fermi()),
+        ("Integrated", GpuConfig::integrated()),
+    ]
+}
+
+/// Runs Table 4.
+pub fn run(opts: &ExpOptions) -> Table {
+    let mut t = Table::new(
+        "Table 4: average performance normalized to Ideal, per architecture",
+        &["architecture", "PWCache", "SharedTLB", "MASK"],
+    );
+    for (name, mut gpu) in architectures() {
+        gpu.warps_per_core = gpu.warps_per_core.min(opts.warps_per_core.max(8));
+        let n_cores = gpu.n_cores.min(opts.n_cores.max(2));
+        gpu.n_cores = n_cores;
+        let mut runner = PairRunner::new(RunOptions {
+            n_cores,
+            max_cycles: opts.cycles,
+            seed: opts.seed,
+            warmup_cycles: 100_000,
+            gpu,
+        });
+        let pairs = opts.pressured_pairs();
+        let mut norm = [Vec::new(), Vec::new(), Vec::new()];
+        for p in &pairs {
+            let ideal = runner.run_pair(p.a, p.b, DesignKind::Ideal).weighted_speedup;
+            if ideal <= 0.0 {
+                continue;
+            }
+            for (i, d) in [DesignKind::PwCache, DesignKind::SharedTlb, DesignKind::Mask]
+                .into_iter()
+                .enumerate()
+            {
+                norm[i].push(runner.run_pair(p.a, p.b, d).weighted_speedup / ideal);
+            }
+        }
+        t.row_f64(
+            name,
+            &[
+                mean(norm[0].iter().copied()),
+                mean(norm[1].iter().copied()),
+                mean(norm[2].iter().copied()),
+            ],
+        );
+    }
+    t
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn covers_all_three_architectures() {
+        let opts = ExpOptions { cycles: 6_000, pair_limit: 1, ..ExpOptions::quick() };
+        let t = run(&opts);
+        assert_eq!(t.len(), 3);
+        for (_, cells) in &t.rows {
+            for c in cells {
+                let v: f64 = c.parse().expect("numeric");
+                assert!((0.0..=1.5).contains(&v), "normalized perf {v} out of range");
+            }
+        }
+    }
+
+    #[test]
+    fn architecture_presets_differ() {
+        let archs = architectures();
+        assert_eq!(archs.len(), 3);
+        assert!(archs[1].1.n_cores < archs[0].1.n_cores, "Fermi has fewer cores");
+        assert!(archs[2].1.dram.channels < archs[0].1.dram.channels, "integrated is narrower");
+    }
+}

@@ -1,0 +1,90 @@
+//! Figure 7: inter-address-space interference at the shared L2 TLB (§4.2).
+//!
+//! "Figure 7 compares the 512-entry L2 TLB miss rate of four representative
+//! workloads when each application in the workload runs in isolation to the
+//! miss rate when the two applications run concurrently and share the L2
+//! TLB."
+
+use super::ExpOptions;
+use crate::table::Table;
+use mask_common::config::DesignKind;
+use mask_gpu::AppSpec;
+use mask_workloads::app_by_name;
+
+/// The paper's four representative pairs.
+pub const FIG07_PAIRS: [(&str, &str); 4] =
+    [("3DS", "HISTO"), ("CONS", "LPS"), ("MUM", "HISTO"), ("RED", "RAY")];
+
+/// Runs Fig. 7: per-app shared-L2-TLB miss rate, alone vs shared.
+pub fn run(opts: &ExpOptions) -> Table {
+    let runner = opts.runner();
+    let mut t = Table::new(
+        "Figure 7: effect of interference on the shared L2 TLB miss rate",
+        &["workload", "app", "alone", "shared"],
+    );
+    let half = opts.n_cores / 2;
+    for (an, bn) in FIG07_PAIRS {
+        let a = app_by_name(an).expect("known app");
+        let b = app_by_name(bn).expect("known app");
+        // Alone runs use the app's core share, as in the paper's IPCalone
+        // methodology; the shared L2 TLB remains full-sized.
+        let alone_a = runner.run_apps(DesignKind::SharedTlb, &[AppSpec { profile: a, n_cores: half }]);
+        let alone_b = runner
+            .run_apps(DesignKind::SharedTlb, &[AppSpec { profile: b, n_cores: opts.n_cores - half }]);
+        let shared = runner.run_apps(
+            DesignKind::SharedTlb,
+            &[
+                AppSpec { profile: a, n_cores: half },
+                AppSpec { profile: b, n_cores: opts.n_cores - half },
+            ],
+        );
+        let name = format!("{an}_{bn}");
+        t.row(
+            name.clone(),
+            vec![
+                format!("App1 ({an})"),
+                format!("{:.3}", alone_a.apps[0].l2_tlb.miss_rate()),
+                format!("{:.3}", shared.apps[0].l2_tlb.miss_rate()),
+            ],
+        );
+        t.row(
+            name,
+            vec![
+                format!("App2 ({bn})"),
+                format!("{:.3}", alone_b.apps[0].l2_tlb.miss_rate()),
+                format!("{:.3}", shared.apps[1].l2_tlb.miss_rate()),
+            ],
+        );
+    }
+    t
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sharing_never_lowers_low_miss_apps_substantially() {
+        let opts = ExpOptions { cycles: 8_000, ..ExpOptions::quick() };
+        let t = run(&opts);
+        assert_eq!(t.len(), 8, "two rows per pair");
+        // The LPS row (App2 of CONS_LPS) is the thrashing victim: its
+        // shared miss rate must not be lower than alone.
+        let alone: f64 = t
+            .rows
+            .iter()
+            .find(|(l, c)| l == "CONS_LPS" && c[0].contains("LPS"))
+            .map(|(_, c)| c[1].parse().expect("numeric"))
+            .expect("LPS row");
+        let shared: f64 = t
+            .rows
+            .iter()
+            .find(|(l, c)| l == "CONS_LPS" && c[0].contains("LPS"))
+            .map(|(_, c)| c[2].parse().expect("numeric"))
+            .expect("LPS row");
+        assert!(
+            shared >= alone * 0.9,
+            "interference should not *improve* LPS's shared miss rate (alone {alone}, shared {shared})"
+        );
+    }
+}

@@ -1,0 +1,121 @@
+//! Experiment harnesses: one module per paper table/figure.
+//!
+//! | Module | Paper artefact |
+//! |---|---|
+//! | [`timemux`] | Fig. 1 — time-multiplexing overhead vs process count |
+//! | [`baseline`] | Fig. 3 — PWCache / SharedTLB vs Ideal |
+//! | [`single_app`] | Figs. 5–6 — concurrent walks, warps stalled per miss |
+//! | [`interference`] | Fig. 7 — shared-L2-TLB miss rate, alone vs shared |
+//! | [`dram_char`] | Figs. 8–9 — DRAM bandwidth and latency by class |
+//! | [`multiprog`] | Figs. 11–15 — multiprogrammed performance + fairness |
+//! | [`components`] | §7.2 — per-mechanism analysis |
+//! | [`scalability`] | Table 3 — 1–5 concurrent applications |
+//! | [`generality`] | Table 4 — Fermi and integrated-GPU architectures |
+//! | [`sensitivity`] | §7.3 — TLB size, page size, schedulers, row policy |
+//! | [`ablation`] | design-choice ablations: token policy, bypass margin, Golden capacity, epoch length |
+//!
+//! All harnesses honor two environment variables so the whole suite can be
+//! scaled: `MASK_SIM_CYCLES` (cycles per run) and `MASK_PAIR_LIMIT`
+//! (number of two-app workloads simulated).
+
+pub mod ablation;
+pub mod baseline;
+pub mod components;
+pub mod dram_char;
+pub mod generality;
+pub mod interference;
+pub mod multiprog;
+pub mod scalability;
+pub mod sensitivity;
+pub mod single_app;
+pub mod timemux;
+
+use crate::runner::{PairRunner, RunOptions};
+use mask_common::config::GpuConfig;
+
+/// Common experiment options.
+#[derive(Clone, Debug)]
+pub struct ExpOptions {
+    /// Cycles per simulation run.
+    pub cycles: u64,
+    /// Total GPU cores.
+    pub n_cores: usize,
+    /// Warp contexts per core.
+    pub warps_per_core: usize,
+    /// Number of paper pairs to simulate (1..=35).
+    pub pair_limit: usize,
+    /// Base seed.
+    pub seed: u64,
+}
+
+impl Default for ExpOptions {
+    fn default() -> Self {
+        ExpOptions {
+            cycles: mask_common::config::default_max_cycles(),
+            n_cores: 30,
+            warps_per_core: 64,
+            pair_limit: std::env::var("MASK_PAIR_LIMIT")
+                .ok()
+                .and_then(|v| v.parse().ok())
+                .unwrap_or(35),
+            seed: 0xA55A_2018,
+        }
+    }
+}
+
+impl ExpOptions {
+    /// A fast configuration for unit/integration tests.
+    pub fn quick() -> Self {
+        ExpOptions { cycles: 5_000, n_cores: 4, warps_per_core: 16, pair_limit: 2, seed: 7 }
+    }
+
+    /// Builds a [`PairRunner`] honoring these options.
+    pub fn runner(&self) -> PairRunner {
+        PairRunner::new(self.run_options())
+    }
+
+    /// Builds [`RunOptions`] honoring these options.
+    pub fn run_options(&self) -> RunOptions {
+        let mut gpu = GpuConfig::maxwell();
+        gpu.warps_per_core = self.warps_per_core;
+        RunOptions { n_cores: self.n_cores, max_cycles: self.cycles, seed: self.seed, warmup_cycles: 100_000, gpu }
+    }
+
+    /// The paper pairs to simulate, truncated to `pair_limit`.
+    pub fn pairs(&self) -> Vec<mask_workloads::AppPair> {
+        let mut p = mask_workloads::paper_pairs();
+        p.truncate(self.pair_limit.max(1));
+        p
+    }
+
+    /// Like [`ExpOptions::pairs`], but samples the most translation-
+    /// pressured pairs first (2-HMR before 1-HMR before 0-HMR, stable
+    /// within a category). Experiments that default to a small pair subset
+    /// use this so the subset actually exercises the contention the paper
+    /// studies.
+    pub fn pressured_pairs(&self) -> Vec<mask_workloads::AppPair> {
+        let mut p = mask_workloads::paper_pairs();
+        p.sort_by_key(|pair| std::cmp::Reverse(pair.hmr_count()));
+        p.truncate(self.pair_limit.max(1));
+        p
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_honors_env_shape() {
+        let o = ExpOptions::default();
+        assert_eq!(o.n_cores, 30);
+        assert!(o.pair_limit >= 1 && o.pair_limit <= 35);
+    }
+
+    #[test]
+    fn quick_options_are_small() {
+        let o = ExpOptions::quick();
+        assert!(o.cycles <= 10_000);
+        assert_eq!(o.pairs().len(), 2);
+    }
+}

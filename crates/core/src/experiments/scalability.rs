@@ -1,0 +1,83 @@
+//! Table 3: scalability from 1 to 5 concurrent applications (§7.3).
+//!
+//! "We compare the performance of SharedTLB ... and MASK, normalized to
+//! Ideal performance, as the number of concurrently-running applications
+//! increases from one to five."
+
+use super::ExpOptions;
+use crate::metrics::mean;
+use crate::table::Table;
+use mask_common::config::DesignKind;
+use mask_workloads::{app_by_name, AppProfile};
+
+/// Representative application mixes per concurrency level. The paper does
+/// not publish its exact n-app mixes; we grow an all-High/High mix one app
+/// at a time so that shared-TLB/walker contention rises monotonically with
+/// the application count, which is the effect Table 3 demonstrates.
+pub fn mixes() -> Vec<Vec<&'static AppProfile>> {
+    let get = |n: &str| app_by_name(n).expect("known app");
+    vec![
+        vec![get("CONS")],
+        vec![get("CONS"), get("MM")],
+        vec![get("CONS"), get("MM"), get("RED")],
+        vec![get("CONS"), get("MM"), get("RED"), get("TRD")],
+        vec![get("CONS"), get("MM"), get("RED"), get("TRD"), get("SC")],
+    ]
+}
+
+/// Runs Table 3.
+pub fn run(opts: &ExpOptions) -> Table {
+    let mut runner = opts.runner();
+    let mut t = Table::new(
+        "Table 3: performance normalized to Ideal as application count grows",
+        &["n_apps", "SharedTLB/Ideal", "MASK/Ideal"],
+    );
+    for mix in mixes() {
+        if mix.len() > opts.n_cores {
+            continue;
+        }
+        let ideal = runner.run_multi(&mix, DesignKind::Ideal).weighted_speedup;
+        let shared = runner.run_multi(&mix, DesignKind::SharedTlb).weighted_speedup;
+        let mask = runner.run_multi(&mix, DesignKind::Mask).weighted_speedup;
+        let norm = |v: f64| if ideal > 0.0 { v / ideal } else { 0.0 };
+        t.row_f64(mix.len().to_string(), &[norm(shared), norm(mask)]);
+    }
+    t
+}
+
+/// The paper's summary claim: MASK maintains an advantage at every level.
+pub fn mask_advantage(t: &Table) -> f64 {
+    mean(t.rows.iter().filter_map(|(n, _)| {
+        let s = t.value(n, "SharedTLB/Ideal")?;
+        let m = t.value(n, "MASK/Ideal")?;
+        (s > 0.0).then_some(m / s)
+    }))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table_covers_available_concurrency_levels() {
+        let opts = ExpOptions { cycles: 6_000, ..ExpOptions::quick() };
+        let t = run(&opts);
+        // With 4 cores, mixes of size 1..=4 fit.
+        assert_eq!(t.len(), 4);
+        for (_, cells) in &t.rows {
+            for c in cells {
+                let v: f64 = c.parse().expect("numeric");
+                assert!((0.0..=1.6).contains(&v), "normalized perf {v} out of range");
+            }
+        }
+    }
+
+    #[test]
+    fn mixes_grow_one_app_at_a_time() {
+        let m = mixes();
+        assert_eq!(m.len(), 5);
+        for (i, mix) in m.iter().enumerate() {
+            assert_eq!(mix.len(), i + 1);
+        }
+    }
+}

@@ -1,0 +1,115 @@
+//! Multiprogrammed-workload metrics (§6 "Evaluation Metrics").
+//!
+//! * **Weighted speedup** `Σ IPC_shared / IPC_alone` [42, 43] — system
+//!   throughput;
+//! * **IPC throughput** `Σ IPC_shared` — aggregate instruction rate (§7.1);
+//! * **Unfairness** `max_i IPC_alone / IPC_shared` — maximum slowdown
+//!   [38, 41, ...].
+
+/// Weighted speedup of a multiprogrammed run.
+///
+/// # Panics
+///
+/// Panics if the slices have different lengths.
+pub fn weighted_speedup(shared_ipc: &[f64], alone_ipc: &[f64]) -> f64 {
+    assert_eq!(shared_ipc.len(), alone_ipc.len(), "one alone IPC per app");
+    shared_ipc
+        .iter()
+        .zip(alone_ipc)
+        .map(|(&s, &a)| if a > 0.0 { s / a } else { 0.0 })
+        .sum()
+}
+
+/// Unfairness: the maximum per-application slowdown.
+///
+/// # Panics
+///
+/// Panics if the slices have different lengths.
+pub fn unfairness(shared_ipc: &[f64], alone_ipc: &[f64]) -> f64 {
+    assert_eq!(shared_ipc.len(), alone_ipc.len(), "one alone IPC per app");
+    shared_ipc
+        .iter()
+        .zip(alone_ipc)
+        .map(|(&s, &a)| if s > 0.0 { a / s } else { f64::INFINITY })
+        .fold(0.0, f64::max)
+}
+
+/// Geometric mean (used to aggregate per-workload ratios across a suite).
+pub fn geometric_mean(values: impl IntoIterator<Item = f64>) -> f64 {
+    let mut log_sum = 0.0;
+    let mut n = 0usize;
+    for v in values {
+        if v > 0.0 {
+            log_sum += v.ln();
+            n += 1;
+        }
+    }
+    if n == 0 {
+        0.0
+    } else {
+        (log_sum / n as f64).exp()
+    }
+}
+
+/// Arithmetic mean (0 for an empty iterator).
+pub fn mean(values: impl IntoIterator<Item = f64>) -> f64 {
+    let mut sum = 0.0;
+    let mut n = 0usize;
+    for v in values {
+        sum += v;
+        n += 1;
+    }
+    if n == 0 {
+        0.0
+    } else {
+        sum / n as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn weighted_speedup_definition() {
+        // Both apps at full alone speed -> WS = number of apps.
+        assert!((weighted_speedup(&[2.0, 3.0], &[2.0, 3.0]) - 2.0).abs() < 1e-12);
+        // Both halved -> WS = 1.
+        assert!((weighted_speedup(&[1.0, 1.5], &[2.0, 3.0]) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn unfairness_is_max_slowdown() {
+        // App 0 halved, app 1 at 75% -> max slowdown 2.0.
+        let u = unfairness(&[1.0, 2.25], &[2.0, 3.0]);
+        assert!((u - 2.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn unfairness_of_stalled_app_is_infinite() {
+        assert!(unfairness(&[0.0, 1.0], &[1.0, 1.0]).is_infinite());
+    }
+
+    #[test]
+    fn zero_alone_ipc_contributes_nothing() {
+        assert_eq!(weighted_speedup(&[1.0], &[0.0]), 0.0);
+    }
+
+    #[test]
+    fn geometric_mean_basics() {
+        assert!((geometric_mean([4.0, 1.0]) - 2.0).abs() < 1e-12);
+        assert_eq!(geometric_mean(std::iter::empty()), 0.0);
+    }
+
+    #[test]
+    fn mean_basics() {
+        assert!((mean([1.0, 2.0, 3.0]) - 2.0).abs() < 1e-12);
+        assert_eq!(mean(std::iter::empty()), 0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "one alone IPC per app")]
+    fn mismatched_lengths_panic() {
+        let _ = weighted_speedup(&[1.0], &[1.0, 2.0]);
+    }
+}

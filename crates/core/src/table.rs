@@ -1,0 +1,164 @@
+//! Plain-text experiment tables.
+//!
+//! Every experiment harness produces a [`Table`]; `cargo bench` prints them
+//! in the paper's row/column layout and EXPERIMENTS.md archives them.
+
+use std::fmt;
+
+/// A labelled table of numeric or textual cells.
+#[derive(Clone, Debug, Default, PartialEq)]
+pub struct Table {
+    /// Table title (e.g. `"Figure 11: multiprogrammed performance"`).
+    pub title: String,
+    /// Column headers; the first column holds row labels.
+    pub headers: Vec<String>,
+    /// Rows: label plus one cell per remaining header.
+    pub rows: Vec<(String, Vec<String>)>,
+}
+
+impl Table {
+    /// Creates an empty table.
+    pub fn new(title: impl Into<String>, headers: &[&str]) -> Self {
+        Table {
+            title: title.into(),
+            headers: headers.iter().map(|s| s.to_string()).collect(),
+            rows: Vec::new(),
+        }
+    }
+
+    /// Appends a row of preformatted cells.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the cell count does not match the header count.
+    pub fn row(&mut self, label: impl Into<String>, cells: Vec<String>) -> &mut Self {
+        assert_eq!(cells.len() + 1, self.headers.len(), "cell count must match headers");
+        self.rows.push((label.into(), cells));
+        self
+    }
+
+    /// Appends a row of `f64` cells formatted with 3 decimals.
+    pub fn row_f64(&mut self, label: impl Into<String>, cells: &[f64]) -> &mut Self {
+        self.row(label, cells.iter().map(|v| format!("{v:.3}")).collect())
+    }
+
+    /// Number of data rows.
+    pub fn len(&self) -> usize {
+        self.rows.len()
+    }
+
+    /// Whether the table has no rows.
+    pub fn is_empty(&self) -> bool {
+        self.rows.is_empty()
+    }
+
+    /// Renders as CSV (for downstream plotting).
+    pub fn to_csv(&self) -> String {
+        let mut out = String::new();
+        out.push_str(&self.headers.join(","));
+        out.push('\n');
+        for (label, cells) in &self.rows {
+            out.push_str(label);
+            for c in cells {
+                out.push(',');
+                out.push_str(c);
+            }
+            out.push('\n');
+        }
+        out
+    }
+
+    /// Looks up a cell by row label and column header.
+    pub fn cell(&self, row: &str, col: &str) -> Option<&str> {
+        let col_idx = self.headers.iter().position(|h| h == col)?;
+        if col_idx == 0 {
+            return None;
+        }
+        let (_, cells) = self.rows.iter().find(|(label, _)| label == row)?;
+        cells.get(col_idx - 1).map(String::as_str)
+    }
+
+    /// Parses a cell as `f64`.
+    pub fn value(&self, row: &str, col: &str) -> Option<f64> {
+        self.cell(row, col)?.parse().ok()
+    }
+}
+
+impl fmt::Display for Table {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(f, "## {}", self.title)?;
+        // Column widths.
+        let mut widths: Vec<usize> = self.headers.iter().map(String::len).collect();
+        for (label, cells) in &self.rows {
+            widths[0] = widths[0].max(label.len());
+            for (i, c) in cells.iter().enumerate() {
+                widths[i + 1] = widths[i + 1].max(c.len());
+            }
+        }
+        let write_row = |f: &mut fmt::Formatter<'_>, cells: &[&str]| -> fmt::Result {
+            for (i, (c, w)) in cells.iter().zip(&widths).enumerate() {
+                if i == 0 {
+                    write!(f, "{c:<w$}")?;
+                } else {
+                    write!(f, "  {c:>w$}")?;
+                }
+            }
+            writeln!(f)
+        };
+        let headers: Vec<&str> = self.headers.iter().map(String::as_str).collect();
+        write_row(f, &headers)?;
+        writeln!(f, "{}", "-".repeat(widths.iter().sum::<usize>() + 2 * (widths.len() - 1)))?;
+        for (label, cells) in &self.rows {
+            let mut row: Vec<&str> = vec![label];
+            row.extend(cells.iter().map(String::as_str));
+            write_row(f, &row)?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> Table {
+        let mut t = Table::new("Sample", &["workload", "a", "b"]);
+        t.row_f64("W1", &[1.0, 2.5]);
+        t.row("W2", vec!["x".into(), "y".into()]);
+        t
+    }
+
+    #[test]
+    fn roundtrip_cells() {
+        let t = sample();
+        assert_eq!(t.cell("W1", "a"), Some("1.000"));
+        assert_eq!(t.value("W1", "b"), Some(2.5));
+        assert_eq!(t.cell("W2", "b"), Some("y"));
+        assert_eq!(t.cell("W3", "a"), None);
+        assert_eq!(t.cell("W1", "nope"), None);
+        assert_eq!(t.len(), 2);
+        assert!(!t.is_empty());
+    }
+
+    #[test]
+    fn csv_rendering() {
+        let csv = sample().to_csv();
+        assert!(csv.starts_with("workload,a,b\n"));
+        assert!(csv.contains("W1,1.000,2.500\n"));
+    }
+
+    #[test]
+    fn display_aligns_columns() {
+        let s = sample().to_string();
+        assert!(s.contains("## Sample"));
+        assert!(s.contains("workload"));
+        assert!(s.lines().count() >= 4);
+    }
+
+    #[test]
+    #[should_panic(expected = "cell count must match headers")]
+    fn wrong_cell_count_panics() {
+        let mut t = Table::new("T", &["r", "a"]);
+        t.row("x", vec!["1".into(), "2".into()]);
+    }
+}

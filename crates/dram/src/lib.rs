@@ -1,0 +1,30 @@
+//! GDDR5-style DRAM model with FR-FCFS and MASK's Address-Space-Aware
+//! scheduler.
+//!
+//! The DRAM device models channels, banks, and row buffers with
+//! open/closed-row policies (Table 1: 8 channels, 8 banks, FR-FCFS,
+//! burst 8). Timing is expressed in core cycles.
+//!
+//! Two scheduler families are provided:
+//!
+//! * the baseline **FR-FCFS** request buffer [110, 152] (plus a batch-based
+//!   GPU scheduler in the spirit of Jog et al. \[60\] for the §7.3
+//!   sensitivity study), and
+//! * MASK's **Address-Space-Aware DRAM Scheduler** (mechanism ❸, §5.4):
+//!   a Golden queue (translation requests, FIFO, highest priority), a
+//!   Silver queue (one application's data requests at a time, quota from
+//!   Eq. 1), and a Normal queue (everything else), with FR-FCFS inside the
+//!   Silver and Normal queues.
+//!
+//! The FR-FCFS row-hit-first rule is what makes translation requests —
+//! which "have low row buffer locality" (§5.4) — wait behind streaming data
+//! requests in the baseline (Fig. 9); the Golden queue removes exactly that
+//! effect.
+
+pub mod device;
+pub mod mapping;
+pub mod queues;
+
+pub use device::{Dram, DramCompletion, RowOutcome};
+pub use mapping::{ChannelPartition, Decoded};
+pub use queues::MaskQueues;

@@ -1,0 +1,150 @@
+//! Physical-address to (channel, bank, row, column) mapping.
+//!
+//! Bit layout (from least significant): line offset (7 b) | column within
+//! row | channel | bank | row. Mapping the channel/bank bits *above* the
+//! column bits keeps every line of a 2 KB row in the same bank, so
+//! streaming accesses produce row hits; the row bits are XOR-folded into
+//! the bank index to spread pathological strides across banks.
+
+use mask_common::addr::LineAddr;
+use mask_common::config::DramConfig;
+use mask_common::ids::Asid;
+
+/// A decoded DRAM coordinate.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub struct Decoded {
+    /// Memory channel index.
+    pub channel: usize,
+    /// Bank index within the channel.
+    pub bank: usize,
+    /// Row index within the bank.
+    pub row: u64,
+}
+
+/// Restricts address spaces to channel subsets (the `Static` baseline
+/// partitions "memory channels ... equally across applications", §7).
+#[derive(Clone, Debug, Default)]
+pub struct ChannelPartition {
+    /// `ranges[asid] = (first_channel, n_channels)`; empty = no partition.
+    ranges: Vec<(usize, usize)>,
+}
+
+impl ChannelPartition {
+    /// No partitioning: all apps use all channels.
+    pub fn shared() -> Self {
+        ChannelPartition { ranges: Vec::new() }
+    }
+
+    /// Splits `channels` equally among `n_apps`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n_apps` is 0 or exceeds the channel count.
+    pub fn split(channels: usize, n_apps: usize) -> Self {
+        assert!(n_apps > 0 && n_apps <= channels, "cannot split {channels} channels {n_apps} ways");
+        let per = channels / n_apps;
+        let ranges = (0..n_apps)
+            .map(|i| {
+                let start = i * per;
+                let n = if i == n_apps - 1 { channels - start } else { per };
+                (start, n)
+            })
+            .collect();
+        ChannelPartition { ranges }
+    }
+
+    /// Maps a nominal channel index to the app's allowed subset.
+    pub fn restrict(&self, nominal: usize, asid: Asid) -> usize {
+        match self.ranges.get(asid.index()) {
+            Some(&(start, n)) if n > 0 => start + nominal % n,
+            _ => nominal,
+        }
+    }
+}
+
+/// Decodes `line` for the given geometry, honoring the partition.
+pub fn decode(line: LineAddr, cfg: &DramConfig, part: &ChannelPartition, asid: Asid) -> Decoded {
+    let lines_per_row = 1u64 << (cfg.row_size_log2 - mask_common::addr::LINE_SIZE_LOG2);
+    let col_bits = lines_per_row.trailing_zeros();
+    let after_col = line.0 >> col_bits;
+    let nominal_channel = (after_col % cfg.channels as u64) as usize;
+    let after_chan = after_col / cfg.channels as u64;
+    let bank_raw = after_chan % cfg.banks_per_channel as u64;
+    let row = after_chan / cfg.banks_per_channel as u64;
+    // XOR-fold the row into the bank index to spread strided streams.
+    let bank = ((bank_raw ^ (row & (cfg.banks_per_channel as u64 - 1)))
+        % cfg.banks_per_channel as u64) as usize;
+    Decoded { channel: part.restrict(nominal_channel, asid), bank, row }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mask_common::config::DramConfig;
+
+    fn cfg() -> DramConfig {
+        DramConfig::default()
+    }
+
+    #[test]
+    fn lines_within_a_row_share_coordinates() {
+        let cfg = cfg();
+        let part = ChannelPartition::shared();
+        // 2 KB row / 128 B line = 16 lines per row.
+        let base = 0x123u64 * 16;
+        let d0 = decode(LineAddr(base), &cfg, &part, Asid::new(0));
+        for i in 1..16 {
+            let d = decode(LineAddr(base + i), &cfg, &part, Asid::new(0));
+            assert_eq!(d, d0, "line {i} of a row must stay in one bank/row");
+        }
+        // The next row moves somewhere else.
+        let d16 = decode(LineAddr(base + 16), &cfg, &part, Asid::new(0));
+        assert_ne!(d16, d0);
+    }
+
+    #[test]
+    fn streams_cover_all_channels() {
+        let cfg = cfg();
+        let part = ChannelPartition::shared();
+        let mut seen = std::collections::HashSet::new();
+        for i in 0..(16 * 64) {
+            seen.insert(decode(LineAddr(i), &cfg, &part, Asid::new(0)).channel);
+        }
+        assert_eq!(seen.len(), cfg.channels);
+    }
+
+    #[test]
+    fn partition_confines_apps_to_their_channels() {
+        let cfg = cfg();
+        let part = ChannelPartition::split(8, 2);
+        for i in 0..4096u64 {
+            let d0 = decode(LineAddr(i * 17), &cfg, &part, Asid::new(0));
+            let d1 = decode(LineAddr(i * 17), &cfg, &part, Asid::new(1));
+            assert!(d0.channel < 4, "app 0 confined to channels 0-3");
+            assert!((4..8).contains(&d1.channel), "app 1 confined to channels 4-7");
+        }
+    }
+
+    #[test]
+    fn uneven_split_gives_remainder_to_last_app() {
+        let part = ChannelPartition::split(8, 3);
+        // Apps get 2, 2, and 4 channels.
+        assert_eq!(part.restrict(0, Asid::new(0)), 0);
+        assert_eq!(part.restrict(5, Asid::new(0)), 1);
+        assert_eq!(part.restrict(0, Asid::new(2)), 4);
+        assert_eq!(part.restrict(3, Asid::new(2)), 7);
+    }
+
+    #[test]
+    fn banks_spread_strided_rows() {
+        let cfg = cfg();
+        let part = ChannelPartition::shared();
+        let mut banks = std::collections::HashSet::new();
+        // Stride of exactly one row within one channel.
+        for r in 0..64u64 {
+            let line = r * 16 * cfg.channels as u64;
+            banks.insert(decode(LineAddr(line), &cfg, &part, Asid::new(0)).bank);
+        }
+        assert!(banks.len() >= 4, "row-strided stream should touch many banks");
+    }
+}

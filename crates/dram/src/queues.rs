@@ -1,0 +1,356 @@
+//! Request queues and scheduling policies.
+//!
+//! Contains the FR-FCFS candidate selection shared by all schedulers, the
+//! batch-based alternative GPU scheduler (§7.3 sensitivity), and MASK's
+//! three-queue structure with the Eq. 1 Silver-queue quota:
+//!
+//! ```text
+//! thresh_i = thresh_max * ConPTW_i * WarpsStalled_i
+//!            / sum_j ConPTW_j * WarpsStalled_j          (Eq. 1)
+//! ```
+
+use crate::mapping::Decoded;
+use mask_common::req::MemRequest;
+use mask_common::Cycle;
+use std::collections::VecDeque;
+
+/// A queued DRAM request with its decoded coordinates.
+#[derive(Clone, Copy, Debug)]
+pub struct QueueEntry {
+    /// The memory request.
+    pub req: MemRequest,
+    /// Decoded channel/bank/row.
+    pub decoded: Decoded,
+    /// Cycle the request arrived at the memory controller.
+    pub arrival: Cycle,
+}
+
+/// Selects the FR-FCFS candidate among `queue` entries whose bank is free.
+///
+/// First-ready: among ready requests, a row-buffer hit wins; ties break by
+/// arrival order (index order, queues are push-ordered).
+pub fn frfcfs_pick(
+    queue: &[QueueEntry],
+    bank_free: impl Fn(usize) -> bool,
+    open_row: impl Fn(usize) -> Option<u64>,
+) -> Option<usize> {
+    let mut oldest_ready: Option<usize> = None;
+    for (i, e) in queue.iter().enumerate() {
+        if !bank_free(e.decoded.bank) {
+            continue;
+        }
+        if open_row(e.decoded.bank) == Some(e.decoded.row) {
+            return Some(i); // first ready row hit
+        }
+        if oldest_ready.is_none() {
+            oldest_ready = Some(i);
+        }
+    }
+    oldest_ready
+}
+
+/// Batch-based application-aware scheduler state (the "state-of-the-art GPU
+/// memory scheduler \[60\]" alternative of §7.3).
+///
+/// Serves one application's requests at a time (row hits first within the
+/// application), switching after `BATCH` consecutive grants or when the
+/// current application has no ready requests.
+#[derive(Clone, Debug, Default)]
+pub struct BatchState {
+    current_app: usize,
+    served: u32,
+}
+
+/// Consecutive grants before the batch scheduler rotates applications.
+const BATCH: u32 = 8;
+
+impl BatchState {
+    /// Picks the next request under the batch policy.
+    pub fn pick(
+        &mut self,
+        queue: &[QueueEntry],
+        n_apps: usize,
+        bank_free: impl Fn(usize) -> bool + Copy,
+        open_row: impl Fn(usize) -> Option<u64> + Copy,
+    ) -> Option<usize> {
+        if n_apps == 0 {
+            return frfcfs_pick(queue, bank_free, open_row);
+        }
+        for offset in 0..n_apps {
+            let app = (self.current_app + offset) % n_apps;
+            let of_app: Vec<usize> = queue
+                .iter()
+                .enumerate()
+                .filter(|(_, e)| e.req.asid.index() == app)
+                .map(|(i, _)| i)
+                .collect();
+            let sub: Vec<QueueEntry> = of_app.iter().map(|&i| queue[i]).collect();
+            if let Some(local) = frfcfs_pick(&sub, bank_free, open_row) {
+                let picked = of_app[local];
+                if offset != 0 {
+                    self.current_app = app;
+                    self.served = 0;
+                }
+                self.served += 1;
+                if self.served >= BATCH {
+                    self.current_app = (app + 1) % n_apps;
+                    self.served = 0;
+                }
+                return Some(picked);
+            }
+        }
+        None
+    }
+}
+
+/// MASK's three-queue request buffer for one channel (§5.4).
+#[derive(Clone, Debug)]
+pub struct MaskQueues {
+    golden: VecDeque<QueueEntry>,
+    silver: Vec<QueueEntry>,
+    normal: Vec<QueueEntry>,
+    golden_cap: usize,
+    silver_cap: usize,
+    /// Current Silver-queue application and its remaining quota.
+    silver_app: usize,
+    silver_left: u64,
+    /// Per-app quotas from Eq. 1.
+    quotas: Vec<u64>,
+    thresh_max: u64,
+}
+
+impl MaskQueues {
+    /// Creates the queue structure for `n_apps` applications.
+    pub fn new(golden_cap: usize, silver_cap: usize, thresh_max: u64, n_apps: usize) -> Self {
+        let n_apps = n_apps.max(1);
+        MaskQueues {
+            golden: VecDeque::new(),
+            silver: Vec::new(),
+            normal: Vec::new(),
+            golden_cap,
+            silver_cap,
+            silver_app: 0,
+            silver_left: thresh_max / n_apps as u64,
+            quotas: vec![thresh_max / n_apps as u64; n_apps],
+            thresh_max,
+        }
+    }
+
+    /// Recomputes per-app Silver quotas from the pressure products
+    /// `ConPTW_i * WarpsStalled_i` (Eq. 1). Called every epoch; the paper
+    /// "resets all of these counters every epoch".
+    pub fn update_pressure(&mut self, pressure: &[u64]) {
+        let n = self.quotas.len();
+        let total: u64 = pressure.iter().take(n).sum();
+        for (i, q) in self.quotas.iter_mut().enumerate() {
+            let p = pressure.get(i).copied().unwrap_or(0);
+            *q = if total == 0 {
+                self.thresh_max / n as u64
+            } else {
+                (self.thresh_max as u128 * p as u128 / total as u128) as u64
+            };
+        }
+        if self.silver_left == 0 {
+            self.advance_silver_turn();
+        }
+    }
+
+    fn advance_silver_turn(&mut self) {
+        let n = self.quotas.len();
+        for step in 1..=n {
+            let app = (self.silver_app + step) % n;
+            if self.quotas[app] > 0 {
+                self.silver_app = app;
+                self.silver_left = self.quotas[app];
+                return;
+            }
+        }
+        self.silver_left = 0;
+    }
+
+    /// Routes an arriving request into the appropriate queue.
+    ///
+    /// "Address translation requests always go to the Golden Queue, while
+    /// data demand requests go to one of the two other queues" (§5.4). The
+    /// Golden queue has bounded capacity; overflow translation requests
+    /// degrade gracefully into the Normal queue.
+    pub fn enqueue(&mut self, entry: QueueEntry) {
+        if entry.req.class.is_translation() {
+            if self.golden.len() < self.golden_cap {
+                self.golden.push_back(entry);
+            } else {
+                self.normal.push(entry);
+            }
+            return;
+        }
+        let app = entry.req.asid.index();
+        if app == self.silver_app && self.silver_left > 0 && self.silver.len() < self.silver_cap {
+            self.silver.push(entry);
+            self.silver_left -= 1;
+            if self.silver_left == 0 {
+                self.advance_silver_turn();
+            }
+        } else {
+            self.normal.push(entry);
+        }
+    }
+
+    /// Picks and removes the next request to issue.
+    ///
+    /// Priority: Golden (FIFO across ready banks) > Silver (FR-FCFS) >
+    /// Normal (FR-FCFS).
+    pub fn pick(
+        &mut self,
+        bank_free: impl Fn(usize) -> bool + Copy,
+        open_row: impl Fn(usize) -> Option<u64> + Copy,
+    ) -> Option<QueueEntry> {
+        if let Some(i) = self.golden.iter().position(|e| bank_free(e.decoded.bank)) {
+            return self.golden.remove(i);
+        }
+        if let Some(i) = frfcfs_pick(&self.silver, bank_free, open_row) {
+            return Some(self.silver.remove(i));
+        }
+        if let Some(i) = frfcfs_pick(&self.normal, bank_free, open_row) {
+            return Some(self.normal.remove(i));
+        }
+        None
+    }
+
+    /// Total queued requests.
+    pub fn len(&self) -> usize {
+        self.golden.len() + self.silver.len() + self.normal.len()
+    }
+
+    /// Whether all queues are empty.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Current Silver-queue application (for tests/telemetry).
+    pub fn silver_app(&self) -> usize {
+        self.silver_app
+    }
+
+    /// Current quota table (for tests/telemetry).
+    pub fn quotas(&self) -> &[u64] {
+        &self.quotas
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mask_common::addr::LineAddr;
+    use mask_common::ids::{Asid, CoreId};
+    use mask_common::req::{ReqId, RequestClass, WalkLevel};
+
+    fn entry(id: u64, asid: u16, bank: usize, row: u64, class: RequestClass, arrival: Cycle) -> QueueEntry {
+        QueueEntry {
+            req: MemRequest::new(ReqId(id), LineAddr(id), Asid::new(asid), CoreId::new(0), class, arrival),
+            decoded: Decoded { channel: 0, bank, row },
+            arrival,
+        }
+    }
+
+    #[test]
+    fn frfcfs_prefers_row_hits_over_older_requests() {
+        let q = vec![
+            entry(1, 0, 0, 10, RequestClass::Data, 0), // older, row miss
+            entry(2, 0, 1, 20, RequestClass::Data, 1), // younger, row hit
+        ];
+        let pick = frfcfs_pick(&q, |_| true, |b| if b == 1 { Some(20) } else { Some(99) });
+        assert_eq!(pick, Some(1));
+    }
+
+    #[test]
+    fn frfcfs_falls_back_to_oldest_ready() {
+        let q = vec![
+            entry(1, 0, 0, 10, RequestClass::Data, 0),
+            entry(2, 0, 1, 20, RequestClass::Data, 1),
+        ];
+        // No open rows match; bank 0 busy -> entry 2 is the oldest ready.
+        let pick = frfcfs_pick(&q, |b| b == 1, |_| None);
+        assert_eq!(pick, Some(1));
+        // All banks free -> the oldest wins.
+        let pick = frfcfs_pick(&q, |_| true, |_| None);
+        assert_eq!(pick, Some(0));
+    }
+
+    fn mq() -> MaskQueues {
+        MaskQueues::new(16, 64, 500, 2)
+    }
+
+    #[test]
+    fn translation_routes_to_golden_and_wins_priority() {
+        let mut q = mq();
+        q.enqueue(entry(1, 0, 0, 5, RequestClass::Data, 0));
+        q.enqueue(entry(2, 1, 0, 6, RequestClass::Translation(WalkLevel::new(4)), 1));
+        let picked = q.pick(|_| true, |_| Some(5)).expect("non-empty");
+        assert!(picked.req.class.is_translation(), "golden beats a data row hit");
+    }
+
+    #[test]
+    fn golden_overflow_degrades_to_normal() {
+        let mut q = MaskQueues::new(2, 64, 500, 2);
+        for i in 0..4u64 {
+            q.enqueue(entry(i, 0, 0, 0, RequestClass::Translation(WalkLevel::new(1)), i));
+        }
+        assert_eq!(q.len(), 4, "overflow requests are not dropped");
+    }
+
+    #[test]
+    fn silver_quota_rotates_between_apps() {
+        let mut q = MaskQueues::new(16, 64, 100, 2);
+        // Pressure 3:1 -> quotas 75 and 25.
+        q.update_pressure(&[3, 1]);
+        assert_eq!(q.quotas(), &[75, 25]);
+        let start_app = q.silver_app();
+        // Exhaust the current app's quota.
+        let quota = q.quotas()[start_app];
+        for i in 0..quota {
+            q.enqueue(entry(i, start_app as u16, 0, 0, RequestClass::Data, i));
+        }
+        assert_ne!(q.silver_app(), start_app, "turn advances after quota used");
+    }
+
+    #[test]
+    fn non_silver_app_goes_to_normal() {
+        let mut q = mq();
+        q.update_pressure(&[1, 1]);
+        let other = 1 - q.silver_app();
+        q.enqueue(entry(7, other as u16, 0, 0, RequestClass::Data, 0));
+        // Pick ignores open rows; the only entry must come from normal.
+        let picked = q.pick(|_| true, |_| None).expect("entry present");
+        assert_eq!(picked.req.asid.index(), other);
+    }
+
+    #[test]
+    fn silver_beats_normal() {
+        let mut q = mq();
+        q.update_pressure(&[1, 1]);
+        let silver_app = q.silver_app() as u16;
+        let normal_app = 1 - silver_app;
+        q.enqueue(entry(1, normal_app, 0, 5, RequestClass::Data, 0));
+        q.enqueue(entry(2, silver_app, 1, 6, RequestClass::Data, 1));
+        let picked = q.pick(|_| true, |b| if b == 0 { Some(5) } else { None }).expect("non-empty");
+        assert_eq!(picked.req.asid.index(), silver_app as usize, "silver beats a normal row hit");
+    }
+
+    #[test]
+    fn zero_pressure_splits_quota_evenly() {
+        let mut q = MaskQueues::new(16, 64, 500, 2);
+        q.update_pressure(&[0, 0]);
+        assert_eq!(q.quotas(), &[250, 250]);
+    }
+
+    #[test]
+    fn golden_fifo_skips_busy_banks() {
+        let mut q = mq();
+        q.enqueue(entry(1, 0, 0, 0, RequestClass::Translation(WalkLevel::new(1)), 0));
+        q.enqueue(entry(2, 0, 1, 0, RequestClass::Translation(WalkLevel::new(2)), 1));
+        // Bank 0 busy: the second golden entry issues first.
+        let picked = q.pick(|b| b == 1, |_| None).expect("bank 1 ready");
+        assert_eq!(picked.req.id, ReqId(2));
+        assert_eq!(q.len(), 1);
+    }
+}

@@ -1,0 +1,106 @@
+//! Property tests for the DRAM device and schedulers.
+
+use mask_common::addr::LineAddr;
+use mask_common::config::{DramConfig, MemSchedKind, RowPolicy};
+use mask_common::ids::{Asid, CoreId};
+use mask_common::req::{MemRequest, ReqId, RequestClass, WalkLevel};
+use mask_dram::{ChannelPartition, Dram};
+use proptest::prelude::*;
+use std::collections::HashSet;
+
+fn request(i: usize, line: u64, asid: u16) -> MemRequest {
+    let class = if i.is_multiple_of(4) {
+        RequestClass::Translation(WalkLevel::new((i % 4 + 1) as u8))
+    } else {
+        RequestClass::Data
+    };
+    MemRequest::new(ReqId(i as u64), LineAddr(line), Asid::new(asid), CoreId::new(0), class, 0)
+}
+
+fn drain(dram: &mut Dram, expected: usize) -> Vec<mask_dram::DramCompletion> {
+    let mut done = Vec::new();
+    for now in 0..200_000u64 {
+        dram.tick(now);
+        done.extend(dram.take_completions(now));
+        if done.len() == expected {
+            break;
+        }
+    }
+    done
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    /// Every enqueued request completes exactly once, under every
+    /// scheduler and row policy.
+    #[test]
+    fn conservation(
+        lines in proptest::collection::vec((0u64..100_000, 0u16..2), 1..120),
+        mask_sched: bool,
+        closed_row: bool,
+        batch: bool,
+    ) {
+        let cfg = DramConfig {
+            row_policy: if closed_row { RowPolicy::Closed } else { RowPolicy::Open },
+            sched: if batch { MemSchedKind::GpuBatch } else { MemSchedKind::FrFcfs },
+            ..DramConfig::default()
+        };
+        let mut dram = Dram::new(&cfg, 2, mask_sched, ChannelPartition::shared());
+        for (i, &(l, a)) in lines.iter().enumerate() {
+            dram.enqueue(request(i, l, a), 0);
+        }
+        let done = drain(&mut dram, lines.len());
+        prop_assert_eq!(done.len(), lines.len(), "requests lost");
+        let ids: HashSet<u64> = done.iter().map(|c| c.req.id.0).collect();
+        prop_assert_eq!(ids.len(), lines.len(), "duplicate completions");
+        prop_assert_eq!(dram.queued(), 0);
+        prop_assert_eq!(dram.in_flight(), 0);
+    }
+
+    /// Channel data-bus transfers never overlap (bandwidth conservation).
+    #[test]
+    fn bus_transfers_serialize(lines in proptest::collection::vec(0u64..4096, 1..60)) {
+        let cfg = DramConfig::default();
+        let mut dram = Dram::new(&cfg, 1, false, ChannelPartition::shared());
+        for (i, &l) in lines.iter().enumerate() {
+            dram.enqueue(request(i, l, 0), 0);
+        }
+        let done = drain(&mut dram, lines.len());
+        // Group completions per channel and check bursts do not overlap.
+        for ch in 0..cfg.channels {
+            let mut finishes: Vec<u64> = done
+                .iter()
+                .filter(|c| dram.channel_of(c.req.line, c.req.asid) == ch)
+                .map(|c| c.finish)
+                .collect();
+            finishes.sort_unstable();
+            for w in finishes.windows(2) {
+                prop_assert!(w[1] >= w[0] + cfg.burst_cycles, "overlapping bursts on channel {ch}");
+            }
+        }
+    }
+
+    /// Static channel partitioning confines each ASID to its channels.
+    #[test]
+    fn partition_isolation(lines in proptest::collection::vec(0u64..100_000, 1..60)) {
+        let cfg = DramConfig::default();
+        let dram = Dram::new(&cfg, 2, false, ChannelPartition::split(8, 2));
+        for &l in &lines {
+            prop_assert!(dram.channel_of(LineAddr(l), Asid::new(0)) < 4);
+            prop_assert!(dram.channel_of(LineAddr(l), Asid::new(1)) >= 4);
+        }
+    }
+
+    /// Closed-row policy never produces row hits or conflicts.
+    #[test]
+    fn closed_row_uniform_latency(lines in proptest::collection::vec(0u64..10_000, 1..60)) {
+        let cfg = DramConfig { row_policy: RowPolicy::Closed, ..DramConfig::default() };
+        let mut dram = Dram::new(&cfg, 1, false, ChannelPartition::shared());
+        for (i, &l) in lines.iter().enumerate() {
+            dram.enqueue(request(i, l, 0), 0);
+        }
+        let done = drain(&mut dram, lines.len());
+        prop_assert!(done.iter().all(|c| c.outcome == mask_dram::RowOutcome::Miss));
+    }
+}

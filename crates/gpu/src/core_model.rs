@@ -1,0 +1,513 @@
+//! The shader-core (SM) model: warp contexts, GTO issue, L1 TLB, L1 data
+//! cache.
+//!
+//! Each core issues at most one instruction per cycle from one warp,
+//! selected greedy-then-oldest (GTO \[112\], Table 1): keep issuing from the
+//! last warp until it stalls, then switch to the lowest-numbered ready
+//! warp. Warps alternate synthetic compute bursts with memory instructions;
+//! a memory instruction translates its pages through the L1 TLB (1 cycle)
+//! and, on a miss, parks the warp in the shared translation unit — the
+//! stall behaviour at the heart of the paper's §4.1 analysis.
+
+use crate::translation::TranslationUnit;
+use mask_common::addr::{LineAddr, Ppn, VirtAddr, Vpn};
+use mask_common::config::GpuConfig;
+use mask_common::ids::{Asid, CoreId, GlobalWarpId, WarpId};
+use mask_common::req::{MemRequest, ReqId, RequestClass};
+use mask_common::stats::AppStats;
+use mask_common::Cycle;
+use mask_cache::{DataCache, MshrAlloc, MshrTable};
+use mask_tlb::L1Tlb;
+use mask_workloads::{AppProfile, WarpTrace};
+use std::collections::VecDeque;
+
+/// Execution state of one warp context.
+#[derive(Clone, Debug, PartialEq, Eq)]
+enum WarpState {
+    /// Needs a fresh instruction group from its trace.
+    NeedOp,
+    /// Issuing compute instructions (`left` remain before the memory op).
+    Compute { left: u32 },
+    /// Compute finished; the memory instruction issues next.
+    MemReady,
+    /// Stalled on `pending` outstanding page translations.
+    XlatWait { pending: u32 },
+    /// Stalled on `outstanding` data line fetches.
+    DataWait { outstanding: u32 },
+}
+
+#[derive(Clone, Debug)]
+struct WarpCtx {
+    trace: WarpTrace,
+    state: WarpState,
+    /// Lines of the current memory instruction.
+    lines: Vec<VirtAddr>,
+    /// Resolved translations for the current instruction.
+    xlat: Vec<(Vpn, Ppn)>,
+}
+
+/// One GPU shader core.
+#[derive(Clone, Debug)]
+pub struct GpuCore {
+    /// Physical core id (index into the simulator's core array).
+    pub id: CoreId,
+    /// Address space this core is assigned to (§5.1 page-table root).
+    pub asid: Asid,
+    /// Rank of this core within its application's core set.
+    pub core_rank: usize,
+    warps: Vec<WarpCtx>,
+    /// Bitmask of issuable warps.
+    ready: u128,
+    last: usize,
+    l1tlb: L1Tlb,
+    l1cache: DataCache,
+    l1mshr: MshrTable<usize>,
+    /// (warp, line) allocations deferred by a full MSHR table.
+    retry: VecDeque<(usize, LineAddr)>,
+    page_size_log2: u32,
+    ideal_tlb: bool,
+}
+
+impl GpuCore {
+    /// Builds a core running `profile` for the application in `asid`.
+    #[allow(clippy::too_many_arguments)]
+    pub fn new(
+        cfg: &GpuConfig,
+        id: CoreId,
+        asid: Asid,
+        core_rank: usize,
+        profile: &AppProfile,
+        seed: u64,
+        ideal_tlb: bool,
+    ) -> Self {
+        assert!(cfg.warps_per_core <= 128, "ready mask holds at most 128 warps");
+        let warps = (0..cfg.warps_per_core)
+            .map(|w| WarpCtx {
+                trace: WarpTrace::new(profile, seed, core_rank as u64, w as u64, cfg.page_size_log2),
+                state: WarpState::NeedOp,
+                lines: Vec::new(),
+                xlat: Vec::new(),
+            })
+            .collect::<Vec<_>>();
+        let ready = if cfg.warps_per_core == 128 { u128::MAX } else { (1u128 << cfg.warps_per_core) - 1 };
+        GpuCore {
+            id,
+            asid,
+            core_rank,
+            warps,
+            ready,
+            last: 0,
+            l1tlb: L1Tlb::new(cfg.tlb.l1_entries),
+            l1cache: DataCache::new(cfg.l1_cache.bytes, cfg.l1_cache.assoc),
+            l1mshr: MshrTable::new(cfg.l1_cache.mshrs),
+            retry: VecDeque::new(),
+            page_size_log2: cfg.page_size_log2,
+            ideal_tlb,
+        }
+    }
+
+    /// Whether any warp can issue this cycle.
+    pub fn has_ready_warp(&self) -> bool {
+        self.ready != 0
+    }
+
+    fn set_ready(&mut self, w: usize, ready: bool) {
+        if ready {
+            self.ready |= 1 << w;
+        } else {
+            self.ready &= !(1 << w);
+        }
+    }
+
+    /// GTO selection: greedy on the last warp, else oldest (lowest id).
+    fn select_warp(&self) -> Option<usize> {
+        if self.ready == 0 {
+            return None;
+        }
+        if self.ready & (1 << self.last) != 0 {
+            return Some(self.last);
+        }
+        Some(self.ready.trailing_zeros() as usize)
+    }
+
+    /// Issue stage: at most one instruction this cycle.
+    #[allow(clippy::too_many_arguments)]
+    pub fn issue(
+        &mut self,
+        now: Cycle,
+        xlat: &mut TranslationUnit,
+        out_l2: &mut Vec<MemRequest>,
+        next_req_id: &mut u64,
+        stats: &mut AppStats,
+    ) {
+        self.drain_retries(out_l2, next_req_id, now);
+        let Some(w) = self.select_warp() else {
+            stats.stall_cycles += 1;
+            return;
+        };
+        self.last = w;
+        // Fetch a fresh op if needed (free, part of this issue slot).
+        if self.warps[w].state == WarpState::NeedOp {
+            let op = self.warps[w].trace.next_op();
+            self.warps[w].lines = op.lines;
+            self.warps[w].xlat.clear();
+            self.warps[w].state = if op.compute > 0 {
+                WarpState::Compute { left: op.compute }
+            } else {
+                WarpState::MemReady
+            };
+        }
+        match self.warps[w].state {
+            WarpState::Compute { left } => {
+                stats.instructions += 1;
+                self.warps[w].state =
+                    if left > 1 { WarpState::Compute { left: left - 1 } } else { WarpState::MemReady };
+            }
+            WarpState::MemReady => {
+                stats.instructions += 1;
+                stats.mem_instructions += 1;
+                self.issue_memory(w, now, xlat, out_l2, next_req_id, stats);
+            }
+            ref other => unreachable!("ready warp in non-issuable state {other:?}"),
+        }
+    }
+
+    fn issue_memory(
+        &mut self,
+        w: usize,
+        now: Cycle,
+        xlat: &mut TranslationUnit,
+        out_l2: &mut Vec<MemRequest>,
+        next_req_id: &mut u64,
+        stats: &mut AppStats,
+    ) {
+        let mut vpns: Vec<Vpn> = self.warps[w]
+            .lines
+            .iter()
+            .map(|va| va.vpn(self.page_size_log2))
+            .collect();
+        vpns.sort_unstable_by_key(|v| v.0);
+        vpns.dedup();
+        let mut pending = 0u32;
+        for vpn in vpns {
+            if self.ideal_tlb {
+                // Ideal design: "every single TLB access is a TLB hit" (§7).
+                let ppn = xlat.functional_translate(self.asid, vpn);
+                stats.l1_tlb.record(true);
+                self.warps[w].xlat.push((vpn, ppn));
+                continue;
+            }
+            match self.l1tlb.probe(self.asid, vpn) {
+                Some(ppn) => {
+                    stats.l1_tlb.record(true);
+                    self.warps[w].xlat.push((vpn, ppn));
+                }
+                None => {
+                    stats.l1_tlb.record(false);
+                    let gw = GlobalWarpId::new(self.id, WarpId::new(w as u16));
+                    xlat.request(self.asid, vpn, gw, self.core_rank, now);
+                    pending += 1;
+                }
+            }
+        }
+        if pending > 0 {
+            self.warps[w].state = WarpState::XlatWait { pending };
+            self.set_ready(w, false);
+        } else {
+            self.dispatch_data(w, now, out_l2, next_req_id, stats);
+        }
+    }
+
+    /// Issues the warp's data accesses once all translations are known.
+    fn dispatch_data(
+        &mut self,
+        w: usize,
+        now: Cycle,
+        out_l2: &mut Vec<MemRequest>,
+        next_req_id: &mut u64,
+        stats: &mut AppStats,
+    ) {
+        let mut outstanding = 0u32;
+        let lines = std::mem::take(&mut self.warps[w].lines);
+        let mut phys: Vec<LineAddr> = lines
+            .iter()
+            .map(|va| {
+                let vpn = va.vpn(self.page_size_log2);
+                let ppn = self.warps[w]
+                    .xlat
+                    .iter()
+                    .find(|(v, _)| *v == vpn)
+                    .map(|(_, p)| *p)
+                    .expect("translation resolved before dispatch");
+                ppn.translate(*va, self.page_size_log2).line()
+            })
+            .collect();
+        phys.sort_unstable_by_key(|l| l.0);
+        phys.dedup();
+        for line in phys {
+            let hit = self.l1cache.probe(line);
+            stats.l1_data.record(hit);
+            if hit {
+                continue;
+            }
+            outstanding += 1;
+            self.allocate_miss(w, line, out_l2, next_req_id, now);
+        }
+        if outstanding > 0 {
+            self.warps[w].state = WarpState::DataWait { outstanding };
+            self.set_ready(w, false);
+        } else {
+            self.warps[w].state = WarpState::NeedOp;
+            self.set_ready(w, true);
+        }
+    }
+
+    fn allocate_miss(
+        &mut self,
+        w: usize,
+        line: LineAddr,
+        out_l2: &mut Vec<MemRequest>,
+        next_req_id: &mut u64,
+        now: Cycle,
+    ) {
+        match self.l1mshr.allocate(line, w) {
+            MshrAlloc::Primary => {
+                let id = ReqId(*next_req_id);
+                *next_req_id += 1;
+                out_l2.push(MemRequest::new(id, line, self.asid, self.id, RequestClass::Data, now));
+            }
+            MshrAlloc::Secondary => {}
+            MshrAlloc::Full => self.retry.push_back((w, line)),
+        }
+    }
+
+    fn drain_retries(&mut self, out_l2: &mut Vec<MemRequest>, next_req_id: &mut u64, now: Cycle) {
+        while let Some(&(w, line)) = self.retry.front() {
+            if self.l1mshr.is_full() && !self.l1mshr.contains(line) {
+                break;
+            }
+            self.retry.pop_front();
+            self.allocate_miss(w, line, out_l2, next_req_id, now);
+        }
+    }
+
+    /// Delivers a resolved translation to this core's waiting warps.
+    #[allow(clippy::too_many_arguments)]
+    pub fn translation_done(
+        &mut self,
+        vpn: Vpn,
+        ppn: Ppn,
+        warps: &[WarpId],
+        now: Cycle,
+        out_l2: &mut Vec<MemRequest>,
+        next_req_id: &mut u64,
+        stats: &mut AppStats,
+    ) {
+        self.l1tlb.fill(self.asid, vpn, ppn);
+        for &wid in warps {
+            let w = wid.index();
+            self.warps[w].xlat.push((vpn, ppn));
+            let WarpState::XlatWait { pending } = self.warps[w].state else {
+                debug_assert!(false, "translation for a warp not in XlatWait");
+                continue;
+            };
+            if pending > 1 {
+                self.warps[w].state = WarpState::XlatWait { pending: pending - 1 };
+            } else {
+                self.dispatch_data(w, now, out_l2, next_req_id, stats);
+            }
+        }
+    }
+
+    /// Delivers a completed data line from the L2/DRAM.
+    pub fn line_done(&mut self, line: LineAddr) {
+        self.l1cache.fill(line, self.asid);
+        for w in self.l1mshr.complete(line) {
+            let WarpState::DataWait { outstanding } = self.warps[w].state else {
+                debug_assert!(false, "line completion for a warp not in DataWait");
+                continue;
+            };
+            if outstanding > 1 {
+                self.warps[w].state = WarpState::DataWait { outstanding: outstanding - 1 };
+            } else {
+                self.warps[w].state = WarpState::NeedOp;
+                self.set_ready(w, true);
+            }
+        }
+    }
+
+    /// Flushes per-core volatile state (context-switch experiments, §2.1).
+    pub fn flush_volatile(&mut self) {
+        self.l1tlb.flush();
+        self.l1cache.flush();
+    }
+
+    /// TLB shootdown targeting one address space (§5.1: "TLB flush
+    /// operations target a single GPU core, flushing the core's L1 TLB,
+    /// and all entries in the L2 TLB that contain the matching address
+    /// space identifier").
+    pub fn flush_tlb_asid(&mut self, asid: Asid) {
+        self.l1tlb.flush_asid(asid);
+    }
+
+    /// Number of warps currently stalled (not issuable).
+    pub fn stalled_warps(&self) -> u32 {
+        self.warps.len() as u32 - self.ready.count_ones()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mask_common::config::{DesignKind, GpuConfig};
+    use mask_workloads::app_by_name;
+
+    fn small_cfg() -> GpuConfig {
+        let mut cfg = GpuConfig::maxwell();
+        cfg.warps_per_core = 8;
+        cfg
+    }
+
+    fn setup(design: DesignKind) -> (GpuCore, TranslationUnit, GpuConfig) {
+        let cfg = small_cfg();
+        let xlat = TranslationUnit::new(&cfg, design, &[1]);
+        let core = GpuCore::new(
+            &cfg,
+            CoreId::new(0),
+            Asid::new(0),
+            0,
+            app_by_name("GUP").expect("exists"),
+            42,
+            design.ideal_tlb(),
+        );
+        (core, xlat, cfg)
+    }
+
+    #[test]
+    fn ideal_core_issues_until_all_warps_stall_on_data() {
+        let (mut core, mut xlat, _) = setup(DesignKind::Ideal);
+        let mut stats = AppStats::default();
+        let mut out = Vec::new();
+        let mut id = 0u64;
+        // No memory completions are fed back: every warp eventually parks
+        // in DataWait, but never on translation (ideal TLB).
+        for now in 0..200 {
+            core.issue(now, &mut xlat, &mut out, &mut id, &mut stats);
+        }
+        assert_eq!(core.stalled_warps(), 8, "all warps stall on data only");
+        assert_eq!(stats.l1_tlb.misses(), 0, "ideal TLB never misses");
+        assert!(stats.mem_instructions >= 8);
+        assert!(stats.stall_cycles > 0, "issue stage idles once all warps stall");
+
+        // Feeding completions back sustains issue throughput.
+        let (mut core2, mut xlat2, _) = setup(DesignKind::Ideal);
+        let mut stats2 = AppStats::default();
+        for now in 0..200 {
+            core2.issue(now, &mut xlat2, &mut out, &mut id, &mut stats2);
+            for r in out.drain(..) {
+                core2.line_done(r.line);
+            }
+        }
+        assert!(stats2.instructions > 150, "zero-latency memory sustains ~1 IPC, got {}", stats2.instructions);
+    }
+
+    #[test]
+    fn tlb_misses_park_warps_in_translation_unit() {
+        let (mut core, mut xlat, _) = setup(DesignKind::SharedTlb);
+        let mut stats = AppStats::default();
+        let mut out = Vec::new();
+        let mut id = 0u64;
+        for now in 0..50 {
+            core.issue(now, &mut xlat, &mut out, &mut id, &mut stats);
+        }
+        assert!(stats.l1_tlb.misses() > 0);
+        assert!(xlat.outstanding() > 0, "warps must be waiting on translations");
+        assert!(core.stalled_warps() > 0);
+    }
+
+    #[test]
+    fn translation_completion_dispatches_data() {
+        let (mut core, mut xlat, _) = setup(DesignKind::SharedTlb);
+        let mut stats = AppStats::default();
+        let mut out = Vec::new();
+        let mut id = 0u64;
+        // Run until at least one warp stalls on translation.
+        for now in 0..20 {
+            core.issue(now, &mut xlat, &mut out, &mut id, &mut stats);
+        }
+        let before = out.len();
+        // Drive the translation unit with an instant memory system.
+        let mut pwc_hits = Vec::new();
+        let mut resolved = Vec::new();
+        for now in 20..100 {
+            let mut xl_out = Vec::new();
+            resolved.extend(xlat.tick(now, &mut id, &mut xl_out, &mut pwc_hits));
+            let mut queue: Vec<_> = xl_out;
+            while let Some(r) = queue.pop() {
+                let mut more = Vec::new();
+                if let Some(done) = xlat.memory_response(&r, now, &mut id, &mut more, &mut pwc_hits) {
+                    resolved.push(done);
+                }
+                queue.extend(more);
+            }
+            if !resolved.is_empty() {
+                break;
+            }
+        }
+        assert!(!resolved.is_empty(), "a walk must complete");
+        for r in resolved {
+            let warps: Vec<WarpId> = r.waiters.iter().map(|gw| gw.warp).collect();
+            core.translation_done(r.vpn, r.ppn, &warps, 100, &mut out, &mut id, &mut stats);
+        }
+        assert!(out.len() > before, "data requests must follow translation");
+        assert!(out.iter().skip(before).all(|r| r.class == RequestClass::Data));
+    }
+
+    #[test]
+    fn data_completion_reawakens_warp() {
+        let (mut core, mut xlat, _) = setup(DesignKind::Ideal);
+        let mut stats = AppStats::default();
+        let mut out = Vec::new();
+        let mut id = 0u64;
+        // Issue until some warp stalls on data.
+        for now in 0..200 {
+            core.issue(now, &mut xlat, &mut out, &mut id, &mut stats);
+            if core.stalled_warps() > 0 {
+                break;
+            }
+        }
+        assert!(core.stalled_warps() > 0);
+        let stalled_before = core.stalled_warps();
+        for r in out.clone() {
+            core.line_done(r.line);
+        }
+        assert!(core.stalled_warps() < stalled_before);
+    }
+
+    #[test]
+    fn gto_prefers_last_issued_warp() {
+        let (core, ..) = setup(DesignKind::Ideal);
+        // All warps ready, last = 0 -> warp 0 selected.
+        assert_eq!(core.select_warp(), Some(0));
+        let mut c2 = core.clone();
+        c2.last = 5;
+        assert_eq!(c2.select_warp(), Some(5), "greedy on last warp");
+        c2.set_ready(5, false);
+        assert_eq!(c2.select_warp(), Some(0), "oldest ready otherwise");
+    }
+
+    #[test]
+    fn l1_data_cache_filters_repeat_lines() {
+        let (mut core, mut xlat, _) = setup(DesignKind::Ideal);
+        let mut stats = AppStats::default();
+        let mut out = Vec::new();
+        let mut id = 0u64;
+        for now in 0..2000 {
+            core.issue(now, &mut xlat, &mut out, &mut id, &mut stats);
+            for r in out.drain(..) {
+                core.line_done(r.line); // zero-latency memory
+            }
+        }
+        assert!(stats.l1_data.hits > 0, "GUP's line locality of 0 still re-touches lines across warps");
+    }
+}

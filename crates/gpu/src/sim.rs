@@ -1,0 +1,474 @@
+//! The top-level cycle loop: cores + translation + shared L2 + DRAM.
+
+use crate::core_model::GpuCore;
+use crate::translation::TranslationUnit;
+use mask_common::config::SimConfig;
+use mask_common::ids::{Asid, CoreId, WarpId};
+use mask_common::req::{MemRequest, RequestClass};
+use mask_common::stats::SimStats;
+use mask_common::Cycle;
+use mask_cache::l2::L2Outcome;
+use mask_cache::SharedL2Cache;
+use mask_dram::{ChannelPartition, Dram, RowOutcome};
+use mask_workloads::AppProfile;
+
+/// One application's placement in a simulation.
+#[derive(Clone, Copy, Debug)]
+pub struct AppSpec {
+    /// The workload to run.
+    pub profile: &'static AppProfile,
+    /// Number of GPU cores assigned to it.
+    pub n_cores: usize,
+}
+
+/// The assembled GPU simulator.
+#[derive(Clone, Debug)]
+pub struct GpuSim {
+    cfg: SimConfig,
+    cores: Vec<GpuCore>,
+    xlat: TranslationUnit,
+    l2: SharedL2Cache,
+    dram: Dram,
+    stats: SimStats,
+    now: Cycle,
+    next_req_id: u64,
+    n_apps: usize,
+    /// Reusable scratch buffer for L2-bound requests.
+    scratch_l2: Vec<MemRequest>,
+    scratch_pwc: Vec<(Asid, bool)>,
+}
+
+impl GpuSim {
+    /// Builds a simulator placing `apps` on consecutive core ranges.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the core counts do not sum to the configured core count,
+    /// or if `apps` is empty.
+    pub fn new(cfg: &SimConfig, apps: &[AppSpec]) -> Self {
+        assert!(!apps.is_empty(), "at least one application required");
+        let total: usize = apps.iter().map(|a| a.n_cores).sum();
+        assert_eq!(total, cfg.gpu.n_cores, "core counts must cover the GPU");
+        let n_apps = apps.len();
+        let cores_per_app: Vec<usize> = apps.iter().map(|a| a.n_cores).collect();
+        let design = cfg.design;
+        let xlat = TranslationUnit::new(&cfg.gpu, design, &cores_per_app);
+        let mut l2 = SharedL2Cache::with_bypass_margin(
+            &cfg.gpu.l2_cache,
+            design.l2_bypass_enabled(),
+            n_apps,
+            cfg.gpu.mask.bypass_margin,
+        );
+        let partition = if design.static_partition() && n_apps > 1 {
+            l2.partition_ways(n_apps);
+            ChannelPartition::split(cfg.gpu.dram.channels, n_apps)
+        } else {
+            ChannelPartition::shared()
+        };
+        let dram = Dram::new(&cfg.gpu.dram, n_apps, design.mask_dram_enabled(), partition);
+        let mut cores = Vec::with_capacity(cfg.gpu.n_cores);
+        for (app_idx, spec) in apps.iter().enumerate() {
+            for rank in 0..spec.n_cores {
+                cores.push(GpuCore::new(
+                    &cfg.gpu,
+                    CoreId::new(cores.len() as u16),
+                    Asid::new(app_idx as u16),
+                    rank,
+                    spec.profile,
+                    cfg.seed ^ (app_idx as u64) << 32,
+                    design.ideal_tlb(),
+                ));
+            }
+        }
+        GpuSim {
+            cfg: cfg.clone(),
+            cores,
+            xlat,
+            l2,
+            dram,
+            stats: SimStats::new(n_apps, cfg.gpu.dram.channels),
+            now: 0,
+            next_req_id: 0,
+            n_apps,
+            scratch_l2: Vec::new(),
+            scratch_pwc: Vec::new(),
+        }
+    }
+
+    /// Current simulation time.
+    pub fn now(&self) -> Cycle {
+        self.now
+    }
+
+    /// Simulation statistics collected so far (lifetime TLB counters are
+    /// synchronized on every call).
+    pub fn stats(&mut self) -> &SimStats {
+        for app in 0..self.n_apps {
+            let asid = Asid::new(app as u16);
+            self.stats.apps[app].l2_tlb = self.xlat.l2_tlb_stats(asid);
+            self.stats.apps[app].tokens_final = self.xlat.tokens_for(asid);
+            self.stats.apps[app].page_faults = self.xlat.fault_count(asid);
+            self.stats.apps[app].walks_started = self.stats.apps[app].walks_completed
+                + self.xlat.concurrent_walks(asid) as u64;
+            if let Some(b) = self.xlat.bypass_cache_stats() {
+                self.stats.apps[app].tlb_bypass_cache = b;
+            }
+            if let Some(p) = self.xlat.pwc_stats() {
+                self.stats.apps[app].pwc = p;
+            }
+        }
+        &self.stats
+    }
+
+    fn deliver_resolved(&mut self, resolved: Vec<crate::translation::ResolvedTranslation>) {
+        for r in resolved {
+            let app = r.asid.index();
+            if r.walked {
+                self.stats.apps[app].walks_completed += 1;
+                self.stats.apps[app].walk_latency_sum += r.walk_latency;
+            }
+            self.stats.apps[app].stalled_warps_sum += r.waiters.len() as u64;
+            self.stats.apps[app].stalled_warps_events += 1;
+            self.stats.apps[app].stalled_warps_max =
+                self.stats.apps[app].stalled_warps_max.max(r.waiters.len() as u64);
+            // Group waiters per core and wake them.
+            let mut by_core: Vec<(usize, Vec<WarpId>)> = Vec::new();
+            for gw in &r.waiters {
+                let c = gw.core.index();
+                match by_core.iter_mut().find(|(cc, _)| *cc == c) {
+                    Some((_, v)) => v.push(gw.warp),
+                    None => by_core.push((c, vec![gw.warp])),
+                }
+            }
+            for (c, warps) in by_core {
+                let app_idx = self.cores[c].asid.index();
+                // Split borrows: core and its app stats are disjoint fields.
+                let stats = &mut self.stats.apps[app_idx];
+                self.cores[c].translation_done(
+                    r.vpn,
+                    r.ppn,
+                    &warps,
+                    self.now,
+                    &mut self.scratch_l2,
+                    &mut self.next_req_id,
+                    stats,
+                );
+            }
+        }
+    }
+
+    /// Advances the simulation one cycle.
+    pub fn step(&mut self) {
+        let now = self.now;
+        // 1. Core issue stage.
+        for i in 0..self.cores.len() {
+            let app = self.cores[i].asid.index();
+            self.cores[i].issue(
+                now,
+                &mut self.xlat,
+                &mut self.scratch_l2,
+                &mut self.next_req_id,
+                &mut self.stats.apps[app],
+            );
+        }
+        // 2. Translation unit: L2 TLB pipeline + walker activation.
+        let mut pwc_hits = std::mem::take(&mut self.scratch_pwc);
+        let resolved =
+            self.xlat.tick(now, &mut self.next_req_id, &mut self.scratch_l2, &mut pwc_hits);
+        self.deliver_resolved(resolved);
+        // 3. Push L2-bound requests.
+        for req in std::mem::take(&mut self.scratch_l2) {
+            self.l2.enqueue(req, now);
+        }
+        // 4. Shared L2 cache.
+        self.l2.tick(now);
+        for req in self.l2.take_dram_requests() {
+            self.dram.enqueue(req, now);
+        }
+        // 5. DRAM.
+        self.dram.tick(now);
+        for c in self.dram.take_completions(now) {
+            let app = c.req.asid.index();
+            let class_stats = if c.req.class.is_translation() {
+                &mut self.stats.apps[app].dram_translation
+            } else {
+                &mut self.stats.apps[app].dram_data
+            };
+            class_stats.requests += 1;
+            class_stats.latency_sum += c.finish.saturating_sub(c.arrival);
+            class_stats.bus_busy_cycles += c.bus_cycles;
+            match c.outcome {
+                RowOutcome::Hit => class_stats.row_hits += 1,
+                RowOutcome::Miss => class_stats.row_misses += 1,
+                RowOutcome::Conflict => class_stats.row_conflicts += 1,
+            }
+            self.stats.dram_bus_busy += c.bus_cycles;
+            self.l2.dram_fill(c.req.line, now);
+        }
+        // 6. L2 responses: data to cores, translations to the walker.
+        for resp in self.l2.take_responses() {
+            let app = resp.req.asid.index();
+            match resp.req.class {
+                RequestClass::Data => {
+                    self.stats.apps[app].l2_data.record(resp.outcome == L2Outcome::Hit);
+                    self.cores[resp.req.core.index()].line_done(resp.req.line);
+                }
+                RequestClass::Translation(level) => {
+                    match resp.outcome {
+                        L2Outcome::Bypassed => self.stats.apps[app].l2_translation_bypassed += 1,
+                        out => self.stats.apps[app]
+                            .record_l2_translation(level, out == L2Outcome::Hit),
+                    }
+                    let done = self.xlat.memory_response(
+                        &resp.req,
+                        now,
+                        &mut self.next_req_id,
+                        &mut self.scratch_l2,
+                        &mut pwc_hits,
+                    );
+                    if let Some(r) = done {
+                        self.deliver_resolved(vec![r]);
+                    }
+                }
+            }
+        }
+        // Late-generated requests (walk continuations, fresh data after
+        // translation wake-ups) enter the L2 this cycle as well.
+        for req in std::mem::take(&mut self.scratch_l2) {
+            self.l2.enqueue(req, now);
+        }
+        // 7. PWC statistics.
+        for (asid, hit) in pwc_hits.drain(..) {
+            self.stats.apps[asid.index()].pwc.record(hit);
+        }
+        self.scratch_pwc = pwc_hits;
+        // 8. Per-cycle sampling.
+        for app in 0..self.n_apps {
+            let walks = self.xlat.concurrent_walks(Asid::new(app as u16)) as u64;
+            self.stats.apps[app].walk_cycles_integral += walks;
+            self.stats.apps[app].walk_concurrency_max =
+                self.stats.apps[app].walk_concurrency_max.max(walks);
+            self.stats.apps[app].cycles += 1;
+        }
+        self.stats.cycles += 1;
+        self.now += 1;
+        // 9. Epoch boundary.
+        if self.now.is_multiple_of(self.cfg.gpu.mask.epoch_cycles) {
+            let pressure = self.xlat.end_epoch(self.cfg.gpu.mask.epoch_cycles);
+            self.dram.update_pressure(&pressure);
+            self.l2.end_epoch();
+        }
+    }
+
+    /// Runs for `cycles` additional cycles.
+    pub fn run(&mut self, cycles: u64) {
+        for _ in 0..cycles {
+            self.step();
+        }
+    }
+
+    /// Runs to the configured cycle budget.
+    pub fn run_to_completion(&mut self) {
+        while self.now < self.cfg.max_cycles {
+            self.step();
+        }
+    }
+
+    /// Performs a TLB shootdown for one address space (§5.5): every core
+    /// assigned to the address space flushes its L1 TLB, and the shared L2
+    /// TLB (plus bypass cache) drops the matching entries. In-flight walks
+    /// are unaffected — they re-fill after completion, exactly as hardware
+    /// would behave with an invalidate racing a walk.
+    pub fn tlb_shootdown(&mut self, asid: Asid) {
+        for c in &mut self.cores {
+            if c.asid == asid {
+                c.flush_tlb_asid(asid);
+            }
+        }
+        self.xlat.shootdown(asid);
+    }
+
+    /// Flushes *all* translation structures after a page-table-entry
+    /// modification (§5.2).
+    pub fn pte_update_flush(&mut self) {
+        for c in &mut self.cores {
+            c.flush_volatile();
+        }
+        self.xlat.pte_update_flush();
+    }
+
+    /// Zeroes every statistics counter while leaving all architectural and
+    /// cached state intact.
+    ///
+    /// Call after a warm-up period so measurements reflect steady state —
+    /// in particular, MASK's epoch-based mechanisms (tokens, bypass
+    /// decisions, Silver-queue quotas) only activate after the first
+    /// 100K-cycle epoch.
+    pub fn reset_stats(&mut self) {
+        self.stats = SimStats::new(self.n_apps, self.cfg.gpu.dram.channels);
+        self.xlat.reset_stats();
+    }
+
+    /// Flushes all cached state (TLBs, caches) — the cost of a context
+    /// switch in the time-multiplexing experiment (Fig. 1).
+    pub fn flush_volatile(&mut self) {
+        for c in &mut self.cores {
+            c.flush_volatile();
+        }
+        self.xlat.flush_volatile();
+        self.l2.flush();
+    }
+
+    /// Total instructions issued by one application.
+    pub fn instructions(&self, app: usize) -> u64 {
+        self.stats.apps[app].instructions
+    }
+
+    /// Number of applications.
+    pub fn n_apps(&self) -> usize {
+        self.n_apps
+    }
+
+    /// The simulation configuration.
+    pub fn config(&self) -> &SimConfig {
+        &self.cfg
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mask_common::config::DesignKind;
+    use mask_workloads::app_by_name;
+
+    fn sim(design: DesignKind, apps: &[(&str, usize)], cycles: u64) -> GpuSim {
+        let mut cfg = SimConfig::new(design).with_max_cycles(cycles);
+        cfg.gpu.n_cores = apps.iter().map(|(_, c)| c).sum();
+        cfg.gpu.warps_per_core = 16; // keep unit tests fast
+        let specs: Vec<AppSpec> = apps
+            .iter()
+            .map(|(name, c)| AppSpec { profile: app_by_name(name).expect("known app"), n_cores: *c })
+            .collect();
+        GpuSim::new(&cfg, &specs)
+    }
+
+    #[test]
+    fn single_app_makes_progress() {
+        let mut s = sim(DesignKind::SharedTlb, &[("HISTO", 4)], 5_000);
+        s.run_to_completion();
+        let stats = s.stats();
+        assert!(stats.apps[0].instructions > 1_000, "got {}", stats.apps[0].instructions);
+        assert!(stats.apps[0].l1_tlb.accesses > 0);
+        assert!(stats.apps[0].walks_completed > 0, "HISTO must trigger walks");
+    }
+
+    #[test]
+    fn ideal_beats_shared_tlb() {
+        let mut ideal = sim(DesignKind::Ideal, &[("CONS", 4)], 10_000);
+        let mut base = sim(DesignKind::SharedTlb, &[("CONS", 4)], 10_000);
+        ideal.run_to_completion();
+        base.run_to_completion();
+        let i = ideal.stats().apps[0].ipc();
+        let b = base.stats().apps[0].ipc();
+        assert!(
+            i > b,
+            "ideal TLB ({i:.3} IPC) must outperform SharedTLB ({b:.3} IPC)"
+        );
+    }
+
+    #[test]
+    fn two_apps_share_the_gpu() {
+        let mut s = sim(DesignKind::SharedTlb, &[("HISTO", 2), ("GUP", 2)], 8_000);
+        s.run_to_completion();
+        let st = s.stats();
+        assert!(st.apps[0].instructions > 0);
+        assert!(st.apps[1].instructions > 0);
+        // Both applications used the DRAM.
+        assert!(st.apps[0].dram_data.requests > 0);
+        assert!(st.apps[1].dram_data.requests > 0);
+    }
+
+    #[test]
+    fn translation_requests_traverse_memory_hierarchy() {
+        let mut s = sim(DesignKind::SharedTlb, &[("SCAN", 4)], 8_000);
+        s.run_to_completion();
+        let st = s.stats();
+        let xlat_probes: u64 = (0..4)
+            .map(|l| st.apps[0].l2_translation[l].accesses)
+            .sum();
+        assert!(xlat_probes > 0, "walker requests must reach the L2 cache");
+        assert!(st.apps[0].dram_translation.requests > 0, "and DRAM");
+    }
+
+    #[test]
+    fn upper_walk_levels_hit_more_than_leaves() {
+        let mut s = sim(DesignKind::SharedTlb, &[("CONS", 4)], 20_000);
+        s.run_to_completion();
+        let st = s.stats();
+        let root = st.apps[0].l2_translation[0].hit_rate();
+        let leaf = st.apps[0].l2_translation[3].hit_rate();
+        assert!(
+            root > leaf,
+            "root PTE lines are shared (hit {root:.2}); leaf lines are not (hit {leaf:.2})"
+        );
+    }
+
+    #[test]
+    fn deterministic_across_runs() {
+        let mut a = sim(DesignKind::Mask, &[("HISTO", 2), ("GUP", 2)], 3_000);
+        let mut b = sim(DesignKind::Mask, &[("HISTO", 2), ("GUP", 2)], 3_000);
+        a.run_to_completion();
+        b.run_to_completion();
+        assert_eq!(a.stats(), b.stats(), "simulation must be bit-reproducible");
+    }
+
+    #[test]
+    fn mask_design_reports_tokens() {
+        let mut s = sim(DesignKind::Mask, &[("CONS", 2), ("RED", 2)], 4_000);
+        s.run_to_completion();
+        let st = s.stats();
+        assert!(st.apps[0].tokens_final > 0);
+    }
+
+    #[test]
+    fn flush_volatile_preserves_progress() {
+        let mut s = sim(DesignKind::SharedTlb, &[("HISTO", 2)], 4_000);
+        s.run(2_000);
+        let before = s.instructions(0);
+        s.flush_volatile();
+        s.run(2_000);
+        assert!(s.instructions(0) > before, "execution continues after a flush");
+    }
+
+    #[test]
+    fn shootdown_degrades_then_recovers() {
+        let mut s = sim(DesignKind::SharedTlb, &[("GUP", 2), ("HS", 2)], 30_000);
+        s.run(10_000);
+        let miss_before = s.stats().apps[0].l1_tlb.miss_rate();
+        // Shoot down app 0's translations; its miss rate must spike while
+        // app 1 is unaffected structurally.
+        s.tlb_shootdown(Asid::new(0));
+        s.reset_stats();
+        s.run(2_000);
+        let miss_after = s.stats().apps[0].l1_tlb.miss_rate();
+        assert!(
+            miss_after > miss_before,
+            "shootdown must cause a refill burst ({miss_before:.3} -> {miss_after:.3})"
+        );
+        // Execution continues and recovers.
+        s.run(10_000);
+        assert!(s.stats().apps[0].instructions > 0);
+        assert!(s.stats().apps[1].instructions > 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "core counts must cover the GPU")]
+    fn mismatched_core_counts_panic() {
+        let mut cfg = SimConfig::new(DesignKind::SharedTlb);
+        cfg.gpu.n_cores = 8;
+        let _ = GpuSim::new(
+            &cfg,
+            &[AppSpec { profile: app_by_name("GUP").expect("known"), n_cores: 4 }],
+        );
+    }
+}

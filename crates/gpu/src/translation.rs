@@ -1,0 +1,604 @@
+//! The shared address-translation subsystem.
+//!
+//! Models the post-L1-TLB translation path of both baseline variants
+//! (Fig. 2) and MASK (Fig. 10):
+//!
+//! * `SharedTlb`-family designs: L1 miss → shared L2 TLB (2 ports, 10-cycle
+//!   latency) → page-table walker;
+//! * `PwCache` design: L1 miss → walker, whose per-level accesses probe the
+//!   shared page-walk cache before the L2 cache;
+//! * MASK designs: L2 TLB fills gated by TLB-Fill Tokens, with the bypass
+//!   cache probed in parallel.
+//!
+//! Duplicate in-flight translations of the same `(ASID, VPN)` merge in the
+//! translation MSHRs; each entry counts its stalled warps — the Fig. 6
+//! metric and the `WarpsStalled` input of Eq. 1.
+
+use mask_common::addr::{LineAddr, Ppn, Vpn};
+use mask_common::config::{DesignKind, GpuConfig};
+use mask_common::ids::{Asid, GlobalWarpId};
+use mask_common::req::{MemRequest, ReqId, RequestClass};
+use mask_common::Cycle;
+use mask_pagetable::{PageTables, PageWalker, WalkAccess, WalkId, WalkOutcome};
+use mask_tlb::{L2TlbProbe, PageWalkCache, SharedL2Tlb, TokenAllocator, TokenPolicy};
+use std::collections::{HashMap, VecDeque};
+
+/// A translation that just resolved; the simulator wakes all waiters.
+#[derive(Clone, Debug)]
+pub struct ResolvedTranslation {
+    /// Address space translated.
+    pub asid: Asid,
+    /// Virtual page translated.
+    pub vpn: Vpn,
+    /// Resulting frame.
+    pub ppn: Ppn,
+    /// All warps stalled on this translation.
+    pub waiters: Vec<GlobalWarpId>,
+    /// Whether a full page walk was required (false = shared L2 TLB hit).
+    pub walked: bool,
+    /// Walk latency in cycles (0 for L2 TLB hits).
+    pub walk_latency: Cycle,
+}
+
+#[derive(Clone, Debug)]
+struct TransEntry {
+    waiters: Vec<GlobalWarpId>,
+    /// Warp that initiated the request (holds or lacks the fill token).
+    initiator_core_rank: usize,
+    initiator_warp: usize,
+}
+
+#[derive(Clone, Copy, Debug)]
+struct L2TlbReq {
+    asid: Asid,
+    vpn: Vpn,
+    ready_at: Cycle,
+}
+
+/// Per-app epoch accumulators for Eq. 1 pressure products.
+#[derive(Clone, Debug, Default)]
+struct EpochAcc {
+    /// Integral of concurrent walks over the epoch.
+    walk_integral: u64,
+    /// Resolved misses and their total stalled-warp count.
+    stalled_sum: u64,
+    events: u64,
+}
+
+/// The translation subsystem shared by all cores.
+#[derive(Clone, Debug)]
+pub struct TranslationUnit {
+    l2tlb: Option<SharedL2Tlb>,
+    pwc: Option<PageWalkCache>,
+    walker: PageWalker,
+    tables: PageTables,
+    tokens: Option<TokenAllocator>,
+    mshr: HashMap<(Asid, Vpn), TransEntry>,
+    l2tlb_pipe: VecDeque<L2TlbReq>,
+    /// Walks blocked on a demand-paging fault (first touch).
+    fault_pipe: Vec<(Cycle, Asid, Vpn)>,
+    fault_latency: u64,
+    /// Demand-paging faults taken, per app.
+    fault_counts: Vec<u64>,
+    /// Page-walk-cache hits completing after the PWC latency.
+    pwc_pipe: Vec<(Cycle, WalkAccess)>,
+    /// Outstanding walker accesses in the L2/DRAM, by request id.
+    walk_of_req: HashMap<ReqId, WalkId>,
+    l2_ports: usize,
+    l2_latency: u64,
+    pwc_latency: u64,
+    epoch: Vec<EpochAcc>,
+    n_apps: usize,
+}
+
+impl TranslationUnit {
+    /// Builds the translation path for `design` with `cores_per_app[i]`
+    /// cores assigned to application `i`.
+    pub fn new(cfg: &GpuConfig, design: DesignKind, cores_per_app: &[usize]) -> Self {
+        let n_apps = cores_per_app.len();
+        let l2tlb = design.has_shared_l2_tlb().then(|| {
+            let bypass = if design.tokens_enabled() { cfg.tlb.bypass_cache_entries } else { 0 };
+            SharedL2Tlb::new(cfg.tlb.l2_entries, cfg.tlb.l2_assoc, n_apps, bypass)
+        });
+        let pwc = design
+            .has_page_walk_cache()
+            .then(|| PageWalkCache::new(cfg.pwc.bytes, cfg.pwc.assoc));
+        let tokens = design.tokens_enabled().then(|| {
+            let policy = match cfg.mask.token_policy {
+                mask_common::config::TokenPolicyKind::Literal => TokenPolicy::Literal,
+                mask_common::config::TokenPolicyKind::HillClimb => TokenPolicy::HillClimb,
+            };
+            TokenAllocator::with_policy(&cfg.mask, cores_per_app, cfg.warps_per_core, policy)
+        });
+        TranslationUnit {
+            l2tlb,
+            pwc,
+            walker: PageWalker::new(cfg.walker_slots, n_apps),
+            tables: PageTables::new(n_apps, cfg.page_size_log2),
+            tokens,
+            mshr: HashMap::new(),
+            l2tlb_pipe: VecDeque::new(),
+            fault_pipe: Vec::new(),
+            fault_latency: cfg.page_fault_latency,
+            fault_counts: vec![0; n_apps],
+            pwc_pipe: Vec::new(),
+            walk_of_req: HashMap::new(),
+            l2_ports: cfg.tlb.l2_ports,
+            l2_latency: cfg.tlb.l2_latency,
+            pwc_latency: cfg.pwc.latency,
+            epoch: vec![EpochAcc::default(); n_apps],
+            n_apps,
+        }
+    }
+
+    /// Functional translation for the `Ideal` design (and L1 refill paths):
+    /// maps the page on demand, no latency.
+    pub fn functional_translate(&mut self, asid: Asid, vpn: Vpn) -> Ppn {
+        self.tables.ensure_mapped(asid, vpn)
+    }
+
+    /// Registers a warp's translation request after an L1 TLB miss.
+    ///
+    /// Duplicate requests merge; the merged warp count feeds the Fig. 6
+    /// statistic. Returns `true` if this was a new (primary) request.
+    pub fn request(
+        &mut self,
+        asid: Asid,
+        vpn: Vpn,
+        requester: GlobalWarpId,
+        core_rank: usize,
+        now: Cycle,
+    ) -> bool {
+        if let Some(entry) = self.mshr.get_mut(&(asid, vpn)) {
+            entry.waiters.push(requester);
+            return false;
+        }
+        self.mshr.insert(
+            (asid, vpn),
+            TransEntry {
+                waiters: vec![requester],
+                initiator_core_rank: core_rank,
+                initiator_warp: requester.warp.index(),
+            },
+        );
+        // Demand paging: a first touch pays the fault service time before
+        // the walk can proceed.
+        if self.fault_latency > 0 {
+            let (_, faulted) = self.tables.ensure_mapped_report(asid, vpn);
+            if faulted {
+                self.fault_counts[asid.index().min(self.n_apps - 1)] += 1;
+                self.fault_pipe.push((now + self.fault_latency, asid, vpn));
+                return true;
+            }
+        }
+        self.route_to_walk_path(asid, vpn, now);
+        true
+    }
+
+    fn route_to_walk_path(&mut self, asid: Asid, vpn: Vpn, now: Cycle) {
+        if self.l2tlb.is_some() {
+            self.l2tlb_pipe.push_back(L2TlbReq { asid, vpn, ready_at: now + self.l2_latency });
+        } else {
+            // PWCache design: straight to the walker.
+            self.walker.enqueue(asid, vpn, now);
+        }
+    }
+
+    fn route_walk_access(
+        &mut self,
+        access: WalkAccess,
+        now: Cycle,
+        next_req_id: &mut u64,
+        out_l2: &mut Vec<MemRequest>,
+        pwc_hits: &mut Vec<(Asid, bool)>,
+    ) {
+        if let Some(pwc) = &mut self.pwc {
+            let hit = pwc.access(access.line);
+            pwc_hits.push((access.asid, hit));
+            if hit {
+                self.pwc_pipe.push((now + self.pwc_latency, access));
+                return;
+            }
+        }
+        let id = ReqId(*next_req_id);
+        *next_req_id += 1;
+        self.walk_of_req.insert(id, access.walk);
+        out_l2.push(MemRequest::new(
+            id,
+            access.line,
+            access.asid,
+            mask_common::ids::CoreId::new(0), // walker is a shared agent
+            RequestClass::Translation(access.level),
+            now,
+        ));
+    }
+
+    fn resolve(&mut self, asid: Asid, vpn: Vpn, ppn: Ppn, walked: bool, walk_latency: Cycle) -> Option<ResolvedTranslation> {
+        let entry = self.mshr.remove(&(asid, vpn))?;
+        if walked {
+            if let Some(l2) = &mut self.l2tlb {
+                let has_token = match &self.tokens {
+                    Some(t) => t.warp_has_token(asid, entry.initiator_core_rank, entry.initiator_warp),
+                    None => true,
+                };
+                l2.fill(asid, vpn, ppn, has_token);
+            }
+        }
+        let acc = &mut self.epoch[asid.index().min(self.n_apps - 1)];
+        acc.stalled_sum += entry.waiters.len() as u64;
+        acc.events += 1;
+        Some(ResolvedTranslation { asid, vpn, ppn, waiters: entry.waiters, walked, walk_latency })
+    }
+
+    /// Advances one cycle.
+    ///
+    /// Emits walker memory requests into `out_l2` and returns resolved
+    /// translations (shared-L2-TLB hits and PWC-completed walks).
+    pub fn tick(
+        &mut self,
+        now: Cycle,
+        next_req_id: &mut u64,
+        out_l2: &mut Vec<MemRequest>,
+        pwc_hits: &mut Vec<(Asid, bool)>,
+    ) -> Vec<ResolvedTranslation> {
+        let mut resolved = Vec::new();
+        // 0. Release walks whose demand-paging fault completed.
+        let mut i = 0;
+        while i < self.fault_pipe.len() {
+            if self.fault_pipe[i].0 <= now {
+                let (_, asid, vpn) = self.fault_pipe.swap_remove(i);
+                self.route_to_walk_path(asid, vpn, now);
+            } else {
+                i += 1;
+            }
+        }
+        // 1. Shared L2 TLB pipeline: up to `l2_ports` probes per cycle.
+        for _ in 0..self.l2_ports {
+            let Some(front) = self.l2tlb_pipe.front() else { break };
+            if front.ready_at > now {
+                break;
+            }
+            let req = self.l2tlb_pipe.pop_front().expect("non-empty");
+            let l2 = self.l2tlb.as_mut().expect("pipe implies shared L2 TLB");
+            match l2.probe(req.asid, req.vpn) {
+                L2TlbProbe::Miss => self.walker.enqueue(req.asid, req.vpn, now),
+                hit => {
+                    let ppn = hit.ppn().expect("hit carries translation");
+                    if let Some(r) = self.resolve(req.asid, req.vpn, ppn, false, 0) {
+                        resolved.push(r);
+                    }
+                }
+            }
+        }
+        // 2. Activate queued walks and route their first accesses.
+        for access in self.walker.activate(&mut self.tables) {
+            self.route_walk_access(access, now, next_req_id, out_l2, pwc_hits);
+        }
+        // 3. Complete PWC-hit walk steps whose latency elapsed.
+        let mut i = 0;
+        while i < self.pwc_pipe.len() {
+            if self.pwc_pipe[i].0 <= now {
+                let (_, access) = self.pwc_pipe.swap_remove(i);
+                match self.walker.access_complete(access.walk, &self.tables, now) {
+                    WalkOutcome::Next(next) => {
+                        self.route_walk_access(next, now, next_req_id, out_l2, pwc_hits)
+                    }
+                    WalkOutcome::Done { asid, vpn, ppn, latency } => {
+                        if let Some(r) = self.resolve(asid, vpn, ppn, true, latency) {
+                            resolved.push(r);
+                        }
+                    }
+                }
+            } else {
+                i += 1;
+            }
+        }
+        // 4. Epoch integrals (Fig. 5 / Eq. 1 inputs).
+        for app in 0..self.n_apps {
+            self.epoch[app].walk_integral +=
+                self.walker.total_walks_for(Asid::new(app as u16)) as u64;
+        }
+        resolved
+    }
+
+    /// Delivers an L2/DRAM completion for a walker access.
+    ///
+    /// Returns a resolved translation if this was the final level, and may
+    /// emit the next level's memory request into `out_l2`.
+    pub fn memory_response(
+        &mut self,
+        req: &MemRequest,
+        now: Cycle,
+        next_req_id: &mut u64,
+        out_l2: &mut Vec<MemRequest>,
+        pwc_hits: &mut Vec<(Asid, bool)>,
+    ) -> Option<ResolvedTranslation> {
+        let walk = self.walk_of_req.remove(&req.id)?;
+        match self.walker.access_complete(walk, &self.tables, now) {
+            WalkOutcome::Next(next) => {
+                self.route_walk_access(next, now, next_req_id, out_l2, pwc_hits);
+                None
+            }
+            WalkOutcome::Done { asid, vpn, ppn, latency } => {
+                self.resolve(asid, vpn, ppn, true, latency)
+            }
+        }
+    }
+
+    /// Ends a MASK epoch: adapts token counts from per-app L2 TLB miss
+    /// rates, resets epoch counters, and returns per-app Eq. 1 pressure
+    /// products (`ConPTW_i * WarpsStalled_i`, scaled) for the DRAM
+    /// scheduler.
+    pub fn end_epoch(&mut self, epoch_cycles: u64) -> Vec<u64> {
+        if let (Some(tokens), Some(l2)) = (&mut self.tokens, &self.l2tlb) {
+            for app in 0..self.n_apps {
+                let asid = Asid::new(app as u16);
+                tokens.end_epoch(asid, l2.epoch_miss_rate(asid), l2.epoch_accesses(asid));
+            }
+        }
+        if let Some(l2) = &mut self.l2tlb {
+            l2.reset_epoch();
+        }
+        let mut pressure = Vec::with_capacity(self.n_apps);
+        for acc in &mut self.epoch {
+            // ConPTW_i * WarpsStalled_i, fixed-point scaled by 256 to keep
+            // small averages from truncating to zero.
+            let p = if epoch_cycles == 0 || acc.events == 0 || acc.walk_integral == 0 {
+                0
+            } else {
+                let num = acc.walk_integral as u128 * acc.stalled_sum as u128 * 256;
+                let den = epoch_cycles as u128 * acc.events as u128;
+                num.div_ceil(den) as u64
+            };
+            pressure.push(p);
+            *acc = EpochAcc::default();
+        }
+        pressure
+    }
+
+    /// Concurrent page-walk demand for an app (Fig. 5 sampling).
+    pub fn concurrent_walks(&self, asid: Asid) -> usize {
+        self.walker.total_walks_for(asid)
+    }
+
+    /// Current fill-token count for an app (0 when tokens are disabled).
+    pub fn tokens_for(&self, asid: Asid) -> u64 {
+        self.tokens.as_ref().map_or(0, |t| t.tokens(asid))
+    }
+
+    /// Lifetime shared-L2-TLB statistics for an app.
+    pub fn l2_tlb_stats(&self, asid: Asid) -> mask_common::stats::HitStats {
+        self.l2tlb.as_ref().map_or_else(Default::default, |l| l.lifetime_stats(asid))
+    }
+
+    /// Lifetime TLB-bypass-cache statistics (MASK designs).
+    pub fn bypass_cache_stats(&self) -> Option<mask_common::stats::HitStats> {
+        self.l2tlb.as_ref().and_then(SharedL2Tlb::bypass_cache_stats)
+    }
+
+    /// Lifetime page-walk-cache statistics (PWCache design).
+    pub fn pwc_stats(&self) -> Option<mask_common::stats::HitStats> {
+        self.pwc.as_ref().map(PageWalkCache::stats)
+    }
+
+    /// Walks currently outstanding anywhere in the unit.
+    pub fn outstanding(&self) -> usize {
+        self.mshr.len()
+    }
+
+    /// Demand-paging faults taken by one app so far.
+    pub fn fault_count(&self, asid: Asid) -> u64 {
+        self.fault_counts.get(asid.index()).copied().unwrap_or(0)
+    }
+
+    /// Zeroes lifetime statistics (measurement-window reset); cached
+    /// translations, tokens, and epoch state are untouched.
+    pub fn reset_stats(&mut self) {
+        if let Some(l2) = &mut self.l2tlb {
+            l2.reset_lifetime();
+        }
+        if let Some(pwc) = &mut self.pwc {
+            pwc.reset_stats();
+        }
+    }
+
+    /// TLB shootdown for one address space (§5.5): drops the ASID's
+    /// entries from the shared L2 TLB and the bypass cache. Per-core L1
+    /// flushes are handled by the simulator, which knows core ownership.
+    pub fn shootdown(&mut self, asid: Asid) {
+        if let Some(l2) = &mut self.l2tlb {
+            l2.flush_asid(asid);
+        }
+    }
+
+    /// Full translation-structure flush after a PTE modification (§5.2:
+    /// "MASK flushes all contents of the TLB and the TLB bypass cache when
+    /// a PTE is modified").
+    pub fn pte_update_flush(&mut self) {
+        if let Some(l2) = &mut self.l2tlb {
+            l2.flush();
+        }
+        if let Some(pwc) = &mut self.pwc {
+            pwc.flush();
+        }
+    }
+
+    /// Flushes all cached translation state (context-switch experiments).
+    pub fn flush_volatile(&mut self) {
+        if let Some(l2) = &mut self.l2tlb {
+            l2.flush();
+        }
+        if let Some(pwc) = &mut self.pwc {
+            pwc.flush();
+        }
+    }
+
+    /// The page tables (for functional address checks in tests).
+    pub fn tables(&self) -> &PageTables {
+        &self.tables
+    }
+
+    /// The physical line a data access to `(asid, va_line)` maps to,
+    /// mapping the page on demand.
+    pub fn data_line(&mut self, asid: Asid, va: mask_common::addr::VirtAddr, page_size_log2: u32) -> LineAddr {
+        let vpn = va.vpn(page_size_log2);
+        let ppn = self.tables.ensure_mapped(asid, vpn);
+        ppn.translate(va, page_size_log2).line()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mask_common::config::GpuConfig;
+    use mask_common::ids::{CoreId, WarpId};
+
+    fn warp(core: u16, warp: u16) -> GlobalWarpId {
+        GlobalWarpId::new(CoreId::new(core), WarpId::new(warp))
+    }
+
+    fn drive(
+        unit: &mut TranslationUnit,
+        now_start: Cycle,
+        cycles: u64,
+    ) -> (Vec<ResolvedTranslation>, Vec<MemRequest>) {
+        let mut resolved = Vec::new();
+        let mut reqs = Vec::new();
+        let mut next_id = 0u64;
+        let mut pwc_hits = Vec::new();
+        for now in now_start..now_start + cycles {
+            let mut out = Vec::new();
+            resolved.extend(unit.tick(now, &mut next_id, &mut out, &mut pwc_hits));
+            // Instantly satisfy every memory request (zero-latency L2),
+            // including requests generated by responses (worklist loop).
+            while let Some(r) = out.pop() {
+                reqs.push(r);
+                let mut more = Vec::new();
+                if let Some(done) = unit.memory_response(&r, now, &mut next_id, &mut more, &mut pwc_hits) {
+                    resolved.push(done);
+                }
+                out.extend(more);
+            }
+        }
+        (resolved, reqs)
+    }
+
+    #[test]
+    fn shared_tlb_miss_walks_four_levels() {
+        let cfg = GpuConfig::maxwell();
+        let mut unit = TranslationUnit::new(&cfg, DesignKind::SharedTlb, &[2]);
+        assert!(unit.request(Asid::new(0), Vpn(42), warp(0, 0), 0, 0));
+        let (resolved, reqs) = drive(&mut unit, 0, 40);
+        assert_eq!(resolved.len(), 1);
+        assert!(resolved[0].walked);
+        assert_eq!(reqs.len(), 4, "one memory request per page-table level");
+        let levels: Vec<u8> = reqs.iter().map(|r| r.class.depth_tag()).collect();
+        assert_eq!(levels, vec![1, 2, 3, 4]);
+    }
+
+    #[test]
+    fn second_request_hits_shared_l2_tlb() {
+        let cfg = GpuConfig::maxwell();
+        let mut unit = TranslationUnit::new(&cfg, DesignKind::SharedTlb, &[2]);
+        unit.request(Asid::new(0), Vpn(42), warp(0, 0), 0, 0);
+        let (r1, _) = drive(&mut unit, 0, 40);
+        assert!(r1[0].walked);
+        unit.request(Asid::new(0), Vpn(42), warp(0, 1), 0, 100);
+        let (r2, reqs2) = drive(&mut unit, 100, 40);
+        assert_eq!(r2.len(), 1);
+        assert!(!r2[0].walked, "L2 TLB hit, no walk");
+        assert!(reqs2.is_empty());
+    }
+
+    #[test]
+    fn duplicate_requests_merge_and_wake_together() {
+        let cfg = GpuConfig::maxwell();
+        let mut unit = TranslationUnit::new(&cfg, DesignKind::SharedTlb, &[2]);
+        assert!(unit.request(Asid::new(0), Vpn(7), warp(0, 0), 0, 0));
+        assert!(!unit.request(Asid::new(0), Vpn(7), warp(0, 1), 0, 1));
+        assert!(!unit.request(Asid::new(0), Vpn(7), warp(1, 5), 1, 2));
+        let (resolved, reqs) = drive(&mut unit, 0, 40);
+        assert_eq!(resolved.len(), 1);
+        assert_eq!(resolved[0].waiters.len(), 3);
+        assert_eq!(reqs.len(), 4, "merged: only one walk");
+    }
+
+    #[test]
+    fn pwcache_design_skips_l2_tlb_and_uses_pwc() {
+        let cfg = GpuConfig::maxwell();
+        let mut unit = TranslationUnit::new(&cfg, DesignKind::PwCache, &[2]);
+        unit.request(Asid::new(0), Vpn(1), warp(0, 0), 0, 0);
+        let (r1, reqs1) = drive(&mut unit, 0, 60);
+        assert_eq!(r1.len(), 1);
+        assert_eq!(reqs1.len(), 4, "cold walk: all levels miss the PWC");
+        // A nearby page shares upper-level PTE lines: the PWC now hits.
+        unit.request(Asid::new(0), Vpn(2), warp(0, 1), 0, 100);
+        let (r2, reqs2) = drive(&mut unit, 100, 120);
+        assert_eq!(r2.len(), 1);
+        assert!(reqs2.len() < 4, "PWC hits cut memory requests, got {}", reqs2.len());
+        let stats = unit.pwc_stats().expect("PWC attached");
+        assert!(stats.hits > 0);
+    }
+
+    #[test]
+    fn different_asids_do_not_share_translations() {
+        let cfg = GpuConfig::maxwell();
+        let mut unit = TranslationUnit::new(&cfg, DesignKind::SharedTlb, &[1, 1]);
+        unit.request(Asid::new(0), Vpn(42), warp(0, 0), 0, 0);
+        let (r1, _) = drive(&mut unit, 0, 40);
+        unit.request(Asid::new(1), Vpn(42), warp(1, 0), 0, 100);
+        let (r2, _) = drive(&mut unit, 100, 40);
+        assert!(r2[0].walked, "same VPN in another ASID must walk");
+        assert_ne!(r1[0].ppn, r2[0].ppn);
+    }
+
+    #[test]
+    fn epoch_pressure_reflects_stalled_warps() {
+        let cfg = GpuConfig::maxwell();
+        let mut unit = TranslationUnit::new(&cfg, DesignKind::Mask, &[2]);
+        for w in 0..8 {
+            unit.request(Asid::new(0), Vpn(9), warp(0, w), 0, 0);
+        }
+        let (resolved, _) = drive(&mut unit, 0, 40);
+        assert_eq!(resolved[0].waiters.len(), 8);
+        let pressure = unit.end_epoch(40);
+        assert_eq!(pressure.len(), 1);
+        assert!(pressure[0] > 0, "stalled warps must register pressure");
+    }
+
+    #[test]
+    fn tokens_warmup_then_activate() {
+        let cfg = GpuConfig::maxwell();
+        let mut unit = TranslationUnit::new(&cfg, DesignKind::Mask, &[2]);
+        assert_eq!(unit.tokens_for(Asid::new(0)), 2 * cfg.warps_per_core as u64);
+        unit.end_epoch(100_000);
+        let t = unit.tokens_for(Asid::new(0));
+        assert_eq!(t, (2.0 * cfg.warps_per_core as f64 * 0.8).round() as u64);
+    }
+
+    #[test]
+    fn demand_paging_fault_delays_first_touch_only() {
+        let mut cfg = GpuConfig::maxwell();
+        cfg.page_fault_latency = 500;
+        let mut unit = TranslationUnit::new(&cfg, DesignKind::SharedTlb, &[1]);
+        unit.request(Asid::new(0), Vpn(1), warp(0, 0), 0, 0);
+        // Nothing resolves before the fault service time.
+        let (early, _) = drive(&mut unit, 0, 400);
+        assert!(early.is_empty(), "walk must wait for the fault");
+        assert_eq!(unit.fault_count(Asid::new(0)), 1);
+        let (late, _) = drive(&mut unit, 400, 400);
+        assert_eq!(late.len(), 1, "walk completes after the fault");
+        // A second touch of the same page faults no more.
+        unit.request(Asid::new(0), Vpn(1), warp(0, 1), 0, 1000);
+        assert_eq!(unit.fault_count(Asid::new(0)), 1);
+    }
+
+    #[test]
+    fn ideal_functional_translation_is_stable() {
+        let cfg = GpuConfig::maxwell();
+        let mut unit = TranslationUnit::new(&cfg, DesignKind::Ideal, &[1]);
+        let p1 = unit.functional_translate(Asid::new(0), Vpn(5));
+        let p2 = unit.functional_translate(Asid::new(0), Vpn(5));
+        assert_eq!(p1, p2);
+    }
+}

@@ -1,0 +1,79 @@
+//! Property tests for page tables and the walker.
+
+use mask_common::addr::{Vpn, PAGE_SIZE_4K_LOG2};
+use mask_common::ids::Asid;
+use mask_common::req::WalkLevel;
+use mask_pagetable::{PageTables, PageWalker, WalkOutcome};
+use proptest::prelude::*;
+use std::collections::{HashMap, HashSet};
+
+proptest! {
+    /// Mapping is stable and injective: same VPN -> same PPN; distinct
+    /// (asid, vpn) -> distinct frames.
+    #[test]
+    fn mapping_stable_and_injective(vpns in proptest::collection::vec((0u64..1u64<<30, 0u16..3), 1..200)) {
+        let mut pts = PageTables::new(3, PAGE_SIZE_4K_LOG2);
+        let mut seen: HashMap<(u16, u64), u64> = HashMap::new();
+        let mut frames: HashSet<u64> = HashSet::new();
+        for &(v, a) in &vpns {
+            let ppn = pts.ensure_mapped(Asid::new(a), Vpn(v));
+            match seen.get(&(a, v)) {
+                Some(&prev) => prop_assert_eq!(prev, ppn.0, "mapping changed"),
+                None => {
+                    prop_assert!(frames.insert(ppn.0), "frame reused across pages");
+                    seen.insert((a, v), ppn.0);
+                }
+            }
+            prop_assert_eq!(pts.translate(Asid::new(a), Vpn(v)), Some(ppn));
+        }
+    }
+
+    /// Walk lines agree with the radix structure: VPNs sharing all indices
+    /// above a level share that level's node line region.
+    #[test]
+    fn walk_lines_shared_at_root(vpns in proptest::collection::hash_set(0u64..1u64<<27, 2..50)) {
+        let mut pts = PageTables::new(1, PAGE_SIZE_4K_LOG2);
+        for &v in &vpns {
+            pts.ensure_mapped(Asid::new(0), Vpn(v));
+        }
+        // All small VPNs share the root node (level-1 top indices equal),
+        // so root lines fall within one 4 KB node (32 lines).
+        let roots: HashSet<u64> =
+            vpns.iter().map(|&v| pts.walk_line(Asid::new(0), Vpn(v), WalkLevel::ROOT).0).collect();
+        prop_assert!(roots.len() <= 32, "root lines exceed one node");
+    }
+
+    /// The walker resolves every enqueued request to the functional
+    /// translation, regardless of completion interleaving.
+    #[test]
+    fn walker_matches_functional_translation(
+        vpns in proptest::collection::vec(0u64..1u64<<20, 1..40),
+        lifo: bool,
+    ) {
+        let mut pts = PageTables::new(1, PAGE_SIZE_4K_LOG2);
+        let mut walker = PageWalker::new(8, 1);
+        for (i, &v) in vpns.iter().enumerate() {
+            walker.enqueue(Asid::new(0), Vpn(v), i as u64);
+        }
+        let mut pending = Vec::new();
+        let mut resolved = 0usize;
+        for now in 0..100_000u64 {
+            pending.extend(walker.activate(&mut pts));
+            if pending.is_empty() {
+                if walker.total_walks() == 0 {
+                    break;
+                }
+                continue;
+            }
+            let access = if lifo { pending.pop().expect("non-empty") } else { pending.remove(0) };
+            match walker.access_complete(access.walk, &pts, now) {
+                WalkOutcome::Next(n) => pending.push(n),
+                WalkOutcome::Done { asid, vpn, ppn, .. } => {
+                    prop_assert_eq!(pts.translate(asid, vpn), Some(ppn));
+                    resolved += 1;
+                }
+            }
+        }
+        prop_assert_eq!(resolved, vpns.len(), "walks lost");
+    }
+}

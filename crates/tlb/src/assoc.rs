@@ -1,0 +1,235 @@
+//! A generic set-associative array with true-LRU replacement.
+//!
+//! Shared by the L1 TLB (one fully-associative set), the shared L2 TLB
+//! (16-way), the TLB bypass cache (fully associative), and the page-walk
+//! cache. Data caches live in `mask-cache` and add MSHRs and banking on
+//! top of the same structure.
+
+use std::hash::{Hash, Hasher};
+
+/// A set-associative, true-LRU lookup structure.
+///
+/// Keys are hashed to pick a set; within a set, lookup is a linear scan
+/// (associativities here are ≤ 64, so this is both simple and fast).
+#[derive(Clone, Debug)]
+pub struct AssocArray<K, V> {
+    sets: Vec<Vec<Entry<K, V>>>,
+    assoc: usize,
+    stamp: u64,
+}
+
+#[derive(Clone, Debug)]
+struct Entry<K, V> {
+    key: K,
+    value: V,
+    last_used: u64,
+}
+
+impl<K: Eq + Hash + Copy, V: Copy> AssocArray<K, V> {
+    /// Creates an array with `entries` total capacity and `assoc` ways.
+    ///
+    /// `entries` is rounded down to a multiple of `assoc`; the set count is
+    /// rounded up to at least 1. For a fully-associative structure pass
+    /// `assoc == entries`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `entries` or `assoc` is zero.
+    pub fn new(entries: usize, assoc: usize) -> Self {
+        assert!(entries > 0 && assoc > 0, "capacity and associativity must be positive");
+        let assoc = assoc.min(entries);
+        let n_sets = (entries / assoc).max(1);
+        AssocArray { sets: (0..n_sets).map(|_| Vec::with_capacity(assoc)).collect(), assoc, stamp: 0 }
+    }
+
+    /// Total entry capacity.
+    pub fn capacity(&self) -> usize {
+        self.sets.len() * self.assoc
+    }
+
+    /// Number of ways per set.
+    pub fn assoc(&self) -> usize {
+        self.assoc
+    }
+
+    /// Number of sets.
+    pub fn n_sets(&self) -> usize {
+        self.sets.len()
+    }
+
+    /// Number of valid entries currently resident.
+    pub fn len(&self) -> usize {
+        self.sets.iter().map(Vec::len).sum()
+    }
+
+    /// Whether the array holds no entries.
+    pub fn is_empty(&self) -> bool {
+        self.sets.iter().all(Vec::is_empty)
+    }
+
+    fn set_index(&self, key: &K) -> usize {
+        if self.sets.len() == 1 {
+            return 0;
+        }
+        let mut h = std::collections::hash_map::DefaultHasher::new();
+        key.hash(&mut h);
+        (h.finish() as usize) % self.sets.len()
+    }
+
+    /// Looks up `key`, updating LRU state on a hit.
+    pub fn probe(&mut self, key: &K) -> Option<V> {
+        self.stamp += 1;
+        let stamp = self.stamp;
+        let set = self.set_index(key);
+        let entry = self.sets[set].iter_mut().find(|e| e.key == *key)?;
+        entry.last_used = stamp;
+        Some(entry.value)
+    }
+
+    /// Looks up `key` without perturbing LRU state (for monitors/tests).
+    pub fn peek(&self, key: &K) -> Option<V> {
+        let set = self.set_index(key);
+        self.sets[set].iter().find(|e| e.key == *key).map(|e| e.value)
+    }
+
+    /// Inserts `key -> value`, evicting the set's LRU entry if full.
+    ///
+    /// Returns the evicted `(key, value)` pair, if any. Filling an existing
+    /// key updates its value and LRU position.
+    pub fn fill(&mut self, key: K, value: V) -> Option<(K, V)> {
+        self.stamp += 1;
+        let stamp = self.stamp;
+        let set_idx = self.set_index(&key);
+        let assoc = self.assoc;
+        let set = &mut self.sets[set_idx];
+        if let Some(entry) = set.iter_mut().find(|e| e.key == key) {
+            entry.value = value;
+            entry.last_used = stamp;
+            return None;
+        }
+        let mut evicted = None;
+        if set.len() >= assoc {
+            let victim = set
+                .iter()
+                .enumerate()
+                .min_by_key(|(_, e)| e.last_used)
+                .map(|(i, _)| i)
+                .expect("set is non-empty");
+            let e = set.swap_remove(victim);
+            evicted = Some((e.key, e.value));
+        }
+        set.push(Entry { key, value, last_used: stamp });
+        evicted
+    }
+
+    /// Removes `key` if present, returning its value.
+    pub fn invalidate(&mut self, key: &K) -> Option<V> {
+        let set = self.set_index(key);
+        let pos = self.sets[set].iter().position(|e| e.key == *key)?;
+        Some(self.sets[set].swap_remove(pos).value)
+    }
+
+    /// Removes all entries matching a predicate (e.g. per-ASID flush).
+    pub fn retain(&mut self, mut keep: impl FnMut(&K, &V) -> bool) {
+        for set in &mut self.sets {
+            set.retain(|e| keep(&e.key, &e.value));
+        }
+    }
+
+    /// Removes every entry.
+    pub fn flush(&mut self) {
+        for set in &mut self.sets {
+            set.clear();
+        }
+    }
+
+    /// Iterates over resident `(key, value)` pairs in unspecified order.
+    pub fn iter(&self) -> impl Iterator<Item = (&K, &V)> {
+        self.sets.iter().flat_map(|s| s.iter().map(|e| (&e.key, &e.value)))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fill_then_probe_hits() {
+        let mut a = AssocArray::new(8, 8);
+        assert_eq!(a.probe(&1u64), None);
+        a.fill(1u64, 100u64);
+        assert_eq!(a.probe(&1), Some(100));
+        assert_eq!(a.peek(&1), Some(100));
+    }
+
+    #[test]
+    fn lru_evicts_least_recently_used() {
+        let mut a = AssocArray::new(2, 2);
+        a.fill(1u64, 1u64);
+        a.fill(2, 2);
+        // Touch 1 so that 2 becomes LRU.
+        assert_eq!(a.probe(&1), Some(1));
+        let evicted = a.fill(3, 3);
+        assert_eq!(evicted, Some((2, 2)));
+        assert_eq!(a.peek(&1), Some(1));
+        assert_eq!(a.peek(&3), Some(3));
+    }
+
+    #[test]
+    fn refill_updates_value_without_eviction() {
+        let mut a = AssocArray::new(2, 2);
+        a.fill(1u64, 1u64);
+        a.fill(2, 2);
+        assert_eq!(a.fill(1, 42), None);
+        assert_eq!(a.peek(&1), Some(42));
+        assert_eq!(a.len(), 2);
+    }
+
+    #[test]
+    fn set_mapping_partitions_keys() {
+        let mut a = AssocArray::new(64, 4);
+        assert_eq!(a.n_sets(), 16);
+        for k in 0..64u64 {
+            a.fill(k, k);
+        }
+        assert!(a.len() <= 64);
+        // Fully-assoc array never misses below capacity.
+        let mut fa = AssocArray::new(64, 64);
+        for k in 0..64u64 {
+            fa.fill(k, k);
+        }
+        assert_eq!((0..64u64).filter(|k| fa.peek(k).is_some()).count(), 64);
+    }
+
+    #[test]
+    fn retain_flushes_selectively() {
+        let mut a = AssocArray::new(16, 4);
+        for k in 0..16u64 {
+            a.fill(k, k % 2);
+        }
+        let before = a.len();
+        a.retain(|_, v| *v == 0);
+        assert!(a.len() < before);
+        assert!(a.iter().all(|(_, v)| *v == 0));
+        a.flush();
+        assert!(a.is_empty());
+        assert_eq!(a.len(), 0);
+    }
+
+    #[test]
+    fn invalidate_removes_single_key() {
+        let mut a = AssocArray::new(4, 4);
+        a.fill(7u64, 7u64);
+        assert_eq!(a.invalidate(&7), Some(7));
+        assert_eq!(a.invalidate(&7), None);
+        assert_eq!(a.probe(&7), None);
+    }
+
+    #[test]
+    fn capacity_respects_rounding() {
+        let a: AssocArray<u64, u64> = AssocArray::new(100, 16);
+        // 100/16 = 6 sets of 16 ways.
+        assert_eq!(a.n_sets(), 6);
+        assert_eq!(a.capacity(), 96);
+    }
+}

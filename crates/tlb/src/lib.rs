@@ -1,0 +1,49 @@
+//! TLB structures and MASK's TLB-Fill Tokens mechanism.
+//!
+//! This crate implements every address-translation caching structure of the
+//! paper's two baseline designs (Fig. 2) and of MASK (Fig. 10):
+//!
+//! * per-core, fully-associative **L1 TLBs** ([`l1::L1Tlb`]),
+//! * the **shared L2 TLB** with ASID-tagged entries ([`l2::SharedL2Tlb`]),
+//! * the **page-walk cache** of the `PWCache` baseline variant
+//!   ([`pwc::PageWalkCache`]),
+//! * MASK's **TLB bypass cache** ([`bypass::TlbBypassCache`]) and the
+//!   epoch-based **TLB-Fill Tokens** controller ([`tokens::TokenAllocator`])
+//!   — mechanism ❶ of Fig. 10 (§5.2).
+//!
+//! All replacement is LRU, matching Table 1 ("L1 and L2 TLBs use the LRU
+//! replacement policy").
+
+pub mod assoc;
+pub mod bypass;
+pub mod l1;
+pub mod l2;
+pub mod pwc;
+pub mod tokens;
+
+pub use assoc::AssocArray;
+pub use bypass::TlbBypassCache;
+pub use l1::L1Tlb;
+pub use l2::{L2TlbProbe, SharedL2Tlb};
+pub use pwc::PageWalkCache;
+pub use tokens::{TokenAllocator, TokenPolicy};
+
+/// A TLB entry key: (address space, virtual page).
+///
+/// The shared structures are ASID-tagged (§5.1: "We extend each L2 TLB
+/// entry with an address space identifier"); private L1 TLBs carry the tag
+/// too so that core reassignment flushes work uniformly.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
+pub struct TlbKey {
+    /// The address space identifier.
+    pub asid: mask_common::Asid,
+    /// The virtual page number.
+    pub vpn: mask_common::Vpn,
+}
+
+impl TlbKey {
+    /// Creates a key.
+    pub const fn new(asid: mask_common::Asid, vpn: mask_common::Vpn) -> Self {
+        TlbKey { asid, vpn }
+    }
+}

@@ -1,0 +1,82 @@
+//! Property tests: the set-associative array behaves like a reference
+//! model (per-set LRU map) under arbitrary operation sequences.
+
+use mask_tlb::AssocArray;
+use proptest::prelude::*;
+use std::collections::HashMap;
+
+/// Reference model: an unbounded map plus per-key access stamps; evictions
+/// are checked only through the invariant that a *recently touched* subset
+/// of keys (within associativity) always survives.
+#[derive(Debug, Clone)]
+enum Op {
+    Fill(u8, u8),
+    Probe(u8),
+    Invalidate(u8),
+}
+
+fn ops() -> impl Strategy<Value = Vec<Op>> {
+    proptest::collection::vec(
+        prop_oneof![
+            (any::<u8>(), any::<u8>()).prop_map(|(k, v)| Op::Fill(k, v)),
+            any::<u8>().prop_map(Op::Probe),
+            any::<u8>().prop_map(Op::Invalidate),
+        ],
+        0..300,
+    )
+}
+
+proptest! {
+    /// A probe never observes a value that was not the most recent fill.
+    #[test]
+    fn probes_return_latest_fill(ops in ops()) {
+        let mut arr: AssocArray<u8, u8> = AssocArray::new(32, 4);
+        let mut latest: HashMap<u8, u8> = HashMap::new();
+        for op in ops {
+            match op {
+                Op::Fill(k, v) => {
+                    arr.fill(k, v);
+                    latest.insert(k, v);
+                }
+                Op::Probe(k) => {
+                    if let Some(v) = arr.probe(&k) {
+                        prop_assert_eq!(Some(&v), latest.get(&k), "stale value for {}", k);
+                    }
+                }
+                Op::Invalidate(k) => {
+                    arr.invalidate(&k);
+                    latest.remove(&k);
+                }
+            }
+            prop_assert!(arr.len() <= arr.capacity());
+        }
+    }
+
+    /// Fully-associative arrays below capacity never evict.
+    #[test]
+    fn no_eviction_below_capacity(keys in proptest::collection::hash_set(any::<u16>(), 0..64)) {
+        let mut arr: AssocArray<u16, u16> = AssocArray::new(64, 64);
+        for &k in &keys {
+            prop_assert!(arr.fill(k, k).is_none(), "eviction below capacity");
+        }
+        for &k in &keys {
+            prop_assert_eq!(arr.probe(&k), Some(k));
+        }
+    }
+
+    /// The most recently touched key of a set is never the next eviction
+    /// victim (LRU property).
+    #[test]
+    fn mru_key_survives_one_fill(seed_keys in proptest::collection::vec(any::<u8>(), 1..50), newcomer: u8) {
+        let mut arr: AssocArray<u8, u8> = AssocArray::new(8, 8);
+        for &k in &seed_keys {
+            arr.fill(k, k);
+        }
+        let mru = *seed_keys.last().expect("non-empty");
+        arr.probe(&mru);
+        if newcomer != mru {
+            arr.fill(newcomer, newcomer);
+            prop_assert!(arr.peek(&mru).is_some(), "MRU key {} evicted", mru);
+        }
+    }
+}

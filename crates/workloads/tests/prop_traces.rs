@@ -1,0 +1,47 @@
+//! Property tests for the synthetic trace generators.
+
+use mask_common::addr::PAGE_SIZE_4K_LOG2;
+use mask_workloads::{all_apps, WarpTrace};
+use proptest::prelude::*;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Every generated address stays inside the profile's footprint.
+    #[test]
+    fn addresses_stay_in_footprint(app_idx in 0usize..30, core in 0u64..8, warp in 0u64..64, seed: u64) {
+        let profile = &all_apps()[app_idx];
+        let mut t = WarpTrace::new(profile, seed, core, warp, PAGE_SIZE_4K_LOG2);
+        let max_pages = profile.footprint_pages();
+        for _ in 0..64 {
+            let op = t.next_op();
+            prop_assert!(!op.lines.is_empty());
+            for va in &op.lines {
+                let page = (va.raw() - 0x10_0000_0000) >> PAGE_SIZE_4K_LOG2;
+                prop_assert!(page < max_pages, "{}: page {page} outside footprint {max_pages}", profile.name);
+                prop_assert_eq!(va.raw() % mask_common::addr::LINE_SIZE, 0);
+            }
+        }
+    }
+
+    /// Identical coordinates reproduce identical traces; different warps
+    /// eventually diverge.
+    #[test]
+    fn determinism_and_divergence(app_idx in 0usize..30, seed: u64) {
+        let profile = &all_apps()[app_idx];
+        let mut a = WarpTrace::new(profile, seed, 0, 0, PAGE_SIZE_4K_LOG2);
+        let mut b = WarpTrace::new(profile, seed, 0, 0, PAGE_SIZE_4K_LOG2);
+        for _ in 0..32 {
+            prop_assert_eq!(a.next_op(), b.next_op());
+        }
+        let mut c = WarpTrace::new(profile, seed, 5, 63, PAGE_SIZE_4K_LOG2);
+        let mut same = 0;
+        let mut a2 = WarpTrace::new(profile, seed, 0, 0, PAGE_SIZE_4K_LOG2);
+        for _ in 0..32 {
+            if a2.next_op() == c.next_op() {
+                same += 1;
+            }
+        }
+        prop_assert!(same < 32, "{}: distant warps fully correlated", profile.name);
+    }
+}

@@ -1,0 +1,6 @@
+#!/bin/bash
+cd /root/repo
+cargo test --workspace 2>&1 | tee /root/repo/test_output.txt
+echo "TESTS_DONE rc=$?" >> /root/repo/final_status.txt
+MASK_SIM_CYCLES=200000 cargo bench --workspace 2>&1 | tee /root/repo/bench_output.txt
+echo "BENCH_DONE rc=$?" >> /root/repo/final_status.txt

@@ -1,0 +1,7 @@
+//! Umbrella package for the MASK reproduction workspace.
+//!
+//! This package exists to host the repository-level `examples/` and `tests/`
+//! targets; the implementation lives in the `crates/` workspace members. It
+//! re-exports the top-level [`mask_core`] API for convenience.
+
+pub use mask_core as mask;

@@ -1,0 +1,55 @@
+//! End-to-end demand-paging behaviour (the §5.5 extension).
+
+use mask_core::prelude::*;
+
+fn stats_with_fault_latency(latency: u64) -> SimStats {
+    let mut gpu = GpuConfig::maxwell();
+    gpu.warps_per_core = 16;
+    gpu.page_fault_latency = latency;
+    let runner = PairRunner::new(RunOptions {
+        n_cores: 4,
+        max_cycles: 20_000,
+        seed: 5,
+        warmup_cycles: 0,
+        gpu,
+    });
+    runner.run_apps(
+        DesignKind::SharedTlb,
+        &[AppSpec { profile: app_by_name("SCAN").expect("known"), n_cores: 4 }],
+    )
+}
+
+#[test]
+fn faults_are_counted_only_when_enabled() {
+    let without = stats_with_fault_latency(0);
+    let with = stats_with_fault_latency(5_000);
+    assert_eq!(without.apps[0].page_faults, 0, "fault-free mode takes no faults");
+    assert!(with.apps[0].page_faults > 0, "first touches must fault");
+}
+
+#[test]
+fn fault_latency_costs_throughput() {
+    let without = stats_with_fault_latency(0);
+    let with = stats_with_fault_latency(5_000);
+    assert!(
+        with.apps[0].instructions < without.apps[0].instructions,
+        "5K-cycle faults must slow a streaming app ({} vs {})",
+        with.apps[0].instructions,
+        without.apps[0].instructions
+    );
+}
+
+#[test]
+fn each_page_faults_at_most_once() {
+    let with = stats_with_fault_latency(2_000);
+    // Every fault stems from a primary L1-TLB-miss translation request,
+    // so faults can never exceed L1 TLB misses; and re-touches of a
+    // faulted page never fault again (faults are first-touch only).
+    assert!(
+        with.apps[0].page_faults <= with.apps[0].l1_tlb.misses(),
+        "faults ({}) cannot exceed L1 TLB misses ({})",
+        with.apps[0].page_faults,
+        with.apps[0].l1_tlb.misses()
+    );
+    assert!(with.apps[0].page_faults > 0);
+}

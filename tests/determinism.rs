@@ -1,0 +1,41 @@
+//! Bit-reproducibility across the whole stack.
+
+use mask_core::prelude::*;
+
+fn run(seed: u64, design: DesignKind) -> SimStats {
+    let mut gpu = GpuConfig::maxwell();
+    gpu.warps_per_core = 16;
+    let runner = PairRunner::new(RunOptions {
+        n_cores: 4,
+        max_cycles: 8_000,
+        seed,
+        warmup_cycles: 2_000,
+        gpu,
+    });
+    runner.run_apps(
+        design,
+        &[
+            AppSpec { profile: app_by_name("MUM").expect("known"), n_cores: 2 },
+            AppSpec { profile: app_by_name("HISTO").expect("known"), n_cores: 2 },
+        ],
+    )
+}
+
+#[test]
+fn identical_seeds_identical_stats() {
+    for design in [DesignKind::SharedTlb, DesignKind::Mask, DesignKind::PwCache] {
+        let a = run(42, design);
+        let b = run(42, design);
+        assert_eq!(a, b, "{design} not reproducible");
+    }
+}
+
+#[test]
+fn different_seeds_different_traces() {
+    let a = run(1, DesignKind::SharedTlb);
+    let b = run(2, DesignKind::SharedTlb);
+    assert_ne!(
+        a.apps[0].instructions, b.apps[0].instructions,
+        "different seeds should perturb execution"
+    );
+}
