@@ -1,4 +1,4 @@
-//! Figure 3: baseline designs (PWCache, SharedTLB) vs ideal performance.
+//! Figure 3: baseline designs (`PWCache`, `SharedTLB`) vs ideal performance.
 
 use mask_bench::{banner, emit, options};
 use mask_core::experiments::baseline;

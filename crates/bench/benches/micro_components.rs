@@ -19,7 +19,12 @@ use std::hint::black_box;
 fn bench_l2_tlb(c: &mut Criterion) {
     let mut tlb = SharedL2Tlb::new(512, 16, 2, 32);
     for i in 0..512u64 {
-        tlb.fill(Asid::new((i % 2) as u16), Vpn(i), mask_common::addr::Ppn(i), true);
+        tlb.fill(
+            Asid::new((i % 2) as u16),
+            Vpn(i),
+            mask_common::addr::Ppn(i),
+            true,
+        );
     }
     let mut i = 0u64;
     c.bench_function("shared_l2_tlb_probe", |b| {
@@ -85,8 +90,14 @@ fn bench_full_sim_cycles(c: &mut Criterion) {
         cfg.gpu.n_cores = 4;
         cfg.gpu.warps_per_core = 16;
         let specs = [
-            AppSpec { profile: app_by_name("CONS").expect("known"), n_cores: 2 },
-            AppSpec { profile: app_by_name("LPS").expect("known"), n_cores: 2 },
+            AppSpec {
+                profile: app_by_name("CONS").expect("known"),
+                n_cores: 2,
+            },
+            AppSpec {
+                profile: app_by_name("LPS").expect("known"),
+                n_cores: 2,
+            },
         ];
         let mut sim = GpuSim::new(&cfg, &specs);
         b.iter(|| {

@@ -11,13 +11,34 @@ fn main() {
     let storage = StorageCost::compute(&cfg);
     emit(&storage.to_table(&cfg));
     let ap = AreaPower::compute(&cfg);
-    let mut t = Table::new("Sec. 7.5: area and power (CACTI-style model)", &["metric", "value"]);
-    t.row("baseline translation-structure area (mm^2)", vec![format!("{:.4}", ap.baseline_mm2)]);
-    t.row("MASK added area (mm^2)", vec![format!("{:.4}", ap.mask_added_mm2)]);
-    t.row("MASK added area (fraction of ~400mm^2 die)", vec![format!("{:.6}", ap.area_fraction_of_die())]);
-    t.row("baseline translation-structure power (mW)", vec![format!("{:.3}", ap.baseline_mw)]);
-    t.row("MASK added power (mW)", vec![format!("{:.3}", ap.mask_added_mw)]);
-    t.row("MASK added power (fraction of ~150W board)", vec![format!("{:.8}", ap.power_fraction_of_board())]);
+    let mut t = Table::new(
+        "Sec. 7.5: area and power (CACTI-style model)",
+        &["metric", "value"],
+    );
+    t.row(
+        "baseline translation-structure area (mm^2)",
+        vec![format!("{:.4}", ap.baseline_mm2)],
+    );
+    t.row(
+        "MASK added area (mm^2)",
+        vec![format!("{:.4}", ap.mask_added_mm2)],
+    );
+    t.row(
+        "MASK added area (fraction of ~400mm^2 die)",
+        vec![format!("{:.6}", ap.area_fraction_of_die())],
+    );
+    t.row(
+        "baseline translation-structure power (mW)",
+        vec![format!("{:.3}", ap.baseline_mw)],
+    );
+    t.row(
+        "MASK added power (mW)",
+        vec![format!("{:.3}", ap.mask_added_mw)],
+    );
+    t.row(
+        "MASK added power (fraction of ~150W board)",
+        vec![format!("{:.8}", ap.power_fraction_of_board())],
+    );
     emit(&t);
     println!(
         "ASID overhead is {:.1}% of the shared L2 TLB (paper: 7%)",

@@ -9,6 +9,9 @@ fn main() {
     let t0 = std::time::Instant::now();
     let t = scalability::run(&opts);
     emit(&t);
-    println!("MASK/SharedTLB average advantage: {:.3}x", scalability::mask_advantage(&t));
+    println!(
+        "MASK/SharedTLB average advantage: {:.3}x",
+        scalability::mask_advantage(&t)
+    );
     println!("[tab03 done in {:?}]", t0.elapsed());
 }

@@ -49,7 +49,10 @@ struct AppMonitor {
 
 impl AppMonitor {
     fn new() -> Self {
-        AppMonitor { level_rate: [1.0; 4], ..Default::default() }
+        AppMonitor {
+            level_rate: [1.0; 4],
+            ..Default::default()
+        }
     }
 }
 
@@ -87,7 +90,7 @@ impl BypassMonitor {
         match class {
             mask_common::req::RequestClass::Data => app.data_epoch.record(hit),
             mask_common::req::RequestClass::Translation(l) => {
-                app.level_epoch[l.index()].record(hit)
+                app.level_epoch[l.index()].record(hit);
             }
         }
     }
@@ -191,7 +194,10 @@ mod tests {
         m.end_epoch();
         assert!(!m.is_bypassing(A0, WalkLevel::new(1)));
         assert!(!m.is_bypassing(A0, WalkLevel::new(2)));
-        assert!(m.is_bypassing(A0, WalkLevel::new(3)), "60% is clearly below the 70% data hit rate");
+        assert!(
+            m.is_bypassing(A0, WalkLevel::new(3)),
+            "60% is clearly below the 70% data hit rate"
+        );
         assert!(m.is_bypassing(A0, WalkLevel::new(4)));
 
         // A level within the hysteresis margin of the data hit rate keeps
@@ -200,7 +206,10 @@ mod tests {
         feed(&mut m2, 3, 68, 32);
         feed_data(&mut m2, 70, 30);
         m2.end_epoch();
-        assert!(!m2.is_bypassing(A0, WalkLevel::new(3)), "68% vs 70% is marginal");
+        assert!(
+            !m2.is_bypassing(A0, WalkLevel::new(3)),
+            "68% vs 70% is marginal"
+        );
     }
 
     #[test]
@@ -209,7 +218,9 @@ mod tests {
         feed(&mut m, 4, 0, 100);
         feed_data(&mut m, 80, 20);
         m.end_epoch();
-        let probes = (0..320).filter(|_| !m.should_bypass(A0, WalkLevel::new(4))).count();
+        let probes = (0..320)
+            .filter(|_| !m.should_bypass(A0, WalkLevel::new(4)))
+            .count();
         assert_eq!(probes, 10, "1-in-32 sampling keeps the estimate alive");
     }
 

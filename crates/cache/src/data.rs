@@ -19,7 +19,11 @@ struct Way {
 
 impl Default for Way {
     fn default() -> Self {
-        Way { line: LineAddr(0), last_used: 0, valid: false }
+        Way {
+            line: LineAddr(0),
+            last_used: 0,
+            valid: false,
+        }
     }
 }
 
@@ -45,7 +49,9 @@ impl DataCache {
         let n_sets = (lines as usize / assoc).max(1);
         assert!(assoc > 0 && lines > 0, "cache must have capacity");
         DataCache {
-            sets: (0..n_sets).map(|_| vec![Way::default(); assoc].into_boxed_slice()).collect(),
+            sets: (0..n_sets)
+                .map(|_| vec![Way::default(); assoc].into_boxed_slice())
+                .collect(),
             assoc,
             stamp: 0,
             partition: None,
@@ -59,12 +65,20 @@ impl DataCache {
     ///
     /// Panics if `n_apps` is zero or exceeds the associativity.
     pub fn partition_ways(&mut self, n_apps: usize) {
-        assert!(n_apps > 0 && n_apps <= self.assoc, "cannot partition {} ways {n_apps} ways", self.assoc);
+        assert!(
+            n_apps > 0 && n_apps <= self.assoc,
+            "cannot partition {} ways {n_apps} ways",
+            self.assoc
+        );
         let per = self.assoc / n_apps;
         let ranges = (0..n_apps)
             .map(|i| {
                 let start = i * per;
-                let end = if i == n_apps - 1 { self.assoc } else { start + per };
+                let end = if i == n_apps - 1 {
+                    self.assoc
+                } else {
+                    start + per
+                };
                 (start, end)
             })
             .collect();
@@ -93,7 +107,10 @@ impl DataCache {
         self.stamp += 1;
         let stamp = self.stamp;
         let set = self.set_index(line);
-        if let Some(w) = self.sets[set].iter_mut().find(|w| w.valid && w.line == line) {
+        if let Some(w) = self.sets[set]
+            .iter_mut()
+            .find(|w| w.valid && w.line == line)
+        {
             w.last_used = stamp;
             true
         } else {
@@ -128,7 +145,19 @@ impl DataCache {
             .expect("way range is non-empty");
         let victim = &mut ways[victim_idx];
         let evicted = victim.valid.then_some(victim.line);
-        *victim = Way { line, last_used: stamp, valid: true };
+        *victim = Way {
+            line,
+            last_used: stamp,
+            valid: true,
+        };
+        if mask_sanitizer::is_enabled() {
+            let resident = ways.iter().filter(|w| w.valid && w.line == line).count();
+            mask_sanitizer::check(
+                resident == 1,
+                "l2-data-array",
+                "a line must be resident in exactly one way of its set",
+            );
+        }
         evicted
     }
 
@@ -143,7 +172,11 @@ impl DataCache {
 
     /// Number of valid lines.
     pub fn len(&self) -> usize {
-        self.sets.iter().flat_map(|s| s.iter()).filter(|w| w.valid).count()
+        self.sets
+            .iter()
+            .flat_map(|s| s.iter())
+            .filter(|w| w.valid)
+            .count()
     }
 
     /// Whether no lines are valid.

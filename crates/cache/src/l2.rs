@@ -60,6 +60,8 @@ pub struct SharedL2Cache {
     bypass_mshr: MshrTable<MemRequest>,
     to_dram: Vec<MemRequest>,
     responses: Vec<L2Response>,
+    /// Sanitizer instance id for cycle-monotonicity tracking.
+    san_id: u64,
 }
 
 impl SharedL2Cache {
@@ -80,15 +82,19 @@ impl SharedL2Cache {
         SharedL2Cache {
             array: DataCache::new(cfg.bytes, cfg.assoc),
             banks: (0..cfg.banks)
-                .map(|_| Bank { queue: VecDeque::new(), mshr: MshrTable::new(cfg.mshrs) })
+                .map(|_| Bank {
+                    queue: VecDeque::new(),
+                    mshr: MshrTable::labelled("l2-bank-mshr", cfg.mshrs),
+                })
                 .collect(),
             monitor: BypassMonitor::with_margin(n_asids, margin),
             bypass_enabled,
             latency: cfg.latency,
             ports: cfg.ports_per_bank,
-            bypass_mshr: MshrTable::new(cfg.mshrs * cfg.banks),
+            bypass_mshr: MshrTable::labelled("l2-bypass-mshr", cfg.mshrs * cfg.banks),
             to_dram: Vec::new(),
             responses: Vec::new(),
+            san_id: mask_sanitizer::register_component("l2-cache"),
         }
     }
 
@@ -107,6 +113,9 @@ impl SharedL2Cache {
     /// Translation requests at a bypassing walk level skip the banks and go
     /// straight toward DRAM (merged through the bypass MSHRs).
     pub fn enqueue(&mut self, req: MemRequest, now: Cycle) {
+        // Conservation: every request accepted here leaves exactly once via
+        // `take_responses`.
+        mask_sanitizer::issue("l2-cache", req.id.0);
         if self.bypass_enabled {
             if let RequestClass::Translation(level) = req.class {
                 if self.monitor.should_bypass(req.asid, level) {
@@ -135,9 +144,12 @@ impl SharedL2Cache {
 
     /// Advances one cycle: each bank services up to `ports` ready requests.
     pub fn tick(&mut self, now: Cycle) {
+        mask_sanitizer::cycle(self.san_id, "l2-cache", now);
         for b in 0..self.banks.len() {
             for _ in 0..self.ports {
-                let Some(&(req, ready)) = self.banks[b].queue.front() else { break };
+                let Some(&(req, ready)) = self.banks[b].queue.front() else {
+                    break;
+                };
                 if ready > now {
                     break;
                 }
@@ -146,7 +158,10 @@ impl SharedL2Cache {
                 self.monitor.record(req.asid, req.class, hit);
                 if hit {
                     self.banks[b].queue.pop_front();
-                    self.responses.push(L2Response { req, outcome: L2Outcome::Hit });
+                    self.responses.push(L2Response {
+                        req,
+                        outcome: L2Outcome::Hit,
+                    });
                 } else {
                     match self.banks[b].mshr.allocate(req.line, req) {
                         MshrAlloc::Primary => {
@@ -177,10 +192,15 @@ impl SharedL2Cache {
             self.array.fill(line, first.asid);
         }
         self.responses
-            .extend(waiters.into_iter().map(|req| L2Response { req, outcome: L2Outcome::Miss }));
-        self.responses.extend(
-            bypass_waiters.into_iter().map(|req| L2Response { req, outcome: L2Outcome::Bypassed }),
-        );
+            .extend(waiters.into_iter().map(|req| L2Response {
+                req,
+                outcome: L2Outcome::Miss,
+            }));
+        self.responses
+            .extend(bypass_waiters.into_iter().map(|req| L2Response {
+                req,
+                outcome: L2Outcome::Bypassed,
+            }));
     }
 
     /// Drains requests destined for DRAM (call every cycle).
@@ -190,7 +210,13 @@ impl SharedL2Cache {
 
     /// Drains completed responses (call every cycle).
     pub fn take_responses(&mut self) -> Vec<L2Response> {
-        std::mem::take(&mut self.responses)
+        let responses = std::mem::take(&mut self.responses);
+        if mask_sanitizer::is_enabled() {
+            for r in &responses {
+                mask_sanitizer::retire("l2-cache", r.req.id.0);
+            }
+        }
+        responses
     }
 
     /// Ends a monitoring epoch (latches new bypass decisions).
@@ -221,14 +247,32 @@ mod tests {
     use mask_common::req::{ReqId, WalkLevel};
 
     fn cfg() -> CacheConfig {
-        CacheConfig { bytes: 64 * 1024, assoc: 8, latency: 10, banks: 4, ports_per_bank: 2, mshrs: 8 }
+        CacheConfig {
+            bytes: 64 * 1024,
+            assoc: 8,
+            latency: 10,
+            banks: 4,
+            ports_per_bank: 2,
+            mshrs: 8,
+        }
     }
 
     fn req(id: u64, line: u64, class: RequestClass) -> MemRequest {
-        MemRequest::new(ReqId(id), LineAddr(line), Asid::new(0), CoreId::new(0), class, 0)
+        MemRequest::new(
+            ReqId(id),
+            LineAddr(line),
+            Asid::new(0),
+            CoreId::new(0),
+            class,
+            0,
+        )
     }
 
-    fn run_until_responses(l2: &mut SharedL2Cache, start: Cycle, max: u64) -> (Vec<L2Response>, Cycle) {
+    fn run_until_responses(
+        l2: &mut SharedL2Cache,
+        start: Cycle,
+        max: u64,
+    ) -> (Vec<L2Response>, Cycle) {
         let mut out = Vec::new();
         for now in start..start + max {
             l2.tick(now);
@@ -330,7 +374,10 @@ mod tests {
     fn data_requests_never_bypass() {
         let mut l2 = SharedL2Cache::new(&cfg(), true, 1);
         l2.enqueue(req(1, 42, RequestClass::Data), 0);
-        assert!(l2.take_dram_requests().is_empty(), "data goes through banks");
+        assert!(
+            l2.take_dram_requests().is_empty(),
+            "data goes through banks"
+        );
         assert_eq!(l2.queued(), 1);
     }
 

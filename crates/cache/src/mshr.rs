@@ -8,6 +8,7 @@
 //! entry" (§5.4).
 
 use mask_common::addr::LineAddr;
+use mask_sanitizer::MshrOutcome;
 
 /// One MSHR entry: a pending line plus its waiters.
 #[derive(Clone, Debug)]
@@ -30,19 +31,34 @@ pub enum MshrAlloc {
 }
 
 /// A table of MSHR entries keyed by line address.
-#[derive(Clone, Debug)]
+#[derive(Debug)]
 pub struct MshrTable<W> {
     entries: Vec<MshrEntry<W>>,
     capacity: usize,
     /// Largest waiter count ever held by a single entry.
     peak_waiters: usize,
+    /// Component label reported to the sanitizer.
+    component: &'static str,
+    /// Sanitizer mirror-table id (0 when the sanitizer is disabled).
+    san_table: u64,
 }
 
 impl<W> MshrTable<W> {
     /// Creates a table with room for `capacity` distinct lines.
     pub fn new(capacity: usize) -> Self {
+        Self::labelled("mshr", capacity)
+    }
+
+    /// Creates a table whose sanitizer diagnostics carry `component`.
+    pub fn labelled(component: &'static str, capacity: usize) -> Self {
         assert!(capacity > 0, "MSHR table needs capacity");
-        MshrTable { entries: Vec::new(), capacity, peak_waiters: 0 }
+        MshrTable {
+            entries: Vec::new(),
+            capacity,
+            peak_waiters: 0,
+            component,
+            san_table: mask_sanitizer::register_table(component, capacity),
+        }
     }
 
     /// Allocates `waiter` against `line`, merging if already pending.
@@ -50,21 +66,52 @@ impl<W> MshrTable<W> {
         if let Some(e) = self.entries.iter_mut().find(|e| e.line == line) {
             e.waiters.push(waiter);
             self.peak_waiters = self.peak_waiters.max(e.waiters.len());
+            mask_sanitizer::mshr_alloc(
+                self.san_table,
+                line.0,
+                MshrOutcome::Secondary,
+                self.entries.len(),
+                self.capacity,
+            );
             return MshrAlloc::Secondary;
         }
         if self.entries.len() >= self.capacity {
+            mask_sanitizer::mshr_alloc(
+                self.san_table,
+                line.0,
+                MshrOutcome::Full,
+                self.entries.len(),
+                self.capacity,
+            );
             return MshrAlloc::Full;
         }
-        self.entries.push(MshrEntry { line, waiters: vec![waiter] });
+        self.entries.push(MshrEntry {
+            line,
+            waiters: vec![waiter],
+        });
         self.peak_waiters = self.peak_waiters.max(1);
+        mask_sanitizer::mshr_alloc(
+            self.san_table,
+            line.0,
+            MshrOutcome::Primary,
+            self.entries.len(),
+            self.capacity,
+        );
         MshrAlloc::Primary
     }
 
     /// Completes `line`, returning all its waiters (empty if none pending).
     pub fn complete(&mut self, line: LineAddr) -> Vec<W> {
         match self.entries.iter().position(|e| e.line == line) {
-            Some(i) => self.entries.swap_remove(i).waiters,
-            None => Vec::new(),
+            Some(i) => {
+                let waiters = self.entries.swap_remove(i).waiters;
+                mask_sanitizer::mshr_fill(self.san_table, line.0, waiters.len(), true);
+                waiters
+            }
+            None => {
+                mask_sanitizer::mshr_fill(self.san_table, line.0, 0, false);
+                Vec::new()
+            }
         }
     }
 
@@ -75,7 +122,10 @@ impl<W> MshrTable<W> {
 
     /// Number of waiters currently attached to `line` (0 if absent).
     pub fn waiters_on(&self, line: LineAddr) -> usize {
-        self.entries.iter().find(|e| e.line == line).map_or(0, |e| e.waiters.len())
+        self.entries
+            .iter()
+            .find(|e| e.line == line)
+            .map_or(0, |e| e.waiters.len())
     }
 
     /// Number of occupied entries.
@@ -96,6 +146,44 @@ impl<W> MshrTable<W> {
     /// Largest waiter count ever held by a single entry.
     pub fn peak_waiters(&self) -> usize {
         self.peak_waiters
+    }
+}
+
+impl<W: Clone> Clone for MshrTable<W> {
+    /// Clones register a fresh sanitizer mirror and replay the live entries
+    /// into it, so a cloned simulator keeps independent MSHR accounting.
+    fn clone(&self) -> Self {
+        let san_table = if mask_sanitizer::is_enabled() {
+            let id = mask_sanitizer::register_table(self.component, self.capacity);
+            for (i, e) in self.entries.iter().enumerate() {
+                mask_sanitizer::mshr_alloc(
+                    id,
+                    e.line.0,
+                    MshrOutcome::Primary,
+                    i + 1,
+                    self.capacity,
+                );
+                for _ in 1..e.waiters.len() {
+                    mask_sanitizer::mshr_alloc(
+                        id,
+                        e.line.0,
+                        MshrOutcome::Secondary,
+                        i + 1,
+                        self.capacity,
+                    );
+                }
+            }
+            id
+        } else {
+            0
+        };
+        MshrTable {
+            entries: self.entries.clone(),
+            capacity: self.capacity,
+            peak_waiters: self.peak_waiters,
+            component: self.component,
+            san_table,
+        }
     }
 }
 

@@ -27,7 +27,7 @@ proptest! {
     fn occupancy_bounded(lines in proptest::collection::vec(any::<u32>(), 0..400)) {
         let mut c = DataCache::new(16 * 1024, 4); // 128 lines
         for &l in &lines {
-            c.fill(LineAddr(l as u64), Asid::new(0));
+            c.fill(LineAddr(u64::from(l)), Asid::new(0));
         }
         prop_assert!(c.len() <= c.capacity_lines());
     }
@@ -60,7 +60,7 @@ proptest! {
     #[test]
     fn l2_conserves_requests(lines in proptest::collection::vec(0u64..64, 1..80), translation_mask: u8) {
         let cfg = CacheConfig { bytes: 32 * 1024, assoc: 4, latency: 5, banks: 4, ports_per_bank: 2, mshrs: 8 };
-        let mut l2 = SharedL2Cache::new(&cfg, translation_mask % 2 == 0, 1);
+        let mut l2 = SharedL2Cache::new(&cfg, translation_mask.is_multiple_of(2), 1);
         let mut ids = HashSet::new();
         for (i, &l) in lines.iter().enumerate() {
             let class = if i % 3 == 0 {

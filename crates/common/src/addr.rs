@@ -144,7 +144,7 @@ impl Vpn {
     pub fn level_index(self, level: u8, page_size_log2: u32) -> u64 {
         debug_assert!((1..=PAGE_TABLE_LEVELS).contains(&level));
         let levels = levels_for_page_size(page_size_log2);
-        let shift = BITS_PER_LEVEL * (levels as u32 - level as u32);
+        let shift = BITS_PER_LEVEL * (u32::from(levels) - u32::from(level));
         (self.0 >> shift) & ((1 << BITS_PER_LEVEL) - 1)
     }
 
@@ -269,7 +269,10 @@ mod tests {
     #[test]
     fn line_alignment() {
         let va = VirtAddr::new(0x1234);
-        assert_eq!(va.line_aligned().raw(), 0x1200 & !(LINE_SIZE - 1) | (0x1234 & !(LINE_SIZE - 1) & 0xff));
+        assert_eq!(
+            va.line_aligned().raw(),
+            0x1200 & !(LINE_SIZE - 1) | (0x1234 & !(LINE_SIZE - 1) & 0xff)
+        );
         // simpler check: aligned address is a multiple of the line size
         assert_eq!(va.line_aligned().raw() % LINE_SIZE, 0);
         let pa = PhysAddr::new(0x1fff);

@@ -9,11 +9,11 @@
 use crate::addr::PAGE_SIZE_4K_LOG2;
 
 /// Which of the paper's evaluated designs to simulate (§7).
-#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug)]
 pub enum DesignKind {
     /// Static spatial partitioning: cores *and* L2 cache ways *and* DRAM
     /// channels are split equally between applications (models NVIDIA GRID /
-    /// AMD FirePro; the `Static` baseline of §7).
+    /// AMD `FirePro`; the `Static` baseline of §7).
     Static,
     /// Baseline variant with a shared page-walk cache after the L1 TLBs
     /// (Power et al. \[106\]; Fig. 2a).
@@ -151,7 +151,11 @@ pub struct PwcConfig {
 
 impl Default for PwcConfig {
     fn default() -> Self {
-        PwcConfig { bytes: 8 * 1024, assoc: 16, latency: 10 }
+        PwcConfig {
+            bytes: 8 * 1024,
+            assoc: 16,
+            latency: 10,
+        }
     }
 }
 
@@ -175,7 +179,14 @@ pub struct CacheConfig {
 impl CacheConfig {
     /// Table 1 private L1 data cache: 16 KB, 4-way, 1-cycle.
     pub fn maxwell_l1() -> Self {
-        CacheConfig { bytes: 16 * 1024, assoc: 4, latency: 1, banks: 1, ports_per_bank: 2, mshrs: 32 }
+        CacheConfig {
+            bytes: 16 * 1024,
+            assoc: 4,
+            latency: 1,
+            banks: 1,
+            ports_per_bank: 2,
+            mshrs: 32,
+        }
     }
 
     /// Table 1 shared L2: 2 MB, 16-way, 16 banks, 2 ports/bank, 10-cycle.
@@ -430,7 +441,12 @@ pub struct SimConfig {
 impl SimConfig {
     /// A configuration for `design` on the Table 1 machine.
     pub fn new(design: DesignKind) -> Self {
-        SimConfig { gpu: GpuConfig::maxwell(), design, max_cycles: default_max_cycles(), seed: 0xA55A_2018 }
+        SimConfig {
+            gpu: GpuConfig::maxwell(),
+            design,
+            max_cycles: default_max_cycles(),
+            seed: 0xA55A_2018,
+        }
     }
 
     /// Replaces the machine configuration.
@@ -459,7 +475,10 @@ impl SimConfig {
 /// full benchmarks; we default to 300K cycles = 3 MASK epochs, which is
 /// enough for the epoch-based mechanisms to reach steady state).
 pub fn default_max_cycles() -> u64 {
-    std::env::var("MASK_SIM_CYCLES").ok().and_then(|v| v.parse().ok()).unwrap_or(300_000)
+    std::env::var("MASK_SIM_CYCLES")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(300_000)
 }
 
 #[cfg(test)]
@@ -478,14 +497,24 @@ mod tests {
         // Fig. 10: full MASK enables all three mechanisms.
         assert!(Mask.tokens_enabled() && Mask.l2_bypass_enabled() && Mask.mask_dram_enabled());
         // Component studies enable exactly one mechanism each.
-        assert!(MaskTlb.tokens_enabled() && !MaskTlb.l2_bypass_enabled() && !MaskTlb.mask_dram_enabled());
+        assert!(
+            MaskTlb.tokens_enabled()
+                && !MaskTlb.l2_bypass_enabled()
+                && !MaskTlb.mask_dram_enabled()
+        );
         assert!(!MaskCache.tokens_enabled() && MaskCache.l2_bypass_enabled());
         assert!(!MaskDram.l2_bypass_enabled() && MaskDram.mask_dram_enabled());
         // Ideal has no translation overhead at all.
         assert!(Ideal.ideal_tlb() && !Ideal.has_shared_l2_tlb());
         // Only Static partitions shared resources.
         assert!(Static.static_partition());
-        assert!(DesignKind::ALL.iter().filter(|d| d.static_partition()).count() == 1);
+        assert!(
+            DesignKind::ALL
+                .iter()
+                .filter(|d| d.static_partition())
+                .count()
+                == 1
+        );
     }
 
     #[test]
@@ -513,7 +542,9 @@ mod tests {
 
     #[test]
     fn sim_config_builders() {
-        let cfg = SimConfig::new(DesignKind::Mask).with_max_cycles(1234).with_seed(7);
+        let cfg = SimConfig::new(DesignKind::Mask)
+            .with_max_cycles(1234)
+            .with_seed(7);
         assert_eq!(cfg.max_cycles, 1234);
         assert_eq!(cfg.seed, 7);
         assert_eq!(cfg.design, DesignKind::Mask);

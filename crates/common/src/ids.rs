@@ -190,7 +190,7 @@ mod tests {
     #[test]
     fn app_maps_to_matching_asid() {
         for i in 0..5u8 {
-            assert_eq!(AppId::new(i).asid(), Asid::new(i as u16));
+            assert_eq!(AppId::new(i).asid(), Asid::new(u16::from(i)));
         }
     }
 

@@ -32,7 +32,10 @@ impl WalkLevel {
     /// Panics if `level` is not in `1..=4`.
     #[inline]
     pub fn new(level: u8) -> Self {
-        assert!((1..=crate::addr::PAGE_TABLE_LEVELS).contains(&level), "walk level out of range");
+        assert!(
+            (1..=crate::addr::PAGE_TABLE_LEVELS).contains(&level),
+            "walk level out of range"
+        );
         WalkLevel(level)
     }
 
@@ -138,7 +141,14 @@ impl MemRequest {
         class: RequestClass,
         now: Cycle,
     ) -> Self {
-        MemRequest { id, line, asid, core, class, issued_at: now }
+        MemRequest {
+            id,
+            line,
+            asid,
+            core,
+            class,
+            issued_at: now,
+        }
     }
 }
 

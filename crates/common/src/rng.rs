@@ -21,7 +21,10 @@ impl Pcg32 {
     /// sequences; the workload layer derives streams from
     /// `(app, core, warp)` so each warp sees its own trace.
     pub fn new(seed: u64, stream: u64) -> Self {
-        let mut rng = Pcg32 { state: 0, inc: (stream << 1) | 1 };
+        let mut rng = Pcg32 {
+            state: 0,
+            inc: (stream << 1) | 1,
+        };
         rng.next_u32();
         rng.state = rng.state.wrapping_add(seed);
         rng.next_u32();
@@ -41,7 +44,7 @@ impl Pcg32 {
     /// The next 64 uniformly-distributed bits.
     #[inline]
     pub fn next_u64(&mut self) -> u64 {
-        ((self.next_u32() as u64) << 32) | self.next_u32() as u64
+        (u64::from(self.next_u32()) << 32) | u64::from(self.next_u32())
     }
 
     /// A uniform value in `[0, bound)` (Lemire-style rejection-free modulo
@@ -54,7 +57,7 @@ impl Pcg32 {
     pub fn below(&mut self, bound: u64) -> u64 {
         assert!(bound > 0, "bound must be positive");
         // 128-bit multiply-shift maps the 64-bit stream onto [0, bound).
-        ((self.next_u64() as u128 * bound as u128) >> 64) as u64
+        ((u128::from(self.next_u64()) * u128::from(bound)) >> 64) as u64
     }
 
     /// A uniform `f64` in `[0, 1)`.
@@ -97,7 +100,10 @@ mod tests {
         let mut a = Pcg32::new(42, 1);
         let mut b = Pcg32::new(42, 2);
         let same = (0..64).filter(|_| a.next_u32() == b.next_u32()).count();
-        assert!(same < 4, "streams should be nearly disjoint, {same} collisions");
+        assert!(
+            same < 4,
+            "streams should be nearly disjoint, {same} collisions"
+        );
     }
 
     #[test]
@@ -114,7 +120,7 @@ mod tests {
     fn unit_in_range_and_roughly_uniform() {
         let mut rng = Pcg32::new(9, 3);
         let n = 10_000;
-        let mean: f64 = (0..n).map(|_| rng.unit()).sum::<f64>() / n as f64;
+        let mean: f64 = (0..n).map(|_| rng.unit()).sum::<f64>() / f64::from(n);
         assert!((mean - 0.5).abs() < 0.02, "mean {mean} too far from 0.5");
     }
 

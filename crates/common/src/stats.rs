@@ -8,6 +8,54 @@
 
 use crate::req::WalkLevel;
 
+/// Neumaier-compensated floating-point accumulator.
+///
+/// Derived metrics average per-app ratios whose magnitudes can differ by
+/// orders of magnitude between a token-throttled app and one running free;
+/// naive `f64` accumulation makes such sums depend on iteration order.
+/// All float accumulation in statistics code goes through this helper
+/// (enforced by `cargo xtask lint`).
+#[derive(Clone, Copy, Debug, Default, PartialEq)]
+pub struct CompensatedSum {
+    sum: f64,
+    compensation: f64,
+}
+
+impl CompensatedSum {
+    /// An empty accumulator.
+    #[must_use]
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Adds one term.
+    pub fn add(&mut self, x: f64) {
+        let t = self.sum + x;
+        if self.sum.abs() >= x.abs() {
+            self.compensation += (self.sum - t) + x;
+        } else {
+            self.compensation += (x - t) + self.sum;
+        }
+        self.sum = t;
+    }
+
+    /// The compensated total.
+    #[must_use]
+    pub fn value(&self) -> f64 {
+        self.sum + self.compensation
+    }
+
+    /// Sums an iterator of terms with compensation.
+    #[must_use]
+    pub fn total(terms: impl IntoIterator<Item = f64>) -> f64 {
+        let mut acc = CompensatedSum::new();
+        for x in terms {
+            acc.add(x);
+        }
+        acc.value()
+    }
+}
+
 /// Counters for one request class (data vs. translation) at the DRAM.
 #[derive(Clone, Debug, Default, PartialEq, Eq)]
 pub struct DramClassStats {
@@ -118,7 +166,7 @@ pub struct AppStats {
     pub l2_tlb: HitStats,
     /// MASK TLB-bypass-cache probes (§5.2).
     pub tlb_bypass_cache: HitStats,
-    /// Page-walk-cache probes (PWCache design only).
+    /// Page-walk-cache probes (`PWCache` design only).
     pub pwc: HitStats,
 
     /// Demand-paging faults taken (first touches, when fault latency > 0).
@@ -227,12 +275,17 @@ pub struct SimStats {
 impl SimStats {
     /// Creates stats for `n_apps` applications.
     pub fn new(n_apps: usize, dram_channels: usize) -> Self {
-        SimStats { apps: vec![AppStats::default(); n_apps], cycles: 0, dram_bus_busy: 0, dram_channels }
+        SimStats {
+            apps: vec![AppStats::default(); n_apps],
+            cycles: 0,
+            dram_bus_busy: 0,
+            dram_channels,
+        }
     }
 
     /// Aggregate IPC across all applications ("IPC throughput", §7.1).
     pub fn total_ipc(&self) -> f64 {
-        self.apps.iter().map(AppStats::ipc).sum()
+        CompensatedSum::total(self.apps.iter().map(AppStats::ipc))
     }
 
     /// Fraction of theoretical DRAM data-bus cycles actually used.
@@ -246,8 +299,16 @@ impl SimStats {
     /// Fraction of utilized DRAM bandwidth consumed by translation requests
     /// (Fig. 8's comparison).
     pub fn translation_bandwidth_share(&self) -> f64 {
-        let x: u64 = self.apps.iter().map(|a| a.dram_translation.bus_busy_cycles).sum();
-        let d: u64 = self.apps.iter().map(|a| a.dram_data.bus_busy_cycles).sum();
+        let x = self
+            .apps
+            .iter()
+            .map(|a| a.dram_translation.bus_busy_cycles)
+            .sum::<u64>();
+        let d = self
+            .apps
+            .iter()
+            .map(|a| a.dram_data.bus_busy_cycles)
+            .sum::<u64>();
         if x + d == 0 {
             0.0
         } else {
@@ -259,6 +320,19 @@ impl SimStats {
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    #[test]
+    fn compensated_sum_recovers_cancelled_terms() {
+        // Naive summation of (1e16 + 1 - 1e16) loses the 1.0 entirely.
+        let naive: f64 = [1e16, 1.0, -1e16].iter().sum();
+        assert_eq!(naive, 0.0);
+        assert_eq!(CompensatedSum::total([1e16, 1.0, -1e16]), 1.0);
+        let mut acc = CompensatedSum::new();
+        for x in [0.1; 10] {
+            acc.add(x);
+        }
+        assert!((acc.value() - 1.0).abs() < 1e-15);
+    }
 
     #[test]
     fn hit_stats_rates() {
@@ -277,7 +351,11 @@ mod tests {
 
     #[test]
     fn app_stats_derived_metrics() {
-        let mut a = AppStats { instructions: 500, cycles: 1000, ..Default::default() };
+        let mut a = AppStats {
+            instructions: 500,
+            cycles: 1000,
+            ..Default::default()
+        };
         assert!((a.ipc() - 0.5).abs() < 1e-12);
         a.walks_completed = 10;
         a.walk_latency_sum = 2000;
@@ -291,8 +369,22 @@ mod tests {
 
     #[test]
     fn dram_class_stats_merge_and_rates() {
-        let mut a = DramClassStats { requests: 2, latency_sum: 100, bus_busy_cycles: 8, row_hits: 1, row_misses: 1, row_conflicts: 0 };
-        let b = DramClassStats { requests: 2, latency_sum: 300, bus_busy_cycles: 8, row_hits: 0, row_misses: 0, row_conflicts: 2 };
+        let mut a = DramClassStats {
+            requests: 2,
+            latency_sum: 100,
+            bus_busy_cycles: 8,
+            row_hits: 1,
+            row_misses: 1,
+            row_conflicts: 0,
+        };
+        let b = DramClassStats {
+            requests: 2,
+            latency_sum: 300,
+            bus_busy_cycles: 8,
+            row_hits: 0,
+            row_misses: 0,
+            row_conflicts: 2,
+        };
         a.merge(&b);
         assert_eq!(a.requests, 4);
         assert!((a.avg_latency() - 100.0).abs() < 1e-12);

@@ -24,7 +24,11 @@ fn runner_with(opts: &ExpOptions, tweak: impl FnOnce(&mut GpuConfig)) -> PairRun
 }
 
 fn avg_ws(runner: &mut PairRunner, opts: &ExpOptions, design: DesignKind) -> f64 {
-    mean(opts.pressured_pairs().iter().map(|p| runner.run_pair(p.a, p.b, design).weighted_speedup))
+    mean(
+        opts.pressured_pairs()
+            .iter()
+            .map(|p| runner.run_pair(p.a, p.b, design).weighted_speedup),
+    )
 }
 
 /// Token-controller policy: §5.2's literal rule vs §7.4's direction-
@@ -34,9 +38,10 @@ pub fn token_policy(opts: &ExpOptions) -> Table {
         "Ablation: token adjustment policy (avg weighted speedup, MASK-TLB)",
         &["policy", "MASK-TLB"],
     );
-    for (label, policy) in
-        [("literal (Sec. 5.2)", TokenPolicyKind::Literal), ("hill-climb (Sec. 7.4)", TokenPolicyKind::HillClimb)]
-    {
+    for (label, policy) in [
+        ("literal (Sec. 5.2)", TokenPolicyKind::Literal),
+        ("hill-climb (Sec. 7.4)", TokenPolicyKind::HillClimb),
+    ] {
         let mut r = runner_with(opts, |g| g.mask.token_policy = policy);
         t.row_f64(label, &[avg_ws(&mut r, opts, DesignKind::MaskTlb)]);
     }
@@ -52,7 +57,10 @@ pub fn bypass_margin(opts: &ExpOptions) -> Table {
     );
     for margin in [0.0, 0.05, 0.15] {
         let mut r = runner_with(opts, |g| g.mask.bypass_margin = margin);
-        t.row_f64(format!("{margin:.2}"), &[avg_ws(&mut r, opts, DesignKind::MaskCache)]);
+        t.row_f64(
+            format!("{margin:.2}"),
+            &[avg_ws(&mut r, opts, DesignKind::MaskCache)],
+        );
     }
     t
 }
@@ -65,7 +73,10 @@ pub fn golden_capacity(opts: &ExpOptions) -> Table {
     );
     for cap in [4usize, 16, 64] {
         let mut r = runner_with(opts, |g| g.dram.golden_capacity = cap);
-        t.row_f64(cap.to_string(), &[avg_ws(&mut r, opts, DesignKind::MaskDram)]);
+        t.row_f64(
+            cap.to_string(),
+            &[avg_ws(&mut r, opts, DesignKind::MaskDram)],
+        );
     }
     t
 }
@@ -91,7 +102,11 @@ mod tests {
     use super::*;
 
     fn tiny() -> ExpOptions {
-        ExpOptions { cycles: 5_000, pair_limit: 1, ..ExpOptions::quick() }
+        ExpOptions {
+            cycles: 5_000,
+            pair_limit: 1,
+            ..ExpOptions::quick()
+        }
     }
 
     #[test]

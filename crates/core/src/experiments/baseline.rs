@@ -1,7 +1,7 @@
 //! Figure 3: baseline designs vs. ideal performance (§3).
 //!
-//! "Figure 3 compares the performance of both baseline variants (PWCache
-//! ... and SharedTLB ...), running two separate applications concurrently,
+//! "Figure 3 compares the performance of both baseline variants (`PWCache`
+//! ... and `SharedTLB` ...), running two separate applications concurrently,
 //! to an ideal scenario where every TLB access is a hit. ... both variants
 //! incur a significant performance overhead (45.0% and 40.6% on average)."
 
@@ -10,10 +10,14 @@ use super::ExpOptions;
 use crate::table::Table;
 use mask_common::config::DesignKind;
 
-/// Runs Fig. 3: per-pair weighted speedup of PWCache and SharedTLB
+/// Runs Fig. 3: per-pair weighted speedup of `PWCache` and `SharedTLB`
 /// normalized to Ideal.
 pub fn run(opts: &ExpOptions) -> Table {
-    let designs = [DesignKind::PwCache, DesignKind::SharedTlb, DesignKind::Ideal];
+    let designs = [
+        DesignKind::PwCache,
+        DesignKind::SharedTlb,
+        DesignKind::Ideal,
+    ];
     let s = sweep(opts, &designs);
     let mut t = Table::new(
         "Figure 3: baseline designs vs. ideal performance (normalized weighted speedup)",
@@ -45,12 +49,18 @@ mod tests {
 
     #[test]
     fn baselines_lose_to_ideal() {
-        let opts = ExpOptions { cycles: 10_000, ..ExpOptions::quick() };
+        let opts = ExpOptions {
+            cycles: 10_000,
+            ..ExpOptions::quick()
+        };
         let t = run(&opts);
         assert!(!t.is_empty());
         let pw = t.value("Average", "PWCache").expect("avg");
         let sh = t.value("Average", "SharedTLB").expect("avg");
         assert!(pw <= 1.05, "PWCache normalized perf {pw} cannot beat ideal");
-        assert!(sh <= 1.05, "SharedTLB normalized perf {sh} cannot beat ideal");
+        assert!(
+            sh <= 1.05,
+            "SharedTLB normalized perf {sh} cannot beat ideal"
+        );
     }
 }

@@ -51,21 +51,27 @@ pub fn run(opts: &ExpOptions) -> Table {
             ],
         ));
     }
-    let mut t = Table::new(
-        "Sec. 7.2: MASK component analysis",
-        &["metric", "value"],
-    );
+    let mut t = Table::new("Sec. 7.2: MASK component analysis", &["metric", "value"]);
     let base_avg = mean(base_hit.iter().copied());
     let tlb_avg = mean(tlb_hit.iter().copied());
-    t.row("SharedTLB avg L2 TLB hit rate", vec![format!("{base_avg:.3}")]);
-    t.row("MASK-TLB avg L2 TLB hit rate", vec![format!("{tlb_avg:.3}")]);
+    t.row(
+        "SharedTLB avg L2 TLB hit rate",
+        vec![format!("{base_avg:.3}")],
+    );
+    t.row(
+        "MASK-TLB avg L2 TLB hit rate",
+        vec![format!("{tlb_avg:.3}")],
+    );
     if base_avg > 0.0 {
         t.row(
             "L2 TLB hit-rate improvement (%)",
             vec![format!("{:.1}", (tlb_avg / base_avg - 1.0) * 100.0)],
         );
     }
-    t.row("TLB bypass cache hit rate", vec![format!("{:.3}", mean(bypass_hits.iter().copied()))]);
+    t.row(
+        "TLB bypass cache hit rate",
+        vec![format!("{:.3}", mean(bypass_hits.iter().copied()))],
+    );
     t.row(
         "Avg translation requests bypassing L2 (MASK-Cache)",
         vec![format!("{:.0}", mean(cache_bypassed.iter().copied()))],
@@ -92,7 +98,11 @@ mod tests {
 
     #[test]
     fn component_table_has_all_metrics() {
-        let opts = ExpOptions { cycles: 8_000, pair_limit: 1, ..ExpOptions::quick() };
+        let opts = ExpOptions {
+            cycles: 8_000,
+            pair_limit: 1,
+            ..ExpOptions::quick()
+        };
         let t = run(&opts);
         assert!(t.len() >= 10);
         assert!(t.cell("TLB bypass cache hit rate", "value").is_some());

@@ -6,7 +6,7 @@
 //! * Fig. 9 — "Latency of address translation requests and data demand
 //!   requests".
 //!
-//! Both on the SharedTLB baseline over the two-application workloads. The
+//! Both on the `SharedTLB` baseline over the two-application workloads. The
 //! paper's headline observations: translation consumes a small fraction of
 //! bandwidth (13.8% of *utilized* bandwidth) yet sees *higher* average
 //! latency than data — the FR-FCFS row-hit-first policy de-prioritizes the
@@ -52,7 +52,7 @@ fn characterize(name: String, stats: &SimStats) -> DramRow {
     }
 }
 
-/// Runs the Fig. 8/9 sweep on the SharedTLB baseline.
+/// Runs the Fig. 8/9 sweep on the `SharedTLB` baseline.
 pub fn measure(opts: &ExpOptions) -> Vec<DramRow> {
     let mut runner = opts.runner();
     opts.pairs()
@@ -91,14 +91,26 @@ pub fn fig09(rows: &[DramRow]) -> Table {
         &["workload", "translation", "data"],
     );
     for r in rows {
-        t.row(r.name.clone(), vec![format!("{:.0}", r.xlat_latency), format!("{:.0}", r.data_latency)]);
+        t.row(
+            r.name.clone(),
+            vec![
+                format!("{:.0}", r.xlat_latency),
+                format!("{:.0}", r.data_latency),
+            ],
+        );
     }
     let n = rows.len().max(1) as f64;
     t.row(
         "Average",
         vec![
-            format!("{:.0}", rows.iter().map(|r| r.xlat_latency).sum::<f64>() / n),
-            format!("{:.0}", rows.iter().map(|r| r.data_latency).sum::<f64>() / n),
+            format!(
+                "{:.0}",
+                rows.iter().map(|r| r.xlat_latency).sum::<f64>() / n
+            ),
+            format!(
+                "{:.0}",
+                rows.iter().map(|r| r.data_latency).sum::<f64>() / n
+            ),
         ],
     );
     t
@@ -110,7 +122,10 @@ mod tests {
 
     #[test]
     fn translation_uses_less_bandwidth_than_data() {
-        let opts = ExpOptions { cycles: 10_000, ..ExpOptions::quick() };
+        let opts = ExpOptions {
+            cycles: 10_000,
+            ..ExpOptions::quick()
+        };
         let rows = measure(&opts);
         assert_eq!(rows.len(), opts.pairs().len());
         let xb: f64 = rows.iter().map(|r| r.xlat_bw).sum();

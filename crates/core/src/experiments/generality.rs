@@ -1,6 +1,6 @@
 //! Table 4: generality across GPU architectures (§7.3).
 //!
-//! "we evaluate our two baseline variants (PWCache and SharedTLB) and MASK
+//! "we evaluate our two baseline variants (`PWCache` and `SharedTLB`) and MASK
 //! on two additional GPU architectures: the GTX480 (Fermi architecture),
 //! and an integrated GPU architecture" — average performance normalized to
 //! Ideal.
@@ -40,7 +40,9 @@ pub fn run(opts: &ExpOptions) -> Table {
         let pairs = opts.pressured_pairs();
         let mut norm = [Vec::new(), Vec::new(), Vec::new()];
         for p in &pairs {
-            let ideal = runner.run_pair(p.a, p.b, DesignKind::Ideal).weighted_speedup;
+            let ideal = runner
+                .run_pair(p.a, p.b, DesignKind::Ideal)
+                .weighted_speedup;
             if ideal <= 0.0 {
                 continue;
             }
@@ -69,7 +71,11 @@ mod tests {
 
     #[test]
     fn covers_all_three_architectures() {
-        let opts = ExpOptions { cycles: 6_000, pair_limit: 1, ..ExpOptions::quick() };
+        let opts = ExpOptions {
+            cycles: 6_000,
+            pair_limit: 1,
+            ..ExpOptions::quick()
+        };
         let t = run(&opts);
         assert_eq!(t.len(), 3);
         for (_, cells) in &t.rows {
@@ -84,7 +90,13 @@ mod tests {
     fn architecture_presets_differ() {
         let archs = architectures();
         assert_eq!(archs.len(), 3);
-        assert!(archs[1].1.n_cores < archs[0].1.n_cores, "Fermi has fewer cores");
-        assert!(archs[2].1.dram.channels < archs[0].1.dram.channels, "integrated is narrower");
+        assert!(
+            archs[1].1.n_cores < archs[0].1.n_cores,
+            "Fermi has fewer cores"
+        );
+        assert!(
+            archs[2].1.dram.channels < archs[0].1.dram.channels,
+            "integrated is narrower"
+        );
     }
 }

@@ -12,8 +12,12 @@ use mask_gpu::AppSpec;
 use mask_workloads::app_by_name;
 
 /// The paper's four representative pairs.
-pub const FIG07_PAIRS: [(&str, &str); 4] =
-    [("3DS", "HISTO"), ("CONS", "LPS"), ("MUM", "HISTO"), ("RED", "RAY")];
+pub const FIG07_PAIRS: [(&str, &str); 4] = [
+    ("3DS", "HISTO"),
+    ("CONS", "LPS"),
+    ("MUM", "HISTO"),
+    ("RED", "RAY"),
+];
 
 /// Runs Fig. 7: per-app shared-L2-TLB miss rate, alone vs shared.
 pub fn run(opts: &ExpOptions) -> Table {
@@ -28,14 +32,31 @@ pub fn run(opts: &ExpOptions) -> Table {
         let b = app_by_name(bn).expect("known app");
         // Alone runs use the app's core share, as in the paper's IPCalone
         // methodology; the shared L2 TLB remains full-sized.
-        let alone_a = runner.run_apps(DesignKind::SharedTlb, &[AppSpec { profile: a, n_cores: half }]);
-        let alone_b = runner
-            .run_apps(DesignKind::SharedTlb, &[AppSpec { profile: b, n_cores: opts.n_cores - half }]);
+        let alone_a = runner.run_apps(
+            DesignKind::SharedTlb,
+            &[AppSpec {
+                profile: a,
+                n_cores: half,
+            }],
+        );
+        let alone_b = runner.run_apps(
+            DesignKind::SharedTlb,
+            &[AppSpec {
+                profile: b,
+                n_cores: opts.n_cores - half,
+            }],
+        );
         let shared = runner.run_apps(
             DesignKind::SharedTlb,
             &[
-                AppSpec { profile: a, n_cores: half },
-                AppSpec { profile: b, n_cores: opts.n_cores - half },
+                AppSpec {
+                    profile: a,
+                    n_cores: half,
+                },
+                AppSpec {
+                    profile: b,
+                    n_cores: opts.n_cores - half,
+                },
             ],
         );
         let name = format!("{an}_{bn}");
@@ -65,7 +86,10 @@ mod tests {
 
     #[test]
     fn sharing_never_lowers_low_miss_apps_substantially() {
-        let opts = ExpOptions { cycles: 8_000, ..ExpOptions::quick() };
+        let opts = ExpOptions {
+            cycles: 8_000,
+            ..ExpOptions::quick()
+        };
         let t = run(&opts);
         assert_eq!(t.len(), 8, "two rows per pair");
         // The LPS row (App2 of CONS_LPS) is the thrashing victim: its

@@ -3,7 +3,7 @@
 //! | Module | Paper artefact |
 //! |---|---|
 //! | [`timemux`] | Fig. 1 — time-multiplexing overhead vs process count |
-//! | [`baseline`] | Fig. 3 — PWCache / SharedTLB vs Ideal |
+//! | [`baseline`] | Fig. 3 — `PWCache` / `SharedTLB` vs Ideal |
 //! | [`single_app`] | Figs. 5–6 — concurrent walks, warps stalled per miss |
 //! | [`interference`] | Fig. 7 — shared-L2-TLB miss rate, alone vs shared |
 //! | [`dram_char`] | Figs. 8–9 — DRAM bandwidth and latency by class |
@@ -66,7 +66,13 @@ impl Default for ExpOptions {
 impl ExpOptions {
     /// A fast configuration for unit/integration tests.
     pub fn quick() -> Self {
-        ExpOptions { cycles: 5_000, n_cores: 4, warps_per_core: 16, pair_limit: 2, seed: 7 }
+        ExpOptions {
+            cycles: 5_000,
+            n_cores: 4,
+            warps_per_core: 16,
+            pair_limit: 2,
+            seed: 7,
+        }
     }
 
     /// Builds a [`PairRunner`] honoring these options.
@@ -78,7 +84,13 @@ impl ExpOptions {
     pub fn run_options(&self) -> RunOptions {
         let mut gpu = GpuConfig::maxwell();
         gpu.warps_per_core = self.warps_per_core;
-        RunOptions { n_cores: self.n_cores, max_cycles: self.cycles, seed: self.seed, warmup_cycles: 100_000, gpu }
+        RunOptions {
+            n_cores: self.n_cores,
+            max_cycles: self.cycles,
+            seed: self.seed,
+            warmup_cycles: 100_000,
+            gpu,
+        }
     }
 
     /// The paper pairs to simulate, truncated to `pair_limit`.

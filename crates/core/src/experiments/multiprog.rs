@@ -12,7 +12,7 @@ use crate::runner::PairOutcome;
 use crate::table::Table;
 use mask_common::config::DesignKind;
 use mask_workloads::{AppPair, HmrCategory};
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 
 /// All designs Figures 11–15 compare.
 pub const FIG11_DESIGNS: [DesignKind; 8] = DesignKind::ALL;
@@ -21,7 +21,7 @@ pub const FIG11_DESIGNS: [DesignKind; 8] = DesignKind::ALL;
 #[derive(Clone, Debug)]
 pub struct MultiprogSweep {
     /// Outcomes keyed by (workload name, design).
-    pub outcomes: HashMap<(String, DesignKind), PairOutcome>,
+    pub outcomes: BTreeMap<(String, DesignKind), PairOutcome>,
     /// The pairs simulated, in order.
     pub pairs: Vec<AppPair>,
     /// Designs simulated.
@@ -32,14 +32,18 @@ pub struct MultiprogSweep {
 pub fn sweep(opts: &ExpOptions, designs: &[DesignKind]) -> MultiprogSweep {
     let mut runner = opts.runner();
     let pairs = opts.pairs();
-    let mut outcomes = HashMap::new();
+    let mut outcomes = BTreeMap::new();
     for pair in &pairs {
         for &design in designs {
             let o = runner.run_pair(pair.a, pair.b, design);
             outcomes.insert((o.name.clone(), design), o);
         }
     }
-    MultiprogSweep { outcomes, pairs, designs: designs.to_vec() }
+    MultiprogSweep {
+        outcomes,
+        pairs,
+        designs: designs.to_vec(),
+    }
 }
 
 impl MultiprogSweep {
@@ -63,7 +67,10 @@ impl MultiprogSweep {
     pub fn fig11_weighted_speedup(&self) -> Table {
         let mut headers = vec!["category"];
         headers.extend(self.designs.iter().map(|d| d.label()));
-        let mut t = Table::new("Figure 11: multiprogrammed performance (weighted speedup)", &headers);
+        let mut t = Table::new(
+            "Figure 11: multiprogrammed performance (weighted speedup)",
+            &headers,
+        );
         for cat in HmrCategory::ALL {
             if !self.pairs.iter().any(|p| p.category() == cat) {
                 continue;
@@ -75,8 +82,11 @@ impl MultiprogSweep {
                 .collect();
             t.row_f64(cat.label(), &cells);
         }
-        let avg: Vec<f64> =
-            self.designs.iter().map(|&d| self.avg(d, None, |o| o.weighted_speedup)).collect();
+        let avg: Vec<f64> = self
+            .designs
+            .iter()
+            .map(|&d| self.avg(d, None, |o| o.weighted_speedup))
+            .collect();
         t.row_f64("Average", &avg);
         t
     }
@@ -95,7 +105,11 @@ impl MultiprogSweep {
             let cells: Vec<f64> = self
                 .designs
                 .iter()
-                .map(|&d| self.outcomes.get(&(p.name(), d)).map_or(0.0, |o| o.weighted_speedup))
+                .map(|&d| {
+                    self.outcomes
+                        .get(&(p.name(), d))
+                        .map_or(0.0, |o| o.weighted_speedup)
+                })
                 .collect();
             t.row_f64(p.name(), &cells);
         }
@@ -111,22 +125,33 @@ impl MultiprogSweep {
             .filter(|d| {
                 matches!(
                     d,
-                    DesignKind::Static | DesignKind::PwCache | DesignKind::SharedTlb | DesignKind::Mask
+                    DesignKind::Static
+                        | DesignKind::PwCache
+                        | DesignKind::SharedTlb
+                        | DesignKind::Mask
                 )
             })
             .collect();
         let mut headers = vec!["category"];
         headers.extend(designs.iter().map(|d| d.label()));
-        let mut t = Table::new("Figure 15: multiprogrammed workload unfairness (max slowdown)", &headers);
+        let mut t = Table::new(
+            "Figure 15: multiprogrammed workload unfairness (max slowdown)",
+            &headers,
+        );
         for cat in HmrCategory::ALL {
             if !self.pairs.iter().any(|p| p.category() == cat) {
                 continue;
             }
-            let cells: Vec<f64> =
-                designs.iter().map(|&d| self.avg(d, Some(cat), |o| o.unfairness)).collect();
+            let cells: Vec<f64> = designs
+                .iter()
+                .map(|&d| self.avg(d, Some(cat), |o| o.unfairness))
+                .collect();
             t.row_f64(cat.label(), &cells);
         }
-        let avg: Vec<f64> = designs.iter().map(|&d| self.avg(d, None, |o| o.unfairness)).collect();
+        let avg: Vec<f64> = designs
+            .iter()
+            .map(|&d| self.avg(d, None, |o| o.unfairness))
+            .collect();
         t.row_f64("Average", &avg);
         t
     }
@@ -144,23 +169,35 @@ impl MultiprogSweep {
         let mask = ws(DesignKind::Mask);
         let ideal = ws(DesignKind::Ideal);
         if base > 0.0 {
-            t.row("WS improvement over SharedTLB (%)", vec![format!("{:.1}", (mask / base - 1.0) * 100.0)]);
+            t.row(
+                "WS improvement over SharedTLB (%)",
+                vec![format!("{:.1}", (mask / base - 1.0) * 100.0)],
+            );
         }
         if ideal > 0.0 {
-            t.row("WS shortfall vs Ideal (%)", vec![format!("{:.1}", (1.0 - mask / ideal) * 100.0)]);
+            t.row(
+                "WS shortfall vs Ideal (%)",
+                vec![format!("{:.1}", (1.0 - mask / ideal) * 100.0)],
+            );
         }
         let base_ipc = ipc(DesignKind::SharedTlb);
         if base_ipc > 0.0 {
             t.row(
                 "IPC throughput improvement over SharedTLB (%)",
-                vec![format!("{:.1}", (ipc(DesignKind::Mask) / base_ipc - 1.0) * 100.0)],
+                vec![format!(
+                    "{:.1}",
+                    (ipc(DesignKind::Mask) / base_ipc - 1.0) * 100.0
+                )],
             );
         }
         let base_unf = unf(DesignKind::SharedTlb);
         if base_unf > 0.0 {
             t.row(
                 "Unfairness reduction vs SharedTLB (%)",
-                vec![format!("{:.1}", (1.0 - unf(DesignKind::Mask) / base_unf) * 100.0)],
+                vec![format!(
+                    "{:.1}",
+                    (1.0 - unf(DesignKind::Mask) / base_unf) * 100.0
+                )],
             );
         }
         t
@@ -194,11 +231,17 @@ mod tests {
 
     #[test]
     fn ideal_dominates_in_weighted_speedup() {
-        let opts = ExpOptions { cycles: 10_000, ..ExpOptions::quick() };
+        let opts = ExpOptions {
+            cycles: 10_000,
+            ..ExpOptions::quick()
+        };
         let s = sweep(&opts, &[DesignKind::SharedTlb, DesignKind::Ideal]);
         let f11 = s.fig11_weighted_speedup();
         let base = f11.value("Average", "SharedTLB").expect("cell");
         let ideal = f11.value("Average", "Ideal").expect("cell");
-        assert!(ideal >= base * 0.95, "ideal ({ideal}) should not lose to SharedTLB ({base})");
+        assert!(
+            ideal >= base * 0.95,
+            "ideal ({ideal}) should not lose to SharedTLB ({base})"
+        );
     }
 }

@@ -1,6 +1,6 @@
 //! Table 3: scalability from 1 to 5 concurrent applications (§7.3).
 //!
-//! "We compare the performance of SharedTLB ... and MASK, normalized to
+//! "We compare the performance of `SharedTLB` ... and MASK, normalized to
 //! Ideal performance, as the number of concurrently-running applications
 //! increases from one to five."
 
@@ -37,7 +37,9 @@ pub fn run(opts: &ExpOptions) -> Table {
             continue;
         }
         let ideal = runner.run_multi(&mix, DesignKind::Ideal).weighted_speedup;
-        let shared = runner.run_multi(&mix, DesignKind::SharedTlb).weighted_speedup;
+        let shared = runner
+            .run_multi(&mix, DesignKind::SharedTlb)
+            .weighted_speedup;
         let mask = runner.run_multi(&mix, DesignKind::Mask).weighted_speedup;
         let norm = |v: f64| if ideal > 0.0 { v / ideal } else { 0.0 };
         t.row_f64(mix.len().to_string(), &[norm(shared), norm(mask)]);
@@ -60,7 +62,10 @@ mod tests {
 
     #[test]
     fn table_covers_available_concurrency_levels() {
-        let opts = ExpOptions { cycles: 6_000, ..ExpOptions::quick() };
+        let opts = ExpOptions {
+            cycles: 6_000,
+            ..ExpOptions::quick()
+        };
         let t = run(&opts);
         // With 4 cores, mixes of size 1..=4 fit.
         assert_eq!(t.len(), 4);

@@ -22,12 +22,16 @@ fn runner_with(opts: &ExpOptions, tweak: impl FnOnce(&mut GpuConfig)) -> PairRun
 }
 
 fn avg_ws(runner: &mut PairRunner, opts: &ExpOptions, design: DesignKind) -> f64 {
-    mean(opts.pressured_pairs().iter().map(|p| runner.run_pair(p.a, p.b, design).weighted_speedup))
+    mean(
+        opts.pressured_pairs()
+            .iter()
+            .map(|p| runner.run_pair(p.a, p.b, design).weighted_speedup),
+    )
 }
 
-/// Shared-L2-TLB size sweep: SharedTLB vs MASK from 64 to 8192 entries.
+/// Shared-L2-TLB size sweep: `SharedTLB` vs MASK from 64 to 8192 entries.
 ///
-/// The paper: "MASK outperforms SharedTLB for all TLB sizes except the
+/// The paper: "MASK outperforms `SharedTLB` for all TLB sizes except the
 /// 8192-entry shared L2 TLB", where the working set fits entirely.
 pub fn tlb_size_sweep(opts: &ExpOptions) -> Table {
     let mut t = Table::new(
@@ -43,9 +47,9 @@ pub fn tlb_size_sweep(opts: &ExpOptions) -> Table {
     t
 }
 
-/// Large (2 MB) pages: SharedTLB, MASK, and Ideal.
+/// Large (2 MB) pages: `SharedTLB`, MASK, and Ideal.
 ///
-/// The paper: even with 2 MB pages "SharedTLB continues to experience high
+/// The paper: even with 2 MB pages "`SharedTLB` continues to experience high
 /// contention ... 44.5% short of Ideal", while "MASK allows the GPU to
 /// perform within 1.8% of Ideal".
 pub fn large_pages(opts: &ExpOptions) -> Table {
@@ -53,7 +57,10 @@ pub fn large_pages(opts: &ExpOptions) -> Table {
         "Sec. 7.3: 2MB large pages (avg weighted speedup)",
         &["page_size", "SharedTLB", "MASK", "Ideal"],
     );
-    for (label, log2) in [("4KB", mask_common::addr::PAGE_SIZE_4K_LOG2), ("2MB", PAGE_SIZE_2M_LOG2)] {
+    for (label, log2) in [
+        ("4KB", mask_common::addr::PAGE_SIZE_4K_LOG2),
+        ("2MB", PAGE_SIZE_2M_LOG2),
+    ] {
         let mut r = runner_with(opts, |g| g.page_size_log2 = log2);
         let s = avg_ws(&mut r, opts, DesignKind::SharedTlb);
         let m = avg_ws(&mut r, opts, DesignKind::Mask);
@@ -105,8 +112,16 @@ pub fn memory_policies(opts: &ExpOptions) -> Table {
     );
     let combos: [(&str, MemSchedKind, RowPolicy); 3] = [
         ("FR-FCFS / open-row", MemSchedKind::FrFcfs, RowPolicy::Open),
-        ("FR-FCFS / closed-row", MemSchedKind::FrFcfs, RowPolicy::Closed),
-        ("GPU batch / open-row", MemSchedKind::GpuBatch, RowPolicy::Open),
+        (
+            "FR-FCFS / closed-row",
+            MemSchedKind::FrFcfs,
+            RowPolicy::Closed,
+        ),
+        (
+            "GPU batch / open-row",
+            MemSchedKind::GpuBatch,
+            RowPolicy::Open,
+        ),
     ];
     for (label, sched, row) in combos {
         let mut r = runner_with(opts, |g| {
@@ -125,7 +140,11 @@ mod tests {
     use super::*;
 
     fn tiny() -> ExpOptions {
-        ExpOptions { cycles: 5_000, pair_limit: 1, ..ExpOptions::quick() }
+        ExpOptions {
+            cycles: 5_000,
+            pair_limit: 1,
+            ..ExpOptions::quick()
+        }
     }
 
     #[test]
@@ -156,7 +175,9 @@ mod tests {
         let t = memory_policies(&tiny());
         assert_eq!(t.len(), 3);
         for (_, cells) in &t.rows {
-            assert!(cells.iter().all(|c| c.parse::<f64>().expect("numeric") > 0.0));
+            assert!(cells
+                .iter()
+                .all(|c| c.parse::<f64>().expect("numeric") > 0.0));
         }
     }
 }

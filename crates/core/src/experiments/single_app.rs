@@ -32,7 +32,7 @@ pub struct SingleAppRow {
     pub l2_miss: f64,
 }
 
-/// Runs every application alone on the SharedTLB baseline.
+/// Runs every application alone on the `SharedTLB` baseline.
 pub fn measure(opts: &ExpOptions) -> Vec<SingleAppRow> {
     let runner = opts.runner();
     all_apps()
@@ -40,7 +40,10 @@ pub fn measure(opts: &ExpOptions) -> Vec<SingleAppRow> {
         .map(|profile| {
             let stats = runner.run_apps(
                 DesignKind::SharedTlb,
-                &[AppSpec { profile, n_cores: opts.n_cores }],
+                &[AppSpec {
+                    profile,
+                    n_cores: opts.n_cores,
+                }],
             );
             let a = &stats.apps[0];
             SingleAppRow {
@@ -63,7 +66,13 @@ pub fn fig05(rows: &[SingleAppRow]) -> Table {
         &["app", "avg_walks", "max_walks"],
     );
     for r in rows {
-        t.row(r.name, vec![format!("{:.1}", r.avg_concurrent_walks), r.max_concurrent_walks.to_string()]);
+        t.row(
+            r.name,
+            vec![
+                format!("{:.1}", r.avg_concurrent_walks),
+                r.max_concurrent_walks.to_string(),
+            ],
+        );
     }
     t
 }
@@ -75,7 +84,13 @@ pub fn fig06(rows: &[SingleAppRow]) -> Table {
         &["app", "avg_stalled", "max_stalled"],
     );
     for r in rows {
-        t.row(r.name, vec![format!("{:.1}", r.avg_warps_stalled), r.max_warps_stalled.to_string()]);
+        t.row(
+            r.name,
+            vec![
+                format!("{:.1}", r.avg_warps_stalled),
+                r.max_warps_stalled.to_string(),
+            ],
+        );
     }
     t
 }
@@ -83,7 +98,10 @@ pub fn fig06(rows: &[SingleAppRow]) -> Table {
 /// Table 2: measured L1/L2 TLB miss-rate classification (functional model,
 /// same procedure the paper uses for workload selection).
 pub fn tab02() -> Table {
-    let cfg = ClassifyConfig { ops_per_warp: 250, ..ClassifyConfig::default() };
+    let cfg = ClassifyConfig {
+        ops_per_warp: 250,
+        ..ClassifyConfig::default()
+    };
     let mut t = Table::new(
         "Table 2: workload categorization by L1/L2 TLB miss rates",
         &["app", "l1_miss", "l2_miss", "class", "paper_class", "match"],
@@ -106,7 +124,11 @@ pub fn tab02() -> Table {
                 format!("{l2:.3}"),
                 fmt(got),
                 fmt(want),
-                if got == want { "yes".into() } else { "NO".into() },
+                if got == want {
+                    "yes".into()
+                } else {
+                    "NO".into()
+                },
             ],
         );
     }
@@ -124,7 +146,10 @@ mod tests {
         let rows = measure(&opts);
         assert_eq!(rows.len(), all_apps().len());
         // High-pressure apps generate walks.
-        let cons = rows.iter().find(|r| r.name == "CONS").expect("CONS present");
+        let cons = rows
+            .iter()
+            .find(|r| r.name == "CONS")
+            .expect("CONS present");
         assert!(cons.avg_concurrent_walks > 0.0);
         let f5 = fig05(&rows);
         let f6 = fig06(&rows);

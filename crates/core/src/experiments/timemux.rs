@@ -33,7 +33,10 @@ pub fn run(opts: &ExpOptions) -> Table {
     let cfg = opts
         .run_options()
         .sim_config_for(DesignKind::SharedTlb, opts.n_cores);
-    let spec = [AppSpec { profile, n_cores: opts.n_cores }];
+    let spec = [AppSpec {
+        profile,
+        n_cores: opts.n_cores,
+    }];
 
     // Back-to-back execution: steady-state instruction rate.
     let mut alone = GpuSim::new(&cfg, &spec);
@@ -103,12 +106,21 @@ mod tests {
 
     #[test]
     fn overhead_grows_with_process_count() {
-        let opts = ExpOptions { cycles: 20_000, ..ExpOptions::quick() };
+        let opts = ExpOptions {
+            cycles: 20_000,
+            ..ExpOptions::quick()
+        };
         let t = run(&opts);
         assert_eq!(t.len(), 9, "process counts 2..=10");
         let o2 = t.value("2", "overhead_pct").expect("row 2");
         let o10 = t.value("10", "overhead_pct").expect("row 10");
-        assert!(o2 > 0.0, "time multiplexing always costs something, got {o2}");
-        assert!(o10 > o2, "overhead must grow with process count ({o2} -> {o10})");
+        assert!(
+            o2 > 0.0,
+            "time multiplexing always costs something, got {o2}"
+        );
+        assert!(
+            o10 > o2,
+            "overhead must grow with process count ({o2} -> {o10})"
+        );
     }
 }

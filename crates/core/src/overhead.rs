@@ -82,7 +82,8 @@ impl StorageCost {
 
     /// ASID overhead as a fraction of the L2 TLB payload (§7.4 reports 7%).
     pub fn asid_fraction_of_l2_tlb(&self, cfg: &GpuConfig) -> f64 {
-        self.asid_bits_total as f64 / (cfg.tlb.l2_entries as u64 * (L2_TLB_ENTRY_BITS + 9 + 64)) as f64
+        self.asid_bits_total as f64
+            / (cfg.tlb.l2_entries as u64 * (L2_TLB_ENTRY_BITS + 9 + 64)) as f64
     }
 
     /// Renders the §7.4 breakdown.
@@ -92,13 +93,32 @@ impl StorageCost {
             &["structure", "bits", "bytes"],
         );
         let row = |t: &mut Table, name: &str, bits: u64| {
-            t.row(name, vec![bits.to_string(), format!("{:.1}", bits as f64 / 8.0)]);
+            t.row(
+                name,
+                vec![bits.to_string(), format!("{:.1}", bits as f64 / 8.0)],
+            );
         };
-        row(&mut t, "ASID tags in shared L2 TLB (9b/entry)", self.asid_bits_total);
-        row(&mut t, "TLB-Fill Tokens per-core state", self.token_bits_total);
-        row(&mut t, "Bypass cache CAM + token counters (shared)", self.shared_bits_total);
+        row(
+            &mut t,
+            "ASID tags in shared L2 TLB (9b/entry)",
+            self.asid_bits_total,
+        );
+        row(
+            &mut t,
+            "TLB-Fill Tokens per-core state",
+            self.token_bits_total,
+        );
+        row(
+            &mut t,
+            "Bypass cache CAM + token counters (shared)",
+            self.shared_bits_total,
+        );
         row(&mut t, "L2 bypass hit-rate counters", self.l2_bypass_bits);
-        row(&mut t, "3-bit walk-depth request tags", self.request_tag_bits);
+        row(
+            &mut t,
+            "3-bit walk-depth request tags",
+            self.request_tag_bits,
+        );
         t.row(
             "DRAM queue entries added per controller",
             vec![self.dram_queue_entries_added.to_string(), "-".into()],
@@ -138,11 +158,13 @@ impl AreaPower {
         // Baseline translation structures: per-core L1 TLBs (CAM) + shared
         // L2 TLB (set-assoc) == PWCache variant's page-walk cache budget
         // (sized equally per §3/§7.5).
-        let l1_bits = (cfg.n_cores * cfg.tlb.l1_entries) as f64 * (L2_TLB_ENTRY_BITS as f64) * CAM_FACTOR;
+        let l1_bits =
+            (cfg.n_cores * cfg.tlb.l1_entries) as f64 * (L2_TLB_ENTRY_BITS as f64) * CAM_FACTOR;
         let l2_bits = (cfg.tlb.l2_entries as u64 * L2_TLB_ENTRY_BITS) as f64;
         let baseline_bits = l1_bits + l2_bits;
         let cost = StorageCost::compute(cfg);
-        let cam_bits = (cfg.tlb.bypass_cache_entries as u64 * (L2_TLB_ENTRY_BITS + 9)) as f64 * CAM_FACTOR;
+        let cam_bits =
+            (cfg.tlb.bypass_cache_entries as u64 * (L2_TLB_ENTRY_BITS + 9)) as f64 * CAM_FACTOR;
         let plain_bits = (cost.total_bytes() * 8) as f64
             - cfg.tlb.bypass_cache_entries as f64 * (L2_TLB_ENTRY_BITS + 9) as f64;
         let added_bits = cam_bits + plain_bits;
@@ -177,21 +199,31 @@ mod tests {
         let c = StorageCost::compute(&cfg);
         // §7.4: "13 bytes per core" of token state -> 30 cores = 390 B.
         assert_eq!(c.token_bits_total / 8, 30 * 37); // 296 bits = 37 B/core
-        // ASID tags: 512 entries x 9 bits = 576 bytes.
+                                                     // ASID tags: 512 entries x 9 bits = 576 bytes.
         assert_eq!(c.asid_bits_total, 512 * 9);
         // Total in the hundreds of bytes to ~1 KB — §7.4's "706 bytes"
         // scale (exact value depends on entry-format assumptions).
         let total = c.total_bytes();
-        assert!((400..4096).contains(&total), "total {total} bytes out of the §7.4 scale");
+        assert!(
+            (400..4096).contains(&total),
+            "total {total} bytes out of the §7.4 scale"
+        );
     }
 
     #[test]
     fn area_and_power_overheads_are_negligible() {
         let cfg = GpuConfig::maxwell();
         let ap = AreaPower::compute(&cfg);
-        assert!(ap.mask_added_mm2 < ap.baseline_mm2, "MASK adds less than the TLBs themselves");
+        assert!(
+            ap.mask_added_mm2 < ap.baseline_mm2,
+            "MASK adds less than the TLBs themselves"
+        );
         // §7.5: < 0.1% area, ~0.01% power.
-        assert!(ap.area_fraction_of_die() < 0.001, "area fraction {}", ap.area_fraction_of_die());
+        assert!(
+            ap.area_fraction_of_die() < 0.001,
+            "area fraction {}",
+            ap.area_fraction_of_die()
+        );
         assert!(ap.power_fraction_of_board() < 0.001);
     }
 
@@ -218,6 +250,9 @@ mod tests {
         let cfg = GpuConfig::maxwell();
         let c = StorageCost::compute(&cfg);
         let f = c.asid_fraction_of_l2_tlb(&cfg);
-        assert!((0.04..0.10).contains(&f), "ASID fraction {f:.3} should be ~7%");
+        assert!(
+            (0.04..0.10).contains(&f),
+            "ASID fraction {f:.3} should be ~7%"
+        );
     }
 }

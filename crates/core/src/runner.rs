@@ -2,7 +2,7 @@
 //!
 //! [`PairRunner`] reproduces the paper's experimental procedure (§6): each
 //! multiprogrammed workload runs once *shared* (both apps concurrently on a
-//! partitioned set of cores) and once *alone* per application ("IPCalone is
+//! partitioned set of cores) and once *alone* per application ("`IPCalone` is
 //! the IPC of an application that runs on the same number of GPU cores, but
 //! does not share GPU resources with any other application"). Alone runs
 //! are memoized per `(design, app, cores)` — they are design-dependent but
@@ -13,7 +13,7 @@ use mask_common::config::{DesignKind, GpuConfig, SimConfig};
 use mask_common::stats::SimStats;
 use mask_gpu::{AppSpec, GpuSim};
 use mask_workloads::{app_by_name, AppProfile};
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 
 /// Options shared by all runs of one experiment.
 #[derive(Clone, Debug)]
@@ -49,7 +49,12 @@ impl RunOptions {
     fn sim_config(&self, design: DesignKind, n_cores: usize) -> SimConfig {
         let mut gpu = self.gpu.clone();
         gpu.n_cores = n_cores;
-        SimConfig { gpu, design, max_cycles: self.max_cycles, seed: self.seed }
+        SimConfig {
+            gpu,
+            design,
+            max_cycles: self.max_cycles,
+            seed: self.seed,
+        }
     }
 }
 
@@ -78,13 +83,16 @@ pub struct PairOutcome {
 #[derive(Clone, Debug)]
 pub struct PairRunner {
     opts: RunOptions,
-    alone: HashMap<(DesignKind, &'static str, usize), f64>,
+    alone: BTreeMap<(DesignKind, &'static str, usize), f64>,
 }
 
 impl PairRunner {
     /// Creates a runner.
     pub fn new(opts: RunOptions) -> Self {
-        PairRunner { opts, alone: HashMap::new() }
+        PairRunner {
+            opts,
+            alone: BTreeMap::new(),
+        }
     }
 
     /// The options in use.
@@ -107,11 +115,22 @@ impl PairRunner {
 
     /// IPC of `profile` running alone on `cores` cores under `design`
     /// (memoized).
-    pub fn alone_ipc(&mut self, design: DesignKind, profile: &'static AppProfile, cores: usize) -> f64 {
+    pub fn alone_ipc(
+        &mut self,
+        design: DesignKind,
+        profile: &'static AppProfile,
+        cores: usize,
+    ) -> f64 {
         if let Some(&ipc) = self.alone.get(&(design, profile.name, cores)) {
             return ipc;
         }
-        let stats = self.run_apps(design, &[AppSpec { profile, n_cores: cores }]);
+        let stats = self.run_apps(
+            design,
+            &[AppSpec {
+                profile,
+                n_cores: cores,
+            }],
+        );
         let ipc = stats.apps[0].ipc();
         self.alone.insert((design, profile.name, cores), ipc);
         ipc
@@ -140,11 +159,22 @@ impl PairRunner {
     ) -> PairOutcome {
         let stats = self.run_apps(
             design,
-            &[AppSpec { profile: a, n_cores: cores_a }, AppSpec { profile: b, n_cores: cores_b }],
+            &[
+                AppSpec {
+                    profile: a,
+                    n_cores: cores_a,
+                },
+                AppSpec {
+                    profile: b,
+                    n_cores: cores_b,
+                },
+            ],
         );
-        let shared_ipc: Vec<f64> = stats.apps.iter().map(|s| s.ipc()).collect();
-        let alone_ipc =
-            vec![self.alone_ipc(design, a, cores_a), self.alone_ipc(design, b, cores_b)];
+        let shared_ipc: Vec<f64> = stats.apps.iter().map(mask_common::AppStats::ipc).collect();
+        let alone_ipc = vec![
+            self.alone_ipc(design, a, cores_a),
+            self.alone_ipc(design, b, cores_b),
+        ];
         PairOutcome {
             name: format!("{}_{}", a.name, b.name),
             design,
@@ -210,17 +240,28 @@ impl PairRunner {
         let base = self.opts.n_cores / n;
         let mut specs = Vec::with_capacity(n);
         for (i, p) in profiles.iter().enumerate() {
-            let cores = if i == n - 1 { self.opts.n_cores - base * (n - 1) } else { base };
-            specs.push(AppSpec { profile: p, n_cores: cores });
+            let cores = if i == n - 1 {
+                self.opts.n_cores - base * (n - 1)
+            } else {
+                base
+            };
+            specs.push(AppSpec {
+                profile: p,
+                n_cores: cores,
+            });
         }
         let stats = self.run_apps(design, &specs);
-        let shared_ipc: Vec<f64> = stats.apps.iter().map(|s| s.ipc()).collect();
+        let shared_ipc: Vec<f64> = stats.apps.iter().map(mask_common::AppStats::ipc).collect();
         let alone_ipc: Vec<f64> = specs
             .iter()
             .map(|s| self.alone_ipc(design, s.profile, s.n_cores))
             .collect();
         PairOutcome {
-            name: profiles.iter().map(|p| p.name).collect::<Vec<_>>().join("_"),
+            name: profiles
+                .iter()
+                .map(|p| p.name)
+                .collect::<Vec<_>>()
+                .join("_"),
             design,
             weighted_speedup: weighted_speedup(&shared_ipc, &alone_ipc),
             ipc_throughput: shared_ipc.iter().sum(),
@@ -239,13 +280,21 @@ mod tests {
     fn small_opts() -> RunOptions {
         let mut gpu = GpuConfig::maxwell();
         gpu.warps_per_core = 16;
-        RunOptions { n_cores: 4, max_cycles: 6_000, seed: 1, warmup_cycles: 1_000, gpu }
+        RunOptions {
+            n_cores: 4,
+            max_cycles: 6_000,
+            seed: 1,
+            warmup_cycles: 1_000,
+            gpu,
+        }
     }
 
     #[test]
     fn pair_outcome_has_consistent_metrics() {
         let mut r = PairRunner::new(small_opts());
-        let o = r.run_named("HISTO", "GUP", DesignKind::SharedTlb).expect("known apps");
+        let o = r
+            .run_named("HISTO", "GUP", DesignKind::SharedTlb)
+            .expect("known apps");
         assert_eq!(o.shared_ipc.len(), 2);
         assert_eq!(o.name, "HISTO_GUP");
         assert!(o.weighted_speedup > 0.0 && o.weighted_speedup <= 2.5);
@@ -286,8 +335,7 @@ mod tests {
         let a = app_by_name("MUM").expect("known");
         let b = app_by_name("LPS").expect("known");
         let even = r.run_pair(a, b, DesignKind::SharedTlb);
-        let oracle =
-            r.run_pair_oracle(a, b, DesignKind::SharedTlb, &[1, 2, 3], 3_000);
+        let oracle = r.run_pair_oracle(a, b, DesignKind::SharedTlb, &[1, 2, 3], 3_000);
         // The oracle probes include the even split, so modulo probe noise
         // it should not be substantially worse.
         assert!(
@@ -302,8 +350,13 @@ mod tests {
     fn ideal_weighted_speedup_beats_shared_tlb() {
         // MUM scatters 4 pages per memory instruction, so translation
         // pressure saturates the walker even on the tiny test GPU.
-        let mut r = PairRunner::new(RunOptions { max_cycles: 12_000, ..small_opts() });
-        let base = r.run_named("MUM", "RED", DesignKind::SharedTlb).expect("known");
+        let mut r = PairRunner::new(RunOptions {
+            max_cycles: 12_000,
+            ..small_opts()
+        });
+        let base = r
+            .run_named("MUM", "RED", DesignKind::SharedTlb)
+            .expect("known");
         let ideal = r.run_named("MUM", "RED", DesignKind::Ideal).expect("known");
         assert!(
             ideal.ipc_throughput > base.ipc_throughput,

@@ -21,7 +21,10 @@ impl Table {
     pub fn new(title: impl Into<String>, headers: &[&str]) -> Self {
         Table {
             title: title.into(),
-            headers: headers.iter().map(|s| s.to_string()).collect(),
+            headers: headers
+                .iter()
+                .map(std::string::ToString::to_string)
+                .collect(),
             rows: Vec::new(),
         }
     }
@@ -32,7 +35,11 @@ impl Table {
     ///
     /// Panics if the cell count does not match the header count.
     pub fn row(&mut self, label: impl Into<String>, cells: Vec<String>) -> &mut Self {
-        assert_eq!(cells.len() + 1, self.headers.len(), "cell count must match headers");
+        assert_eq!(
+            cells.len() + 1,
+            self.headers.len(),
+            "cell count must match headers"
+        );
         self.rows.push((label.into(), cells));
         self
     }
@@ -107,7 +114,11 @@ impl fmt::Display for Table {
         };
         let headers: Vec<&str> = self.headers.iter().map(String::as_str).collect();
         write_row(f, &headers)?;
-        writeln!(f, "{}", "-".repeat(widths.iter().sum::<usize>() + 2 * (widths.len() - 1)))?;
+        writeln!(
+            f,
+            "{}",
+            "-".repeat(widths.iter().sum::<usize>() + 2 * (widths.len() - 1))
+        )?;
         for (label, cells) in &self.rows {
             let mut row: Vec<&str> = vec![label];
             row.extend(cells.iter().map(String::as_str));

@@ -71,6 +71,8 @@ pub struct Dram {
     channels: Vec<Channel>,
     partition: ChannelPartition,
     n_apps: usize,
+    /// Sanitizer instance id for cycle-monotonicity tracking.
+    san_id: u64,
 }
 
 impl Dram {
@@ -79,7 +81,12 @@ impl Dram {
     /// `mask_sched` selects the Address-Space-Aware scheduler; `partition`
     /// confines applications to channel subsets (Static baseline) or is
     /// [`ChannelPartition::shared`].
-    pub fn new(cfg: &DramConfig, n_apps: usize, mask_sched: bool, partition: ChannelPartition) -> Self {
+    pub fn new(
+        cfg: &DramConfig,
+        n_apps: usize,
+        mask_sched: bool,
+        partition: ChannelPartition,
+    ) -> Self {
         let make_queue = || {
             if mask_sched {
                 ChannelQueue::Mask(MaskQueues::new(
@@ -89,8 +96,7 @@ impl Dram {
                     n_apps,
                 ))
             } else {
-                let batch = matches!(cfg.sched, MemSchedKind::GpuBatch)
-                    .then(BatchState::default);
+                let batch = matches!(cfg.sched, MemSchedKind::GpuBatch).then(BatchState::default);
                 ChannelQueue::Baseline(Vec::new(), batch)
             }
         };
@@ -99,7 +105,10 @@ impl Dram {
             channels: (0..cfg.channels)
                 .map(|_| Channel {
                     banks: (0..cfg.banks_per_channel)
-                        .map(|_| BankState { open_row: None, busy_until: 0 })
+                        .map(|_| BankState {
+                            open_row: None,
+                            busy_until: 0,
+                        })
                         .collect(),
                     queue: make_queue(),
                     bus_free_at: 0,
@@ -108,13 +117,21 @@ impl Dram {
                 .collect(),
             partition,
             n_apps: n_apps.max(1),
+            san_id: mask_sanitizer::register_component("dram"),
         }
     }
 
     /// Accepts a request at cycle `now`.
     pub fn enqueue(&mut self, req: MemRequest, now: Cycle) {
+        // Conservation: every accepted request must surface again through
+        // `take_completions`.
+        mask_sanitizer::issue("dram", req.id.0);
         let decoded = decode(req.line, &self.cfg, &self.partition, req.asid);
-        let entry = QueueEntry { req, decoded, arrival: now };
+        let entry = QueueEntry {
+            req,
+            decoded,
+            arrival: now,
+        };
         match &mut self.channels[decoded.channel].queue {
             ChannelQueue::Baseline(q, _) => q.push(entry),
             ChannelQueue::Mask(m) => m.enqueue(entry),
@@ -124,6 +141,7 @@ impl Dram {
     /// Advances one cycle: each channel may issue one request to a free
     /// bank according to its scheduling policy.
     pub fn tick(&mut self, now: Cycle) {
+        mask_sanitizer::cycle(self.san_id, "dram", now);
         for ch in &mut self.channels {
             let banks = &ch.banks;
             let bank_free = |b: usize| banks[b].busy_until <= now;
@@ -143,9 +161,10 @@ impl Dram {
             let bank_state = &mut ch.banks[bank];
             let (outcome, access_lat) = match (self.cfg.row_policy, bank_state.open_row) {
                 (RowPolicy::Open, Some(open)) if open == row => (RowOutcome::Hit, self.cfg.t_cas),
-                (RowPolicy::Open, Some(_)) => {
-                    (RowOutcome::Conflict, self.cfg.t_rp + self.cfg.t_rcd + self.cfg.t_cas)
-                }
+                (RowPolicy::Open, Some(_)) => (
+                    RowOutcome::Conflict,
+                    self.cfg.t_rp + self.cfg.t_rcd + self.cfg.t_cas,
+                ),
                 (RowPolicy::Open, None) | (RowPolicy::Closed, None) => {
                     (RowOutcome::Miss, self.cfg.t_rcd + self.cfg.t_cas)
                 }
@@ -189,6 +208,11 @@ impl Dram {
                 }
             }
         }
+        if mask_sanitizer::is_enabled() {
+            for c in &out {
+                mask_sanitizer::retire("dram", c.req.id.0);
+            }
+        }
         out
     }
 
@@ -230,7 +254,14 @@ mod tests {
     }
 
     fn req(id: u64, line: u64, class: RequestClass) -> MemRequest {
-        MemRequest::new(ReqId(id), LineAddr(line), Asid::new(0), CoreId::new(0), class, 0)
+        MemRequest::new(
+            ReqId(id),
+            LineAddr(line),
+            Asid::new(0),
+            CoreId::new(0),
+            class,
+            0,
+        )
     }
 
     fn run(dram: &mut Dram, from: Cycle, to: Cycle) -> Vec<DramCompletion> {
@@ -260,7 +291,10 @@ mod tests {
         d.enqueue(req(2, 101, RequestClass::Data), 0); // same 16-line row
         let done = run(&mut d, 0, 200);
         assert_eq!(done.len(), 2);
-        let hit = done.iter().find(|c| c.req.id == ReqId(2)).expect("second completes");
+        let hit = done
+            .iter()
+            .find(|c| c.req.id == ReqId(2))
+            .expect("second completes");
         assert_eq!(hit.outcome, RowOutcome::Hit);
     }
 
@@ -276,8 +310,18 @@ mod tests {
         for k in 1..4096u64 {
             let line = base + k * 16;
             if d.channel_of(LineAddr(line), Asid::new(0)) == d0 {
-                let a = decode(LineAddr(base), &cfg(), &ChannelPartition::shared(), Asid::new(0));
-                let b = decode(LineAddr(line), &cfg(), &ChannelPartition::shared(), Asid::new(0));
+                let a = decode(
+                    LineAddr(base),
+                    &cfg(),
+                    &ChannelPartition::shared(),
+                    Asid::new(0),
+                );
+                let b = decode(
+                    LineAddr(line),
+                    &cfg(),
+                    &ChannelPartition::shared(),
+                    Asid::new(0),
+                );
                 if a.bank == b.bank && a.row != b.row {
                     other = Some(line);
                     break;
@@ -288,7 +332,10 @@ mod tests {
         d.enqueue(req(1, base, RequestClass::Data), 0);
         d.enqueue(req(2, other, RequestClass::Data), 0);
         let done = run(&mut d, 0, 300);
-        let c = done.iter().find(|c| c.req.id == ReqId(2)).expect("completes");
+        let c = done
+            .iter()
+            .find(|c| c.req.id == ReqId(2))
+            .expect("completes");
         assert_eq!(c.outcome, RowOutcome::Conflict);
     }
 
@@ -330,12 +377,18 @@ mod tests {
         }
         d.take_completions(30);
         // Translation arrives, then a burst of row-hitting data behind it.
-        d.enqueue(req(999, xlat_line, RequestClass::Translation(WalkLevel::new(4))), 30);
+        d.enqueue(
+            req(999, xlat_line, RequestClass::Translation(WalkLevel::new(4))),
+            30,
+        );
         for i in 1..16u64 {
             d.enqueue(req(i, i, RequestClass::Data), 31);
         }
         let done = run(&mut d, 31, 2000);
-        let xlat_done = done.iter().find(|c| c.req.id == ReqId(999)).expect("completes");
+        let xlat_done = done
+            .iter()
+            .find(|c| c.req.id == ReqId(999))
+            .expect("completes");
         let data_before = done
             .iter()
             .filter(|c| c.req.id != ReqId(999) && c.finish < xlat_done.finish)
@@ -354,13 +407,25 @@ mod tests {
         for i in 0..32u64 {
             d.enqueue(req(i, i % 16, RequestClass::Data), 0);
         }
-        d.enqueue(req(999, 16 * 8 * 8 * 4, RequestClass::Translation(WalkLevel::new(4))), 0);
+        d.enqueue(
+            req(
+                999,
+                16 * 8 * 8 * 4,
+                RequestClass::Translation(WalkLevel::new(4)),
+            ),
+            0,
+        );
         let done = run(&mut d, 0, 3000);
-        let xlat = done.iter().find(|c| c.req.id == ReqId(999)).expect("completes");
+        let xlat = done
+            .iter()
+            .find(|c| c.req.id == ReqId(999))
+            .expect("completes");
         let same_ch: Vec<_> = done
             .iter()
             .filter(|c| c.req.id != ReqId(999))
-            .filter(|c| d.channel_of(c.req.line, Asid::new(0)) == d.channel_of(xlat.req.line, Asid::new(0)))
+            .filter(|c| {
+                d.channel_of(c.req.line, Asid::new(0)) == d.channel_of(xlat.req.line, Asid::new(0))
+            })
             .collect();
         if same_ch.len() >= 4 {
             let served_before = same_ch.iter().filter(|c| c.finish < xlat.finish).count();
@@ -397,7 +462,10 @@ mod tests {
         let done = run(&mut d, 0, 100);
         assert_eq!(done.len(), 8);
         let first = done[0].finish;
-        assert!(done.iter().all(|c| c.finish == first), "independent channels don't serialize");
+        assert!(
+            done.iter().all(|c| c.finish == first),
+            "independent channels don't serialize"
+        );
     }
 
     #[test]

@@ -41,12 +41,19 @@ impl ChannelPartition {
     ///
     /// Panics if `n_apps` is 0 or exceeds the channel count.
     pub fn split(channels: usize, n_apps: usize) -> Self {
-        assert!(n_apps > 0 && n_apps <= channels, "cannot split {channels} channels {n_apps} ways");
+        assert!(
+            n_apps > 0 && n_apps <= channels,
+            "cannot split {channels} channels {n_apps} ways"
+        );
         let per = channels / n_apps;
         let ranges = (0..n_apps)
             .map(|i| {
                 let start = i * per;
-                let n = if i == n_apps - 1 { channels - start } else { per };
+                let n = if i == n_apps - 1 {
+                    channels - start
+                } else {
+                    per
+                };
                 (start, n)
             })
             .collect();
@@ -74,7 +81,11 @@ pub fn decode(line: LineAddr, cfg: &DramConfig, part: &ChannelPartition, asid: A
     // XOR-fold the row into the bank index to spread strided streams.
     let bank = ((bank_raw ^ (row & (cfg.banks_per_channel as u64 - 1)))
         % cfg.banks_per_channel as u64) as usize;
-    Decoded { channel: part.restrict(nominal_channel, asid), bank, row }
+    Decoded {
+        channel: part.restrict(nominal_channel, asid),
+        bank,
+        row,
+    }
 }
 
 #[cfg(test)]
@@ -121,7 +132,10 @@ mod tests {
             let d0 = decode(LineAddr(i * 17), &cfg, &part, Asid::new(0));
             let d1 = decode(LineAddr(i * 17), &cfg, &part, Asid::new(1));
             assert!(d0.channel < 4, "app 0 confined to channels 0-3");
-            assert!((4..8).contains(&d1.channel), "app 1 confined to channels 4-7");
+            assert!(
+                (4..8).contains(&d1.channel),
+                "app 1 confined to channels 4-7"
+            );
         }
     }
 
@@ -145,6 +159,9 @@ mod tests {
             let line = r * 16 * cfg.channels as u64;
             banks.insert(decode(LineAddr(line), &cfg, &part, Asid::new(0)).bank);
         }
-        assert!(banks.len() >= 4, "row-strided stream should touch many banks");
+        assert!(
+            banks.len() >= 4,
+            "row-strided stream should touch many banks"
+        );
     }
 }

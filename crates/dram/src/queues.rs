@@ -147,7 +147,7 @@ impl MaskQueues {
             *q = if total == 0 {
                 self.thresh_max / n as u64
             } else {
-                (self.thresh_max as u128 * p as u128 / total as u128) as u64
+                (u128::from(self.thresh_max) * u128::from(p) / u128::from(total)) as u64
             };
         }
         if self.silver_left == 0 {
@@ -175,6 +175,9 @@ impl MaskQueues {
     /// Golden queue has bounded capacity; overflow translation requests
     /// degrade gracefully into the Normal queue.
     pub fn enqueue(&mut self, entry: QueueEntry) {
+        // Conservation: everything routed into the three queues must come
+        // back out through `pick` — no queue may silently drop a request.
+        mask_sanitizer::issue("dram-queues", entry.req.id.0);
         if entry.req.class.is_translation() {
             if self.golden.len() < self.golden_cap {
                 self.golden.push_back(entry);
@@ -204,16 +207,17 @@ impl MaskQueues {
         bank_free: impl Fn(usize) -> bool + Copy,
         open_row: impl Fn(usize) -> Option<u64> + Copy,
     ) -> Option<QueueEntry> {
-        if let Some(i) = self.golden.iter().position(|e| bank_free(e.decoded.bank)) {
-            return self.golden.remove(i);
+        let picked = if let Some(i) = self.golden.iter().position(|e| bank_free(e.decoded.bank)) {
+            self.golden.remove(i)
+        } else if let Some(i) = frfcfs_pick(&self.silver, bank_free, open_row) {
+            Some(self.silver.remove(i))
+        } else {
+            frfcfs_pick(&self.normal, bank_free, open_row).map(|i| self.normal.remove(i))
+        };
+        if let Some(e) = &picked {
+            mask_sanitizer::retire("dram-queues", e.req.id.0);
         }
-        if let Some(i) = frfcfs_pick(&self.silver, bank_free, open_row) {
-            return Some(self.silver.remove(i));
-        }
-        if let Some(i) = frfcfs_pick(&self.normal, bank_free, open_row) {
-            return Some(self.normal.remove(i));
-        }
-        None
+        picked
     }
 
     /// Total queued requests.
@@ -244,10 +248,28 @@ mod tests {
     use mask_common::ids::{Asid, CoreId};
     use mask_common::req::{ReqId, RequestClass, WalkLevel};
 
-    fn entry(id: u64, asid: u16, bank: usize, row: u64, class: RequestClass, arrival: Cycle) -> QueueEntry {
+    fn entry(
+        id: u64,
+        asid: u16,
+        bank: usize,
+        row: u64,
+        class: RequestClass,
+        arrival: Cycle,
+    ) -> QueueEntry {
         QueueEntry {
-            req: MemRequest::new(ReqId(id), LineAddr(id), Asid::new(asid), CoreId::new(0), class, arrival),
-            decoded: Decoded { channel: 0, bank, row },
+            req: MemRequest::new(
+                ReqId(id),
+                LineAddr(id),
+                Asid::new(asid),
+                CoreId::new(0),
+                class,
+                arrival,
+            ),
+            decoded: Decoded {
+                channel: 0,
+                bank,
+                row,
+            },
             arrival,
         }
     }
@@ -284,16 +306,33 @@ mod tests {
     fn translation_routes_to_golden_and_wins_priority() {
         let mut q = mq();
         q.enqueue(entry(1, 0, 0, 5, RequestClass::Data, 0));
-        q.enqueue(entry(2, 1, 0, 6, RequestClass::Translation(WalkLevel::new(4)), 1));
+        q.enqueue(entry(
+            2,
+            1,
+            0,
+            6,
+            RequestClass::Translation(WalkLevel::new(4)),
+            1,
+        ));
         let picked = q.pick(|_| true, |_| Some(5)).expect("non-empty");
-        assert!(picked.req.class.is_translation(), "golden beats a data row hit");
+        assert!(
+            picked.req.class.is_translation(),
+            "golden beats a data row hit"
+        );
     }
 
     #[test]
     fn golden_overflow_degrades_to_normal() {
         let mut q = MaskQueues::new(2, 64, 500, 2);
         for i in 0..4u64 {
-            q.enqueue(entry(i, 0, 0, 0, RequestClass::Translation(WalkLevel::new(1)), i));
+            q.enqueue(entry(
+                i,
+                0,
+                0,
+                0,
+                RequestClass::Translation(WalkLevel::new(1)),
+                i,
+            ));
         }
         assert_eq!(q.len(), 4, "overflow requests are not dropped");
     }
@@ -332,8 +371,14 @@ mod tests {
         let normal_app = 1 - silver_app;
         q.enqueue(entry(1, normal_app, 0, 5, RequestClass::Data, 0));
         q.enqueue(entry(2, silver_app, 1, 6, RequestClass::Data, 1));
-        let picked = q.pick(|_| true, |b| if b == 0 { Some(5) } else { None }).expect("non-empty");
-        assert_eq!(picked.req.asid.index(), silver_app as usize, "silver beats a normal row hit");
+        let picked = q
+            .pick(|_| true, |b| if b == 0 { Some(5) } else { None })
+            .expect("non-empty");
+        assert_eq!(
+            picked.req.asid.index(),
+            silver_app as usize,
+            "silver beats a normal row hit"
+        );
     }
 
     #[test]
@@ -346,8 +391,22 @@ mod tests {
     #[test]
     fn golden_fifo_skips_busy_banks() {
         let mut q = mq();
-        q.enqueue(entry(1, 0, 0, 0, RequestClass::Translation(WalkLevel::new(1)), 0));
-        q.enqueue(entry(2, 0, 1, 0, RequestClass::Translation(WalkLevel::new(2)), 1));
+        q.enqueue(entry(
+            1,
+            0,
+            0,
+            0,
+            RequestClass::Translation(WalkLevel::new(1)),
+            0,
+        ));
+        q.enqueue(entry(
+            2,
+            0,
+            1,
+            0,
+            RequestClass::Translation(WalkLevel::new(2)),
+            1,
+        ));
         // Bank 0 busy: the second golden entry issues first.
         let picked = q.pick(|b| b == 1, |_| None).expect("bank 1 ready");
         assert_eq!(picked.req.id, ReqId(2));

@@ -14,7 +14,14 @@ fn request(i: usize, line: u64, asid: u16) -> MemRequest {
     } else {
         RequestClass::Data
     };
-    MemRequest::new(ReqId(i as u64), LineAddr(line), Asid::new(asid), CoreId::new(0), class, 0)
+    MemRequest::new(
+        ReqId(i as u64),
+        LineAddr(line),
+        Asid::new(asid),
+        CoreId::new(0),
+        class,
+        0,
+    )
 }
 
 fn drain(dram: &mut Dram, expected: usize) -> Vec<mask_dram::DramCompletion> {

@@ -10,13 +10,13 @@
 //! stall behaviour at the heart of the paper's §4.1 analysis.
 
 use crate::translation::TranslationUnit;
+use mask_cache::{DataCache, MshrAlloc, MshrTable};
 use mask_common::addr::{LineAddr, Ppn, VirtAddr, Vpn};
 use mask_common::config::GpuConfig;
 use mask_common::ids::{Asid, CoreId, GlobalWarpId, WarpId};
 use mask_common::req::{MemRequest, ReqId, RequestClass};
 use mask_common::stats::AppStats;
 use mask_common::Cycle;
-use mask_cache::{DataCache, MshrAlloc, MshrTable};
 use mask_tlb::L1Tlb;
 use mask_workloads::{AppProfile, WarpTrace};
 use std::collections::VecDeque;
@@ -80,16 +80,29 @@ impl GpuCore {
         seed: u64,
         ideal_tlb: bool,
     ) -> Self {
-        assert!(cfg.warps_per_core <= 128, "ready mask holds at most 128 warps");
+        assert!(
+            cfg.warps_per_core <= 128,
+            "ready mask holds at most 128 warps"
+        );
         let warps = (0..cfg.warps_per_core)
             .map(|w| WarpCtx {
-                trace: WarpTrace::new(profile, seed, core_rank as u64, w as u64, cfg.page_size_log2),
+                trace: WarpTrace::new(
+                    profile,
+                    seed,
+                    core_rank as u64,
+                    w as u64,
+                    cfg.page_size_log2,
+                ),
                 state: WarpState::NeedOp,
                 lines: Vec::new(),
                 xlat: Vec::new(),
             })
             .collect::<Vec<_>>();
-        let ready = if cfg.warps_per_core == 128 { u128::MAX } else { (1u128 << cfg.warps_per_core) - 1 };
+        let ready = if cfg.warps_per_core == 128 {
+            u128::MAX
+        } else {
+            (1u128 << cfg.warps_per_core) - 1
+        };
         GpuCore {
             id,
             asid,
@@ -160,8 +173,11 @@ impl GpuCore {
         match self.warps[w].state {
             WarpState::Compute { left } => {
                 stats.instructions += 1;
-                self.warps[w].state =
-                    if left > 1 { WarpState::Compute { left: left - 1 } } else { WarpState::MemReady };
+                self.warps[w].state = if left > 1 {
+                    WarpState::Compute { left: left - 1 }
+                } else {
+                    WarpState::MemReady
+                };
             }
             WarpState::MemReady => {
                 stats.instructions += 1;
@@ -274,7 +290,17 @@ impl GpuCore {
             MshrAlloc::Primary => {
                 let id = ReqId(*next_req_id);
                 *next_req_id += 1;
-                out_l2.push(MemRequest::new(id, line, self.asid, self.id, RequestClass::Data, now));
+                // Conservation: one primary data miss = one L2 request = one
+                // response consumed by the simulator's response stage.
+                mask_sanitizer::issue("core-data", id.0);
+                out_l2.push(MemRequest::new(
+                    id,
+                    line,
+                    self.asid,
+                    self.id,
+                    RequestClass::Data,
+                    now,
+                ));
             }
             MshrAlloc::Secondary => {}
             MshrAlloc::Full => self.retry.push_back((w, line)),
@@ -312,7 +338,9 @@ impl GpuCore {
                 continue;
             };
             if pending > 1 {
-                self.warps[w].state = WarpState::XlatWait { pending: pending - 1 };
+                self.warps[w].state = WarpState::XlatWait {
+                    pending: pending - 1,
+                };
             } else {
                 self.dispatch_data(w, now, out_l2, next_req_id, stats);
             }
@@ -328,7 +356,9 @@ impl GpuCore {
                 continue;
             };
             if outstanding > 1 {
-                self.warps[w].state = WarpState::DataWait { outstanding: outstanding - 1 };
+                self.warps[w].state = WarpState::DataWait {
+                    outstanding: outstanding - 1,
+                };
             } else {
                 self.warps[w].state = WarpState::NeedOp;
                 self.set_ready(w, true);
@@ -397,7 +427,10 @@ mod tests {
         assert_eq!(core.stalled_warps(), 8, "all warps stall on data only");
         assert_eq!(stats.l1_tlb.misses(), 0, "ideal TLB never misses");
         assert!(stats.mem_instructions >= 8);
-        assert!(stats.stall_cycles > 0, "issue stage idles once all warps stall");
+        assert!(
+            stats.stall_cycles > 0,
+            "issue stage idles once all warps stall"
+        );
 
         // Feeding completions back sustains issue throughput.
         let (mut core2, mut xlat2, _) = setup(DesignKind::Ideal);
@@ -408,7 +441,11 @@ mod tests {
                 core2.line_done(r.line);
             }
         }
-        assert!(stats2.instructions > 150, "zero-latency memory sustains ~1 IPC, got {}", stats2.instructions);
+        assert!(
+            stats2.instructions > 150,
+            "zero-latency memory sustains ~1 IPC, got {}",
+            stats2.instructions
+        );
     }
 
     #[test]
@@ -421,7 +458,10 @@ mod tests {
             core.issue(now, &mut xlat, &mut out, &mut id, &mut stats);
         }
         assert!(stats.l1_tlb.misses() > 0);
-        assert!(xlat.outstanding() > 0, "warps must be waiting on translations");
+        assert!(
+            xlat.outstanding() > 0,
+            "warps must be waiting on translations"
+        );
         assert!(core.stalled_warps() > 0);
     }
 
@@ -445,7 +485,8 @@ mod tests {
             let mut queue: Vec<_> = xl_out;
             while let Some(r) = queue.pop() {
                 let mut more = Vec::new();
-                if let Some(done) = xlat.memory_response(&r, now, &mut id, &mut more, &mut pwc_hits) {
+                if let Some(done) = xlat.memory_response(&r, now, &mut id, &mut more, &mut pwc_hits)
+                {
                     resolved.push(done);
                 }
                 queue.extend(more);
@@ -460,7 +501,10 @@ mod tests {
             core.translation_done(r.vpn, r.ppn, &warps, 100, &mut out, &mut id, &mut stats);
         }
         assert!(out.len() > before, "data requests must follow translation");
-        assert!(out.iter().skip(before).all(|r| r.class == RequestClass::Data));
+        assert!(out
+            .iter()
+            .skip(before)
+            .all(|r| r.class == RequestClass::Data));
     }
 
     #[test]
@@ -508,6 +552,9 @@ mod tests {
                 core.line_done(r.line); // zero-latency memory
             }
         }
-        assert!(stats.l1_data.hits > 0, "GUP's line locality of 0 still re-touches lines across warps");
+        assert!(
+            stats.l1_data.hits > 0,
+            "GUP's line locality of 0 still re-touches lines across warps"
+        );
     }
 }

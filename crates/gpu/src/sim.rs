@@ -2,13 +2,13 @@
 
 use crate::core_model::GpuCore;
 use crate::translation::TranslationUnit;
+use mask_cache::l2::L2Outcome;
+use mask_cache::SharedL2Cache;
 use mask_common::config::SimConfig;
 use mask_common::ids::{Asid, CoreId, WarpId};
 use mask_common::req::{MemRequest, RequestClass};
 use mask_common::stats::SimStats;
 use mask_common::Cycle;
-use mask_cache::l2::L2Outcome;
-use mask_cache::SharedL2Cache;
 use mask_dram::{ChannelPartition, Dram, RowOutcome};
 use mask_workloads::AppProfile;
 
@@ -36,6 +36,10 @@ pub struct GpuSim {
     /// Reusable scratch buffer for L2-bound requests.
     scratch_l2: Vec<MemRequest>,
     scratch_pwc: Vec<(Asid, bool)>,
+    /// Sanitizer accounting session (0 when the sanitizer is disabled).
+    san_session: u64,
+    /// Sanitizer instance id for cycle-monotonicity tracking.
+    san_id: u64,
 }
 
 impl GpuSim {
@@ -46,6 +50,10 @@ impl GpuSim {
     /// Panics if the core counts do not sum to the configured core count,
     /// or if `apps` is empty.
     pub fn new(cfg: &SimConfig, apps: &[AppSpec]) -> Self {
+        // Give each simulator its own sanitizer session so that sims built
+        // side by side (determinism tests) keep separate accounting.
+        let san_session = mask_sanitizer::new_session();
+        mask_sanitizer::enter_session(san_session);
         assert!(!apps.is_empty(), "at least one application required");
         let total: usize = apps.iter().map(|a| a.n_cores).sum();
         assert_eq!(total, cfg.gpu.n_cores, "core counts must cover the GPU");
@@ -92,6 +100,8 @@ impl GpuSim {
             n_apps,
             scratch_l2: Vec::new(),
             scratch_pwc: Vec::new(),
+            san_session,
+            san_id: mask_sanitizer::register_component("gpu"),
         }
     }
 
@@ -108,8 +118,8 @@ impl GpuSim {
             self.stats.apps[app].l2_tlb = self.xlat.l2_tlb_stats(asid);
             self.stats.apps[app].tokens_final = self.xlat.tokens_for(asid);
             self.stats.apps[app].page_faults = self.xlat.fault_count(asid);
-            self.stats.apps[app].walks_started = self.stats.apps[app].walks_completed
-                + self.xlat.concurrent_walks(asid) as u64;
+            self.stats.apps[app].walks_started =
+                self.stats.apps[app].walks_completed + self.xlat.concurrent_walks(asid) as u64;
             if let Some(b) = self.xlat.bypass_cache_stats() {
                 self.stats.apps[app].tlb_bypass_cache = b;
             }
@@ -129,8 +139,9 @@ impl GpuSim {
             }
             self.stats.apps[app].stalled_warps_sum += r.waiters.len() as u64;
             self.stats.apps[app].stalled_warps_events += 1;
-            self.stats.apps[app].stalled_warps_max =
-                self.stats.apps[app].stalled_warps_max.max(r.waiters.len() as u64);
+            self.stats.apps[app].stalled_warps_max = self.stats.apps[app]
+                .stalled_warps_max
+                .max(r.waiters.len() as u64);
             // Group waiters per core and wake them.
             let mut by_core: Vec<(usize, Vec<WarpId>)> = Vec::new();
             for gw in &r.waiters {
@@ -159,7 +170,9 @@ impl GpuSim {
 
     /// Advances the simulation one cycle.
     pub fn step(&mut self) {
+        mask_sanitizer::enter_session(self.san_session);
         let now = self.now;
+        mask_sanitizer::cycle(self.san_id, "gpu", now);
         // 1. Core issue stage.
         for i in 0..self.cores.len() {
             let app = self.cores[i].asid.index();
@@ -173,8 +186,12 @@ impl GpuSim {
         }
         // 2. Translation unit: L2 TLB pipeline + walker activation.
         let mut pwc_hits = std::mem::take(&mut self.scratch_pwc);
-        let resolved =
-            self.xlat.tick(now, &mut self.next_req_id, &mut self.scratch_l2, &mut pwc_hits);
+        let resolved = self.xlat.tick(
+            now,
+            &mut self.next_req_id,
+            &mut self.scratch_l2,
+            &mut pwc_hits,
+        );
         self.deliver_resolved(resolved);
         // 3. Push L2-bound requests.
         for req in std::mem::take(&mut self.scratch_l2) {
@@ -210,14 +227,19 @@ impl GpuSim {
             let app = resp.req.asid.index();
             match resp.req.class {
                 RequestClass::Data => {
-                    self.stats.apps[app].l2_data.record(resp.outcome == L2Outcome::Hit);
+                    mask_sanitizer::retire("core-data", resp.req.id.0);
+                    self.stats.apps[app]
+                        .l2_data
+                        .record(resp.outcome == L2Outcome::Hit);
                     self.cores[resp.req.core.index()].line_done(resp.req.line);
                 }
                 RequestClass::Translation(level) => {
                     match resp.outcome {
                         L2Outcome::Bypassed => self.stats.apps[app].l2_translation_bypassed += 1,
-                        out => self.stats.apps[app]
-                            .record_l2_translation(level, out == L2Outcome::Hit),
+                        out => {
+                            self.stats.apps[app]
+                                .record_l2_translation(level, out == L2Outcome::Hit);
+                        }
                     }
                     let done = self.xlat.memory_response(
                         &resp.req,
@@ -347,7 +369,10 @@ mod tests {
         cfg.gpu.warps_per_core = 16; // keep unit tests fast
         let specs: Vec<AppSpec> = apps
             .iter()
-            .map(|(name, c)| AppSpec { profile: app_by_name(name).expect("known app"), n_cores: *c })
+            .map(|(name, c)| AppSpec {
+                profile: app_by_name(name).expect("known app"),
+                n_cores: *c,
+            })
             .collect();
         GpuSim::new(&cfg, &specs)
     }
@@ -357,9 +382,16 @@ mod tests {
         let mut s = sim(DesignKind::SharedTlb, &[("HISTO", 4)], 5_000);
         s.run_to_completion();
         let stats = s.stats();
-        assert!(stats.apps[0].instructions > 1_000, "got {}", stats.apps[0].instructions);
+        assert!(
+            stats.apps[0].instructions > 1_000,
+            "got {}",
+            stats.apps[0].instructions
+        );
         assert!(stats.apps[0].l1_tlb.accesses > 0);
-        assert!(stats.apps[0].walks_completed > 0, "HISTO must trigger walks");
+        assert!(
+            stats.apps[0].walks_completed > 0,
+            "HISTO must trigger walks"
+        );
     }
 
     #[test]
@@ -393,9 +425,7 @@ mod tests {
         let mut s = sim(DesignKind::SharedTlb, &[("SCAN", 4)], 8_000);
         s.run_to_completion();
         let st = s.stats();
-        let xlat_probes: u64 = (0..4)
-            .map(|l| st.apps[0].l2_translation[l].accesses)
-            .sum();
+        let xlat_probes: u64 = (0..4).map(|l| st.apps[0].l2_translation[l].accesses).sum();
         assert!(xlat_probes > 0, "walker requests must reach the L2 cache");
         assert!(st.apps[0].dram_translation.requests > 0, "and DRAM");
     }
@@ -437,7 +467,10 @@ mod tests {
         let before = s.instructions(0);
         s.flush_volatile();
         s.run(2_000);
-        assert!(s.instructions(0) > before, "execution continues after a flush");
+        assert!(
+            s.instructions(0) > before,
+            "execution continues after a flush"
+        );
     }
 
     #[test]
@@ -468,7 +501,10 @@ mod tests {
         cfg.gpu.n_cores = 8;
         let _ = GpuSim::new(
             &cfg,
-            &[AppSpec { profile: app_by_name("GUP").expect("known"), n_cores: 4 }],
+            &[AppSpec {
+                profile: app_by_name("GUP").expect("known"),
+                n_cores: 4,
+            }],
         );
     }
 }

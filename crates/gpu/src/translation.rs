@@ -21,7 +21,7 @@ use mask_common::req::{MemRequest, ReqId, RequestClass};
 use mask_common::Cycle;
 use mask_pagetable::{PageTables, PageWalker, WalkAccess, WalkId, WalkOutcome};
 use mask_tlb::{L2TlbProbe, PageWalkCache, SharedL2Tlb, TokenAllocator, TokenPolicy};
-use std::collections::{HashMap, VecDeque};
+use std::collections::{BTreeMap, VecDeque};
 
 /// A translation that just resolved; the simulator wakes all waiters.
 #[derive(Clone, Debug)]
@@ -73,7 +73,7 @@ pub struct TranslationUnit {
     walker: PageWalker,
     tables: PageTables,
     tokens: Option<TokenAllocator>,
-    mshr: HashMap<(Asid, Vpn), TransEntry>,
+    mshr: BTreeMap<(Asid, Vpn), TransEntry>,
     l2tlb_pipe: VecDeque<L2TlbReq>,
     /// Walks blocked on a demand-paging fault (first touch).
     fault_pipe: Vec<(Cycle, Asid, Vpn)>,
@@ -83,7 +83,7 @@ pub struct TranslationUnit {
     /// Page-walk-cache hits completing after the PWC latency.
     pwc_pipe: Vec<(Cycle, WalkAccess)>,
     /// Outstanding walker accesses in the L2/DRAM, by request id.
-    walk_of_req: HashMap<ReqId, WalkId>,
+    walk_of_req: BTreeMap<ReqId, WalkId>,
     l2_ports: usize,
     l2_latency: u64,
     pwc_latency: u64,
@@ -97,7 +97,11 @@ impl TranslationUnit {
     pub fn new(cfg: &GpuConfig, design: DesignKind, cores_per_app: &[usize]) -> Self {
         let n_apps = cores_per_app.len();
         let l2tlb = design.has_shared_l2_tlb().then(|| {
-            let bypass = if design.tokens_enabled() { cfg.tlb.bypass_cache_entries } else { 0 };
+            let bypass = if design.tokens_enabled() {
+                cfg.tlb.bypass_cache_entries
+            } else {
+                0
+            };
             SharedL2Tlb::new(cfg.tlb.l2_entries, cfg.tlb.l2_assoc, n_apps, bypass)
         });
         let pwc = design
@@ -116,13 +120,13 @@ impl TranslationUnit {
             walker: PageWalker::new(cfg.walker_slots, n_apps),
             tables: PageTables::new(n_apps, cfg.page_size_log2),
             tokens,
-            mshr: HashMap::new(),
+            mshr: BTreeMap::new(),
             l2tlb_pipe: VecDeque::new(),
             fault_pipe: Vec::new(),
             fault_latency: cfg.page_fault_latency,
             fault_counts: vec![0; n_apps],
             pwc_pipe: Vec::new(),
-            walk_of_req: HashMap::new(),
+            walk_of_req: BTreeMap::new(),
             l2_ports: cfg.tlb.l2_ports,
             l2_latency: cfg.tlb.l2_latency,
             pwc_latency: cfg.pwc.latency,
@@ -177,7 +181,11 @@ impl TranslationUnit {
 
     fn route_to_walk_path(&mut self, asid: Asid, vpn: Vpn, now: Cycle) {
         if self.l2tlb.is_some() {
-            self.l2tlb_pipe.push_back(L2TlbReq { asid, vpn, ready_at: now + self.l2_latency });
+            self.l2tlb_pipe.push_back(L2TlbReq {
+                asid,
+                vpn,
+                ready_at: now + self.l2_latency,
+            });
         } else {
             // PWCache design: straight to the walker.
             self.walker.enqueue(asid, vpn, now);
@@ -203,6 +211,9 @@ impl TranslationUnit {
         let id = ReqId(*next_req_id);
         *next_req_id += 1;
         self.walk_of_req.insert(id, access.walk);
+        // Conservation: every walker access sent to memory must come back
+        // through `memory_response` exactly once.
+        mask_sanitizer::issue("xlat-mem", id.0);
         out_l2.push(MemRequest::new(
             id,
             access.line,
@@ -213,12 +224,21 @@ impl TranslationUnit {
         ));
     }
 
-    fn resolve(&mut self, asid: Asid, vpn: Vpn, ppn: Ppn, walked: bool, walk_latency: Cycle) -> Option<ResolvedTranslation> {
+    fn resolve(
+        &mut self,
+        asid: Asid,
+        vpn: Vpn,
+        ppn: Ppn,
+        walked: bool,
+        walk_latency: Cycle,
+    ) -> Option<ResolvedTranslation> {
         let entry = self.mshr.remove(&(asid, vpn))?;
         if walked {
             if let Some(l2) = &mut self.l2tlb {
                 let has_token = match &self.tokens {
-                    Some(t) => t.warp_has_token(asid, entry.initiator_core_rank, entry.initiator_warp),
+                    Some(t) => {
+                        t.warp_has_token(asid, entry.initiator_core_rank, entry.initiator_warp)
+                    }
                     None => true,
                 };
                 l2.fill(asid, vpn, ppn, has_token);
@@ -227,7 +247,14 @@ impl TranslationUnit {
         let acc = &mut self.epoch[asid.index().min(self.n_apps - 1)];
         acc.stalled_sum += entry.waiters.len() as u64;
         acc.events += 1;
-        Some(ResolvedTranslation { asid, vpn, ppn, waiters: entry.waiters, walked, walk_latency })
+        Some(ResolvedTranslation {
+            asid,
+            vpn,
+            ppn,
+            waiters: entry.waiters,
+            walked,
+            walk_latency,
+        })
     }
 
     /// Advances one cycle.
@@ -254,7 +281,9 @@ impl TranslationUnit {
         }
         // 1. Shared L2 TLB pipeline: up to `l2_ports` probes per cycle.
         for _ in 0..self.l2_ports {
-            let Some(front) = self.l2tlb_pipe.front() else { break };
+            let Some(front) = self.l2tlb_pipe.front() else {
+                break;
+            };
             if front.ready_at > now {
                 break;
             }
@@ -281,9 +310,14 @@ impl TranslationUnit {
                 let (_, access) = self.pwc_pipe.swap_remove(i);
                 match self.walker.access_complete(access.walk, &self.tables, now) {
                     WalkOutcome::Next(next) => {
-                        self.route_walk_access(next, now, next_req_id, out_l2, pwc_hits)
+                        self.route_walk_access(next, now, next_req_id, out_l2, pwc_hits);
                     }
-                    WalkOutcome::Done { asid, vpn, ppn, latency } => {
+                    WalkOutcome::Done {
+                        asid,
+                        vpn,
+                        ppn,
+                        latency,
+                    } => {
                         if let Some(r) = self.resolve(asid, vpn, ppn, true, latency) {
                             resolved.push(r);
                         }
@@ -314,14 +348,18 @@ impl TranslationUnit {
         pwc_hits: &mut Vec<(Asid, bool)>,
     ) -> Option<ResolvedTranslation> {
         let walk = self.walk_of_req.remove(&req.id)?;
+        mask_sanitizer::retire("xlat-mem", req.id.0);
         match self.walker.access_complete(walk, &self.tables, now) {
             WalkOutcome::Next(next) => {
                 self.route_walk_access(next, now, next_req_id, out_l2, pwc_hits);
                 None
             }
-            WalkOutcome::Done { asid, vpn, ppn, latency } => {
-                self.resolve(asid, vpn, ppn, true, latency)
-            }
+            WalkOutcome::Done {
+                asid,
+                vpn,
+                ppn,
+                latency,
+            } => self.resolve(asid, vpn, ppn, true, latency),
         }
     }
 
@@ -346,8 +384,8 @@ impl TranslationUnit {
             let p = if epoch_cycles == 0 || acc.events == 0 || acc.walk_integral == 0 {
                 0
             } else {
-                let num = acc.walk_integral as u128 * acc.stalled_sum as u128 * 256;
-                let den = epoch_cycles as u128 * acc.events as u128;
+                let num = u128::from(acc.walk_integral) * u128::from(acc.stalled_sum) * 256;
+                let den = u128::from(epoch_cycles) * u128::from(acc.events);
                 num.div_ceil(den) as u64
             };
             pressure.push(p);
@@ -368,15 +406,19 @@ impl TranslationUnit {
 
     /// Lifetime shared-L2-TLB statistics for an app.
     pub fn l2_tlb_stats(&self, asid: Asid) -> mask_common::stats::HitStats {
-        self.l2tlb.as_ref().map_or_else(Default::default, |l| l.lifetime_stats(asid))
+        self.l2tlb
+            .as_ref()
+            .map_or_else(Default::default, |l| l.lifetime_stats(asid))
     }
 
     /// Lifetime TLB-bypass-cache statistics (MASK designs).
     pub fn bypass_cache_stats(&self) -> Option<mask_common::stats::HitStats> {
-        self.l2tlb.as_ref().and_then(SharedL2Tlb::bypass_cache_stats)
+        self.l2tlb
+            .as_ref()
+            .and_then(SharedL2Tlb::bypass_cache_stats)
     }
 
-    /// Lifetime page-walk-cache statistics (PWCache design).
+    /// Lifetime page-walk-cache statistics (`PWCache` design).
     pub fn pwc_stats(&self) -> Option<mask_common::stats::HitStats> {
         self.pwc.as_ref().map(PageWalkCache::stats)
     }
@@ -440,7 +482,12 @@ impl TranslationUnit {
 
     /// The physical line a data access to `(asid, va_line)` maps to,
     /// mapping the page on demand.
-    pub fn data_line(&mut self, asid: Asid, va: mask_common::addr::VirtAddr, page_size_log2: u32) -> LineAddr {
+    pub fn data_line(
+        &mut self,
+        asid: Asid,
+        va: mask_common::addr::VirtAddr,
+        page_size_log2: u32,
+    ) -> LineAddr {
         let vpn = va.vpn(page_size_log2);
         let ppn = self.tables.ensure_mapped(asid, vpn);
         ppn.translate(va, page_size_log2).line()
@@ -474,7 +521,9 @@ mod tests {
             while let Some(r) = out.pop() {
                 reqs.push(r);
                 let mut more = Vec::new();
-                if let Some(done) = unit.memory_response(&r, now, &mut next_id, &mut more, &mut pwc_hits) {
+                if let Some(done) =
+                    unit.memory_response(&r, now, &mut next_id, &mut more, &mut pwc_hits)
+                {
                     resolved.push(done);
                 }
                 out.extend(more);
@@ -535,7 +584,11 @@ mod tests {
         unit.request(Asid::new(0), Vpn(2), warp(0, 1), 0, 100);
         let (r2, reqs2) = drive(&mut unit, 100, 120);
         assert_eq!(r2.len(), 1);
-        assert!(reqs2.len() < 4, "PWC hits cut memory requests, got {}", reqs2.len());
+        assert!(
+            reqs2.len() < 4,
+            "PWC hits cut memory requests, got {}",
+            reqs2.len()
+        );
         let stats = unit.pwc_stats().expect("PWC attached");
         assert!(stats.hits > 0);
     }

@@ -41,7 +41,11 @@ pub struct FrameAllocator {
 impl FrameAllocator {
     /// Creates an allocator for the given data-page size.
     pub fn new(page_size_log2: u32) -> Self {
-        FrameAllocator { page_size_log2, data_next: Vec::new(), node_next: 0 }
+        FrameAllocator {
+            page_size_log2,
+            data_next: Vec::new(),
+            node_next: 0,
+        }
     }
 
     /// The data-page size this allocator serves.
@@ -136,7 +140,10 @@ mod tests {
         let mut a = FrameAllocator::new(12);
         let f0 = a.alloc_node();
         let f1 = a.alloc_node();
-        assert!(f0.abs_diff(f1) > 1, "consecutive nodes should not be adjacent");
+        assert!(
+            f0.abs_diff(f1) > 1,
+            "consecutive nodes should not be adjacent"
+        );
     }
 
     #[test]

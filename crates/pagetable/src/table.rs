@@ -4,7 +4,7 @@ use crate::frame::FrameAllocator;
 use mask_common::addr::{levels_for_page_size, LineAddr, Ppn, Vpn, BITS_PER_LEVEL};
 use mask_common::ids::Asid;
 use mask_common::req::WalkLevel;
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 
 /// Entries per page-table node (512 for 9 radix bits).
 const NODE_ENTRIES: usize = 1 << BITS_PER_LEVEL;
@@ -45,8 +45,8 @@ pub struct PageTable {
     page_size_log2: u32,
     levels: u8,
     nodes: Vec<Node>,
-    /// Cached VPN -> PPN map for O(1) functional translation.
-    mappings: HashMap<u64, Ppn>,
+    /// Cached VPN -> PPN map for fast functional translation.
+    mappings: BTreeMap<u64, Ppn>,
 }
 
 impl PageTable {
@@ -59,7 +59,7 @@ impl PageTable {
             page_size_log2,
             levels: levels_for_page_size(page_size_log2),
             nodes: vec![root],
-            mappings: HashMap::new(),
+            mappings: BTreeMap::new(),
         }
     }
 
@@ -150,8 +150,9 @@ impl PageTables {
     /// Creates tables for `n_asids` address spaces with the given page size.
     pub fn new(n_asids: usize, page_size_log2: u32) -> Self {
         let mut alloc = FrameAllocator::new(page_size_log2);
-        let tables =
-            (0..n_asids).map(|i| PageTable::new(Asid::new(i as u16), &mut alloc)).collect();
+        let tables = (0..n_asids)
+            .map(|i| PageTable::new(Asid::new(i as u16), &mut alloc))
+            .collect();
         PageTables { alloc, tables }
     }
 
@@ -237,7 +238,10 @@ mod tests {
         let vpn = Vpn(0x777);
         let p0 = pts.ensure_mapped(Asid::new(0), vpn);
         let p1 = pts.ensure_mapped(Asid::new(1), vpn);
-        assert_ne!(p0, p1, "same VPN in different address spaces gets different frames");
+        assert_ne!(
+            p0, p1,
+            "same VPN in different address spaces gets different frames"
+        );
         assert_eq!(pts.translate(Asid::new(0), vpn), Some(p0));
         assert_eq!(pts.translate(Asid::new(1), vpn), Some(p1));
     }
@@ -252,12 +256,22 @@ mod tests {
         for &v in &vpns {
             pts.ensure_mapped(asid, v);
         }
-        let root_lines: HashSet<_> =
-            vpns.iter().map(|&v| pts.walk_line(asid, v, WalkLevel::new(1))).collect();
-        let leaf_lines: HashSet<_> =
-            vpns.iter().map(|&v| pts.walk_line(asid, v, WalkLevel::new(4))).collect();
-        assert!(root_lines.len() <= 2, "root walk lines should be heavily shared");
-        assert!(leaf_lines.len() > vpns.len() / 2, "leaf walk lines should be mostly distinct");
+        let root_lines: HashSet<_> = vpns
+            .iter()
+            .map(|&v| pts.walk_line(asid, v, WalkLevel::new(1)))
+            .collect();
+        let leaf_lines: HashSet<_> = vpns
+            .iter()
+            .map(|&v| pts.walk_line(asid, v, WalkLevel::new(4)))
+            .collect();
+        assert!(
+            root_lines.len() <= 2,
+            "root walk lines should be heavily shared"
+        );
+        assert!(
+            leaf_lines.len() > vpns.len() / 2,
+            "leaf walk lines should be mostly distinct"
+        );
     }
 
     #[test]
@@ -269,8 +283,9 @@ mod tests {
         for i in 0..16u64 {
             pts.ensure_mapped(asid, Vpn(i));
         }
-        let lines: HashSet<_> =
-            (0..16u64).map(|i| pts.walk_line(asid, Vpn(i), WalkLevel::new(4))).collect();
+        let lines: HashSet<_> = (0..16u64)
+            .map(|i| pts.walk_line(asid, Vpn(i), WalkLevel::new(4)))
+            .collect();
         assert_eq!(lines.len(), 1);
     }
 

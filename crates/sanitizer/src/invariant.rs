@@ -1,0 +1,567 @@
+//! The default sanitizer: panics on the first violated invariant.
+
+use crate::{
+    CycleEvent, FillEvent, IssueEvent, MshrAllocEvent, MshrOutcome, RetireEvent, SimSanitizer,
+    TokenEpochEvent, WalkEvent,
+};
+use std::collections::BTreeMap;
+
+/// The deepest level of a 4-level page walk.
+const MAX_WALK_LEVEL: u8 = 4;
+
+/// Independent mirror of one MSHR table.
+#[derive(Debug)]
+struct TableMirror {
+    component: &'static str,
+    capacity: usize,
+    /// Pending line → waiter count.
+    lines: BTreeMap<u64, usize>,
+}
+
+/// Enforces the crate-level invariants with immediate panics.
+///
+/// All state is ordinary `BTreeMap`s so that diagnostics (and any future
+/// serialization of sanitizer state) are deterministic.
+#[derive(Debug, Default)]
+pub struct InvariantSanitizer {
+    /// Current accounting session (0 = ambient).
+    session: u64,
+    /// In-flight requests: (session, domain, id) → issue order.
+    in_flight: BTreeMap<(u64, &'static str, u64), u64>,
+    /// Total issues observed (gives each in-flight entry an issue order).
+    issues: u64,
+    /// MSHR mirrors by table id.
+    tables: BTreeMap<u64, TableMirror>,
+    /// Last cycle observed per (session, component instance).
+    cycles: BTreeMap<(u64, u64), u64>,
+    /// Active walker slots: (session, slot) → current level.
+    walks: BTreeMap<(u64, u32), u8>,
+}
+
+impl InvariantSanitizer {
+    /// A sanitizer with no recorded state.
+    #[must_use]
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    #[track_caller]
+    fn fail(&self, msg: &str) -> ! {
+        // Aborting with a diagnostic is the sanitizer's contract: a violated
+        // simulation invariant must never be carried past the violating event.
+        panic!("[mask-sanitizer] session {}: {msg}", self.session); // lint: allow(unwrap)
+    }
+
+    fn table(&mut self, id: u64) -> &mut TableMirror {
+        // Tables created before the sanitizer was installed (or replayed
+        // from a clone) self-register on first sight with unbounded
+        // capacity; `on_register_table` tightens it.
+        self.tables.entry(id).or_insert_with(|| TableMirror {
+            component: "mshr",
+            capacity: usize::MAX,
+            lines: BTreeMap::new(),
+        })
+    }
+}
+
+impl SimSanitizer for InvariantSanitizer {
+    fn on_issue(&mut self, ev: IssueEvent) {
+        let key = (self.session, ev.domain, ev.id);
+        self.issues += 1;
+        let order = self.issues;
+        if self.in_flight.insert(key, order).is_some() {
+            self.fail(&format!(
+                "request conservation violated: id {} issued into domain `{}` while already in flight \
+                 (duplicate issue)",
+                ev.id, ev.domain
+            ));
+        }
+    }
+
+    fn on_retire(&mut self, ev: RetireEvent) {
+        let key = (self.session, ev.domain, ev.id);
+        if self.in_flight.remove(&key).is_none() {
+            self.fail(&format!(
+                "request conservation violated: id {} retired from domain `{}` without a matching issue \
+                 (lost, duplicated, or foreign retire)",
+                ev.id, ev.domain
+            ));
+        }
+    }
+
+    fn on_fill(&mut self, ev: FillEvent) {
+        match ev {
+            FillEvent::Mshr {
+                table,
+                line,
+                waiters,
+                found,
+            } => {
+                let mirror = self.table(table);
+                let (component, mirrored) = (mirror.component, mirror.lines.remove(&line));
+                match (found, mirrored) {
+                    (true, Some(n)) if n == waiters => {}
+                    (true, Some(n)) => self.fail(&format!(
+                        "MSHR accounting violated in `{component}` (table {table}): fill of line {line:#x} \
+                         released {waiters} waiters but the mirror attached {n}"
+                    )),
+                    (true, None) => self.fail(&format!(
+                        "MSHR accounting violated in `{component}` (table {table}): fill of line {line:#x} \
+                         completed an entry the mirror never saw allocated"
+                    )),
+                    (false, Some(n)) => self.fail(&format!(
+                        "MSHR accounting violated in `{component}` (table {table}): line {line:#x} with \
+                         {n} waiter(s) outlived its fill (table reported no entry)"
+                    )),
+                    (false, None) => {}
+                }
+            }
+            FillEvent::Array {
+                component,
+                len,
+                capacity,
+            } => {
+                if len > capacity {
+                    self.fail(&format!(
+                        "structure overflow in `{component}`: {len} resident entries exceed capacity \
+                         {capacity}"
+                    ));
+                }
+            }
+        }
+    }
+
+    fn on_cycle(&mut self, ev: CycleEvent) {
+        let key = (self.session, ev.instance);
+        match self.cycles.get(&key) {
+            Some(&last) if ev.now < last => self.fail(&format!(
+                "cycle monotonicity violated in `{}`: ticked with cycle {} after observing {}",
+                ev.component, ev.now, last
+            )),
+            _ => {
+                self.cycles.insert(key, ev.now);
+            }
+        }
+    }
+
+    fn on_mshr_alloc(&mut self, ev: MshrAllocEvent) {
+        let mirror = self.table(ev.table);
+        let component = mirror.component;
+        let registered = mirror.capacity;
+        if registered != usize::MAX && registered != ev.capacity {
+            self.fail(&format!(
+                "MSHR accounting violated in `{component}` (table {}): allocation reports capacity {} \
+                 but the table registered capacity {registered}",
+                ev.table, ev.capacity
+            ));
+        }
+        let mirror = self.table(ev.table);
+        match ev.outcome {
+            MshrOutcome::Primary => {
+                if let Some(n) = mirror.lines.insert(ev.line, 1) {
+                    self.fail(&format!(
+                        "MSHR accounting violated in `{component}` (table {}): Primary allocation for \
+                         line {:#x} which already has a mirror entry with {n} waiter(s) — misses were \
+                         not merged",
+                        ev.table, ev.line
+                    ));
+                }
+                let mirror = self.table(ev.table);
+                let occupancy = mirror.lines.len();
+                if occupancy > ev.capacity {
+                    self.fail(&format!(
+                        "MSHR accounting violated in `{component}` (table {}): {occupancy} entries \
+                         exceed capacity {}",
+                        ev.table, ev.capacity
+                    ));
+                }
+                if occupancy != ev.len {
+                    self.fail(&format!(
+                        "MSHR accounting violated in `{component}` (table {}): table reports {} entries \
+                         but mirror holds {occupancy} (shared or corrupted table state?)",
+                        ev.table, ev.len
+                    ));
+                }
+            }
+            MshrOutcome::Secondary => {
+                let merged = mirror.lines.get_mut(&ev.line).map(|n| *n += 1).is_some();
+                if !merged {
+                    self.fail(&format!(
+                        "MSHR accounting violated in `{component}` (table {}): Secondary merge into \
+                         line {:#x} which has no pending entry",
+                        ev.table, ev.line
+                    ));
+                }
+            }
+            MshrOutcome::Full => {
+                let occupancy = mirror.lines.len();
+                let pending = mirror.lines.contains_key(&ev.line);
+                if pending || occupancy < ev.capacity {
+                    self.fail(&format!(
+                        "MSHR accounting violated in `{component}` (table {}): Full reported for line \
+                         {:#x} but the table is not genuinely full ({occupancy}/{} entries, line \
+                         pending: {pending})",
+                        ev.table, ev.line, ev.capacity
+                    ));
+                }
+            }
+        }
+    }
+
+    fn on_walk(&mut self, ev: WalkEvent) {
+        match ev {
+            WalkEvent::Activate { slot, level } => {
+                if level != 1 {
+                    self.fail(&format!(
+                        "walker lifecycle violated: slot {slot} activated at level {level} (walks start \
+                         at level 1)"
+                    ));
+                }
+                if let Some(prev) = self.walks.insert((self.session, slot), level) {
+                    self.fail(&format!(
+                        "walker lifecycle violated: slot {slot} activated while already walking at \
+                         level {prev} (WalkIds are single-use until freed)"
+                    ));
+                }
+            }
+            WalkEvent::Advance { slot, level } => {
+                let key = (self.session, slot);
+                match self.walks.get(&key).copied() {
+                    Some(prev) => {
+                        if level != prev + 1 || level > MAX_WALK_LEVEL {
+                            self.fail(&format!(
+                                "walker lifecycle violated: slot {slot} advanced from level {prev} to \
+                                 {level} (levels must strictly increase 1→{MAX_WALK_LEVEL})"
+                            ));
+                        }
+                        self.walks.insert(key, level);
+                    }
+                    None => self.fail(&format!(
+                        "walker lifecycle violated: slot {slot} advanced to level {level} while inactive"
+                    )),
+                }
+            }
+            WalkEvent::Retire { slot } => {
+                if self.walks.remove(&(self.session, slot)).is_none() {
+                    self.fail(&format!(
+                        "walker lifecycle violated: slot {slot} freed while not active (double free?)"
+                    ));
+                }
+            }
+        }
+    }
+
+    fn on_token_epoch(&mut self, ev: TokenEpochEvent) {
+        if ev.total_warps > 0 && !(1..=ev.total_warps).contains(&ev.tokens) {
+            self.fail(&format!(
+                "token conservation violated: asid {} granted {} TLB-fill tokens for an epoch with {} \
+                 warps (must stay within 1..={})",
+                ev.asid, ev.tokens, ev.total_warps, ev.total_warps
+            ));
+        }
+    }
+
+    fn on_check(&mut self, component: &'static str, ok: bool, what: &'static str) {
+        if !ok {
+            self.fail(&format!(
+                "structural invariant violated in `{component}`: {what}"
+            ));
+        }
+    }
+
+    fn on_register_table(&mut self, table: u64, component: &'static str, capacity: usize) {
+        self.tables.insert(
+            table,
+            TableMirror {
+                component,
+                capacity,
+                lines: BTreeMap::new(),
+            },
+        );
+    }
+
+    fn on_session(&mut self, session: u64) {
+        self.session = session;
+    }
+
+    fn check_quiescent(&self) {
+        let leaked: Vec<String> = self
+            .in_flight
+            .keys()
+            .filter(|(s, _, _)| *s == self.session)
+            .map(|(_, domain, id)| format!("{domain}:{id}"))
+            .collect();
+        if !leaked.is_empty() {
+            self.fail(&format!(
+                "request conservation violated at quiescence: {} request(s) issued but never retired: \
+                 [{}]",
+                leaked.len(),
+                leaked.join(", ")
+            ));
+        }
+        for (id, t) in &self.tables {
+            if !t.lines.is_empty() {
+                let lines: Vec<String> = t
+                    .lines
+                    .iter()
+                    .map(|(l, n)| format!("{l:#x} ({n} waiter(s))"))
+                    .collect();
+                self.fail(&format!(
+                    "MSHR accounting violated at quiescence: `{}` (table {id}) still holds entries: [{}]",
+                    t.component,
+                    lines.join(", ")
+                ));
+            }
+        }
+        let walking: Vec<String> = self
+            .walks
+            .iter()
+            .filter(|((s, _), _)| *s == self.session)
+            .map(|((_, slot), level)| format!("slot {slot} at level {level}"))
+            .collect();
+        if !walking.is_empty() {
+            self.fail(&format!(
+                "walker lifecycle violated at quiescence: {} walk(s) never retired: [{}]",
+                walking.len(),
+                walking.join(", ")
+            ));
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn san() -> InvariantSanitizer {
+        InvariantSanitizer::new()
+    }
+
+    #[test]
+    fn conservation_happy_path() {
+        let mut s = san();
+        s.on_issue(IssueEvent {
+            domain: "dram",
+            id: 7,
+        });
+        s.on_retire(RetireEvent {
+            domain: "dram",
+            id: 7,
+        });
+        s.check_quiescent();
+    }
+
+    #[test]
+    #[should_panic(expected = "duplicate issue")]
+    fn duplicate_issue_panics() {
+        let mut s = san();
+        s.on_issue(IssueEvent {
+            domain: "dram",
+            id: 7,
+        });
+        s.on_issue(IssueEvent {
+            domain: "dram",
+            id: 7,
+        });
+    }
+
+    #[test]
+    #[should_panic(expected = "without a matching issue")]
+    fn duplicate_retire_panics() {
+        let mut s = san();
+        s.on_issue(IssueEvent {
+            domain: "dram",
+            id: 7,
+        });
+        s.on_retire(RetireEvent {
+            domain: "dram",
+            id: 7,
+        });
+        s.on_retire(RetireEvent {
+            domain: "dram",
+            id: 7,
+        });
+    }
+
+    #[test]
+    #[should_panic(expected = "never retired")]
+    fn leaked_request_fails_quiescence() {
+        let mut s = san();
+        s.on_issue(IssueEvent {
+            domain: "l2-cache",
+            id: 3,
+        });
+        s.check_quiescent();
+    }
+
+    #[test]
+    fn sessions_isolate_request_ids() {
+        let mut s = san();
+        s.on_session(1);
+        s.on_issue(IssueEvent {
+            domain: "dram",
+            id: 7,
+        });
+        s.on_session(2);
+        s.on_issue(IssueEvent {
+            domain: "dram",
+            id: 7,
+        });
+        s.on_retire(RetireEvent {
+            domain: "dram",
+            id: 7,
+        });
+        s.check_quiescent(); // session 2 is clean; session 1's leak is not ours
+    }
+
+    #[test]
+    #[should_panic(expected = "not genuinely full")]
+    fn premature_full_panics() {
+        let mut s = san();
+        s.on_register_table(1, "l2-bank", 4);
+        s.on_mshr_alloc(MshrAllocEvent {
+            table: 1,
+            line: 9,
+            outcome: MshrOutcome::Full,
+            len: 1,
+            capacity: 4,
+        });
+    }
+
+    #[test]
+    #[should_panic(expected = "outlived its fill")]
+    fn entry_outliving_fill_panics() {
+        let mut s = san();
+        s.on_register_table(1, "l2-bank", 4);
+        s.on_mshr_alloc(MshrAllocEvent {
+            table: 1,
+            line: 9,
+            outcome: MshrOutcome::Primary,
+            len: 1,
+            capacity: 4,
+        });
+        // Table claims it had no entry for the line it was asked to fill.
+        s.on_fill(FillEvent::Mshr {
+            table: 1,
+            line: 9,
+            waiters: 0,
+            found: false,
+        });
+    }
+
+    #[test]
+    fn mshr_merge_and_fill_roundtrip() {
+        let mut s = san();
+        s.on_register_table(1, "l2-bank", 4);
+        s.on_mshr_alloc(MshrAllocEvent {
+            table: 1,
+            line: 9,
+            outcome: MshrOutcome::Primary,
+            len: 1,
+            capacity: 4,
+        });
+        s.on_mshr_alloc(MshrAllocEvent {
+            table: 1,
+            line: 9,
+            outcome: MshrOutcome::Secondary,
+            len: 1,
+            capacity: 4,
+        });
+        s.on_fill(FillEvent::Mshr {
+            table: 1,
+            line: 9,
+            waiters: 2,
+            found: true,
+        });
+        s.check_quiescent();
+    }
+
+    #[test]
+    #[should_panic(expected = "single-use")]
+    fn walker_slot_reuse_panics() {
+        let mut s = san();
+        s.on_walk(WalkEvent::Activate { slot: 3, level: 1 });
+        s.on_walk(WalkEvent::Activate { slot: 3, level: 1 });
+    }
+
+    #[test]
+    #[should_panic(expected = "double free")]
+    fn walker_double_free_panics() {
+        let mut s = san();
+        s.on_walk(WalkEvent::Activate { slot: 3, level: 1 });
+        s.on_walk(WalkEvent::Retire { slot: 3 });
+        s.on_walk(WalkEvent::Retire { slot: 3 });
+    }
+
+    #[test]
+    #[should_panic(expected = "strictly increase")]
+    fn walker_level_skip_panics() {
+        let mut s = san();
+        s.on_walk(WalkEvent::Activate { slot: 3, level: 1 });
+        s.on_walk(WalkEvent::Advance { slot: 3, level: 3 });
+    }
+
+    #[test]
+    fn walker_full_walk_roundtrip() {
+        let mut s = san();
+        s.on_walk(WalkEvent::Activate { slot: 0, level: 1 });
+        for level in 2..=4 {
+            s.on_walk(WalkEvent::Advance { slot: 0, level });
+        }
+        s.on_walk(WalkEvent::Retire { slot: 0 });
+        s.check_quiescent();
+    }
+
+    #[test]
+    #[should_panic(expected = "ticked with cycle")]
+    fn backwards_clock_panics() {
+        let mut s = san();
+        s.on_cycle(CycleEvent {
+            instance: 1,
+            component: "dram",
+            now: 10,
+        });
+        s.on_cycle(CycleEvent {
+            instance: 1,
+            component: "dram",
+            now: 9,
+        });
+    }
+
+    #[test]
+    fn distinct_instances_have_independent_clocks() {
+        let mut s = san();
+        s.on_cycle(CycleEvent {
+            instance: 1,
+            component: "dram",
+            now: 10,
+        });
+        s.on_cycle(CycleEvent {
+            instance: 2,
+            component: "dram",
+            now: 0,
+        });
+    }
+
+    #[test]
+    #[should_panic(expected = "token conservation")]
+    fn token_overgrant_panics() {
+        let mut s = san();
+        s.on_token_epoch(TokenEpochEvent {
+            asid: 0,
+            tokens: 65,
+            total_warps: 64,
+        });
+    }
+
+    #[test]
+    #[should_panic(expected = "structure overflow")]
+    fn array_overflow_panics() {
+        let mut s = san();
+        s.on_fill(FillEvent::Array {
+            component: "l1-tlb",
+            len: 65,
+            capacity: 64,
+        });
+    }
+}

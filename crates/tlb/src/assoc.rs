@@ -36,10 +36,17 @@ impl<K: Eq + Hash + Copy, V: Copy> AssocArray<K, V> {
     ///
     /// Panics if `entries` or `assoc` is zero.
     pub fn new(entries: usize, assoc: usize) -> Self {
-        assert!(entries > 0 && assoc > 0, "capacity and associativity must be positive");
+        assert!(
+            entries > 0 && assoc > 0,
+            "capacity and associativity must be positive"
+        );
         let assoc = assoc.min(entries);
         let n_sets = (entries / assoc).max(1);
-        AssocArray { sets: (0..n_sets).map(|_| Vec::with_capacity(assoc)).collect(), assoc, stamp: 0 }
+        AssocArray {
+            sets: (0..n_sets).map(|_| Vec::with_capacity(assoc)).collect(),
+            assoc,
+            stamp: 0,
+        }
     }
 
     /// Total entry capacity.
@@ -89,7 +96,10 @@ impl<K: Eq + Hash + Copy, V: Copy> AssocArray<K, V> {
     /// Looks up `key` without perturbing LRU state (for monitors/tests).
     pub fn peek(&self, key: &K) -> Option<V> {
         let set = self.set_index(key);
-        self.sets[set].iter().find(|e| e.key == *key).map(|e| e.value)
+        self.sets[set]
+            .iter()
+            .find(|e| e.key == *key)
+            .map(|e| e.value)
     }
 
     /// Inserts `key -> value`, evicting the set's LRU entry if full.
@@ -118,7 +128,11 @@ impl<K: Eq + Hash + Copy, V: Copy> AssocArray<K, V> {
             let e = set.swap_remove(victim);
             evicted = Some((e.key, e.value));
         }
-        set.push(Entry { key, value, last_used: stamp });
+        set.push(Entry {
+            key,
+            value,
+            last_used: stamp,
+        });
         evicted
     }
 
@@ -145,7 +159,9 @@ impl<K: Eq + Hash + Copy, V: Copy> AssocArray<K, V> {
 
     /// Iterates over resident `(key, value)` pairs in unspecified order.
     pub fn iter(&self) -> impl Iterator<Item = (&K, &V)> {
-        self.sets.iter().flat_map(|s| s.iter().map(|e| (&e.key, &e.value)))
+        self.sets
+            .iter()
+            .flat_map(|s| s.iter().map(|e| (&e.key, &e.value)))
     }
 }
 

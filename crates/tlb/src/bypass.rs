@@ -25,7 +25,10 @@ impl TlbBypassCache {
     /// Creates a bypass cache with `entries` fully-associative entries
     /// (32 in the paper).
     pub fn new(entries: usize) -> Self {
-        TlbBypassCache { entries: AssocArray::new(entries, entries), stats: HitStats::default() }
+        TlbBypassCache {
+            entries: AssocArray::new(entries, entries),
+            stats: HitStats::default(),
+        }
     }
 
     /// Probes for a translation.
@@ -92,7 +95,12 @@ mod tests {
         for i in 0..32u64 {
             c.fill(Asid::new(0), Vpn(i), Ppn(i));
         }
-        assert_eq!((0..32u64).filter(|&i| c.probe(Asid::new(0), Vpn(i)).is_some()).count(), 32);
+        assert_eq!(
+            (0..32u64)
+                .filter(|&i| c.probe(Asid::new(0), Vpn(i)).is_some())
+                .count(),
+            32
+        );
         // One more evicts exactly one entry.
         c.fill(Asid::new(0), Vpn(99), Ppn(99));
         assert_eq!(c.len(), 32);

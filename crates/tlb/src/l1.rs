@@ -16,7 +16,9 @@ pub struct L1Tlb {
 impl L1Tlb {
     /// Creates an L1 TLB with `entries` fully-associative entries.
     pub fn new(entries: usize) -> Self {
-        L1Tlb { entries: AssocArray::new(entries, entries) }
+        L1Tlb {
+            entries: AssocArray::new(entries, entries),
+        }
     }
 
     /// Probes for a translation (updates LRU on hit).
@@ -27,6 +29,7 @@ impl L1Tlb {
     /// Inserts a translation, evicting LRU if full.
     pub fn fill(&mut self, asid: Asid, vpn: Vpn, ppn: Ppn) {
         self.entries.fill(TlbKey::new(asid, vpn), ppn);
+        mask_sanitizer::array_fill("l1-tlb", self.entries.len(), self.entries.capacity());
     }
 
     /// Flushes all entries of one address space (per-core TLB flush, §5.1:
@@ -81,7 +84,11 @@ mod tests {
     fn asid_mismatch_misses() {
         let mut tlb = L1Tlb::new(4);
         tlb.fill(Asid::new(0), Vpn(5), Ppn(9));
-        assert_eq!(tlb.probe(Asid::new(1), Vpn(5)), None, "translations are per-address-space");
+        assert_eq!(
+            tlb.probe(Asid::new(1), Vpn(5)),
+            None,
+            "translations are per-address-space"
+        );
     }
 
     #[test]

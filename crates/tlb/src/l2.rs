@@ -100,6 +100,7 @@ impl SharedL2Tlb {
             }
             _ => {
                 self.entries.fill(TlbKey::new(asid, vpn), ppn);
+                mask_sanitizer::array_fill("l2-tlb", self.entries.len(), self.entries.capacity());
                 false
             }
         }
@@ -107,7 +108,9 @@ impl SharedL2Tlb {
 
     /// Per-ASID miss rate over the current epoch.
     pub fn epoch_miss_rate(&self, asid: Asid) -> f64 {
-        self.epoch.get(asid.index()).map_or(0.0, HitStats::miss_rate)
+        self.epoch
+            .get(asid.index())
+            .map_or(0.0, HitStats::miss_rate)
     }
 
     /// Per-ASID probes this epoch (to ignore idle apps during adaptation).

@@ -23,7 +23,10 @@ impl PageWalkCache {
     /// (8 KB, 16-way per Table 1).
     pub fn new(bytes: usize, assoc: usize) -> Self {
         let entries = (bytes as u64 / LINE_SIZE).max(1) as usize;
-        PageWalkCache { lines: AssocArray::new(entries, assoc), stats: HitStats::default() }
+        PageWalkCache {
+            lines: AssocArray::new(entries, assoc),
+            stats: HitStats::default(),
+        }
     }
 
     /// Probes for a PTE line; fills on miss (walk data is always cached —

@@ -74,7 +74,12 @@ impl TokenAllocator {
     /// application in address space `i`; every core has `warps_per_core`
     /// warp contexts.
     pub fn new(params: &MaskParams, cores_per_app: &[usize], warps_per_core: usize) -> Self {
-        Self::with_policy(params, cores_per_app, warps_per_core, TokenPolicy::default())
+        Self::with_policy(
+            params,
+            cores_per_app,
+            warps_per_core,
+            TokenPolicy::default(),
+        )
     }
 
     /// Creates a controller with an explicit adjustment policy.
@@ -160,6 +165,7 @@ impl TokenAllocator {
             app.tokens = ((app.total_warps() as f64 * initial_frac).round() as u64)
                 .clamp(1, app.total_warps());
             app.prev_miss_rate = Some(miss_rate);
+            mask_sanitizer::token_epoch(asid.index() as u16, app.tokens, app.total_warps());
             return;
         }
         if accesses == 0 {
@@ -188,6 +194,7 @@ impl TokenAllocator {
             }
         }
         app.prev_miss_rate = Some(miss_rate);
+        mask_sanitizer::token_epoch(asid.index() as u16, app.tokens, app.total_warps());
     }
 
     /// Whether `asid` is still in its warm-up (first) epoch.

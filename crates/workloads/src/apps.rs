@@ -34,15 +34,28 @@ pub fn expected_class(name: &str) -> Option<TlbClass> {
 }
 
 const fn stream(pages: u64, burst: u64, group: u32) -> Pattern {
-    Pattern::Stream { pages, burst, group }
+    Pattern::Stream {
+        pages,
+        burst,
+        group,
+    }
 }
 
 const fn random(pages: u64, ppi: u32) -> Pattern {
-    Pattern::Random { pages, pages_per_instr: ppi }
+    Pattern::Random {
+        pages,
+        pages_per_instr: ppi,
+    }
 }
 
 const fn tiled(hot: u64, p_hot: f64, stream_pages: u64, burst: u64, group: u32) -> Pattern {
-    Pattern::TiledHot { hot, p_hot, stream_pages, burst, group }
+    Pattern::TiledHot {
+        hot,
+        p_hot,
+        stream_pages,
+        burst,
+        group,
+    }
 }
 
 const fn hot_cold(hot: u64, p_hot: f64, cold: u64) -> Pattern {
@@ -56,7 +69,13 @@ const fn app(
     compute_per_mem: u32,
     line_locality: f64,
 ) -> AppProfile {
-    AppProfile { name, pattern, lines_per_instr, compute_per_mem, line_locality }
+    AppProfile {
+        name,
+        pattern,
+        lines_per_instr,
+        compute_per_mem,
+        line_locality,
+    }
 }
 
 /// All 30 application profiles (Fig. 5's benchmark list).

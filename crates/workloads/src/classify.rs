@@ -29,7 +29,10 @@ pub const HIGH_THRESHOLD: f64 = 0.20;
 impl TlbClass {
     /// Classifies a measured `(l1_miss_rate, l2_miss_rate)` pair.
     pub fn from_rates(l1: f64, l2: f64) -> Self {
-        TlbClass { l1_high: l1 >= HIGH_THRESHOLD, l2_high: l2 >= HIGH_THRESHOLD }
+        TlbClass {
+            l1_high: l1 >= HIGH_THRESHOLD,
+            l2_high: l2 >= HIGH_THRESHOLD,
+        }
     }
 }
 
@@ -70,13 +73,12 @@ impl Default for ClassifyConfig {
 /// alone on `cfg.n_cores` cores.
 pub fn measure_tlb_rates(profile: &AppProfile, cfg: &ClassifyConfig) -> (f64, f64) {
     let asid = Asid::new(0);
-    let mut l1s: Vec<L1Tlb> = (0..cfg.n_cores).map(|_| L1Tlb::new(cfg.l1_entries)).collect();
+    let mut l1s: Vec<L1Tlb> = (0..cfg.n_cores)
+        .map(|_| L1Tlb::new(cfg.l1_entries))
+        .collect();
     let mut l2 = SharedL2Tlb::new(cfg.l2_entries, cfg.l2_assoc, 1, 0);
     let mut traces: Vec<WarpTrace> = (0..cfg.n_cores)
-        .flat_map(|c| {
-            (0..cfg.warps_per_core)
-                .map(move |w| (c as u64, w as u64))
-        })
+        .flat_map(|c| (0..cfg.warps_per_core).map(move |w| (c as u64, w as u64)))
         .map(|(c, w)| WarpTrace::new(profile, cfg.seed, c, w, PAGE_SIZE_4K_LOG2))
         .collect();
     let (mut l1_acc, mut l1_miss) = (0u64, 0u64);
@@ -85,8 +87,11 @@ pub fn measure_tlb_rates(profile: &AppProfile, cfg: &ClassifyConfig) -> (f64, f6
         for (i, t) in traces.iter_mut().enumerate() {
             let core = i / cfg.warps_per_core;
             let op = t.next_op();
-            let mut pages: Vec<u64> =
-                op.lines.iter().map(|va| va.vpn(PAGE_SIZE_4K_LOG2).0).collect();
+            let mut pages: Vec<u64> = op
+                .lines
+                .iter()
+                .map(|va| va.vpn(PAGE_SIZE_4K_LOG2).0)
+                .collect();
             pages.sort_unstable();
             pages.dedup();
             for page in pages {
@@ -109,7 +114,11 @@ pub fn measure_tlb_rates(profile: &AppProfile, cfg: &ClassifyConfig) -> (f64, f6
             }
         }
     }
-    let l1_rate = if l1_acc == 0 { 0.0 } else { l1_miss as f64 / l1_acc as f64 };
+    let l1_rate = if l1_acc == 0 {
+        0.0
+    } else {
+        l1_miss as f64 / l1_acc as f64
+    };
     (l1_rate, l2.lifetime_stats(asid).miss_rate())
 }
 
@@ -120,9 +129,27 @@ mod tests {
 
     #[test]
     fn class_threshold_boundaries() {
-        assert_eq!(TlbClass::from_rates(0.19, 0.19), TlbClass { l1_high: false, l2_high: false });
-        assert_eq!(TlbClass::from_rates(0.20, 0.19), TlbClass { l1_high: true, l2_high: false });
-        assert_eq!(TlbClass::from_rates(0.05, 0.9), TlbClass { l1_high: false, l2_high: true });
+        assert_eq!(
+            TlbClass::from_rates(0.19, 0.19),
+            TlbClass {
+                l1_high: false,
+                l2_high: false
+            }
+        );
+        assert_eq!(
+            TlbClass::from_rates(0.20, 0.19),
+            TlbClass {
+                l1_high: true,
+                l2_high: false
+            }
+        );
+        assert_eq!(
+            TlbClass::from_rates(0.05, 0.9),
+            TlbClass {
+                l1_high: false,
+                l2_high: true
+            }
+        );
     }
 
     /// The headline property: every synthetic profile lands in its paper
@@ -131,7 +158,10 @@ mod tests {
     fn all_apps_match_table_2() {
         // Long enough that compulsory (cold) misses do not dominate the
         // low-miss-rate apps' L2 statistics.
-        let cfg = ClassifyConfig { ops_per_warp: 250, ..ClassifyConfig::default() };
+        let cfg = ClassifyConfig {
+            ops_per_warp: 250,
+            ..ClassifyConfig::default()
+        };
         let mut failures = Vec::new();
         for app in all_apps() {
             let (l1, l2) = measure_tlb_rates(app, &cfg);
@@ -144,7 +174,11 @@ mod tests {
                 ));
             }
         }
-        assert!(failures.is_empty(), "misclassified apps:\n{}", failures.join("\n"));
+        assert!(
+            failures.is_empty(),
+            "misclassified apps:\n{}",
+            failures.join("\n")
+        );
     }
 
     #[test]
@@ -152,7 +186,10 @@ mod tests {
         let cfg = ClassifyConfig::default();
         let lud = crate::apps::app_by_name("LUD").expect("exists");
         let (l1, _) = measure_tlb_rates(lud, &cfg);
-        assert!(l1 < 0.10, "LUD should have a very low L1 TLB miss rate, got {l1:.3}");
+        assert!(
+            l1 < 0.10,
+            "LUD should have a very low L1 TLB miss rate, got {l1:.3}"
+        );
     }
 
     #[test]
@@ -160,7 +197,13 @@ mod tests {
         let cfg = ClassifyConfig::default();
         let gup = crate::apps::app_by_name("GUP").expect("exists");
         let (l1, l2) = measure_tlb_rates(gup, &cfg);
-        assert!(l1 > 0.5, "GUP random scatter thrashes the L1 TLB, got {l1:.3}");
-        assert!(l2 < 0.2, "GUP's 400-page set fits the 512-entry L2 TLB, got {l2:.3}");
+        assert!(
+            l1 > 0.5,
+            "GUP random scatter thrashes the L1 TLB, got {l1:.3}"
+        );
+        assert!(
+            l2 < 0.2,
+            "GUP's 400-page set fits the 512-entry L2 TLB, got {l2:.3}"
+        );
     }
 }

@@ -82,7 +82,9 @@ impl AppProfile {
         match self.pattern {
             Pattern::Stream { pages, .. } => pages,
             Pattern::Random { pages, .. } => pages,
-            Pattern::TiledHot { hot, stream_pages, .. } => hot + stream_pages,
+            Pattern::TiledHot {
+                hot, stream_pages, ..
+            } => hot + stream_pages,
             Pattern::HotCold { hot, cold, .. } => hot + cold,
         }
     }
@@ -96,18 +98,34 @@ mod tests {
     fn footprint_covers_all_regions() {
         let p = AppProfile {
             name: "X",
-            pattern: Pattern::TiledHot { hot: 10, p_hot: 0.9, stream_pages: 90, burst: 4, group: 8 },
+            pattern: Pattern::TiledHot {
+                hot: 10,
+                p_hot: 0.9,
+                stream_pages: 90,
+                burst: 4,
+                group: 8,
+            },
             lines_per_instr: 4,
             compute_per_mem: 5,
             line_locality: 0.3,
         };
         assert_eq!(p.footprint_pages(), 100);
         let s = AppProfile {
-            pattern: Pattern::Stream { pages: 512, burst: 16, group: 8 },
+            pattern: Pattern::Stream {
+                pages: 512,
+                burst: 16,
+                group: 8,
+            },
             ..p
         };
         assert_eq!(s.footprint_pages(), 512);
-        let r = AppProfile { pattern: Pattern::Random { pages: 64, pages_per_instr: 2 }, ..p };
+        let r = AppProfile {
+            pattern: Pattern::Random {
+                pages: 64,
+                pages_per_instr: 2,
+            },
+            ..p
+        };
         assert_eq!(r.footprint_pages(), 64);
     }
 }

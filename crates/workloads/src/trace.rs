@@ -49,7 +49,10 @@ impl WarpTrace {
         let global_warp = core * 4096 + warp;
         // Stream id mixes the app name so co-scheduled identical apps
         // still produce distinct streams per address space.
-        let name_hash = profile.name.bytes().fold(0u64, |h, b| h.wrapping_mul(131).wrapping_add(b as u64));
+        let name_hash = profile
+            .name
+            .bytes()
+            .fold(0u64, |h, b| h.wrapping_mul(131).wrapping_add(u64::from(b)));
         WarpTrace {
             profile: *profile,
             rng: Pcg32::new(seed ^ name_hash, global_warp + 1),
@@ -69,7 +72,11 @@ impl WarpTrace {
 
     /// Virtual address of `line_idx` within `page`.
     fn line_va(&self, page: u64, line_idx: u64) -> VirtAddr {
-        VirtAddr::new(DATA_BASE + (page << self.page_size_log2) + (line_idx % self.lines_per_page()) * LINE_SIZE)
+        VirtAddr::new(
+            DATA_BASE
+                + (page << self.page_size_log2)
+                + (line_idx % self.lines_per_page()) * LINE_SIZE,
+        )
     }
 
     /// Advances the stream component and returns the current page index
@@ -87,7 +94,7 @@ impl WarpTrace {
             self.burst_left = burst.max(1);
         }
         self.burst_left -= 1;
-        let group_id = self.global_warp / group.max(1) as u64;
+        let group_id = self.global_warp / u64::from(group.max(1));
         (group_id
             .wrapping_mul(2654435761)
             .wrapping_add(self.step.wrapping_mul(257)))
@@ -124,25 +131,31 @@ impl WarpTrace {
         let compute = p.compute_per_mem + self.rng.below(3) as u32;
         let mut lines = Vec::with_capacity(p.lines_per_instr as usize);
         match p.pattern {
-            Pattern::Stream { pages, burst, group } => {
+            Pattern::Stream {
+                pages,
+                burst,
+                group,
+            } => {
                 if let Some((page, line)) = self.recall() {
                     // Re-touch recent addresses (stencil-style reuse).
-                    for i in 0..p.lines_per_instr as u64 {
+                    for i in 0..u64::from(p.lines_per_instr) {
                         lines.push(self.line_va(page, line + i));
                     }
                 } else {
                     let page = self.stream_page(pages, burst, group);
                     // Consecutive lines within the page, advancing with the
                     // burst position so the burst covers the page.
-                    let start =
-                        (burst.max(1) - 1 - self.burst_left) * p.lines_per_instr as u64;
-                    for i in 0..p.lines_per_instr as u64 {
+                    let start = (burst.max(1) - 1 - self.burst_left) * u64::from(p.lines_per_instr);
+                    for i in 0..u64::from(p.lines_per_instr) {
                         lines.push(self.line_va(page, start + i));
                     }
                     self.remember(page, start);
                 }
             }
-            Pattern::Random { pages, pages_per_instr } => {
+            Pattern::Random {
+                pages,
+                pages_per_instr,
+            } => {
                 for _ in 0..pages_per_instr.max(1) {
                     let (page, base_line) = match self.recall() {
                         Some(pl) => pl,
@@ -153,7 +166,7 @@ impl WarpTrace {
                             (page, line)
                         }
                     };
-                    for i in 0..(p.lines_per_instr / pages_per_instr.max(1)).max(1) as u64 {
+                    for i in 0..u64::from((p.lines_per_instr / pages_per_instr.max(1)).max(1)) {
                         lines.push(self.line_va(page, base_line + i));
                     }
                 }
@@ -172,26 +185,32 @@ impl WarpTrace {
                         (page, line)
                     }
                 };
-                for i in 0..p.lines_per_instr as u64 {
+                for i in 0..u64::from(p.lines_per_instr) {
                     lines.push(self.line_va(page, base_line + i));
                 }
             }
-            Pattern::TiledHot { hot, p_hot, stream_pages, burst, group } => {
+            Pattern::TiledHot {
+                hot,
+                p_hot,
+                stream_pages,
+                burst,
+                group,
+            } => {
                 if let Some((page, line)) = self.recall() {
-                    for i in 0..p.lines_per_instr as u64 {
+                    for i in 0..u64::from(p.lines_per_instr) {
                         lines.push(self.line_va(page, line + i));
                     }
                 } else if self.rng.chance(p_hot) {
                     let page = self.rng.below(hot.max(1));
                     let line = self.rng.below(self.lines_per_page());
                     self.remember(page, line);
-                    for i in 0..p.lines_per_instr as u64 {
+                    for i in 0..u64::from(p.lines_per_instr) {
                         lines.push(self.line_va(page, line + i));
                     }
                 } else {
                     let page = hot + self.stream_page(stream_pages, burst, group);
                     let start = self.rng.below(self.lines_per_page());
-                    for i in 0..p.lines_per_instr as u64 {
+                    for i in 0..u64::from(p.lines_per_instr) {
                         lines.push(self.line_va(page, start + i));
                     }
                     self.remember(page, start);
@@ -217,7 +236,11 @@ mod tests {
     fn stream_profile() -> AppProfile {
         AppProfile {
             name: "T",
-            pattern: Pattern::Stream { pages: 100, burst: 8, group: 4 },
+            pattern: Pattern::Stream {
+                pages: 100,
+                burst: 8,
+                group: 4,
+            },
             lines_per_instr: 4,
             compute_per_mem: 3,
             line_locality: 0.0,
@@ -255,7 +278,10 @@ mod tests {
         let pa = pages(&mut a);
         let pb = pages(&mut b);
         let shared = pa.intersection(&pb).count();
-        assert!(shared * 2 >= pa.len(), "same-group warps mostly share pages");
+        assert!(
+            shared * 2 >= pa.len(),
+            "same-group warps mostly share pages"
+        );
     }
 
     #[test]
@@ -279,7 +305,10 @@ mod tests {
     fn random_pattern_stays_in_footprint() {
         let p = AppProfile {
             name: "R",
-            pattern: Pattern::Random { pages: 32, pages_per_instr: 2 },
+            pattern: Pattern::Random {
+                pages: 32,
+                pages_per_instr: 2,
+            },
             lines_per_instr: 4,
             compute_per_mem: 2,
             line_locality: 0.5,
@@ -297,7 +326,13 @@ mod tests {
     fn tiled_hot_mostly_hits_hot_set() {
         let p = AppProfile {
             name: "H",
-            pattern: Pattern::TiledHot { hot: 16, p_hot: 0.9, stream_pages: 1000, burst: 4, group: 8 },
+            pattern: Pattern::TiledHot {
+                hot: 16,
+                p_hot: 0.9,
+                stream_pages: 1000,
+                burst: 4,
+                group: 8,
+            },
             lines_per_instr: 2,
             compute_per_mem: 2,
             line_locality: 0.0,
@@ -312,7 +347,7 @@ mod tests {
                 total += 1;
             }
         }
-        let frac = hot_hits as f64 / total as f64;
+        let frac = hot_hits as f64 / f64::from(total);
         assert!(frac > 0.8, "hot fraction {frac}");
     }
 

@@ -16,14 +16,28 @@ use mask_core::prelude::*;
 
 fn main() {
     let tenants = ["MUM", "RED", "HS", "HISTO"];
-    let profiles: Vec<_> =
-        tenants.iter().map(|n| app_by_name(n).expect("known benchmark")).collect();
-    let opts = RunOptions { max_cycles: 250_000, n_cores: 28, ..Default::default() };
+    let profiles: Vec<_> = tenants
+        .iter()
+        .map(|n| app_by_name(n).expect("known benchmark"))
+        .collect();
+    let opts = RunOptions {
+        max_cycles: 250_000,
+        n_cores: 28,
+        ..Default::default()
+    };
     let mut runner = PairRunner::new(opts);
 
     println!("Four tenants sharing a 28-core GPU (7 cores each)\n");
-    println!("{:<10} {:>8} {:>9} {:>9}   per-tenant slowdown vs alone", "design", "WS", "IPC(sum)", "unfair");
-    for design in [DesignKind::Static, DesignKind::SharedTlb, DesignKind::Mask, DesignKind::Ideal] {
+    println!(
+        "{:<10} {:>8} {:>9} {:>9}   per-tenant slowdown vs alone",
+        "design", "WS", "IPC(sum)", "unfair"
+    );
+    for design in [
+        DesignKind::Static,
+        DesignKind::SharedTlb,
+        DesignKind::Mask,
+        DesignKind::Ideal,
+    ] {
         let o = runner.run_multi(&profiles, design);
         let slowdowns: Vec<String> = o
             .shared_ipc

@@ -14,7 +14,10 @@ use mask_core::prelude::*;
 fn main() {
     // 30-core Maxwell-like GPU (Table 1), 150K measured cycles after a
     // 100K-cycle warm-up. Raise max_cycles for higher fidelity.
-    let opts = RunOptions { max_cycles: 250_000, ..Default::default() };
+    let opts = RunOptions {
+        max_cycles: 250_000,
+        ..Default::default()
+    };
     let mut runner = PairRunner::new(opts);
 
     println!("CONS + LPS sharing a 30-core GPU (15 cores each)\n");
@@ -23,7 +26,9 @@ fn main() {
         "design", "WS", "IPC(sum)", "unfair", "IPC(CONS)", "IPC(LPS)"
     );
     for design in [DesignKind::SharedTlb, DesignKind::Mask, DesignKind::Ideal] {
-        let o = runner.run_named("CONS", "LPS", design).expect("benchmarks exist");
+        let o = runner
+            .run_named("CONS", "LPS", design)
+            .expect("benchmarks exist");
         println!(
             "{:<10} {:>9.3} {:>9.2} {:>9.2} {:>10.2} {:>10.2}",
             design.label(),

@@ -14,7 +14,10 @@ use mask_core::prelude::*;
 
 fn main() {
     println!("Shared L2 TLB size sweep, CONS_LPS on 30 cores\n");
-    println!("{:>8} {:>12} {:>9} {:>12}", "entries", "SharedTLB WS", "MASK WS", "MASK gain");
+    println!(
+        "{:>8} {:>12} {:>9} {:>12}",
+        "entries", "SharedTLB WS", "MASK WS", "MASK gain"
+    );
     for entries in [64usize, 256, 512, 1024, 4096, 8192] {
         let mut gpu = GpuConfig::maxwell();
         gpu.tlb.l2_entries = entries;
@@ -23,8 +26,12 @@ fn main() {
             gpu,
             ..Default::default()
         });
-        let base = runner.run_named("CONS", "LPS", DesignKind::SharedTlb).expect("known");
-        let mask = runner.run_named("CONS", "LPS", DesignKind::Mask).expect("known");
+        let base = runner
+            .run_named("CONS", "LPS", DesignKind::SharedTlb)
+            .expect("known");
+        let mask = runner
+            .run_named("CONS", "LPS", DesignKind::Mask)
+            .expect("known");
         println!(
             "{:>8} {:>12.3} {:>9.3} {:>11.1}%",
             entries,

@@ -13,7 +13,9 @@
 use mask_core::prelude::*;
 
 fn main() {
-    let name = std::env::args().nth(1).unwrap_or_else(|| "CONS".to_string());
+    let name = std::env::args()
+        .nth(1)
+        .unwrap_or_else(|| "CONS".to_string());
     let Some(profile) = app_by_name(&name) else {
         eprintln!("unknown benchmark {name:?}; available:");
         for a in all_apps() {
@@ -22,23 +24,56 @@ fn main() {
         eprintln!();
         std::process::exit(1);
     };
-    let runner = PairRunner::new(RunOptions { max_cycles: 250_000, ..Default::default() });
-    let stats = runner.run_apps(DesignKind::SharedTlb, &[AppSpec { profile, n_cores: 30 }]);
+    let runner = PairRunner::new(RunOptions {
+        max_cycles: 250_000,
+        ..Default::default()
+    });
+    let stats = runner.run_apps(
+        DesignKind::SharedTlb,
+        &[AppSpec {
+            profile,
+            n_cores: 30,
+        }],
+    );
     let a = &stats.apps[0];
 
-    println!("=== {} alone on 30 cores (SharedTLB baseline) ===\n", profile.name);
+    println!(
+        "=== {} alone on 30 cores (SharedTLB baseline) ===\n",
+        profile.name
+    );
     println!("IPC                          {:>10.3}", a.ipc());
     println!("memory instructions          {:>10}", a.mem_instructions);
-    println!("L1 TLB miss rate             {:>10.3}", a.l1_tlb.miss_rate());
-    println!("L2 TLB miss rate             {:>10.3}", a.l2_tlb.miss_rate());
+    println!(
+        "L1 TLB miss rate             {:>10.3}",
+        a.l1_tlb.miss_rate()
+    );
+    println!(
+        "L2 TLB miss rate             {:>10.3}",
+        a.l2_tlb.miss_rate()
+    );
     println!("page walks completed         {:>10}", a.walks_completed);
-    println!("avg page-walk latency        {:>10.0} cycles", a.avg_walk_latency());
-    println!("avg concurrent walks (Fig.5) {:>10.1}", a.avg_concurrent_walks());
-    println!("max concurrent walks         {:>10}", a.walk_concurrency_max);
-    println!("warps stalled/miss (Fig.6)   {:>10.1}", a.avg_warps_stalled_per_miss());
+    println!(
+        "avg page-walk latency        {:>10.0} cycles",
+        a.avg_walk_latency()
+    );
+    println!(
+        "avg concurrent walks (Fig.5) {:>10.1}",
+        a.avg_concurrent_walks()
+    );
+    println!(
+        "max concurrent walks         {:>10}",
+        a.walk_concurrency_max
+    );
+    println!(
+        "warps stalled/miss (Fig.6)   {:>10.1}",
+        a.avg_warps_stalled_per_miss()
+    );
     println!("max warps stalled on a miss  {:>10}", a.stalled_warps_max);
     println!();
-    println!("L2 cache hit rate, data      {:>10.3}", a.l2_data.hit_rate());
+    println!(
+        "L2 cache hit rate, data      {:>10.3}",
+        a.l2_data.hit_rate()
+    );
     for level in 1..=4u8 {
         let l = mask_common::req::WalkLevel::new(level);
         println!(

@@ -15,7 +15,10 @@ fn stats_with_fault_latency(latency: u64) -> SimStats {
     });
     runner.run_apps(
         DesignKind::SharedTlb,
-        &[AppSpec { profile: app_by_name("SCAN").expect("known"), n_cores: 4 }],
+        &[AppSpec {
+            profile: app_by_name("SCAN").expect("known"),
+            n_cores: 4,
+        }],
     )
 }
 
@@ -23,7 +26,10 @@ fn stats_with_fault_latency(latency: u64) -> SimStats {
 fn faults_are_counted_only_when_enabled() {
     let without = stats_with_fault_latency(0);
     let with = stats_with_fault_latency(5_000);
-    assert_eq!(without.apps[0].page_faults, 0, "fault-free mode takes no faults");
+    assert_eq!(
+        without.apps[0].page_faults, 0,
+        "fault-free mode takes no faults"
+    );
     assert!(with.apps[0].page_faults > 0, "first touches must fault");
 }
 

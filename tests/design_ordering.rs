@@ -9,7 +9,13 @@ use mask_core::prelude::*;
 fn opts(cycles: u64) -> RunOptions {
     let mut gpu = GpuConfig::maxwell();
     gpu.warps_per_core = 32;
-    RunOptions { n_cores: 8, max_cycles: cycles, seed: 3, warmup_cycles: cycles / 4, gpu }
+    RunOptions {
+        n_cores: 8,
+        max_cycles: cycles,
+        seed: 3,
+        warmup_cycles: cycles / 4,
+        gpu,
+    }
 }
 
 /// Runs one translation-heavy pair under every design.
@@ -24,7 +30,10 @@ fn sweep(cycles: u64) -> Vec<(DesignKind, PairOutcome)> {
 #[test]
 fn ideal_dominates_every_design() {
     let all = sweep(30_000);
-    let ideal = all.iter().find(|(d, _)| *d == DesignKind::Ideal).expect("ideal present");
+    let ideal = all
+        .iter()
+        .find(|(d, _)| *d == DesignKind::Ideal)
+        .expect("ideal present");
     for (d, o) in &all {
         assert!(
             o.ipc_throughput <= ideal.1.ipc_throughput * 1.02,
@@ -80,8 +89,17 @@ fn mask_components_never_collapse() {
         .find(|(d, _)| *d == DesignKind::SharedTlb)
         .map(|(_, o)| o.weighted_speedup)
         .expect("baseline");
-    for k in [DesignKind::MaskTlb, DesignKind::MaskCache, DesignKind::MaskDram, DesignKind::Mask] {
-        let ws = all.iter().find(|(d, _)| *d == k).map(|(_, o)| o.weighted_speedup).expect("design");
+    for k in [
+        DesignKind::MaskTlb,
+        DesignKind::MaskCache,
+        DesignKind::MaskDram,
+        DesignKind::Mask,
+    ] {
+        let ws = all
+            .iter()
+            .find(|(d, _)| *d == k)
+            .map(|(_, o)| o.weighted_speedup)
+            .expect("design");
         assert!(
             ws > base * 0.85,
             "{k} weighted speedup ({ws:.3}) collapsed vs SharedTLB ({base:.3})"

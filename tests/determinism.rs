@@ -15,8 +15,14 @@ fn run(seed: u64, design: DesignKind) -> SimStats {
     runner.run_apps(
         design,
         &[
-            AppSpec { profile: app_by_name("MUM").expect("known"), n_cores: 2 },
-            AppSpec { profile: app_by_name("HISTO").expect("known"), n_cores: 2 },
+            AppSpec {
+                profile: app_by_name("MUM").expect("known"),
+                n_cores: 2,
+            },
+            AppSpec {
+                profile: app_by_name("HISTO").expect("known"),
+                n_cores: 2,
+            },
         ],
     )
 }

@@ -1,14 +1,18 @@
 //! End-to-end smoke of every experiment harness at miniature scale: each
 //! must produce a structurally-complete table.
 
-use mask_core::experiments::{
-    baseline, components, dram_char, generality, interference, multiprog, scalability,
-    sensitivity, single_app, timemux, ExpOptions,
-};
 use mask_common::config::DesignKind;
+use mask_core::experiments::{
+    baseline, components, dram_char, generality, interference, multiprog, scalability, sensitivity,
+    single_app, timemux, ExpOptions,
+};
 
 fn tiny() -> ExpOptions {
-    ExpOptions { cycles: 4_000, pair_limit: 1, ..ExpOptions::quick() }
+    ExpOptions {
+        cycles: 4_000,
+        pair_limit: 1,
+        ..ExpOptions::quick()
+    }
 }
 
 #[test]

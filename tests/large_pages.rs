@@ -16,7 +16,10 @@ fn run(page_size_log2: u32) -> SimStats {
     });
     runner.run_apps(
         DesignKind::SharedTlb,
-        &[AppSpec { profile: app_by_name("CONS").expect("known"), n_cores: 4 }],
+        &[AppSpec {
+            profile: app_by_name("CONS").expect("known"),
+            n_cores: 4,
+        }],
     )
 }
 
@@ -27,7 +30,9 @@ fn large_pages_walk_three_levels() {
         stats.apps[0].l2_translation[3].accesses, 0,
         "2MB pages must never touch a level-4 PTE"
     );
-    let shallow: u64 = (0..3).map(|i| stats.apps[0].l2_translation[i].accesses).sum();
+    let shallow: u64 = (0..3)
+        .map(|i| stats.apps[0].l2_translation[i].accesses)
+        .sum();
     assert!(shallow > 0, "walks still traverse the upper levels");
 }
 

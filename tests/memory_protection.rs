@@ -12,10 +12,15 @@ use mask_tlb::{L2TlbProbe, SharedL2Tlb};
 fn same_vpn_distinct_asids_distinct_frames() {
     let mut pts = PageTables::new(4, PAGE_SIZE_4K_LOG2);
     let vpn = Vpn(0xCAFE);
-    let frames: Vec<_> = (0..4).map(|a| pts.ensure_mapped(Asid::new(a), vpn)).collect();
+    let frames: Vec<_> = (0..4)
+        .map(|a| pts.ensure_mapped(Asid::new(a), vpn))
+        .collect();
     for i in 0..4 {
         for j in i + 1..4 {
-            assert_ne!(frames[i], frames[j], "address spaces {i} and {j} share a frame");
+            assert_ne!(
+                frames[i], frames[j],
+                "address spaces {i} and {j} share a frame"
+            );
         }
     }
 }
@@ -24,19 +29,32 @@ fn same_vpn_distinct_asids_distinct_frames() {
 fn shared_tlb_never_leaks_across_asids() {
     let mut tlb = SharedL2Tlb::new(512, 16, 2, 32);
     tlb.fill(Asid::new(0), Vpn(7), mask_common::addr::Ppn(99), true);
-    assert_eq!(tlb.probe(Asid::new(1), Vpn(7)), L2TlbProbe::Miss, "cross-ASID TLB hit");
+    assert_eq!(
+        tlb.probe(Asid::new(1), Vpn(7)),
+        L2TlbProbe::Miss,
+        "cross-ASID TLB hit"
+    );
 }
 
 #[test]
 fn per_asid_flush_is_precise() {
     let mut tlb = SharedL2Tlb::new(512, 16, 2, 32);
     for v in 0..100u64 {
-        tlb.fill(Asid::new((v % 2) as u16), Vpn(v), mask_common::addr::Ppn(v), true);
+        tlb.fill(
+            Asid::new((v % 2) as u16),
+            Vpn(v),
+            mask_common::addr::Ppn(v),
+            true,
+        );
     }
     tlb.flush_asid(Asid::new(0));
     for v in 0..100u64 {
         let hit = tlb.probe(Asid::new((v % 2) as u16), Vpn(v)).ppn().is_some();
-        assert_eq!(hit, v % 2 == 1, "flush touched the wrong address space (vpn {v})");
+        assert_eq!(
+            hit,
+            v % 2 == 1,
+            "flush touched the wrong address space (vpn {v})"
+        );
     }
 }
 
@@ -48,5 +66,9 @@ fn translation_unit_isolates_walks() {
     let w1 = GlobalWarpId::new(CoreId::new(1), WarpId::new(0));
     unit.request(Asid::new(0), Vpn(42), w0, 0, 0);
     unit.request(Asid::new(1), Vpn(42), w1, 0, 0);
-    assert_eq!(unit.outstanding(), 2, "same VPN in two address spaces must not merge");
+    assert_eq!(
+        unit.outstanding(),
+        2,
+        "same VPN in two address spaces must not merge"
+    );
 }

@@ -6,7 +6,13 @@ use mask_core::prelude::*;
 fn runner() -> PairRunner {
     let mut gpu = GpuConfig::maxwell();
     gpu.warps_per_core = 32;
-    PairRunner::new(RunOptions { n_cores: 8, max_cycles: 40_000, seed: 11, warmup_cycles: 10_000, gpu })
+    PairRunner::new(RunOptions {
+        n_cores: 8,
+        max_cycles: 40_000,
+        seed: 11,
+        warmup_cycles: 10_000,
+        gpu,
+    })
 }
 
 #[test]
@@ -17,11 +23,17 @@ fn walk_levels_hit_monotonically_less_toward_leaves() {
     let r = runner();
     let stats = r.run_apps(
         DesignKind::SharedTlb,
-        &[AppSpec { profile: app_by_name("CONS").expect("known"), n_cores: 8 }],
+        &[AppSpec {
+            profile: app_by_name("CONS").expect("known"),
+            n_cores: 8,
+        }],
     );
     let a = &stats.apps[0];
     let rates: Vec<f64> = (0..4).map(|i| a.l2_translation[i].hit_rate()).collect();
-    assert!(rates[0] >= rates[2] && rates[0] >= rates[3], "root must cache best: {rates:?}");
+    assert!(
+        rates[0] >= rates[2] && rates[0] >= rates[3],
+        "root must cache best: {rates:?}"
+    );
     assert!(
         rates[3] < rates[0],
         "leaf level must cache strictly worse than root: {rates:?}"
@@ -34,10 +46,25 @@ fn interference_raises_shared_tlb_miss_rate() {
     let r = runner();
     let gup = app_by_name("GUP").expect("known");
     let cons = app_by_name("CONS").expect("known");
-    let alone = r.run_apps(DesignKind::SharedTlb, &[AppSpec { profile: gup, n_cores: 4 }]);
+    let alone = r.run_apps(
+        DesignKind::SharedTlb,
+        &[AppSpec {
+            profile: gup,
+            n_cores: 4,
+        }],
+    );
     let shared = r.run_apps(
         DesignKind::SharedTlb,
-        &[AppSpec { profile: gup, n_cores: 4 }, AppSpec { profile: cons, n_cores: 4 }],
+        &[
+            AppSpec {
+                profile: gup,
+                n_cores: 4,
+            },
+            AppSpec {
+                profile: cons,
+                n_cores: 4,
+            },
+        ],
     );
     let miss_alone = alone.apps[0].l2_tlb.miss_rate();
     let miss_shared = shared.apps[0].l2_tlb.miss_rate();
@@ -52,9 +79,14 @@ fn interference_raises_shared_tlb_miss_rate() {
 fn translation_bandwidth_is_the_minority_share() {
     // Fig. 8: translation is a small fraction of utilized bandwidth.
     let mut r = runner();
-    let o = r.run_named("CONS", "LPS", DesignKind::SharedTlb).expect("known");
+    let o = r
+        .run_named("CONS", "LPS", DesignKind::SharedTlb)
+        .expect("known");
     let share = o.stats.translation_bandwidth_share();
-    assert!(share < 0.5, "translation bandwidth share {share:.3} should be the minority");
+    assert!(
+        share < 0.5,
+        "translation bandwidth share {share:.3} should be the minority"
+    );
     assert!(share > 0.0, "translation must reach DRAM at all");
 }
 
@@ -67,7 +99,10 @@ fn tlb_misses_stall_multiple_warps_for_sharing_workloads() {
     let r = runner();
     let stats = r.run_apps(
         DesignKind::SharedTlb,
-        &[AppSpec { profile: app_by_name("GUP").expect("known"), n_cores: 8 }],
+        &[AppSpec {
+            profile: app_by_name("GUP").expect("known"),
+            n_cores: 8,
+        }],
     );
     assert!(
         stats.apps[0].avg_warps_stalled_per_miss() >= 1.0,
@@ -83,8 +118,12 @@ fn tlb_misses_stall_multiple_warps_for_sharing_workloads() {
 fn mask_reduces_translation_dram_latency() {
     // §7.2: the Golden queue cuts DRAM latency for translations.
     let mut r = runner();
-    let base = r.run_named("CONS", "RED", DesignKind::SharedTlb).expect("known");
-    let mask = r.run_named("CONS", "RED", DesignKind::MaskDram).expect("known");
+    let base = r
+        .run_named("CONS", "RED", DesignKind::SharedTlb)
+        .expect("known");
+    let mask = r
+        .run_named("CONS", "RED", DesignKind::MaskDram)
+        .expect("known");
     let lat = |o: &PairOutcome| {
         let mut t = mask_common::stats::DramClassStats::default();
         for a in &o.stats.apps {

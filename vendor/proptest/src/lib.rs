@@ -1,0 +1,489 @@
+//! A small, fully deterministic stand-in for the `proptest` crate.
+//!
+//! The real `proptest` cannot be fetched in this offline build environment,
+//! so the workspace vendors this stub and points the `proptest` workspace
+//! dependency at it. It implements exactly the API subset the repository's
+//! property tests use:
+//!
+//! - the [`proptest!`] macro, including `#![proptest_config(..)]`,
+//!   `name in strategy` bindings, and `name: Type` bindings,
+//! - [`prop_assert!`] / [`prop_assert_eq!`],
+//! - [`prelude`] with [`Strategy`], `any::<T>()`, [`prop_oneof!`], and
+//!   `.prop_map(..)`,
+//! - [`collection::vec`] and [`collection::hash_set`],
+//! - integer-range and tuple strategies.
+//!
+//! Unlike the real crate there is no shrinking and no persisted failure
+//! seeds: every test function runs a fixed number of cases drawn from a
+//! deterministic per-case RNG, so a failure reproduces identically on every
+//! run — which is precisely the behaviour a determinism-sensitive simulator
+//! workspace wants from its test harness.
+
+pub mod strategy {
+    use crate::test_runner::TestRng;
+
+    /// A source of generated values. Deterministic: the produced value is a
+    /// pure function of the RNG state.
+    pub trait Strategy {
+        /// The type of value this strategy generates.
+        type Value;
+
+        /// Draws one value.
+        fn generate(&self, rng: &mut TestRng) -> Self::Value;
+
+        /// Maps generated values through `f` (mirror of proptest's
+        /// `Strategy::prop_map`).
+        fn prop_map<T, F>(self, f: F) -> Map<Self, F>
+        where
+            Self: Sized,
+            F: Fn(Self::Value) -> T,
+        {
+            Map { inner: self, f }
+        }
+    }
+
+    impl<S: Strategy + ?Sized> Strategy for Box<S> {
+        type Value = S::Value;
+        fn generate(&self, rng: &mut TestRng) -> Self::Value {
+            (**self).generate(rng)
+        }
+    }
+
+    impl<S: Strategy + ?Sized> Strategy for &S {
+        type Value = S::Value;
+        fn generate(&self, rng: &mut TestRng) -> Self::Value {
+            (**self).generate(rng)
+        }
+    }
+
+    /// Strategy returned by [`Strategy::prop_map`].
+    pub struct Map<S, F> {
+        inner: S,
+        f: F,
+    }
+
+    impl<S, F, T> Strategy for Map<S, F>
+    where
+        S: Strategy,
+        F: Fn(S::Value) -> T,
+    {
+        type Value = T;
+        fn generate(&self, rng: &mut TestRng) -> T {
+            (self.f)(self.inner.generate(rng))
+        }
+    }
+
+    /// Types with a canonical "any value" strategy (mirror of proptest's
+    /// `Arbitrary`).
+    pub trait Arbitrary: Sized {
+        /// Draws an arbitrary value of this type.
+        fn arbitrary(rng: &mut TestRng) -> Self;
+    }
+
+    macro_rules! impl_arbitrary_uint {
+        ($($t:ty),*) => {$(
+            impl Arbitrary for $t {
+                #[allow(clippy::cast_possible_truncation)]
+                fn arbitrary(rng: &mut TestRng) -> Self {
+                    rng.next_u64() as $t
+                }
+            }
+        )*};
+    }
+    impl_arbitrary_uint!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+    impl Arbitrary for bool {
+        fn arbitrary(rng: &mut TestRng) -> Self {
+            rng.next_u64() & 1 == 1
+        }
+    }
+
+    /// Strategy returned by [`any`].
+    pub struct Any<T>(core::marker::PhantomData<T>);
+
+    impl<T: Arbitrary> Strategy for Any<T> {
+        type Value = T;
+        fn generate(&self, rng: &mut TestRng) -> T {
+            T::arbitrary(rng)
+        }
+    }
+
+    /// Strategy producing any value of `T` (mirror of proptest's `any`).
+    pub fn any<T: Arbitrary>() -> Any<T> {
+        Any(core::marker::PhantomData)
+    }
+
+    macro_rules! impl_range_strategy {
+        ($($t:ty),*) => {$(
+            impl Strategy for core::ops::Range<$t> {
+                type Value = $t;
+                #[allow(clippy::cast_possible_truncation, clippy::cast_sign_loss, clippy::cast_possible_wrap)]
+                fn generate(&self, rng: &mut TestRng) -> $t {
+                    assert!(self.start < self.end, "empty range strategy");
+                    let span = (self.end as i128 - self.start as i128) as u128;
+                    let off = (u128::from(rng.next_u64()) % span) as i128;
+                    (self.start as i128 + off) as $t
+                }
+            }
+
+            impl Strategy for core::ops::RangeInclusive<$t> {
+                type Value = $t;
+                #[allow(clippy::cast_possible_truncation, clippy::cast_sign_loss, clippy::cast_possible_wrap)]
+                fn generate(&self, rng: &mut TestRng) -> $t {
+                    let (start, end) = (*self.start(), *self.end());
+                    assert!(start <= end, "empty range strategy");
+                    let span = (end as i128 - start as i128) as u128 + 1;
+                    let off = (u128::from(rng.next_u64()) % span) as i128;
+                    (start as i128 + off) as $t
+                }
+            }
+        )*};
+    }
+    impl_range_strategy!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+    macro_rules! impl_tuple_strategy {
+        ($($name:ident),+) => {
+            impl<$($name: Strategy),+> Strategy for ($($name,)+) {
+                type Value = ($($name::Value,)+);
+                #[allow(non_snake_case)]
+                fn generate(&self, rng: &mut TestRng) -> Self::Value {
+                    let ($($name,)+) = self;
+                    ($($name.generate(rng),)+)
+                }
+            }
+        };
+    }
+    impl_tuple_strategy!(A);
+    impl_tuple_strategy!(A, B);
+    impl_tuple_strategy!(A, B, C);
+    impl_tuple_strategy!(A, B, C, D);
+    impl_tuple_strategy!(A, B, C, D, E);
+
+    /// Strategy that always yields a clone of one value (mirror of
+    /// proptest's `Just`).
+    #[derive(Clone, Debug)]
+    pub struct Just<T>(pub T);
+
+    impl<T: Clone> Strategy for Just<T> {
+        type Value = T;
+        fn generate(&self, _rng: &mut TestRng) -> T {
+            self.0.clone()
+        }
+    }
+
+    /// Uniform choice among boxed alternatives (backs [`prop_oneof!`]).
+    pub struct OneOf<T> {
+        /// The alternatives chosen among.
+        pub arms: Vec<Box<dyn Strategy<Value = T>>>,
+    }
+
+    impl<T> Strategy for OneOf<T> {
+        type Value = T;
+        fn generate(&self, rng: &mut TestRng) -> T {
+            assert!(!self.arms.is_empty(), "prop_oneof! needs at least one arm");
+            let idx = (rng.next_u64() % self.arms.len() as u64) as usize;
+            self.arms[idx].generate(rng)
+        }
+    }
+}
+
+pub mod collection {
+    use crate::strategy::Strategy;
+    use crate::test_runner::TestRng;
+    use std::collections::HashSet;
+    use std::hash::Hash;
+    use std::ops::Range;
+
+    /// Strategy for `Vec`s with a length drawn from `sizes` (mirror of
+    /// `proptest::collection::vec`).
+    pub fn vec<S: Strategy>(element: S, sizes: Range<usize>) -> VecStrategy<S> {
+        VecStrategy { element, sizes }
+    }
+
+    /// Strategy returned by [`vec`].
+    pub struct VecStrategy<S> {
+        element: S,
+        sizes: Range<usize>,
+    }
+
+    impl<S: Strategy> Strategy for VecStrategy<S> {
+        type Value = Vec<S::Value>;
+        fn generate(&self, rng: &mut TestRng) -> Vec<S::Value> {
+            let len = self.sizes.generate(rng);
+            (0..len).map(|_| self.element.generate(rng)).collect()
+        }
+    }
+
+    /// Strategy for `HashSet`s with a target size drawn from `sizes`
+    /// (mirror of `proptest::collection::hash_set`). Duplicate draws are
+    /// retried a bounded number of times, so for small value domains the
+    /// produced set may be smaller than the drawn target.
+    pub fn hash_set<S>(element: S, sizes: Range<usize>) -> HashSetStrategy<S>
+    where
+        S: Strategy,
+        S::Value: Eq + Hash,
+    {
+        HashSetStrategy { element, sizes }
+    }
+
+    /// Strategy returned by [`hash_set`].
+    pub struct HashSetStrategy<S> {
+        element: S,
+        sizes: Range<usize>,
+    }
+
+    impl<S> Strategy for HashSetStrategy<S>
+    where
+        S: Strategy,
+        S::Value: Eq + Hash,
+    {
+        type Value = HashSet<S::Value>;
+        fn generate(&self, rng: &mut TestRng) -> HashSet<S::Value> {
+            let target = self.sizes.generate(rng);
+            let mut set = HashSet::with_capacity(target);
+            let mut attempts = 0usize;
+            while set.len() < target && attempts < target.saturating_mul(32) + 64 {
+                set.insert(self.element.generate(rng));
+                attempts += 1;
+            }
+            set
+        }
+    }
+}
+
+pub mod test_runner {
+    /// Per-test-case deterministic RNG (SplitMix64). Case `n` of every test
+    /// function sees the same stream on every run, on every machine.
+    #[derive(Clone, Debug)]
+    pub struct TestRng {
+        state: u64,
+    }
+
+    impl TestRng {
+        /// RNG for the `case`-th execution of a test body.
+        pub fn for_case(case: u32) -> Self {
+            TestRng {
+                state: 0x9E37_79B9_7F4A_7C15 ^ (u64::from(case) << 17),
+            }
+        }
+
+        /// Next raw 64-bit draw.
+        pub fn next_u64(&mut self) -> u64 {
+            self.state = self.state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+            let mut z = self.state;
+            z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+            z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+            z ^ (z >> 31)
+        }
+    }
+
+    /// Runner configuration (mirror of `proptest::test_runner::ProptestConfig`).
+    #[derive(Clone, Debug)]
+    pub struct ProptestConfig {
+        /// Number of cases each property runs.
+        pub cases: u32,
+    }
+
+    impl ProptestConfig {
+        /// A config running `cases` cases per property.
+        pub fn with_cases(cases: u32) -> Self {
+            ProptestConfig { cases }
+        }
+    }
+
+    impl Default for ProptestConfig {
+        fn default() -> Self {
+            ProptestConfig { cases: 48 }
+        }
+    }
+}
+
+pub mod prelude {
+    pub use crate::collection;
+    pub use crate::strategy::{any, Arbitrary, Just, Strategy};
+    pub use crate::test_runner::ProptestConfig;
+    pub use crate::{prop_assert, prop_assert_eq, prop_assert_ne, prop_oneof, proptest};
+}
+
+/// Declares deterministic property tests (mirror of `proptest::proptest!`).
+#[macro_export]
+macro_rules! proptest {
+    ( #![proptest_config($cfg:expr)] $($rest:tt)* ) => {
+        $crate::__proptest_fns! { cfg = $cfg; $($rest)* }
+    };
+    ( $($rest:tt)* ) => {
+        $crate::__proptest_fns! {
+            cfg = $crate::test_runner::ProptestConfig::default();
+            $($rest)*
+        }
+    };
+}
+
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_fns {
+    ( cfg = $cfg:expr; ) => {};
+    ( cfg = $cfg:expr;
+      $(#[$meta:meta])*
+      fn $name:ident($($params:tt)*) $body:block
+      $($rest:tt)*
+    ) => {
+        $(#[$meta])*
+        #[allow(unused_variables, unused_mut)]
+        fn $name() {
+            let config: $crate::test_runner::ProptestConfig = $cfg;
+            for __case in 0..config.cases {
+                let mut __rng = $crate::test_runner::TestRng::for_case(__case);
+                let rng = &mut __rng;
+                let outcome: ::std::result::Result<(), ::std::string::String> = (|| {
+                    $crate::__proptest_bind!((rng) $($params)*);
+                    $body
+                    ::std::result::Result::Ok(())
+                })();
+                if let ::std::result::Result::Err(msg) = outcome {
+                    panic!("property {} failed at case {}: {}", stringify!($name), __case, msg);
+                }
+            }
+        }
+        $crate::__proptest_fns! { cfg = $cfg; $($rest)* }
+    };
+}
+
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_bind {
+    ( ($rng:ident) ) => {};
+    ( ($rng:ident) $name:ident in $strat:expr ) => {
+        let $name = $crate::strategy::Strategy::generate(&($strat), $rng);
+    };
+    ( ($rng:ident) $name:ident in $strat:expr, $($rest:tt)* ) => {
+        let $name = $crate::strategy::Strategy::generate(&($strat), $rng);
+        $crate::__proptest_bind!(($rng) $($rest)*);
+    };
+    ( ($rng:ident) $name:ident : $ty:ty ) => {
+        let $name = $crate::strategy::Strategy::generate(&$crate::strategy::any::<$ty>(), $rng);
+    };
+    ( ($rng:ident) $name:ident : $ty:ty, $($rest:tt)* ) => {
+        let $name = $crate::strategy::Strategy::generate(&$crate::strategy::any::<$ty>(), $rng);
+        $crate::__proptest_bind!(($rng) $($rest)*);
+    };
+}
+
+/// Property-test assertion: fails the current case with a message instead of
+/// panicking directly (mirror of `proptest::prop_assert!`).
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr) => {
+        $crate::prop_assert!($cond, concat!("assertion failed: ", stringify!($cond)))
+    };
+    ($cond:expr, $($fmt:tt)*) => {
+        if !($cond) {
+            return ::std::result::Result::Err(format!($($fmt)*));
+        }
+    };
+}
+
+/// Property-test equality assertion (mirror of `proptest::prop_assert_eq!`).
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($left:expr, $right:expr $(,)?) => {{
+        let (l, r) = ($left, $right);
+        if l != r {
+            return ::std::result::Result::Err(format!(
+                "assertion failed: `{:?}` != `{:?}` ({} != {})",
+                l, r, stringify!($left), stringify!($right)
+            ));
+        }
+    }};
+    ($left:expr, $right:expr, $($fmt:tt)*) => {{
+        let (l, r) = ($left, $right);
+        if l != r {
+            return ::std::result::Result::Err(format!(
+                "assertion failed: `{:?}` != `{:?}`: {}",
+                l, r, format!($($fmt)*)
+            ));
+        }
+    }};
+}
+
+/// Property-test inequality assertion (mirror of `proptest::prop_assert_ne!`).
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($left:expr, $right:expr $(,)?) => {{
+        let (l, r) = ($left, $right);
+        if l == r {
+            return ::std::result::Result::Err(format!(
+                "assertion failed: `{:?}` == `{:?}` ({} == {})",
+                l,
+                r,
+                stringify!($left),
+                stringify!($right)
+            ));
+        }
+    }};
+}
+
+/// Uniform choice among strategies of a common value type (mirror of
+/// `proptest::prop_oneof!`). Weights are not supported.
+#[macro_export]
+macro_rules! prop_oneof {
+    ($($arm:expr),+ $(,)?) => {
+        $crate::strategy::OneOf {
+            arms: vec![$(Box::new($arm) as Box<dyn $crate::strategy::Strategy<Value = _>>),+],
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+    use crate::test_runner::TestRng;
+
+    #[test]
+    fn rng_is_deterministic() {
+        let mut a = TestRng::for_case(3);
+        let mut b = TestRng::for_case(3);
+        for _ in 0..8 {
+            assert_eq!(a.next_u64(), b.next_u64());
+        }
+    }
+
+    #[test]
+    fn range_strategy_stays_in_bounds() {
+        let mut rng = TestRng::for_case(0);
+        for _ in 0..256 {
+            let v = (10u64..20).generate(&mut rng);
+            assert!((10..20).contains(&v));
+        }
+    }
+
+    #[test]
+    fn collection_strategies_respect_sizes() {
+        let mut rng = TestRng::for_case(1);
+        for _ in 0..64 {
+            let v = collection::vec(any::<u8>(), 3..7).generate(&mut rng);
+            assert!((3..7).contains(&v.len()));
+            let s = collection::hash_set(0u64..1_000_000, 2..50).generate(&mut rng);
+            assert!(s.len() >= 2 && s.len() < 50);
+        }
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(16))]
+
+        #[test]
+        fn macro_binds_both_forms(x: u8, y in 1u16..9, pair in (any::<bool>(), 0u32..5)) {
+            prop_assert!(u16::from(x) <= 255);
+            prop_assert!((1..9).contains(&y), "y out of range: {y}");
+            prop_assert_eq!(pair.1 < 5, true);
+        }
+
+        #[test]
+        fn oneof_and_map_compose(v in collection::vec(prop_oneof![
+            (0u8..10).prop_map(u32::from),
+            (100u8..110).prop_map(u32::from),
+        ], 1..20)) {
+            prop_assert!(v.iter().all(|&x| x < 10 || (100..110).contains(&x)));
+        }
+    }
+}

@@ -1,0 +1,485 @@
+//! The `cargo xtask lint` source scanner.
+//!
+//! A zero-dependency, line-oriented static-analysis pass over every
+//! `crates/*/src/**/*.rs` file. It enforces simulator-wide hygiene rules
+//! that rustc and clippy cannot express:
+//!
+//! | rule id          | what it forbids                                              |
+//! |------------------|--------------------------------------------------------------|
+//! | `collections`    | `HashMap`/`HashSet` in simulator crates (iteration order is  |
+//! |                  | seeded by `RandomState`, which breaks run-to-run determinism |
+//! |                  | of anything that iterates; use `BTreeMap`/`BTreeSet`)        |
+//! | `nondeterminism` | wall-clock / OS entropy (`Instant::now`, `SystemTime`,       |
+//! |                  | `thread_rng`) outside `crates/bench`                         |
+//! | `float-accum`    | naive `f32`/`f64` accumulation in `stats.rs` files — sums    |
+//! |                  | must go through `CompensatedSum`                             |
+//! | `debug-derive`   | a `pub struct` in `mask-common`'s `req.rs` without           |
+//! |                  | `#[derive(Debug)]` (sanitizer diagnostics format requests)   |
+//! | `unwrap`         | `.unwrap()` / bare `panic!` in library code — use `expect`   |
+//! |                  | with an invariant message, a typed error, or annotate        |
+//!
+//! Test code is exempt: the scanner skips items guarded by `#[cfg(test)]`
+//! (tracking the brace span of a guarded `mod`). Any line can opt out of
+//! rule `R` with a trailing `// lint: allow(R)` on the same line or the
+//! line directly above.
+//!
+//! The scanner is deliberately textual. It does not parse Rust; it assumes
+//! the repo's rustfmt style (attributes on their own lines, `mod tests` at
+//! item depth). That keeps `cargo xtask lint` instant and dependency-free,
+//! at the cost of being fooled by braces inside string literals — accepted
+//! for a repo-internal tool.
+
+use std::fmt;
+use std::path::{Path, PathBuf};
+
+/// One rule violation at a source location.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub(crate) struct Violation {
+    /// File the violation is in.
+    pub path: PathBuf,
+    /// 1-based line number.
+    pub line: usize,
+    /// Rule identifier (usable in `// lint: allow(<rule>)`).
+    pub rule: &'static str,
+    /// Human-readable explanation.
+    pub message: String,
+}
+
+impl fmt::Display for Violation {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{}:{}: [{}] {}",
+            self.path.display(),
+            self.line,
+            self.rule,
+            self.message
+        )
+    }
+}
+
+/// Integer type names whose presence marks an accumulation as exact.
+const INT_TYPES: [&str; 11] = [
+    "u8", "u16", "u32", "u64", "u128", "usize", "i8", "i16", "i32", "i64", "i128",
+];
+
+/// Returns true if `line` (or `prev`, the line above) carries a
+/// `lint: allow(rule)` annotation.
+fn allowed(rule: &str, line: &str, prev: Option<&str>) -> bool {
+    let tag = format!("lint: allow({rule})");
+    line.contains(&tag) || prev.is_some_and(|p| p.contains(&tag))
+}
+
+/// Strips `//` line comments so commented-out code is not flagged.
+/// (Doc comments and strings containing `//` are stripped too — fine for
+/// a forbid-list scanner: it can only under-report inside strings.)
+fn code_of(line: &str) -> &str {
+    match line.find("//") {
+        Some(i) => &line[..i],
+        None => line,
+    }
+}
+
+/// Lines of `contents` that are test-only: anything covered by a
+/// `#[cfg(test)]` attribute — the guarded `mod { .. }` span, or the single
+/// guarded item for non-mod items.
+fn test_mask(contents: &str) -> Vec<bool> {
+    let lines: Vec<&str> = contents.lines().collect();
+    let mut mask = vec![false; lines.len()];
+    let mut i = 0;
+    while i < lines.len() {
+        if lines[i].trim() == "#[cfg(test)]" {
+            mask[i] = true;
+            // Skip any further attributes, then cover the guarded item.
+            let mut j = i + 1;
+            while j < lines.len() && lines[j].trim_start().starts_with("#[") {
+                mask[j] = true;
+                j += 1;
+            }
+            if j < lines.len() {
+                mask[j] = true;
+                // A braced item (mod/fn/impl): cover its whole brace span.
+                let mut depth: i64 = 0;
+                let mut saw_open = false;
+                loop {
+                    for c in code_of(lines[j]).chars() {
+                        match c {
+                            '{' => {
+                                depth += 1;
+                                saw_open = true;
+                            }
+                            '}' => depth -= 1,
+                            _ => {}
+                        }
+                    }
+                    mask[j] = true;
+                    j += 1;
+                    if (saw_open && depth <= 0) || j >= lines.len() {
+                        break;
+                    }
+                    // Single-line guarded item (e.g. `use`): stop at `;`.
+                    if !saw_open && code_of(lines[j - 1]).contains(';') {
+                        break;
+                    }
+                }
+            }
+            i = j;
+        } else {
+            i += 1;
+        }
+    }
+    mask
+}
+
+/// Which crate (the `crates/<name>` component) a path belongs to, if any.
+fn crate_of(path: &Path) -> Option<String> {
+    let mut comps = path.components().map(|c| c.as_os_str().to_string_lossy());
+    while let Some(c) = comps.next() {
+        if c == "crates" {
+            return comps.next().map(std::borrow::Cow::into_owned);
+        }
+    }
+    None
+}
+
+/// Scans one source file and returns every violation in it.
+///
+/// `path` is used for reporting and for path-scoped rules (which crate the
+/// file is in, whether it is `stats.rs` or `req.rs`); `contents` is the
+/// full source text.
+pub(crate) fn lint_source(path: &Path, contents: &str) -> Vec<Violation> {
+    let mut out = Vec::new();
+    let lines: Vec<&str> = contents.lines().collect();
+    let mask = test_mask(contents);
+    let krate = crate_of(path).unwrap_or_default();
+    let file_name = path
+        .file_name()
+        .map(|f| f.to_string_lossy().into_owned())
+        .unwrap_or_default();
+
+    let mut push = |lineno: usize, rule: &'static str, message: String| {
+        out.push(Violation {
+            path: path.to_path_buf(),
+            line: lineno + 1,
+            rule,
+            message,
+        });
+    };
+
+    for (i, raw) in lines.iter().enumerate() {
+        if mask[i] {
+            continue;
+        }
+        let code = code_of(raw);
+        let prev = i.checked_sub(1).map(|p| lines[p]);
+
+        // collections: randomized-iteration-order containers in sim crates.
+        if (code.contains("HashMap") || code.contains("HashSet"))
+            && !allowed("collections", raw, prev)
+        {
+            push(
+                i,
+                "collections",
+                "HashMap/HashSet iteration order is randomized per process; \
+                 use BTreeMap/BTreeSet so simulation results are reproducible"
+                    .into(),
+            );
+        }
+
+        // nondeterminism: wall clock and OS entropy outside crates/bench.
+        if krate != "bench" {
+            for src in ["Instant::now", "SystemTime", "thread_rng"] {
+                if code.contains(src) && !allowed("nondeterminism", raw, prev) {
+                    push(
+                        i,
+                        "nondeterminism",
+                        format!(
+                            "`{src}` injects wall-clock/OS state into the simulation; \
+                             only crates/bench may measure real time"
+                        ),
+                    );
+                }
+            }
+        }
+
+        // float-accum: naive float summation in statistics code.
+        if file_name == "stats.rs" {
+            let exact = INT_TYPES
+                .iter()
+                .any(|t| code.contains(&format!(": {t}")) || code.contains(&format!("::<{t}>")));
+            let compensated = code.contains("CompensatedSum") || code.contains("compensation");
+            let float_sum = code.contains(".sum()")
+                || (code.contains("+=") && (code.contains("f64") || code.contains("f32")));
+            if float_sum && !exact && !compensated && !allowed("float-accum", raw, prev) {
+                push(
+                    i,
+                    "float-accum",
+                    "float accumulation in statistics code must use CompensatedSum \
+                     (or annotate an integer sum with its type)"
+                        .into(),
+                );
+            }
+        }
+
+        // unwrap: panicking shortcuts in library code.
+        if (code.contains(".unwrap()") || code.contains("panic!")) && !allowed("unwrap", raw, prev)
+        {
+            push(
+                i,
+                "unwrap",
+                "library code must not `.unwrap()`/`panic!`; use `expect` with an \
+                 invariant message, return an error, or annotate why it cannot fire"
+                    .into(),
+            );
+        }
+    }
+
+    // debug-derive: pub structs in the shared request vocabulary must be
+    // Debug so sanitizer/test diagnostics can format them.
+    if krate == "common" && file_name == "req.rs" {
+        for (i, raw) in lines.iter().enumerate() {
+            if mask[i] || !code_of(raw).trim_start().starts_with("pub struct ") {
+                continue;
+            }
+            // Walk the contiguous attribute block above the struct.
+            let mut has_debug = false;
+            let mut j = i;
+            while j > 0 {
+                j -= 1;
+                let above = lines[j].trim_start();
+                if above.starts_with("#[") || above.starts_with("#!") {
+                    if above.contains("derive") && above.contains("Debug") {
+                        has_debug = true;
+                    }
+                } else if !above.is_empty() && !above.starts_with("///") {
+                    break;
+                }
+            }
+            if !has_debug && !allowed("debug-derive", raw, i.checked_sub(1).map(|p| lines[p])) {
+                push(
+                    i,
+                    "debug-derive",
+                    "pub structs in mask-common::req must #[derive(Debug)] so \
+                     diagnostics can print requests"
+                        .into(),
+                );
+            }
+        }
+    }
+
+    out
+}
+
+/// Recursively lints every `.rs` file under `crates/*/src` in `root`.
+///
+/// # Errors
+///
+/// Returns an error when the workspace layout cannot be read.
+pub(crate) fn lint_workspace(root: &Path) -> std::io::Result<Vec<Violation>> {
+    let mut out = Vec::new();
+    let crates_dir = root.join("crates");
+    let mut crate_dirs: Vec<PathBuf> = std::fs::read_dir(&crates_dir)?
+        .filter_map(Result::ok)
+        .map(|e| e.path())
+        .filter(|p| p.is_dir())
+        .collect();
+    crate_dirs.sort();
+    for dir in crate_dirs {
+        let src = dir.join("src");
+        if src.is_dir() {
+            lint_tree(&src, &mut out)?;
+        }
+    }
+    out.sort_by(|a, b| (&a.path, a.line).cmp(&(&b.path, b.line)));
+    Ok(out)
+}
+
+fn lint_tree(dir: &Path, out: &mut Vec<Violation>) -> std::io::Result<()> {
+    let mut entries: Vec<PathBuf> = std::fs::read_dir(dir)?
+        .filter_map(Result::ok)
+        .map(|e| e.path())
+        .collect();
+    entries.sort();
+    for path in entries {
+        if path.is_dir() {
+            lint_tree(&path, out)?;
+        } else if path.extension().is_some_and(|e| e == "rs") {
+            let contents = std::fs::read_to_string(&path)?;
+            out.extend(lint_source(&path, &contents));
+        }
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn lint(path: &str, src: &str) -> Vec<Violation> {
+        lint_source(Path::new(path), src)
+    }
+
+    fn rules(v: &[Violation]) -> Vec<&'static str> {
+        v.iter().map(|x| x.rule).collect()
+    }
+
+    // One red test per rule: each proves the rule actually fires.
+
+    #[test]
+    fn red_collections_flags_hashmap() {
+        let v = lint(
+            "crates/tlb/src/l1.rs",
+            "use std::collections::HashMap;\nstruct S { m: HashMap<u32, u32> }\n",
+        );
+        assert_eq!(rules(&v), ["collections", "collections"]);
+        assert_eq!(v[0].line, 1);
+    }
+
+    #[test]
+    fn red_nondeterminism_flags_wall_clock() {
+        let v = lint(
+            "crates/gpu/src/sim.rs",
+            "let t = std::time::Instant::now();\n",
+        );
+        assert_eq!(rules(&v), ["nondeterminism"]);
+        let v = lint("crates/dram/src/device.rs", "let r = rand::thread_rng();\n");
+        assert_eq!(rules(&v), ["nondeterminism"]);
+    }
+
+    #[test]
+    fn red_float_accum_flags_naive_sum() {
+        let v = lint(
+            "crates/common/src/stats.rs",
+            "pub fn total(&self) -> f64 {\n    self.apps.iter().map(A::ipc).sum()\n}\n",
+        );
+        assert_eq!(rules(&v), ["float-accum"]);
+        assert_eq!(v[0].line, 2);
+    }
+
+    #[test]
+    fn red_debug_derive_flags_missing_debug() {
+        let v = lint(
+            "crates/common/src/req.rs",
+            "#[derive(Clone, Copy)]\npub struct Raw {\n    pub bits: u64,\n}\n",
+        );
+        assert_eq!(rules(&v), ["debug-derive"]);
+    }
+
+    #[test]
+    fn red_unwrap_flags_unwrap_and_panic() {
+        let v = lint(
+            "crates/cache/src/l2.rs",
+            "let x = m.get(&k).unwrap();\npanic!(\"boom\");\n",
+        );
+        assert_eq!(rules(&v), ["unwrap", "unwrap"]);
+    }
+
+    // Exemptions.
+
+    #[test]
+    fn allow_annotation_suppresses_same_line_and_next_line() {
+        let v = lint(
+            "crates/cache/src/l2.rs",
+            "let x = m.get(&k).unwrap(); // lint: allow(unwrap)\n\
+             // lint: allow(unwrap) -- checked above\n\
+             let y = m.get(&k).unwrap();\n",
+        );
+        assert!(v.is_empty(), "{v:?}");
+    }
+
+    #[test]
+    fn allow_annotation_is_rule_specific() {
+        let v = lint(
+            "crates/cache/src/l2.rs",
+            "let x = m.get(&k).unwrap(); // lint: allow(collections)\n",
+        );
+        assert_eq!(rules(&v), ["unwrap"]);
+    }
+
+    #[test]
+    fn cfg_test_module_is_exempt() {
+        let src = "\
+pub fn lib() {}
+
+#[cfg(test)]
+mod tests {
+    use std::collections::HashMap;
+
+    #[test]
+    fn t() {
+        let m: HashMap<u8, u8> = HashMap::new();
+        assert!(m.is_empty() || panic!(\"x\"));
+    }
+}
+";
+        assert!(lint("crates/tlb/src/l1.rs", src).is_empty());
+    }
+
+    #[test]
+    fn cfg_test_single_item_is_exempt_but_rest_is_not() {
+        let src = "\
+#[cfg(test)]
+use std::collections::HashMap;
+
+pub fn f() {
+    let x = Some(1).unwrap();
+}
+";
+        let v = lint("crates/tlb/src/l1.rs", src);
+        assert_eq!(rules(&v), ["unwrap"]);
+        assert_eq!(v[0].line, 5);
+    }
+
+    #[test]
+    fn commented_out_code_is_exempt() {
+        let v = lint("crates/tlb/src/l1.rs", "// let m = HashMap::new();\n");
+        assert!(v.is_empty());
+    }
+
+    #[test]
+    fn bench_crate_may_use_wall_clock() {
+        let v = lint(
+            "crates/bench/src/lib.rs",
+            "let t = std::time::Instant::now();\n",
+        );
+        assert!(v.is_empty());
+    }
+
+    #[test]
+    fn integer_and_compensated_sums_are_exempt_in_stats() {
+        let src = "\
+let n: u64 = xs.iter().sum();
+let t = CompensatedSum::total(ys.iter().map(f));
+";
+        assert!(lint("crates/common/src/stats.rs", src).is_empty());
+    }
+
+    #[test]
+    fn float_sum_outside_stats_rs_is_not_this_rules_business() {
+        let v = lint(
+            "crates/core/src/metrics.rs",
+            "let t: f64 = xs.iter().sum::<f64>();\n",
+        );
+        assert!(v.is_empty());
+    }
+
+    #[test]
+    fn debug_derive_accepts_derive_with_doc_comments_between() {
+        let src = "\
+#[derive(Clone, Copy, Debug)]
+pub struct Tagged {
+    pub bits: u64,
+}
+";
+        assert!(lint("crates/common/src/req.rs", src).is_empty());
+    }
+
+    #[test]
+    fn expect_with_message_is_allowed() {
+        let v = lint(
+            "crates/cache/src/l2.rs",
+            "let x = m.get(&k).expect(\"present\");\n",
+        );
+        assert!(v.is_empty());
+    }
+}

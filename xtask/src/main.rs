@@ -1,0 +1,62 @@
+//! Workspace automation tasks (`cargo xtask <task>`).
+//!
+//! The only task today is `lint`, the static-analysis pass described in
+//! [`lint`]. It exits non-zero when any rule fires, so CI can gate on it:
+//!
+//! ```text
+//! cargo xtask lint          # scan crates/*/src
+//! ```
+
+mod lint;
+
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+fn main() -> ExitCode {
+    let mut args = std::env::args().skip(1);
+    match args.next().as_deref() {
+        Some("lint") => run_lint(),
+        Some("--help" | "-h" | "help") | None => {
+            eprintln!("usage: cargo xtask <task>\n\ntasks:\n  lint    scan crates/*/src for simulator hygiene violations");
+            ExitCode::SUCCESS
+        }
+        Some(other) => {
+            eprintln!("unknown task `{other}` (try `cargo xtask help`)");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+/// Locates the workspace root: the manifest dir's parent when run via
+/// cargo, else the current directory.
+fn workspace_root() -> PathBuf {
+    std::env::var_os("CARGO_MANIFEST_DIR").map_or_else(
+        || PathBuf::from("."),
+        |d| {
+            PathBuf::from(d)
+                .parent()
+                .map_or_else(|| PathBuf::from("."), PathBuf::from)
+        },
+    )
+}
+
+fn run_lint() -> ExitCode {
+    let root = workspace_root();
+    match lint::lint_workspace(&root) {
+        Ok(violations) if violations.is_empty() => {
+            eprintln!("xtask lint: clean");
+            ExitCode::SUCCESS
+        }
+        Ok(violations) => {
+            for v in &violations {
+                eprintln!("{v}");
+            }
+            eprintln!("xtask lint: {} violation(s)", violations.len());
+            ExitCode::FAILURE
+        }
+        Err(e) => {
+            eprintln!("xtask lint: cannot scan {}: {e}", root.display());
+            ExitCode::FAILURE
+        }
+    }
+}
