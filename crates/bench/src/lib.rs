@@ -1,13 +1,19 @@
 //! Shared helpers for the MASK paper-reproduction bench harnesses.
 //!
 //! Every `benches/*.rs` target is a plain binary (`harness = false`) that
-//! regenerates one of the paper's tables or figures and prints it. Two
+//! regenerates one of the paper's tables or figures and prints it. Three
 //! environment variables scale the whole suite:
 //!
 //! * `MASK_SIM_CYCLES` — cycles per simulation run (default 300 000:
 //!   100 000 warm-up + 200 000 measured, i.e. two full MASK epochs);
-//! * `MASK_PAIR_LIMIT` — number of two-application workloads (default 35).
+//! * `MASK_PAIR_LIMIT` — number of two-application workloads (default 35);
+//! * `MASK_JOBS` — worker threads the job engine fans simulations over
+//!   (default: available parallelism; `1` = serial). The harnesses submit
+//!   whole workload batches, and the engine's process-wide baseline cache
+//!   simulates each unique alone baseline once across the entire suite —
+//!   results are bit-identical at any worker count.
 
+use mask_core::engine::JobPool;
 use mask_core::experiments::ExpOptions;
 use mask_core::table::Table;
 
@@ -47,10 +53,16 @@ pub fn emit(table: &Table) {
     }
 }
 
-/// Prints the standard harness banner.
+/// Prints the standard harness banner, including the engine's resolved
+/// worker count (from `MASK_JOBS`, else available parallelism).
 pub fn banner(name: &str, opts: &ExpOptions) {
+    let pool = JobPool::with_options(opts.jobs);
     println!(
-        "=== {name} — cycles/run={} cores={} warps/core={} pairs={} ===\n",
-        opts.cycles, opts.n_cores, opts.warps_per_core, opts.pair_limit
+        "=== {name} — cycles/run={} cores={} warps/core={} pairs={} jobs={} ===\n",
+        opts.cycles,
+        opts.n_cores,
+        opts.warps_per_core,
+        opts.pair_limit,
+        pool.workers()
     );
 }

@@ -468,6 +468,45 @@ impl SimConfig {
     }
 }
 
+/// Worker-count request for `mask-core`'s job engine.
+///
+/// Pure configuration data: every simulation batch is fanned out over this
+/// many worker threads by the engine (`mask_core::engine::JobPool`). This
+/// type only *carries the request* — resolution of `None` to an actual
+/// thread count (the machine's available parallelism) happens inside the
+/// engine, the one module allowed to touch `std::thread`.
+#[derive(Clone, Copy, Default, PartialEq, Eq, Debug)]
+pub struct JobOptions {
+    /// Explicit worker count (`Some(1)` = strictly serial, on the calling
+    /// thread). `None` defers to the `MASK_JOBS` environment variable and,
+    /// when that is unset too, to the machine's available parallelism.
+    pub workers: Option<usize>,
+}
+
+impl JobOptions {
+    /// Run every job serially on the calling thread.
+    #[must_use]
+    pub const fn serial() -> Self {
+        JobOptions { workers: Some(1) }
+    }
+
+    /// Request exactly `n` worker threads.
+    #[must_use]
+    pub const fn with_workers(n: usize) -> Self {
+        JobOptions { workers: Some(n) }
+    }
+
+    /// The requested worker count: the explicit setting when present, else
+    /// `MASK_JOBS`. `None` means "let the engine pick" (available
+    /// parallelism); any request is clamped to at least 1.
+    #[must_use]
+    pub fn requested(self) -> Option<usize> {
+        self.workers
+            .or_else(|| std::env::var("MASK_JOBS").ok().and_then(|v| v.parse().ok()))
+            .map(|n: usize| n.max(1))
+    }
+}
+
 /// Default per-run cycle budget.
 ///
 /// Honors the `MASK_SIM_CYCLES` environment variable so the full experiment
@@ -484,6 +523,14 @@ pub fn default_max_cycles() -> u64 {
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    #[test]
+    fn explicit_job_options_win_over_environment() {
+        assert_eq!(JobOptions::serial().requested(), Some(1));
+        assert_eq!(JobOptions::with_workers(6).requested(), Some(6));
+        // A nonsensical explicit request clamps to the serial minimum.
+        assert_eq!(JobOptions::with_workers(0).requested(), Some(1));
+    }
 
     #[test]
     fn design_feature_matrix_matches_paper() {

@@ -20,14 +20,18 @@ fn runner_with(opts: &ExpOptions, tweak: impl FnOnce(&mut GpuConfig)) -> PairRun
         seed: opts.seed,
         warmup_cycles: 100_000,
         gpu,
+        jobs: opts.jobs,
     })
 }
 
-fn avg_ws(runner: &mut PairRunner, opts: &ExpOptions, design: DesignKind) -> f64 {
+/// Average weighted speedup over the pressured pairs, submitted as one
+/// job batch.
+fn avg_ws(runner: &PairRunner, opts: &ExpOptions, design: DesignKind) -> f64 {
     mean(
-        opts.pressured_pairs()
+        runner
+            .run_pairs(&opts.pressured_pairs(), &[design])
             .iter()
-            .map(|p| runner.run_pair(p.a, p.b, design).weighted_speedup),
+            .map(|o| o.weighted_speedup),
     )
 }
 
@@ -42,8 +46,8 @@ pub fn token_policy(opts: &ExpOptions) -> Table {
         ("literal (Sec. 5.2)", TokenPolicyKind::Literal),
         ("hill-climb (Sec. 7.4)", TokenPolicyKind::HillClimb),
     ] {
-        let mut r = runner_with(opts, |g| g.mask.token_policy = policy);
-        t.row_f64(label, &[avg_ws(&mut r, opts, DesignKind::MaskTlb)]);
+        let r = runner_with(opts, |g| g.mask.token_policy = policy);
+        t.row_f64(label, &[avg_ws(&r, opts, DesignKind::MaskTlb)]);
     }
     t
 }
@@ -56,10 +60,10 @@ pub fn bypass_margin(opts: &ExpOptions) -> Table {
         &["margin", "MASK-Cache"],
     );
     for margin in [0.0, 0.05, 0.15] {
-        let mut r = runner_with(opts, |g| g.mask.bypass_margin = margin);
+        let r = runner_with(opts, |g| g.mask.bypass_margin = margin);
         t.row_f64(
             format!("{margin:.2}"),
-            &[avg_ws(&mut r, opts, DesignKind::MaskCache)],
+            &[avg_ws(&r, opts, DesignKind::MaskCache)],
         );
     }
     t
@@ -72,11 +76,8 @@ pub fn golden_capacity(opts: &ExpOptions) -> Table {
         &["entries", "MASK-DRAM"],
     );
     for cap in [4usize, 16, 64] {
-        let mut r = runner_with(opts, |g| g.dram.golden_capacity = cap);
-        t.row_f64(
-            cap.to_string(),
-            &[avg_ws(&mut r, opts, DesignKind::MaskDram)],
-        );
+        let r = runner_with(opts, |g| g.dram.golden_capacity = cap);
+        t.row_f64(cap.to_string(), &[avg_ws(&r, opts, DesignKind::MaskDram)]);
     }
     t
 }
@@ -91,8 +92,8 @@ pub fn epoch_length(opts: &ExpOptions) -> Table {
         if epoch * 2 > opts.cycles {
             continue;
         }
-        let mut r = runner_with(opts, |g| g.mask.epoch_cycles = epoch);
-        t.row_f64(epoch.to_string(), &[avg_ws(&mut r, opts, DesignKind::Mask)]);
+        let r = runner_with(opts, |g| g.mask.epoch_cycles = epoch);
+        t.row_f64(epoch.to_string(), &[avg_ws(&r, opts, DesignKind::Mask)]);
     }
     t
 }

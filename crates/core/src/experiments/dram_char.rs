@@ -52,15 +52,13 @@ fn characterize(name: String, stats: &SimStats) -> DramRow {
     }
 }
 
-/// Runs the Fig. 8/9 sweep on the `SharedTLB` baseline.
+/// Runs the Fig. 8/9 sweep on the `SharedTLB` baseline as one job batch.
 pub fn measure(opts: &ExpOptions) -> Vec<DramRow> {
-    let mut runner = opts.runner();
-    opts.pairs()
-        .iter()
-        .map(|p| {
-            let o = runner.run_pair(p.a, p.b, DesignKind::SharedTlb);
-            characterize(o.name.clone(), &o.stats)
-        })
+    let runner = opts.runner();
+    runner
+        .run_pairs(&opts.pairs(), &[DesignKind::SharedTlb])
+        .into_iter()
+        .map(|o| characterize(o.name.clone(), &o.stats))
         .collect()
 }
 

@@ -20,37 +20,41 @@ pub fn architectures() -> Vec<(&'static str, GpuConfig)> {
     ]
 }
 
-/// Runs Table 4.
+/// Runs Table 4; each architecture's pair × design grid goes out as one
+/// job batch.
 pub fn run(opts: &ExpOptions) -> Table {
     let mut t = Table::new(
         "Table 4: average performance normalized to Ideal, per architecture",
         &["architecture", "PWCache", "SharedTLB", "MASK"],
     );
+    let designs = [
+        DesignKind::Ideal,
+        DesignKind::PwCache,
+        DesignKind::SharedTlb,
+        DesignKind::Mask,
+    ];
     for (name, mut gpu) in architectures() {
         gpu.warps_per_core = gpu.warps_per_core.min(opts.warps_per_core.max(8));
         let n_cores = gpu.n_cores.min(opts.n_cores.max(2));
         gpu.n_cores = n_cores;
-        let mut runner = PairRunner::new(RunOptions {
+        let runner = PairRunner::new(RunOptions {
             n_cores,
             max_cycles: opts.cycles,
             seed: opts.seed,
             warmup_cycles: 100_000,
             gpu,
+            jobs: opts.jobs,
         });
         let pairs = opts.pressured_pairs();
+        let outcomes = runner.run_pairs(&pairs, &designs);
         let mut norm = [Vec::new(), Vec::new(), Vec::new()];
-        for p in &pairs {
-            let ideal = runner
-                .run_pair(p.a, p.b, DesignKind::Ideal)
-                .weighted_speedup;
+        for chunk in outcomes.chunks(designs.len()) {
+            let ideal = chunk[0].weighted_speedup;
             if ideal <= 0.0 {
                 continue;
             }
-            for (i, d) in [DesignKind::PwCache, DesignKind::SharedTlb, DesignKind::Mask]
-                .into_iter()
-                .enumerate()
-            {
-                norm[i].push(runner.run_pair(p.a, p.b, d).weighted_speedup / ideal);
+            for i in 0..3 {
+                norm[i].push(chunk[i + 1].weighted_speedup / ideal);
             }
         }
         t.row_f64(

@@ -19,7 +19,8 @@ pub const FIG07_PAIRS: [(&str, &str); 4] = [
     ("RED", "RAY"),
 ];
 
-/// Runs Fig. 7: per-app shared-L2-TLB miss rate, alone vs shared.
+/// Runs Fig. 7: per-app shared-L2-TLB miss rate, alone vs shared. All
+/// twelve runs (two alone + one shared per pair) go out as one job batch.
 pub fn run(opts: &ExpOptions) -> Table {
     let runner = opts.runner();
     let mut t = Table::new(
@@ -27,38 +28,27 @@ pub fn run(opts: &ExpOptions) -> Table {
         &["workload", "app", "alone", "shared"],
     );
     let half = opts.n_cores / 2;
+    // Alone runs use the app's core share, as in the paper's IPCalone
+    // methodology; the shared L2 TLB remains full-sized.
+    let mut placements = Vec::new();
     for (an, bn) in FIG07_PAIRS {
         let a = app_by_name(an).expect("known app");
         let b = app_by_name(bn).expect("known app");
-        // Alone runs use the app's core share, as in the paper's IPCalone
-        // methodology; the shared L2 TLB remains full-sized.
-        let alone_a = runner.run_apps(
-            DesignKind::SharedTlb,
-            &[AppSpec {
-                profile: a,
-                n_cores: half,
-            }],
-        );
-        let alone_b = runner.run_apps(
-            DesignKind::SharedTlb,
-            &[AppSpec {
-                profile: b,
-                n_cores: opts.n_cores - half,
-            }],
-        );
-        let shared = runner.run_apps(
-            DesignKind::SharedTlb,
-            &[
-                AppSpec {
-                    profile: a,
-                    n_cores: half,
-                },
-                AppSpec {
-                    profile: b,
-                    n_cores: opts.n_cores - half,
-                },
-            ],
-        );
+        let spec_a = AppSpec {
+            profile: a,
+            n_cores: half,
+        };
+        let spec_b = AppSpec {
+            profile: b,
+            n_cores: opts.n_cores - half,
+        };
+        placements.push(vec![spec_a]);
+        placements.push(vec![spec_b]);
+        placements.push(vec![spec_a, spec_b]);
+    }
+    let outcomes = runner.run_batch(&placements, &[DesignKind::SharedTlb]);
+    for ((an, bn), chunk) in FIG07_PAIRS.iter().zip(outcomes.chunks(3)) {
+        let (alone_a, alone_b, shared) = (&chunk[0].stats, &chunk[1].stats, &chunk[2].stats);
         let name = format!("{an}_{bn}");
         t.row(
             name.clone(),

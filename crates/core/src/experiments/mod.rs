@@ -14,9 +14,13 @@
 //! | [`sensitivity`] | §7.3 — TLB size, page size, schedulers, row policy |
 //! | [`ablation`] | design-choice ablations: token policy, bypass margin, Golden capacity, epoch length |
 //!
-//! All harnesses honor two environment variables so the whole suite can be
-//! scaled: `MASK_SIM_CYCLES` (cycles per run) and `MASK_PAIR_LIMIT`
-//! (number of two-app workloads simulated).
+//! All harnesses honor three environment variables so the whole suite can
+//! be scaled: `MASK_SIM_CYCLES` (cycles per run), `MASK_PAIR_LIMIT`
+//! (number of two-app workloads simulated), and `MASK_JOBS` (worker
+//! threads the job engine fans simulations over; `1` = serial). Every
+//! harness submits its runs as one job batch, so independent simulations
+//! execute concurrently while results stay bit-identical at any worker
+//! count.
 
 pub mod ablation;
 pub mod baseline;
@@ -31,7 +35,7 @@ pub mod single_app;
 pub mod timemux;
 
 use crate::runner::{PairRunner, RunOptions};
-use mask_common::config::GpuConfig;
+use mask_common::config::{GpuConfig, JobOptions};
 
 /// Common experiment options.
 #[derive(Clone, Debug)]
@@ -46,6 +50,9 @@ pub struct ExpOptions {
     pub pair_limit: usize,
     /// Base seed.
     pub seed: u64,
+    /// Worker policy for the job engine (default: `MASK_JOBS`, else the
+    /// machine's available parallelism).
+    pub jobs: JobOptions,
 }
 
 impl Default for ExpOptions {
@@ -59,6 +66,7 @@ impl Default for ExpOptions {
                 .and_then(|v| v.parse().ok())
                 .unwrap_or(35),
             seed: 0xA55A_2018,
+            jobs: JobOptions::default(),
         }
     }
 }
@@ -72,6 +80,7 @@ impl ExpOptions {
             warps_per_core: 16,
             pair_limit: 2,
             seed: 7,
+            jobs: JobOptions::default(),
         }
     }
 
@@ -90,6 +99,7 @@ impl ExpOptions {
             seed: self.seed,
             warmup_cycles: 100_000,
             gpu,
+            jobs: self.jobs,
         }
     }
 

@@ -29,15 +29,14 @@ pub struct MultiprogSweep {
 }
 
 /// Runs the sweep over `designs` (use [`FIG11_DESIGNS`] for the full set).
+/// Every (pair, design) run — shared and alone — is submitted as one job
+/// batch, so the sweep saturates `MASK_JOBS` worker threads.
 pub fn sweep(opts: &ExpOptions, designs: &[DesignKind]) -> MultiprogSweep {
-    let mut runner = opts.runner();
+    let runner = opts.runner();
     let pairs = opts.pairs();
     let mut outcomes = BTreeMap::new();
-    for pair in &pairs {
-        for &design in designs {
-            let o = runner.run_pair(pair.a, pair.b, design);
-            outcomes.insert((o.name.clone(), design), o);
-        }
+    for o in runner.run_pairs(&pairs, designs) {
+        outcomes.insert((o.name.clone(), o.design), o);
     }
     MultiprogSweep {
         outcomes,

@@ -25,22 +25,25 @@ pub fn mixes() -> Vec<Vec<&'static AppProfile>> {
     ]
 }
 
-/// Runs Table 3.
+/// Runs Table 3; all mix × design runs go out as one job batch.
 pub fn run(opts: &ExpOptions) -> Table {
-    let mut runner = opts.runner();
+    let runner = opts.runner();
     let mut t = Table::new(
         "Table 3: performance normalized to Ideal as application count grows",
         &["n_apps", "SharedTLB/Ideal", "MASK/Ideal"],
     );
-    for mix in mixes() {
-        if mix.len() > opts.n_cores {
-            continue;
-        }
-        let ideal = runner.run_multi(&mix, DesignKind::Ideal).weighted_speedup;
-        let shared = runner
-            .run_multi(&mix, DesignKind::SharedTlb)
-            .weighted_speedup;
-        let mask = runner.run_multi(&mix, DesignKind::Mask).weighted_speedup;
+    let designs = [DesignKind::Ideal, DesignKind::SharedTlb, DesignKind::Mask];
+    let mixes: Vec<Vec<&'static AppProfile>> = mixes()
+        .into_iter()
+        .filter(|mix| mix.len() <= opts.n_cores)
+        .collect();
+    let outcomes = runner.run_multi_batch(&mixes, &designs);
+    for (mix, chunk) in mixes.iter().zip(outcomes.chunks(designs.len())) {
+        let (ideal, shared, mask) = (
+            chunk[0].weighted_speedup,
+            chunk[1].weighted_speedup,
+            chunk[2].weighted_speedup,
+        );
         let norm = |v: f64| if ideal > 0.0 { v / ideal } else { 0.0 };
         t.row_f64(mix.len().to_string(), &[norm(shared), norm(mask)]);
     }

@@ -18,15 +18,25 @@ fn runner_with(opts: &ExpOptions, tweak: impl FnOnce(&mut GpuConfig)) -> PairRun
         seed: opts.seed,
         warmup_cycles: 100_000,
         gpu,
+        jobs: opts.jobs,
     })
 }
 
-fn avg_ws(runner: &mut PairRunner, opts: &ExpOptions, design: DesignKind) -> f64 {
-    mean(
-        opts.pressured_pairs()
-            .iter()
-            .map(|p| runner.run_pair(p.a, p.b, design).weighted_speedup),
-    )
+/// Average weighted speedup per design over the pressured pairs, with the
+/// whole pair × design grid submitted as one job batch.
+fn avg_ws(runner: &PairRunner, opts: &ExpOptions, designs: &[DesignKind]) -> Vec<f64> {
+    let outcomes = runner.run_pairs(&opts.pressured_pairs(), designs);
+    (0..designs.len())
+        .map(|d| {
+            mean(
+                outcomes
+                    .iter()
+                    .skip(d)
+                    .step_by(designs.len())
+                    .map(|o| o.weighted_speedup),
+            )
+        })
+        .collect()
 }
 
 /// Shared-L2-TLB size sweep: `SharedTLB` vs MASK from 64 to 8192 entries.
@@ -39,10 +49,9 @@ pub fn tlb_size_sweep(opts: &ExpOptions) -> Table {
         &["entries", "SharedTLB", "MASK"],
     );
     for entries in [64usize, 128, 256, 512, 1024, 2048, 4096, 8192] {
-        let mut r = runner_with(opts, |g| g.tlb.l2_entries = entries);
-        let s = avg_ws(&mut r, opts, DesignKind::SharedTlb);
-        let m = avg_ws(&mut r, opts, DesignKind::Mask);
-        t.row_f64(entries.to_string(), &[s, m]);
+        let r = runner_with(opts, |g| g.tlb.l2_entries = entries);
+        let ws = avg_ws(&r, opts, &[DesignKind::SharedTlb, DesignKind::Mask]);
+        t.row_f64(entries.to_string(), &ws);
     }
     t
 }
@@ -61,11 +70,13 @@ pub fn large_pages(opts: &ExpOptions) -> Table {
         ("4KB", mask_common::addr::PAGE_SIZE_4K_LOG2),
         ("2MB", PAGE_SIZE_2M_LOG2),
     ] {
-        let mut r = runner_with(opts, |g| g.page_size_log2 = log2);
-        let s = avg_ws(&mut r, opts, DesignKind::SharedTlb);
-        let m = avg_ws(&mut r, opts, DesignKind::Mask);
-        let i = avg_ws(&mut r, opts, DesignKind::Ideal);
-        t.row_f64(label, &[s, m, i]);
+        let r = runner_with(opts, |g| g.page_size_log2 = log2);
+        let ws = avg_ws(
+            &r,
+            opts,
+            &[DesignKind::SharedTlb, DesignKind::Mask, DesignKind::Ideal],
+        );
+        t.row_f64(label, &ws);
     }
     t
 }
@@ -79,11 +90,13 @@ pub fn demand_paging(opts: &ExpOptions) -> Table {
         &["fault_latency", "SharedTLB", "MASK", "Ideal"],
     );
     for latency in [0u64, 2_000, 10_000] {
-        let mut r = runner_with(opts, |g| g.page_fault_latency = latency);
-        let s = avg_ws(&mut r, opts, DesignKind::SharedTlb);
-        let m = avg_ws(&mut r, opts, DesignKind::Mask);
-        let i = avg_ws(&mut r, opts, DesignKind::Ideal);
-        t.row_f64(latency.to_string(), &[s, m, i]);
+        let r = runner_with(opts, |g| g.page_fault_latency = latency);
+        let ws = avg_ws(
+            &r,
+            opts,
+            &[DesignKind::SharedTlb, DesignKind::Mask, DesignKind::Ideal],
+        );
+        t.row_f64(latency.to_string(), &ws);
     }
     t
 }
@@ -96,10 +109,9 @@ pub fn walker_slots(opts: &ExpOptions) -> Table {
         &["slots", "SharedTLB", "MASK"],
     );
     for slots in [16usize, 32, 64, 128] {
-        let mut r = runner_with(opts, |g| g.walker_slots = slots);
-        let s = avg_ws(&mut r, opts, DesignKind::SharedTlb);
-        let m = avg_ws(&mut r, opts, DesignKind::Mask);
-        t.row_f64(slots.to_string(), &[s, m]);
+        let r = runner_with(opts, |g| g.walker_slots = slots);
+        let ws = avg_ws(&r, opts, &[DesignKind::SharedTlb, DesignKind::Mask]);
+        t.row_f64(slots.to_string(), &ws);
     }
     t
 }
@@ -124,13 +136,12 @@ pub fn memory_policies(opts: &ExpOptions) -> Table {
         ),
     ];
     for (label, sched, row) in combos {
-        let mut r = runner_with(opts, |g| {
+        let r = runner_with(opts, |g| {
             g.dram.sched = sched;
             g.dram.row_policy = row;
         });
-        let s = avg_ws(&mut r, opts, DesignKind::SharedTlb);
-        let m = avg_ws(&mut r, opts, DesignKind::Mask);
-        t.row_f64(label, &[s, m]);
+        let ws = avg_ws(&r, opts, &[DesignKind::SharedTlb, DesignKind::Mask]);
+        t.row_f64(label, &ws);
     }
     t
 }

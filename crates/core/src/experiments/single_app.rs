@@ -10,8 +10,7 @@
 use super::ExpOptions;
 use crate::table::Table;
 use mask_common::config::DesignKind;
-use mask_gpu::AppSpec;
-use mask_workloads::{all_apps, expected_class, ClassifyConfig, TlbClass};
+use mask_workloads::{all_apps, expected_class, AppProfile, ClassifyConfig, TlbClass};
 
 /// Per-application single-run measurements.
 #[derive(Clone, Debug)]
@@ -32,20 +31,17 @@ pub struct SingleAppRow {
     pub l2_miss: f64,
 }
 
-/// Runs every application alone on the `SharedTLB` baseline.
+/// Runs every application alone on the `SharedTLB` baseline, submitting
+/// the whole set as one job batch.
 pub fn measure(opts: &ExpOptions) -> Vec<SingleAppRow> {
     let runner = opts.runner();
+    let mixes: Vec<Vec<&'static AppProfile>> = all_apps().iter().map(|p| vec![p]).collect();
+    let outcomes = runner.run_multi_batch(&mixes, &[DesignKind::SharedTlb]);
     all_apps()
         .iter()
-        .map(|profile| {
-            let stats = runner.run_apps(
-                DesignKind::SharedTlb,
-                &[AppSpec {
-                    profile,
-                    n_cores: opts.n_cores,
-                }],
-            );
-            let a = &stats.apps[0];
+        .zip(outcomes)
+        .map(|(profile, o)| {
+            let a = &o.stats.apps[0];
             SingleAppRow {
                 name: profile.name,
                 avg_concurrent_walks: a.avg_concurrent_walks(),

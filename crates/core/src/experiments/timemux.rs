@@ -14,8 +14,9 @@
 //! demonstrates and what motivates spatial multiplexing.
 
 use super::ExpOptions;
+use crate::engine::SimJob;
 use crate::table::Table;
-use mask_common::config::DesignKind;
+use mask_common::config::{DesignKind, SimConfig};
 use mask_gpu::{AppSpec, GpuSim};
 use mask_workloads::app_by_name;
 
@@ -30,18 +31,38 @@ const QUANTUM: u64 = 10_000;
 /// process counts 2..=10.
 pub fn run(opts: &ExpOptions) -> Table {
     let profile = app_by_name("MM").expect("MM exists");
-    let cfg = opts
-        .run_options()
-        .sim_config_for(DesignKind::SharedTlb, opts.n_cores);
+    let ropts = opts.run_options();
     let spec = [AppSpec {
         profile,
         n_cores: opts.n_cores,
     }];
 
-    // Back-to-back execution: steady-state instruction rate.
-    let mut alone = GpuSim::new(&cfg, &spec);
-    alone.run(opts.cycles);
-    let alone_instr = alone.instructions(0).max(1);
+    // Back-to-back execution: steady-state instruction rate. This is an
+    // ordinary alone run, so it goes through the job engine (and its
+    // baseline cache) like every other baseline.
+    let runner = opts.runner();
+    let alone_stats = runner.pool().run_batch(&[SimJob {
+        design: DesignKind::SharedTlb,
+        specs: spec.to_vec(),
+        max_cycles: opts.cycles,
+        warmup_cycles: 0,
+        seed: ropts.seed,
+        gpu: ropts.gpu.clone(),
+    }]);
+    let alone_instr = alone_stats[0].apps[0].instructions.max(1);
+
+    // Time-multiplexed execution cannot be a batch job: the quantum loop
+    // flushes volatile state interactively between run() calls.
+    let cfg = {
+        let mut gpu = ropts.gpu.clone();
+        gpu.n_cores = opts.n_cores;
+        SimConfig {
+            gpu,
+            design: DesignKind::SharedTlb,
+            max_cycles: opts.cycles,
+            seed: ropts.seed,
+        }
+    };
 
     // Time-multiplexed execution: measure the per-quantum instruction rate
     // when every quantum starts from cold TLBs and caches.
@@ -79,25 +100,6 @@ pub fn run(opts: &ExpOptions) -> Table {
         table.row(k.to_string(), vec![format!("{overhead:.1}")]);
     }
     table
-}
-
-impl crate::runner::RunOptions {
-    /// Internal helper mirroring the private `sim_config` (kept `pub(crate)`
-    /// for experiment modules).
-    pub(crate) fn sim_config_for(
-        &self,
-        design: DesignKind,
-        n_cores: usize,
-    ) -> mask_common::config::SimConfig {
-        let mut gpu = self.gpu.clone();
-        gpu.n_cores = n_cores;
-        mask_common::config::SimConfig {
-            gpu,
-            design,
-            max_cycles: self.max_cycles,
-            seed: self.seed,
-        }
-    }
 }
 
 #[cfg(test)]

@@ -5,6 +5,9 @@
 //! Multi-Application Concurrency", ASPLOS 2018*. It assembles the substrate
 //! crates into a ready-to-use API:
 //!
+//! * [`engine`] — the plan → execute → assemble job engine: deduplicated
+//!   [`SimJob`](engine::SimJob) batches fanned out over `MASK_JOBS` worker
+//!   threads with bit-identical results at any worker count;
 //! * [`runner`] — one-call simulation of single apps, app pairs, and n-app
 //!   mixes under any of the paper's eight designs;
 //! * [`metrics`] — weighted speedup, IPC throughput, and unfairness
@@ -25,6 +28,7 @@
 //! assert!(outcome.weighted_speedup > 0.0);
 //! ```
 
+pub mod engine;
 pub mod metrics;
 pub mod overhead;
 pub mod runner;
@@ -32,16 +36,18 @@ pub mod table;
 
 pub mod experiments;
 
+pub use engine::{BaselineCache, CacheStats, JobPool, SimJob};
 pub use metrics::{unfairness, weighted_speedup};
 pub use runner::{PairOutcome, PairRunner, RunOptions};
 pub use table::Table;
 
 /// Convenient glob-import surface.
 pub mod prelude {
+    pub use crate::engine::{BaselineCache, CacheStats, JobPool, SimJob};
     pub use crate::metrics::{unfairness, weighted_speedup};
     pub use crate::runner::{PairOutcome, PairRunner, RunOptions};
     pub use crate::table::Table;
-    pub use mask_common::config::{DesignKind, GpuConfig, SimConfig};
+    pub use mask_common::config::{DesignKind, GpuConfig, JobOptions, SimConfig};
     pub use mask_common::stats::{AppStats, SimStats};
     pub use mask_gpu::{AppSpec, GpuSim};
     pub use mask_workloads::{all_apps, app_by_name, paper_pairs, AppPair, HmrCategory};

@@ -42,6 +42,15 @@ pub struct GpuSim {
     san_id: u64,
 }
 
+// The job engine (`mask-core`'s `engine` module) fans simulations out over
+// worker threads, so a `GpuSim` must be fully owned by — and movable to —
+// one worker. Compile-time proof that stays red if a non-`Send` field ever
+// sneaks in:
+const _: () = {
+    const fn assert_send<T: Send>() {}
+    assert_send::<GpuSim>();
+};
+
 impl GpuSim {
     /// Builds a simulator placing `apps` on consecutive core ranges.
     ///
@@ -110,9 +119,10 @@ impl GpuSim {
         self.now
     }
 
-    /// Simulation statistics collected so far (lifetime TLB counters are
-    /// synchronized on every call).
-    pub fn stats(&mut self) -> &SimStats {
+    /// Synchronizes lifetime TLB/walker/token counters into the statistics
+    /// block. Call after running (and before [`GpuSim::stats`]) so the
+    /// snapshot reflects the structures' current state.
+    pub fn sync_stats(&mut self) {
         for app in 0..self.n_apps {
             let asid = Asid::new(app as u16);
             self.stats.apps[app].l2_tlb = self.xlat.l2_tlb_stats(asid);
@@ -127,6 +137,13 @@ impl GpuSim {
                 self.stats.apps[app].pwc = p;
             }
         }
+    }
+
+    /// Simulation statistics collected so far. Per-cycle counters are always
+    /// current; lifetime TLB/walker/token counters are only as fresh as the
+    /// last [`GpuSim::sync_stats`] call. The split lets the job engine (and
+    /// any other reader) snapshot results without mutable access.
+    pub fn stats(&self) -> &SimStats {
         &self.stats
     }
 
@@ -381,6 +398,7 @@ mod tests {
     fn single_app_makes_progress() {
         let mut s = sim(DesignKind::SharedTlb, &[("HISTO", 4)], 5_000);
         s.run_to_completion();
+        s.sync_stats();
         let stats = s.stats();
         assert!(
             stats.apps[0].instructions > 1_000,
@@ -400,6 +418,8 @@ mod tests {
         let mut base = sim(DesignKind::SharedTlb, &[("CONS", 4)], 10_000);
         ideal.run_to_completion();
         base.run_to_completion();
+        ideal.sync_stats();
+        base.sync_stats();
         let i = ideal.stats().apps[0].ipc();
         let b = base.stats().apps[0].ipc();
         assert!(
@@ -412,6 +432,7 @@ mod tests {
     fn two_apps_share_the_gpu() {
         let mut s = sim(DesignKind::SharedTlb, &[("HISTO", 2), ("GUP", 2)], 8_000);
         s.run_to_completion();
+        s.sync_stats();
         let st = s.stats();
         assert!(st.apps[0].instructions > 0);
         assert!(st.apps[1].instructions > 0);
@@ -424,6 +445,7 @@ mod tests {
     fn translation_requests_traverse_memory_hierarchy() {
         let mut s = sim(DesignKind::SharedTlb, &[("SCAN", 4)], 8_000);
         s.run_to_completion();
+        s.sync_stats();
         let st = s.stats();
         let xlat_probes: u64 = (0..4).map(|l| st.apps[0].l2_translation[l].accesses).sum();
         assert!(xlat_probes > 0, "walker requests must reach the L2 cache");
@@ -434,6 +456,7 @@ mod tests {
     fn upper_walk_levels_hit_more_than_leaves() {
         let mut s = sim(DesignKind::SharedTlb, &[("CONS", 4)], 20_000);
         s.run_to_completion();
+        s.sync_stats();
         let st = s.stats();
         let root = st.apps[0].l2_translation[0].hit_rate();
         let leaf = st.apps[0].l2_translation[3].hit_rate();
@@ -449,6 +472,8 @@ mod tests {
         let mut b = sim(DesignKind::Mask, &[("HISTO", 2), ("GUP", 2)], 3_000);
         a.run_to_completion();
         b.run_to_completion();
+        a.sync_stats();
+        b.sync_stats();
         assert_eq!(a.stats(), b.stats(), "simulation must be bit-reproducible");
     }
 
@@ -456,6 +481,7 @@ mod tests {
     fn mask_design_reports_tokens() {
         let mut s = sim(DesignKind::Mask, &[("CONS", 2), ("RED", 2)], 4_000);
         s.run_to_completion();
+        s.sync_stats();
         let st = s.stats();
         assert!(st.apps[0].tokens_final > 0);
     }
@@ -477,12 +503,14 @@ mod tests {
     fn shootdown_degrades_then_recovers() {
         let mut s = sim(DesignKind::SharedTlb, &[("GUP", 2), ("HS", 2)], 30_000);
         s.run(10_000);
+        s.sync_stats();
         let miss_before = s.stats().apps[0].l1_tlb.miss_rate();
         // Shoot down app 0's translations; its miss rate must spike while
         // app 1 is unaffected structurally.
         s.tlb_shootdown(Asid::new(0));
         s.reset_stats();
         s.run(2_000);
+        s.sync_stats();
         let miss_after = s.stats().apps[0].l1_tlb.miss_rate();
         assert!(
             miss_after > miss_before,
@@ -490,6 +518,7 @@ mod tests {
         );
         // Execution continues and recovers.
         s.run(10_000);
+        s.sync_stats();
         assert!(s.stats().apps[0].instructions > 0);
         assert!(s.stats().apps[1].instructions > 0);
     }

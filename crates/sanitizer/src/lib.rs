@@ -41,6 +41,21 @@
 //! allocates a session with [`new_session`] and re-enters it with
 //! [`enter_session`] at the top of every cycle; component unit tests that
 //! never create a session run in the ambient session `0`.
+//!
+//! ## Worker threads
+//!
+//! Because all sanitizer state lives in a `thread_local!`, isolation under
+//! the `mask-core` job engine comes for free: each engine worker thread
+//! builds and runs its `GpuSim` entirely on that thread, so a sanitized
+//! parallel batch gets one independent session space per worker — no
+//! cross-thread sharing, no locks, and identical diagnostics at any
+//! `MASK_JOBS` value. The one rule this imposes: a `GpuSim` must be
+//! stepped on the thread that created it (moving one across threads
+//! mid-run would leave its session behind). The engine guarantees this by
+//! construction — every job is created, run, and dropped inside a single
+//! worker closure — and violations in a job panic the worker, which the
+//! engine re-raises on the caller with the original `[mask-sanitizer]`
+//! message intact.
 
 mod invariant;
 

@@ -25,7 +25,7 @@ fn main() {
         n_cores: 28,
         ..Default::default()
     };
-    let mut runner = PairRunner::new(opts);
+    let runner = PairRunner::new(opts);
 
     println!("Four tenants sharing a 28-core GPU (7 cores each)\n");
     println!(

@@ -18,7 +18,7 @@ fn main() {
         max_cycles: 250_000,
         ..Default::default()
     };
-    let mut runner = PairRunner::new(opts);
+    let runner = PairRunner::new(opts);
 
     println!("CONS + LPS sharing a 30-core GPU (15 cores each)\n");
     println!(

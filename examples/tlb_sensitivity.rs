@@ -21,7 +21,7 @@ fn main() {
     for entries in [64usize, 256, 512, 1024, 4096, 8192] {
         let mut gpu = GpuConfig::maxwell();
         gpu.tlb.l2_entries = entries;
-        let mut runner = PairRunner::new(RunOptions {
+        let runner = PairRunner::new(RunOptions {
             max_cycles: 250_000,
             gpu,
             ..Default::default()

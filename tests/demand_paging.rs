@@ -12,6 +12,7 @@ fn stats_with_fault_latency(latency: u64) -> SimStats {
         seed: 5,
         warmup_cycles: 0,
         gpu,
+        jobs: JobOptions::serial(),
     });
     runner.run_apps(
         DesignKind::SharedTlb,

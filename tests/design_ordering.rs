@@ -15,12 +15,13 @@ fn opts(cycles: u64) -> RunOptions {
         seed: 3,
         warmup_cycles: cycles / 4,
         gpu,
+        jobs: JobOptions::serial(),
     }
 }
 
 /// Runs one translation-heavy pair under every design.
 fn sweep(cycles: u64) -> Vec<(DesignKind, PairOutcome)> {
-    let mut runner = PairRunner::new(opts(cycles));
+    let runner = PairRunner::new(opts(cycles));
     DesignKind::ALL
         .into_iter()
         .map(|d| (d, runner.run_named("MUM", "LPS", d).expect("known pair")))

@@ -11,6 +11,7 @@ fn run(seed: u64, design: DesignKind) -> SimStats {
         seed,
         warmup_cycles: 2_000,
         gpu,
+        jobs: JobOptions::serial(),
     });
     runner.run_apps(
         design,

@@ -13,6 +13,7 @@ fn run(page_size_log2: u32) -> SimStats {
         seed: 9,
         warmup_cycles: 5_000,
         gpu,
+        jobs: JobOptions::serial(),
     });
     runner.run_apps(
         DesignKind::SharedTlb,

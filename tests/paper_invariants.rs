@@ -12,6 +12,7 @@ fn runner() -> PairRunner {
         seed: 11,
         warmup_cycles: 10_000,
         gpu,
+        jobs: JobOptions::serial(),
     })
 }
 
@@ -78,7 +79,7 @@ fn interference_raises_shared_tlb_miss_rate() {
 #[test]
 fn translation_bandwidth_is_the_minority_share() {
     // Fig. 8: translation is a small fraction of utilized bandwidth.
-    let mut r = runner();
+    let r = runner();
     let o = r
         .run_named("CONS", "LPS", DesignKind::SharedTlb)
         .expect("known");
@@ -117,7 +118,7 @@ fn tlb_misses_stall_multiple_warps_for_sharing_workloads() {
 #[test]
 fn mask_reduces_translation_dram_latency() {
     // §7.2: the Golden queue cuts DRAM latency for translations.
-    let mut r = runner();
+    let r = runner();
     let base = r
         .run_named("CONS", "RED", DesignKind::SharedTlb)
         .expect("known");

@@ -126,6 +126,7 @@ fn run_pair(seed: u64) -> SimStats {
         seed,
         warmup_cycles: 2_000,
         gpu,
+        jobs: JobOptions::serial(),
     });
     runner.run_apps(
         DesignKind::Mask,

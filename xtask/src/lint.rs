@@ -17,6 +17,10 @@
 //! |                  | `#[derive(Debug)]` (sanitizer diagnostics format requests)   |
 //! | `unwrap`         | `.unwrap()` / bare `panic!` in library code — use `expect`   |
 //! |                  | with an invariant message, a typed error, or annotate        |
+//! | `parallelism`    | thread primitives (`std::thread`, `Mutex`/`RwLock`,          |
+//! |                  | `Condvar`, `mpsc`, atomics) outside `crates/core/src/engine*`|
+//! |                  | and `crates/bench` — parallelism stays centralized in the    |
+//! |                  | job engine so simulator code remains single-threaded         |
 //!
 //! Test code is exempt: the scanner skips items guarded by `#[cfg(test)]`
 //! (tracking the brace span of a guarded `mod`). Any line can opt out of
@@ -157,6 +161,14 @@ pub(crate) fn lint_source(path: &Path, contents: &str) -> Vec<Violation> {
         .map(|f| f.to_string_lossy().into_owned())
         .unwrap_or_default();
 
+    // The only places allowed to hold thread primitives: the job engine
+    // (crates/core/src/engine*.rs) and the wall-clock-facing bench crate.
+    let engine_file = krate == "core"
+        && path
+            .to_string_lossy()
+            .replace('\\', "/")
+            .contains("src/engine");
+
     let mut push = |lineno: usize, rule: &'static str, message: String| {
         out.push(Violation {
             path: path.to_path_buf(),
@@ -196,6 +208,30 @@ pub(crate) fn lint_source(path: &Path, contents: &str) -> Vec<Violation> {
                         format!(
                             "`{src}` injects wall-clock/OS state into the simulation; \
                              only crates/bench may measure real time"
+                        ),
+                    );
+                }
+            }
+        }
+
+        // parallelism: thread primitives stay centralized in the engine.
+        if krate != "bench" && !engine_file {
+            for prim in [
+                "std::thread",
+                "Mutex",
+                "RwLock",
+                "Condvar",
+                "mpsc",
+                "Atomic",
+            ] {
+                if code.contains(prim) && !allowed("parallelism", raw, prev) {
+                    push(
+                        i,
+                        "parallelism",
+                        format!(
+                            "`{prim}` outside the job engine; only \
+                             crates/core/src/engine* (and crates/bench) may spawn \
+                             threads or share mutable state across them"
                         ),
                     );
                 }
@@ -366,6 +402,20 @@ mod tests {
     }
 
     #[test]
+    fn red_parallelism_flags_thread_primitives_outside_engine() {
+        let v = lint(
+            "crates/gpu/src/sim.rs",
+            "let h = std::thread::spawn(f);\nlet m = std::sync::Mutex::new(0);\n",
+        );
+        assert_eq!(rules(&v), ["parallelism", "parallelism"]);
+        let v = lint(
+            "crates/core/src/runner.rs",
+            "use std::sync::atomic::AtomicUsize;\n",
+        );
+        assert_eq!(rules(&v), ["parallelism"]);
+    }
+
+    #[test]
     fn red_unwrap_flags_unwrap_and_panic() {
         let v = lint(
             "crates/cache/src/l2.rs",
@@ -434,6 +484,15 @@ pub fn f() {
     fn commented_out_code_is_exempt() {
         let v = lint("crates/tlb/src/l1.rs", "// let m = HashMap::new();\n");
         assert!(v.is_empty());
+    }
+
+    #[test]
+    fn engine_and_bench_may_use_thread_primitives() {
+        let src = "use std::sync::Mutex;\nstd::thread::scope(|s| {});\n";
+        assert!(lint("crates/core/src/engine.rs", src).is_empty());
+        assert!(lint("crates/bench/src/lib.rs", src).is_empty());
+        // The exemption is for engine files only, not all of mask-core.
+        assert!(!lint("crates/core/src/metrics.rs", src).is_empty());
     }
 
     #[test]
