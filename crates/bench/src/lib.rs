@@ -28,7 +28,8 @@ pub fn options(default_pair_cap: usize) -> ExpOptions {
     opts
 }
 
-/// Prints a table and archives it as CSV under `target/mask-results/`.
+/// Prints a table and archives it as CSV plus machine-readable JSON under
+/// `target/mask-results/` (`<slug>.csv` / `<slug>.json`).
 pub fn emit(table: &Table) {
     println!("{table}");
     println!();
@@ -50,6 +51,7 @@ pub fn emit(table: &Table) {
             .collect::<Vec<_>>()
             .join("_");
         let _ = std::fs::write(dir.join(format!("{slug}.csv")), table.to_csv());
+        let _ = std::fs::write(dir.join(format!("{slug}.json")), table.to_json());
     }
 }
 

@@ -97,9 +97,16 @@ impl DataCache {
 
     fn set_index(&self, line: LineAddr) -> usize {
         // Low line bits index the set (plus a simple hash fold of higher
-        // bits to avoid pathological power-of-two strides).
+        // bits to avoid pathological power-of-two strides). Set counts are
+        // powers of two for every shipped geometry, where a mask computes
+        // the same residue as `%` without the 64-bit divide.
         let n = self.sets.len() as u64;
-        ((line.0 ^ (line.0 >> 16)) % n) as usize
+        let folded = line.0 ^ (line.0 >> 16);
+        if n.is_power_of_two() {
+            (folded & (n - 1)) as usize
+        } else {
+            (folded % n) as usize
+        }
     }
 
     /// Probes for `line`, updating LRU on hit.

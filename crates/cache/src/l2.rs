@@ -60,6 +60,9 @@ pub struct SharedL2Cache {
     bypass_mshr: MshrTable<MemRequest>,
     to_dram: Vec<MemRequest>,
     responses: Vec<L2Response>,
+    /// Scratch for `dram_fill`: waiters gathered from the banked and bypass
+    /// MSHRs before being turned into responses. Reused across fills.
+    scratch_fill: Vec<MemRequest>,
     /// Sanitizer instance id for cycle-monotonicity tracking.
     san_id: u64,
 }
@@ -94,6 +97,7 @@ impl SharedL2Cache {
             bypass_mshr: MshrTable::labelled("l2-bypass-mshr", cfg.mshrs * cfg.banks),
             to_dram: Vec::new(),
             responses: Vec::new(),
+            scratch_fill: Vec::new(),
             san_id: mask_sanitizer::register_component("l2-cache"),
         }
     }
@@ -105,7 +109,15 @@ impl SharedL2Cache {
     }
 
     fn bank_index(&self, line: LineAddr) -> usize {
-        ((line.0 ^ (line.0 >> 8)) % self.banks.len() as u64) as usize
+        // Bank counts are powers of two in every shipped geometry; the mask
+        // is the same residue as `%` without a per-request 64-bit divide.
+        let n = self.banks.len() as u64;
+        let folded = line.0 ^ (line.0 >> 8);
+        if n.is_power_of_two() {
+            (folded & (n - 1)) as usize
+        } else {
+            (folded % n) as usize
+        }
     }
 
     /// Accepts a request into the L2 at cycle `now`.
@@ -184,39 +196,78 @@ impl SharedL2Cache {
     /// array (unless only bypassed requests wanted the line).
     pub fn dram_fill(&mut self, line: LineAddr, _now: Cycle) {
         let bank = self.bank_index(line);
-        let waiters = self.banks[bank].mshr.complete(line);
-        let bypass_waiters = self.bypass_mshr.complete(line);
-        if let Some(first) = waiters.first() {
+        let mut gathered = std::mem::take(&mut self.scratch_fill);
+        gathered.clear();
+        let n_banked = self.banks[bank].mshr.complete_into(line, &mut gathered);
+        self.bypass_mshr.complete_into(line, &mut gathered);
+        if n_banked > 0 {
             // Fill on behalf of the first demander's address space (only
             // relevant under Static way-partitioning).
-            self.array.fill(line, first.asid);
+            self.array.fill(line, gathered[0].asid);
         }
-        self.responses
-            .extend(waiters.into_iter().map(|req| L2Response {
-                req,
-                outcome: L2Outcome::Miss,
-            }));
-        self.responses
-            .extend(bypass_waiters.into_iter().map(|req| L2Response {
-                req,
-                outcome: L2Outcome::Bypassed,
-            }));
+        for (i, req) in gathered.drain(..).enumerate() {
+            let outcome = if i < n_banked {
+                L2Outcome::Miss
+            } else {
+                L2Outcome::Bypassed
+            };
+            self.responses.push(L2Response { req, outcome });
+        }
+        self.scratch_fill = gathered;
     }
 
     /// Drains requests destined for DRAM (call every cycle).
+    ///
+    /// Allocating wrapper around [`SharedL2Cache::drain_dram_requests_into`]
+    /// for tests and cold paths.
     pub fn take_dram_requests(&mut self) -> Vec<MemRequest> {
-        std::mem::take(&mut self.to_dram)
+        // lint: allow(hotpath) -- allocating wrapper for tests/cold paths.
+        let mut out = Vec::new();
+        self.drain_dram_requests_into(&mut out);
+        out
+    }
+
+    /// Moves all pending DRAM-bound requests into `out` (not cleared).
+    pub fn drain_dram_requests_into(&mut self, out: &mut Vec<MemRequest>) {
+        out.append(&mut self.to_dram);
     }
 
     /// Drains completed responses (call every cycle).
+    ///
+    /// Allocating wrapper around [`SharedL2Cache::drain_responses_into`]
+    /// for tests and cold paths.
     pub fn take_responses(&mut self) -> Vec<L2Response> {
-        let responses = std::mem::take(&mut self.responses);
+        // lint: allow(hotpath) -- allocating wrapper for tests/cold paths.
+        let mut out = Vec::new();
+        self.drain_responses_into(&mut out);
+        out
+    }
+
+    /// Moves all completed responses into `out` (not cleared), retiring
+    /// them from the sanitizer's conservation ledger.
+    pub fn drain_responses_into(&mut self, out: &mut Vec<L2Response>) {
         if mask_sanitizer::is_enabled() {
-            for r in &responses {
+            for r in &self.responses {
                 mask_sanitizer::retire("l2-cache", r.req.id.0);
             }
         }
-        responses
+        out.append(&mut self.responses);
+    }
+
+    /// Earliest cycle at which this cache can make progress: `Some(0)` when
+    /// output buffers hold undelivered work, the earliest bank-queue ready
+    /// cycle otherwise, and `None` when fully drained (MSHR fills arrive
+    /// via `dram_fill`, so outstanding misses are DRAM events, not ours).
+    pub fn next_event(&self) -> Option<Cycle> {
+        if !self.to_dram.is_empty() || !self.responses.is_empty() {
+            return Some(0);
+        }
+        // Bank queues are FIFO with a constant latency offset, so the front
+        // entry is each bank's earliest ready cycle.
+        self.banks
+            .iter()
+            .filter_map(|b| b.queue.front().map(|&(_, ready)| ready))
+            .min()
     }
 
     /// Ends a monitoring epoch (latches new bypass decisions).

@@ -41,6 +41,10 @@ pub struct MshrTable<W> {
     component: &'static str,
     /// Sanitizer mirror-table id (0 when the sanitizer is disabled).
     san_table: u64,
+    /// Recycled waiter vectors: primary allocations pop from here instead of
+    /// heap-allocating, and `complete_into` pushes emptied vectors back.
+    /// Keeps the steady-state hot path allocation-free.
+    pool: Vec<Vec<W>>,
 }
 
 impl<W> MshrTable<W> {
@@ -58,6 +62,7 @@ impl<W> MshrTable<W> {
             peak_waiters: 0,
             component,
             san_table: mask_sanitizer::register_table(component, capacity),
+            pool: Vec::new(),
         }
     }
 
@@ -85,10 +90,9 @@ impl<W> MshrTable<W> {
             );
             return MshrAlloc::Full;
         }
-        self.entries.push(MshrEntry {
-            line,
-            waiters: vec![waiter],
-        });
+        let mut waiters = self.pool.pop().unwrap_or_default();
+        waiters.push(waiter);
+        self.entries.push(MshrEntry { line, waiters });
         self.peak_waiters = self.peak_waiters.max(1);
         mask_sanitizer::mshr_alloc(
             self.san_table,
@@ -101,16 +105,34 @@ impl<W> MshrTable<W> {
     }
 
     /// Completes `line`, returning all its waiters (empty if none pending).
+    ///
+    /// Allocating convenience wrapper around [`MshrTable::complete_into`]
+    /// for tests and cold paths; the returned vector is detached from the
+    /// table's recycling pool.
     pub fn complete(&mut self, line: LineAddr) -> Vec<W> {
+        let mut out = Vec::new();
+        self.complete_into(line, &mut out);
+        out
+    }
+
+    /// Completes `line`, appending its waiters to `out` (not cleared) and
+    /// returning how many were appended (0 if no entry was pending).
+    ///
+    /// The entry's internal waiter vector is recycled into the pool, so the
+    /// steady-state allocate/complete cycle performs no heap traffic.
+    pub fn complete_into(&mut self, line: LineAddr, out: &mut Vec<W>) -> usize {
         match self.entries.iter().position(|e| e.line == line) {
             Some(i) => {
-                let waiters = self.entries.swap_remove(i).waiters;
+                let mut waiters = self.entries.swap_remove(i).waiters;
                 mask_sanitizer::mshr_fill(self.san_table, line.0, waiters.len(), true);
-                waiters
+                let n = waiters.len();
+                out.append(&mut waiters);
+                self.pool.push(waiters);
+                n
             }
             None => {
                 mask_sanitizer::mshr_fill(self.san_table, line.0, 0, false);
-                Vec::new()
+                0
             }
         }
     }
@@ -183,6 +205,8 @@ impl<W: Clone> Clone for MshrTable<W> {
             peak_waiters: self.peak_waiters,
             component: self.component,
             san_table,
+            // The pool is a perf cache, not state: clones start empty.
+            pool: Vec::new(),
         }
     }
 }

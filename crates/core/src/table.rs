@@ -75,6 +75,52 @@ impl Table {
         out
     }
 
+    /// Renders as a machine-readable JSON object: the title plus one object
+    /// per row keyed by the row label, with cells keyed by column header.
+    /// Numeric-looking cells are emitted as JSON numbers, everything else
+    /// as strings.
+    pub fn to_json(&self) -> String {
+        fn esc(s: &str) -> String {
+            let mut out = String::with_capacity(s.len() + 2);
+            for c in s.chars() {
+                match c {
+                    '"' => out.push_str("\\\""),
+                    '\\' => out.push_str("\\\\"),
+                    '\n' => out.push_str("\\n"),
+                    c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+                    c => out.push(c),
+                }
+            }
+            out
+        }
+        fn cell_json(s: &str) -> String {
+            // A cell parseable as a finite f64 round-trips as a number.
+            match s.parse::<f64>() {
+                Ok(v) if v.is_finite() => s.to_string(),
+                _ => format!("\"{}\"", esc(s)),
+            }
+        }
+        let mut out = String::from("{\n");
+        out.push_str(&format!("  \"title\": \"{}\",\n", esc(&self.title)));
+        out.push_str("  \"rows\": {\n");
+        for (r, (label, cells)) in self.rows.iter().enumerate() {
+            out.push_str(&format!("    \"{}\": {{ ", esc(label)));
+            for (i, (header, cell)) in self.headers[1..].iter().zip(cells).enumerate() {
+                if i > 0 {
+                    out.push_str(", ");
+                }
+                out.push_str(&format!("\"{}\": {}", esc(header), cell_json(cell)));
+            }
+            out.push_str(if r + 1 == self.rows.len() {
+                " }\n"
+            } else {
+                " },\n"
+            });
+        }
+        out.push_str("  }\n}\n");
+        out
+    }
+
     /// Looks up a cell by row label and column header.
     pub fn cell(&self, row: &str, col: &str) -> Option<&str> {
         let col_idx = self.headers.iter().position(|h| h == col)?;
@@ -156,6 +202,25 @@ mod tests {
         let csv = sample().to_csv();
         assert!(csv.starts_with("workload,a,b\n"));
         assert!(csv.contains("W1,1.000,2.500\n"));
+    }
+
+    #[test]
+    fn json_rendering() {
+        let j = sample().to_json();
+        assert!(j.contains("\"title\": \"Sample\""));
+        // Numeric cells become numbers, textual cells stay strings.
+        assert!(j.contains("\"W1\": { \"a\": 1.000, \"b\": 2.500 }"));
+        assert!(j.contains("\"W2\": { \"a\": \"x\", \"b\": \"y\" }"));
+    }
+
+    #[test]
+    fn json_escapes_special_characters() {
+        let mut t = Table::new("Quote \" and \\ slash", &["r", "v"]);
+        t.row("a\nb", vec!["x\"y".into()]);
+        let j = t.to_json();
+        assert!(j.contains("Quote \\\" and \\\\ slash"));
+        assert!(j.contains("\"a\\nb\""));
+        assert!(j.contains("x\\\"y"));
     }
 
     #[test]

@@ -196,8 +196,19 @@ impl Dram {
     }
 
     /// Drains accesses whose data transfer has finished by `now`.
+    ///
+    /// Allocating wrapper around [`Dram::drain_completions_into`] for tests
+    /// and cold paths.
     pub fn take_completions(&mut self, now: Cycle) -> Vec<DramCompletion> {
         let mut out = Vec::new();
+        self.drain_completions_into(now, &mut out);
+        out
+    }
+
+    /// Moves accesses whose data transfer has finished by `now` into `out`
+    /// (not cleared).
+    pub fn drain_completions_into(&mut self, now: Cycle, out: &mut Vec<DramCompletion>) {
+        let start = out.len();
         for ch in &mut self.channels {
             let mut i = 0;
             while i < ch.in_flight.len() {
@@ -209,11 +220,24 @@ impl Dram {
             }
         }
         if mask_sanitizer::is_enabled() {
-            for c in &out {
+            for c in &out[start..] {
                 mask_sanitizer::retire("dram", c.req.id.0);
             }
         }
-        out
+    }
+
+    /// Earliest cycle at which this device can make progress: `Some(0)`
+    /// while any channel still holds queued requests (scheduling depends on
+    /// bank/bus state, so we conservatively call it busy every cycle), the
+    /// earliest in-flight finish otherwise, and `None` when fully drained.
+    pub fn next_event(&self) -> Option<Cycle> {
+        if self.channels.iter().any(|ch| ch.queue_len() > 0) {
+            return Some(0);
+        }
+        self.channels
+            .iter()
+            .flat_map(|ch| ch.in_flight.iter().map(|c| c.finish))
+            .min()
     }
 
     /// Pushes fresh per-app pressure products (`ConPTW_i * WarpsStalled_i`)

@@ -34,9 +34,21 @@ pub fn frfcfs_pick(
     bank_free: impl Fn(usize) -> bool,
     open_row: impl Fn(usize) -> Option<u64>,
 ) -> Option<usize> {
+    frfcfs_pick_where(queue, bank_free, open_row, |_| true)
+}
+
+/// FR-FCFS restricted to entries satisfying `accept` — lets the batch
+/// scheduler run per-application passes over the shared queue without
+/// materializing filtered copies on the per-cycle path.
+fn frfcfs_pick_where(
+    queue: &[QueueEntry],
+    bank_free: impl Fn(usize) -> bool,
+    open_row: impl Fn(usize) -> Option<u64>,
+    accept: impl Fn(&QueueEntry) -> bool,
+) -> Option<usize> {
     let mut oldest_ready: Option<usize> = None;
     for (i, e) in queue.iter().enumerate() {
-        if !bank_free(e.decoded.bank) {
+        if !accept(e) || !bank_free(e.decoded.bank) {
             continue;
         }
         if open_row(e.decoded.bank) == Some(e.decoded.row) {
@@ -78,15 +90,8 @@ impl BatchState {
         }
         for offset in 0..n_apps {
             let app = (self.current_app + offset) % n_apps;
-            let of_app: Vec<usize> = queue
-                .iter()
-                .enumerate()
-                .filter(|(_, e)| e.req.asid.index() == app)
-                .map(|(i, _)| i)
-                .collect();
-            let sub: Vec<QueueEntry> = of_app.iter().map(|&i| queue[i]).collect();
-            if let Some(local) = frfcfs_pick(&sub, bank_free, open_row) {
-                let picked = of_app[local];
+            let hit = frfcfs_pick_where(queue, bank_free, open_row, |e| e.req.asid.index() == app);
+            if let Some(picked) = hit {
                 if offset != 0 {
                     self.current_app = app;
                     self.served = 0;

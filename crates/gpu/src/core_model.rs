@@ -66,6 +66,11 @@ pub struct GpuCore {
     retry: VecDeque<(usize, LineAddr)>,
     page_size_log2: u32,
     ideal_tlb: bool,
+    /// Scratch buffers reused across cycles so the issue/dispatch/complete
+    /// path performs no steady-state heap allocation.
+    scratch_vpns: Vec<Vpn>,
+    scratch_lines: Vec<LineAddr>,
+    scratch_waiters: Vec<usize>,
 }
 
 impl GpuCore {
@@ -116,12 +121,23 @@ impl GpuCore {
             retry: VecDeque::new(),
             page_size_log2: cfg.page_size_log2,
             ideal_tlb,
+            scratch_vpns: Vec::new(),
+            scratch_lines: Vec::new(),
+            scratch_waiters: Vec::new(),
         }
     }
 
     /// Whether any warp can issue this cycle.
     pub fn has_ready_warp(&self) -> bool {
         self.ready != 0
+    }
+
+    /// Whether an `issue` call this cycle would do nothing but count a
+    /// stall: no warp can issue and no deferred MSHR retry is queued.
+    /// External events (translation/data completions) are what wake an
+    /// idle core, so idleness persists until one arrives.
+    pub fn is_idle(&self) -> bool {
+        self.ready == 0 && self.retry.is_empty()
     }
 
     fn set_ready(&mut self, w: usize, ready: bool) {
@@ -159,13 +175,14 @@ impl GpuCore {
             return;
         };
         self.last = w;
-        // Fetch a fresh op if needed (free, part of this issue slot).
+        // Fetch a fresh op if needed (free, part of this issue slot). The
+        // warp's line buffer is reused across instructions.
         if self.warps[w].state == WarpState::NeedOp {
-            let op = self.warps[w].trace.next_op();
-            self.warps[w].lines = op.lines;
-            self.warps[w].xlat.clear();
-            self.warps[w].state = if op.compute > 0 {
-                WarpState::Compute { left: op.compute }
+            let warp = &mut self.warps[w];
+            let compute = warp.trace.next_op_into(&mut warp.lines);
+            warp.xlat.clear();
+            warp.state = if compute > 0 {
+                WarpState::Compute { left: compute }
             } else {
                 WarpState::MemReady
             };
@@ -197,15 +214,18 @@ impl GpuCore {
         next_req_id: &mut u64,
         stats: &mut AppStats,
     ) {
-        let mut vpns: Vec<Vpn> = self.warps[w]
-            .lines
-            .iter()
-            .map(|va| va.vpn(self.page_size_log2))
-            .collect();
+        let mut vpns = std::mem::take(&mut self.scratch_vpns);
+        vpns.clear();
+        vpns.extend(
+            self.warps[w]
+                .lines
+                .iter()
+                .map(|va| va.vpn(self.page_size_log2)),
+        );
         vpns.sort_unstable_by_key(|v| v.0);
         vpns.dedup();
         let mut pending = 0u32;
-        for vpn in vpns {
+        for &vpn in &vpns {
             if self.ideal_tlb {
                 // Ideal design: "every single TLB access is a TLB hit" (§7).
                 let ppn = xlat.functional_translate(self.asid, vpn);
@@ -226,6 +246,7 @@ impl GpuCore {
                 }
             }
         }
+        self.scratch_vpns = vpns;
         if pending > 0 {
             self.warps[w].state = WarpState::XlatWait { pending };
             self.set_ready(w, false);
@@ -244,23 +265,24 @@ impl GpuCore {
         stats: &mut AppStats,
     ) {
         let mut outstanding = 0u32;
-        let lines = std::mem::take(&mut self.warps[w].lines);
-        let mut phys: Vec<LineAddr> = lines
-            .iter()
-            .map(|va| {
+        let mut phys = std::mem::take(&mut self.scratch_lines);
+        phys.clear();
+        {
+            let warp = &self.warps[w];
+            for va in &warp.lines {
                 let vpn = va.vpn(self.page_size_log2);
-                let ppn = self.warps[w]
+                let ppn = warp
                     .xlat
                     .iter()
                     .find(|(v, _)| *v == vpn)
                     .map(|(_, p)| *p)
                     .expect("translation resolved before dispatch");
-                ppn.translate(*va, self.page_size_log2).line()
-            })
-            .collect();
+                phys.push(ppn.translate(*va, self.page_size_log2).line());
+            }
+        }
         phys.sort_unstable_by_key(|l| l.0);
         phys.dedup();
-        for line in phys {
+        for &line in &phys {
             let hit = self.l1cache.probe(line);
             stats.l1_data.record(hit);
             if hit {
@@ -269,6 +291,7 @@ impl GpuCore {
             outstanding += 1;
             self.allocate_miss(w, line, out_l2, next_req_id, now);
         }
+        self.scratch_lines = phys;
         if outstanding > 0 {
             self.warps[w].state = WarpState::DataWait { outstanding };
             self.set_ready(w, false);
@@ -350,7 +373,10 @@ impl GpuCore {
     /// Delivers a completed data line from the L2/DRAM.
     pub fn line_done(&mut self, line: LineAddr) {
         self.l1cache.fill(line, self.asid);
-        for w in self.l1mshr.complete(line) {
+        let mut waiters = std::mem::take(&mut self.scratch_waiters);
+        waiters.clear();
+        self.l1mshr.complete_into(line, &mut waiters);
+        for &w in &waiters {
             let WarpState::DataWait { outstanding } = self.warps[w].state else {
                 debug_assert!(false, "line completion for a warp not in DataWait");
                 continue;
@@ -364,6 +390,7 @@ impl GpuCore {
                 self.set_ready(w, true);
             }
         }
+        self.scratch_waiters = waiters;
     }
 
     /// Flushes per-core volatile state (context-switch experiments, §2.1).
@@ -481,7 +508,7 @@ mod tests {
         let mut resolved = Vec::new();
         for now in 20..100 {
             let mut xl_out = Vec::new();
-            resolved.extend(xlat.tick(now, &mut id, &mut xl_out, &mut pwc_hits));
+            xlat.tick(now, &mut id, &mut xl_out, &mut pwc_hits, &mut resolved);
             let mut queue: Vec<_> = xl_out;
             while let Some(r) = queue.pop() {
                 let mut more = Vec::new();

@@ -1,15 +1,15 @@
 //! The top-level cycle loop: cores + translation + shared L2 + DRAM.
 
 use crate::core_model::GpuCore;
-use crate::translation::TranslationUnit;
-use mask_cache::l2::L2Outcome;
+use crate::translation::{ResolvedTranslation, TranslationUnit};
+use mask_cache::l2::{L2Outcome, L2Response};
 use mask_cache::SharedL2Cache;
 use mask_common::config::SimConfig;
 use mask_common::ids::{Asid, CoreId, WarpId};
 use mask_common::req::{MemRequest, RequestClass};
 use mask_common::stats::SimStats;
 use mask_common::Cycle;
-use mask_dram::{ChannelPartition, Dram, RowOutcome};
+use mask_dram::{ChannelPartition, Dram, DramCompletion, RowOutcome};
 use mask_workloads::AppProfile;
 
 /// One application's placement in a simulation.
@@ -36,6 +36,21 @@ pub struct GpuSim {
     /// Reusable scratch buffer for L2-bound requests.
     scratch_l2: Vec<MemRequest>,
     scratch_pwc: Vec<(Asid, bool)>,
+    /// Scratch for translations resolved by the translation unit's tick.
+    scratch_resolved: Vec<ResolvedTranslation>,
+    /// Scratch for L2→DRAM request transfer.
+    scratch_dram: Vec<MemRequest>,
+    /// Scratch for DRAM completions.
+    scratch_compl: Vec<DramCompletion>,
+    /// Scratch for L2 responses.
+    scratch_resp: Vec<L2Response>,
+    /// Per-core waiter buckets for `deliver_one` (indexed by core).
+    bucket_warps: Vec<Vec<WarpId>>,
+    /// Cores touched by the current `deliver_one`, in first-appearance
+    /// order (preserves the legacy wake ordering bit-for-bit).
+    bucket_touched: Vec<usize>,
+    /// Whether `run` may fast-forward over provably idle cycles.
+    skip_enabled: bool,
     /// Sanitizer accounting session (0 when the sanitizer is disabled).
     san_session: u64,
     /// Sanitizer instance id for cycle-monotonicity tracking.
@@ -109,6 +124,13 @@ impl GpuSim {
             n_apps,
             scratch_l2: Vec::new(),
             scratch_pwc: Vec::new(),
+            scratch_resolved: Vec::new(),
+            scratch_dram: Vec::new(),
+            scratch_compl: Vec::new(),
+            scratch_resp: Vec::new(),
+            bucket_warps: vec![Vec::new(); cfg.gpu.n_cores],
+            bucket_touched: Vec::new(),
+            skip_enabled: true,
             san_session,
             san_id: mask_sanitizer::register_component("gpu"),
         }
@@ -147,41 +169,48 @@ impl GpuSim {
         &self.stats
     }
 
-    fn deliver_resolved(&mut self, resolved: Vec<crate::translation::ResolvedTranslation>) {
-        for r in resolved {
-            let app = r.asid.index();
-            if r.walked {
-                self.stats.apps[app].walks_completed += 1;
-                self.stats.apps[app].walk_latency_sum += r.walk_latency;
+    fn deliver_one(&mut self, r: ResolvedTranslation) {
+        let app = r.asid.index();
+        if r.walked {
+            self.stats.apps[app].walks_completed += 1;
+            self.stats.apps[app].walk_latency_sum += r.walk_latency;
+        }
+        self.stats.apps[app].stalled_warps_sum += r.waiters.len() as u64;
+        self.stats.apps[app].stalled_warps_events += 1;
+        self.stats.apps[app].stalled_warps_max = self.stats.apps[app]
+            .stalled_warps_max
+            .max(r.waiters.len() as u64);
+        // Group waiters per core into index buckets. `bucket_touched`
+        // records cores in first-appearance order, matching the legacy
+        // grouped wake order (and therefore request-id assignment) exactly.
+        self.bucket_touched.clear();
+        for gw in &r.waiters {
+            let c = gw.core.index();
+            if self.bucket_warps[c].is_empty() {
+                self.bucket_touched.push(c);
             }
-            self.stats.apps[app].stalled_warps_sum += r.waiters.len() as u64;
-            self.stats.apps[app].stalled_warps_events += 1;
-            self.stats.apps[app].stalled_warps_max = self.stats.apps[app]
-                .stalled_warps_max
-                .max(r.waiters.len() as u64);
-            // Group waiters per core and wake them.
-            let mut by_core: Vec<(usize, Vec<WarpId>)> = Vec::new();
-            for gw in &r.waiters {
-                let c = gw.core.index();
-                match by_core.iter_mut().find(|(cc, _)| *cc == c) {
-                    Some((_, v)) => v.push(gw.warp),
-                    None => by_core.push((c, vec![gw.warp])),
-                }
-            }
-            for (c, warps) in by_core {
-                let app_idx = self.cores[c].asid.index();
-                // Split borrows: core and its app stats are disjoint fields.
-                let stats = &mut self.stats.apps[app_idx];
-                self.cores[c].translation_done(
-                    r.vpn,
-                    r.ppn,
-                    &warps,
-                    self.now,
-                    &mut self.scratch_l2,
-                    &mut self.next_req_id,
-                    stats,
-                );
-            }
+            self.bucket_warps[c].push(gw.warp);
+        }
+        self.xlat.recycle_waiters(r.waiters);
+        for i in 0..self.bucket_touched.len() {
+            let c = self.bucket_touched[i];
+            let app_idx = self.cores[c].asid.index();
+            // Split borrows: core, its app stats, and the buckets are
+            // disjoint fields.
+            let stats = &mut self.stats.apps[app_idx];
+            self.cores[c].translation_done(
+                r.vpn,
+                r.ppn,
+                &self.bucket_warps[c],
+                self.now,
+                &mut self.scratch_l2,
+                &mut self.next_req_id,
+                stats,
+            );
+        }
+        for i in 0..self.bucket_touched.len() {
+            let c = self.bucket_touched[i];
+            self.bucket_warps[c].clear();
         }
     }
 
@@ -201,27 +230,38 @@ impl GpuSim {
                 &mut self.stats.apps[app],
             );
         }
-        // 2. Translation unit: L2 TLB pipeline + walker activation.
+        // 2. Translation unit: L2 TLB pipeline + walker activation. The
+        // resolved scratch is taken out of `self` because `deliver_one`
+        // needs `&mut self`; it is put back below with its capacity intact.
         let mut pwc_hits = std::mem::take(&mut self.scratch_pwc);
-        let resolved = self.xlat.tick(
+        let mut resolved = std::mem::take(&mut self.scratch_resolved);
+        self.xlat.tick(
             now,
             &mut self.next_req_id,
             &mut self.scratch_l2,
             &mut pwc_hits,
+            &mut resolved,
         );
-        self.deliver_resolved(resolved);
-        // 3. Push L2-bound requests.
-        for req in std::mem::take(&mut self.scratch_l2) {
+        for r in resolved.drain(..) {
+            self.deliver_one(r);
+        }
+        self.scratch_resolved = resolved;
+        // 3. Push L2-bound requests (disjoint-field borrow: the drain
+        // iterator holds `scratch_l2` while `enqueue` borrows `l2`).
+        for req in self.scratch_l2.drain(..) {
             self.l2.enqueue(req, now);
         }
         // 4. Shared L2 cache.
         self.l2.tick(now);
-        for req in self.l2.take_dram_requests() {
+        self.l2.drain_dram_requests_into(&mut self.scratch_dram);
+        for req in self.scratch_dram.drain(..) {
             self.dram.enqueue(req, now);
         }
         // 5. DRAM.
         self.dram.tick(now);
-        for c in self.dram.take_completions(now) {
+        self.dram
+            .drain_completions_into(now, &mut self.scratch_compl);
+        for c in self.scratch_compl.drain(..) {
             let app = c.req.asid.index();
             let class_stats = if c.req.class.is_translation() {
                 &mut self.stats.apps[app].dram_translation
@@ -239,8 +279,12 @@ impl GpuSim {
             self.stats.dram_bus_busy += c.bus_cycles;
             self.l2.dram_fill(c.req.line, now);
         }
-        // 6. L2 responses: data to cores, translations to the walker.
-        for resp in self.l2.take_responses() {
+        // 6. L2 responses: data to cores, translations to the walker. The
+        // response scratch is taken out because the loop body re-enters
+        // `&mut self` (`deliver_one`), then put back.
+        let mut resps = std::mem::take(&mut self.scratch_resp);
+        self.l2.drain_responses_into(&mut resps);
+        for resp in resps.drain(..) {
             let app = resp.req.asid.index();
             match resp.req.class {
                 RequestClass::Data => {
@@ -266,14 +310,15 @@ impl GpuSim {
                         &mut pwc_hits,
                     );
                     if let Some(r) = done {
-                        self.deliver_resolved(vec![r]);
+                        self.deliver_one(r);
                     }
                 }
             }
         }
+        self.scratch_resp = resps;
         // Late-generated requests (walk continuations, fresh data after
         // translation wake-ups) enter the L2 this cycle as well.
-        for req in std::mem::take(&mut self.scratch_l2) {
+        for req in self.scratch_l2.drain(..) {
             self.l2.enqueue(req, now);
         }
         // 7. PWC statistics.
@@ -299,17 +344,101 @@ impl GpuSim {
         }
     }
 
-    /// Runs for `cycles` additional cycles.
+    /// Runs for `cycles` additional cycles, fast-forwarding over spans
+    /// where every core and component is provably idle. Results are
+    /// bit-identical to stepping cycle by cycle (see `idle_horizon`);
+    /// disable with [`GpuSim::set_cycle_skip`] to force the slow path.
     pub fn run(&mut self, cycles: u64) {
-        for _ in 0..cycles {
-            self.step();
+        let end = self.now + cycles;
+        while self.now < end {
+            if let Some(target) = self.idle_horizon(end) {
+                self.fast_forward(target - self.now);
+            } else {
+                self.step();
+            }
         }
     }
 
     /// Runs to the configured cycle budget.
     pub fn run_to_completion(&mut self) {
-        while self.now < self.cfg.max_cycles {
-            self.step();
+        let end = self.cfg.max_cycles;
+        if self.now < end {
+            self.run(end - self.now);
+        }
+    }
+
+    /// Enables or disables idle cycle-skipping in [`GpuSim::run`]
+    /// (enabled by default; determinism tests compare both modes).
+    pub fn set_cycle_skip(&mut self, enabled: bool) {
+        self.skip_enabled = enabled;
+    }
+
+    /// The earliest future cycle (≤ `end`) at which anything can happen,
+    /// or `None` if the next cycle must be simulated in full.
+    ///
+    /// A span may be skipped only when every core is idle (no issuable
+    /// warp, no deferred MSHR retry) and no component reports an event at
+    /// or before `now`. Under those conditions `step()` provably changes
+    /// nothing but the per-cycle counters that `fast_forward` replays in
+    /// bulk: cores only count stall cycles, ticking a drained L2/DRAM is a
+    /// no-op, and the translation unit only accrues its epoch integral.
+    /// The skip is also capped at the next epoch boundary so epoch-end
+    /// work fires on exactly the same cycle as in step-by-step execution.
+    fn idle_horizon(&self, end: Cycle) -> Option<Cycle> {
+        if !self.skip_enabled {
+            return None;
+        }
+        if self.cores.iter().any(|c| !c.is_idle()) {
+            return None;
+        }
+        let mut target = end;
+        for ev in [
+            self.xlat.next_event(),
+            self.l2.next_event(),
+            self.dram.next_event(),
+        ]
+        .into_iter()
+        .flatten()
+        {
+            if ev <= self.now {
+                return None;
+            }
+            target = target.min(ev);
+        }
+        let epoch = self.cfg.gpu.mask.epoch_cycles;
+        if let Some(done) = self.now.checked_div(epoch) {
+            target = target.min((done + 1) * epoch);
+        }
+        (target > self.now).then_some(target)
+    }
+
+    /// Advances `delta` fully idle cycles at once, applying exactly the
+    /// state changes `delta` calls to `step()` would have made under the
+    /// `idle_horizon` preconditions.
+    fn fast_forward(&mut self, delta: u64) {
+        debug_assert!(delta > 0);
+        // Each idle core's issue stage counts one stall per cycle.
+        for c in &self.cores {
+            self.stats.apps[c.asid.index()].stall_cycles += delta;
+        }
+        // The translation unit's per-tick epoch integral.
+        self.xlat.fast_forward(delta);
+        // Per-cycle sampling (stage 8 of `step`).
+        for app in 0..self.n_apps {
+            let walks = self.xlat.concurrent_walks(Asid::new(app as u16)) as u64;
+            self.stats.apps[app].walk_cycles_integral += walks * delta;
+            self.stats.apps[app].walk_concurrency_max =
+                self.stats.apps[app].walk_concurrency_max.max(walks);
+            self.stats.apps[app].cycles += delta;
+        }
+        self.stats.cycles += delta;
+        self.now += delta;
+        // Epoch boundary (stage 9) — `idle_horizon` caps the skip at the
+        // next boundary, so this fires on exactly the same cycles.
+        if self.now.is_multiple_of(self.cfg.gpu.mask.epoch_cycles) {
+            let pressure = self.xlat.end_epoch(self.cfg.gpu.mask.epoch_cycles);
+            self.dram.update_pressure(&pressure);
+            self.l2.end_epoch();
         }
     }
 

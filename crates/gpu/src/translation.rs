@@ -21,7 +21,39 @@ use mask_common::req::{MemRequest, ReqId, RequestClass};
 use mask_common::Cycle;
 use mask_pagetable::{PageTables, PageWalker, WalkAccess, WalkId, WalkOutcome};
 use mask_tlb::{L2TlbProbe, PageWalkCache, SharedL2Tlb, TokenAllocator, TokenPolicy};
-use std::collections::{BTreeMap, VecDeque};
+// FastMap below is keyed-access only (never iterated) with a fixed-seed
+// hasher, so iteration-order nondeterminism cannot reach simulation results.
+// lint: allow(collections) -- fixed hasher, never iterated.
+use std::collections::{HashMap, VecDeque};
+use std::hash::BuildHasherDefault;
+
+/// FNV-1a: a fixed-seed hasher for the translation MSHR. The map is only
+/// ever probed by key (never iterated), so determinism needs nothing from
+/// the hasher — this one just avoids `SipHash`'s per-lookup setup cost on a
+/// path hit by every L1 TLB miss.
+#[derive(Default)]
+struct FnvHasher(u64);
+
+impl std::hash::Hasher for FnvHasher {
+    fn finish(&self) -> u64 {
+        self.0
+    }
+
+    fn write(&mut self, bytes: &[u8]) {
+        let mut h = if self.0 == 0 {
+            0xcbf2_9ce4_8422_2325
+        } else {
+            self.0
+        };
+        for &b in bytes {
+            h = (h ^ u64::from(b)).wrapping_mul(0x0000_0100_0000_01b3);
+        }
+        self.0 = h;
+    }
+}
+
+// lint: allow(collections) -- fixed hasher, never iterated; see above.
+type FastMap<K, V> = HashMap<K, V, BuildHasherDefault<FnvHasher>>;
 
 /// A translation that just resolved; the simulator wakes all waiters.
 #[derive(Clone, Debug)]
@@ -73,7 +105,7 @@ pub struct TranslationUnit {
     walker: PageWalker,
     tables: PageTables,
     tokens: Option<TokenAllocator>,
-    mshr: BTreeMap<(Asid, Vpn), TransEntry>,
+    mshr: FastMap<(Asid, Vpn), TransEntry>,
     l2tlb_pipe: VecDeque<L2TlbReq>,
     /// Walks blocked on a demand-paging fault (first touch).
     fault_pipe: Vec<(Cycle, Asid, Vpn)>,
@@ -82,13 +114,20 @@ pub struct TranslationUnit {
     fault_counts: Vec<u64>,
     /// Page-walk-cache hits completing after the PWC latency.
     pwc_pipe: Vec<(Cycle, WalkAccess)>,
-    /// Outstanding walker accesses in the L2/DRAM, by request id.
-    walk_of_req: BTreeMap<ReqId, WalkId>,
+    /// Outstanding walker accesses in the L2/DRAM, by request id. At most
+    /// one per walker slot, so a linear scan beats any tree or hash map.
+    walk_of_req: Vec<(ReqId, WalkId)>,
     l2_ports: usize,
     l2_latency: u64,
     pwc_latency: u64,
     epoch: Vec<EpochAcc>,
     n_apps: usize,
+    /// Recycled waiter vectors: MSHR entries pop from here and resolved
+    /// translations hand their vectors back via `recycle_waiters`, keeping
+    /// the request/resolve cycle allocation-free in steady state.
+    waiter_pool: Vec<Vec<GlobalWarpId>>,
+    /// Scratch for newly activated walk accesses, reused every cycle.
+    scratch_walks: Vec<WalkAccess>,
 }
 
 impl TranslationUnit {
@@ -120,18 +159,20 @@ impl TranslationUnit {
             walker: PageWalker::new(cfg.walker_slots, n_apps),
             tables: PageTables::new(n_apps, cfg.page_size_log2),
             tokens,
-            mshr: BTreeMap::new(),
+            mshr: FastMap::default(),
             l2tlb_pipe: VecDeque::new(),
             fault_pipe: Vec::new(),
             fault_latency: cfg.page_fault_latency,
             fault_counts: vec![0; n_apps],
             pwc_pipe: Vec::new(),
-            walk_of_req: BTreeMap::new(),
+            walk_of_req: Vec::new(),
             l2_ports: cfg.tlb.l2_ports,
             l2_latency: cfg.tlb.l2_latency,
             pwc_latency: cfg.pwc.latency,
             epoch: vec![EpochAcc::default(); n_apps],
             n_apps,
+            waiter_pool: Vec::new(),
+            scratch_walks: Vec::new(),
         }
     }
 
@@ -157,10 +198,12 @@ impl TranslationUnit {
             entry.waiters.push(requester);
             return false;
         }
+        let mut waiters = self.waiter_pool.pop().unwrap_or_default();
+        waiters.push(requester);
         self.mshr.insert(
             (asid, vpn),
             TransEntry {
-                waiters: vec![requester],
+                waiters,
                 initiator_core_rank: core_rank,
                 initiator_warp: requester.warp.index(),
             },
@@ -210,7 +253,7 @@ impl TranslationUnit {
         }
         let id = ReqId(*next_req_id);
         *next_req_id += 1;
-        self.walk_of_req.insert(id, access.walk);
+        self.walk_of_req.push((id, access.walk));
         // Conservation: every walker access sent to memory must come back
         // through `memory_response` exactly once.
         mask_sanitizer::issue("xlat-mem", id.0);
@@ -259,16 +302,17 @@ impl TranslationUnit {
 
     /// Advances one cycle.
     ///
-    /// Emits walker memory requests into `out_l2` and returns resolved
-    /// translations (shared-L2-TLB hits and PWC-completed walks).
+    /// Emits walker memory requests into `out_l2` and appends resolved
+    /// translations (shared-L2-TLB hits and PWC-completed walks) to
+    /// `resolved` (not cleared).
     pub fn tick(
         &mut self,
         now: Cycle,
         next_req_id: &mut u64,
         out_l2: &mut Vec<MemRequest>,
         pwc_hits: &mut Vec<(Asid, bool)>,
-    ) -> Vec<ResolvedTranslation> {
-        let mut resolved = Vec::new();
+        resolved: &mut Vec<ResolvedTranslation>,
+    ) {
         // 0. Release walks whose demand-paging fault completed.
         let mut i = 0;
         while i < self.fault_pipe.len() {
@@ -299,10 +343,16 @@ impl TranslationUnit {
                 }
             }
         }
-        // 2. Activate queued walks and route their first accesses.
-        for access in self.walker.activate(&mut self.tables) {
+        // 2. Activate queued walks and route their first accesses. The
+        // scratch is taken out of `self` so the routing loop can borrow
+        // `&mut self`, then put back to keep its capacity.
+        let mut walks = std::mem::take(&mut self.scratch_walks);
+        walks.clear();
+        self.walker.activate_into(&mut self.tables, &mut walks);
+        for &access in &walks {
             self.route_walk_access(access, now, next_req_id, out_l2, pwc_hits);
         }
+        self.scratch_walks = walks;
         // 3. Complete PWC-hit walk steps whose latency elapsed.
         let mut i = 0;
         while i < self.pwc_pipe.len() {
@@ -332,7 +382,53 @@ impl TranslationUnit {
             self.epoch[app].walk_integral +=
                 self.walker.total_walks_for(Asid::new(app as u16)) as u64;
         }
-        resolved
+    }
+
+    /// Returns a resolved translation's waiter vector to the recycling
+    /// pool once the simulator has woken every warp in it.
+    pub fn recycle_waiters(&mut self, mut waiters: Vec<GlobalWarpId>) {
+        waiters.clear();
+        self.waiter_pool.push(waiters);
+    }
+
+    /// Earliest cycle at which `tick` can make progress: `Some(0)` when a
+    /// queued walk could enter a free slot this cycle, otherwise the
+    /// earliest deadline among the L2-TLB pipe, fault pipe, and PWC pipe.
+    ///
+    /// Walk accesses outstanding in the L2/DRAM are *their* events — they
+    /// re-enter through `memory_response`, so they are deliberately not
+    /// counted here. The per-cycle epoch integral (`walk_integral`) must be
+    /// replayed by [`TranslationUnit::fast_forward`] when cycles are
+    /// skipped.
+    pub fn next_event(&self) -> Option<Cycle> {
+        if self.walker.can_activate() {
+            return Some(0);
+        }
+        let mut ev: Option<Cycle> = None;
+        let mut fold = |c: Cycle| {
+            ev = Some(ev.map_or(c, |e| e.min(c)));
+        };
+        // The L2 TLB pipe is FIFO with a constant latency offset, so the
+        // front entry carries the earliest deadline.
+        if let Some(front) = self.l2tlb_pipe.front() {
+            fold(front.ready_at);
+        }
+        for &(c, ..) in &self.fault_pipe {
+            fold(c);
+        }
+        for &(c, _) in &self.pwc_pipe {
+            fold(c);
+        }
+        ev
+    }
+
+    /// Replays the per-cycle epoch-integral accrual for `delta` skipped
+    /// cycles, so fast-forwarding is observationally identical to ticking.
+    pub fn fast_forward(&mut self, delta: u64) {
+        for app in 0..self.n_apps {
+            self.epoch[app].walk_integral +=
+                self.walker.total_walks_for(Asid::new(app as u16)) as u64 * delta;
+        }
     }
 
     /// Delivers an L2/DRAM completion for a walker access.
@@ -347,7 +443,8 @@ impl TranslationUnit {
         out_l2: &mut Vec<MemRequest>,
         pwc_hits: &mut Vec<(Asid, bool)>,
     ) -> Option<ResolvedTranslation> {
-        let walk = self.walk_of_req.remove(&req.id)?;
+        let pos = self.walk_of_req.iter().position(|&(id, _)| id == req.id)?;
+        let (_, walk) = self.walk_of_req.swap_remove(pos);
         mask_sanitizer::retire("xlat-mem", req.id.0);
         match self.walker.access_complete(walk, &self.tables, now) {
             WalkOutcome::Next(next) => {
@@ -515,7 +612,7 @@ mod tests {
         let mut pwc_hits = Vec::new();
         for now in now_start..now_start + cycles {
             let mut out = Vec::new();
-            resolved.extend(unit.tick(now, &mut next_id, &mut out, &mut pwc_hits));
+            unit.tick(now, &mut next_id, &mut out, &mut pwc_hits, &mut resolved);
             // Instantly satisfy every memory request (zero-latency L2),
             // including requests generated by responses (worklist loop).
             while let Some(r) = out.pop() {

@@ -28,9 +28,11 @@ struct Entry<K, V> {
 impl<K: Eq + Hash + Copy, V: Copy> AssocArray<K, V> {
     /// Creates an array with `entries` total capacity and `assoc` ways.
     ///
-    /// `entries` is rounded down to a multiple of `assoc`; the set count is
-    /// rounded up to at least 1. For a fully-associative structure pass
-    /// `assoc == entries`.
+    /// When `entries` is not a multiple of `assoc`, the set count is rounded
+    /// **up**, so the array never holds less than the requested capacity
+    /// (a structure sized "100 entries, 16-way" gets 7 sets / 112 slots,
+    /// not 6 sets / 96 — capacity requests must not be silently shrunk).
+    /// For a fully-associative structure pass `assoc == entries`.
     ///
     /// # Panics
     ///
@@ -41,7 +43,7 @@ impl<K: Eq + Hash + Copy, V: Copy> AssocArray<K, V> {
             "capacity and associativity must be positive"
         );
         let assoc = assoc.min(entries);
-        let n_sets = (entries / assoc).max(1);
+        let n_sets = entries.div_ceil(assoc);
         AssocArray {
             sets: (0..n_sets).map(|_| Vec::with_capacity(assoc)).collect(),
             assoc,
@@ -80,7 +82,14 @@ impl<K: Eq + Hash + Copy, V: Copy> AssocArray<K, V> {
         }
         let mut h = std::collections::hash_map::DefaultHasher::new();
         key.hash(&mut h);
-        (h.finish() as usize) % self.sets.len()
+        // Same residue as `%` for the power-of-two set counts every shipped
+        // geometry uses, without the 64-bit divide on each probe.
+        let n = self.sets.len();
+        if n.is_power_of_two() {
+            (h.finish() as usize) & (n - 1)
+        } else {
+            (h.finish() as usize) % n
+        }
     }
 
     /// Looks up `key`, updating LRU state on a hit.
@@ -244,8 +253,13 @@ mod tests {
     #[test]
     fn capacity_respects_rounding() {
         let a: AssocArray<u64, u64> = AssocArray::new(100, 16);
-        // 100/16 = 6 sets of 16 ways.
-        assert_eq!(a.n_sets(), 6);
-        assert_eq!(a.capacity(), 96);
+        // Set count rounds UP: 7 sets of 16 ways — never below the
+        // requested 100 entries.
+        assert_eq!(a.n_sets(), 7);
+        assert_eq!(a.capacity(), 112);
+        // Exact multiples are untouched.
+        let b: AssocArray<u64, u64> = AssocArray::new(128, 16);
+        assert_eq!(b.n_sets(), 8);
+        assert_eq!(b.capacity(), 128);
     }
 }

@@ -121,7 +121,21 @@ impl WarpTrace {
     }
 
     /// Generates the warp's next instruction group.
+    ///
+    /// Allocating wrapper around [`WarpTrace::next_op_into`] for tests and
+    /// callers outside the per-cycle hot path.
     pub fn next_op(&mut self) -> WarpOp {
+        let mut lines = Vec::with_capacity(self.profile.lines_per_instr as usize);
+        let compute = self.next_op_into(&mut lines);
+        WarpOp { compute, lines }
+    }
+
+    /// Generates the warp's next instruction group, writing the memory
+    /// instruction's line addresses into `lines` (cleared first) and
+    /// returning the compute-instruction count. Lets the core reuse one
+    /// buffer per warp instead of allocating per instruction.
+    pub fn next_op_into(&mut self, lines: &mut Vec<VirtAddr>) -> u32 {
+        lines.clear();
         let p = self.profile;
         // Near-deterministic compute bursts (±1 jitter): warps of one group
         // advance in loose lockstep, so a TLB miss catches several warps on
@@ -129,7 +143,6 @@ impl WarpTrace {
         // behaviour ("address translations fetched in response to a TLB
         // miss are needed by more than one warp").
         let compute = p.compute_per_mem + self.rng.below(3) as u32;
-        let mut lines = Vec::with_capacity(p.lines_per_instr as usize);
         match p.pattern {
             Pattern::Stream {
                 pages,
@@ -218,7 +231,7 @@ impl WarpTrace {
             }
         }
         lines.dedup();
-        WarpOp { compute, lines }
+        compute
     }
 
     /// The profile driving this trace.

@@ -1,0 +1,95 @@
+//! Idle cycle-skipping must be invisible in the results.
+//!
+//! `GpuSim::run` fast-forwards over spans where every core and component is
+//! provably idle (see `idle_horizon` in `mask-gpu`). These properties pin
+//! the contract: a run with skipping enabled produces **byte-identical**
+//! `SimStats` to the same run forced cycle-by-cycle, across seeds, designs,
+//! workload mixes, and run lengths — including lengths that straddle epoch
+//! boundaries.
+
+use mask_core::prelude::*;
+use proptest::prelude::*;
+
+/// Builds a small two-app simulation (4 cores, 16 warps/core) so idle spans
+/// actually occur within a short run.
+fn build(design: DesignKind, seed: u64, apps: &[(&str, usize)], cycles: u64) -> GpuSim {
+    let mut cfg = SimConfig::new(design).with_max_cycles(cycles);
+    cfg.seed = seed;
+    cfg.gpu.n_cores = apps.iter().map(|(_, c)| c).sum();
+    cfg.gpu.warps_per_core = 16;
+    let specs: Vec<AppSpec> = apps
+        .iter()
+        .map(|(name, c)| AppSpec {
+            profile: app_by_name(name).expect("known app"),
+            n_cores: *c,
+        })
+        .collect();
+    GpuSim::new(&cfg, &specs)
+}
+
+/// Runs the same simulation twice — skipping enabled vs. forced
+/// cycle-by-cycle — and returns both stats blocks.
+fn run_both(
+    design: DesignKind,
+    seed: u64,
+    apps: &[(&str, usize)],
+    cycles: u64,
+) -> (SimStats, SimStats) {
+    let mut fast = build(design, seed, apps, cycles);
+    fast.set_cycle_skip(true);
+    fast.run_to_completion();
+    fast.sync_stats();
+
+    let mut slow = build(design, seed, apps, cycles);
+    slow.set_cycle_skip(false);
+    slow.run_to_completion();
+    slow.sync_stats();
+
+    (fast.stats().clone(), slow.stats().clone())
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(8))]
+
+    /// The core property: cycle-skipping never changes any statistic.
+    #[test]
+    fn skip_is_byte_identical_across_seeds(seed in 0u64..1_000) {
+        for design in [DesignKind::SharedTlb, DesignKind::Mask] {
+            let (fast, slow) = run_both(design, seed, &[("HISTO", 2), ("GUP", 2)], 6_000);
+            prop_assert_eq!(&fast, &slow, "design {} diverged", design);
+        }
+    }
+
+    /// Run lengths around epoch boundaries: the skip is capped at each
+    /// boundary, so epoch-end work (tokens, bypass, Silver quotas) must
+    /// fire on exactly the same cycles either way.
+    #[test]
+    fn skip_is_identical_across_run_lengths(extra in 0u64..4_000) {
+        let cycles = 4_000 + extra;
+        let (fast, slow) = run_both(DesignKind::Mask, 7, &[("CONS", 2), ("LPS", 2)], cycles);
+        prop_assert_eq!(&fast, &slow);
+    }
+}
+
+/// A single-app run drains completely once the cycle budget outlives the
+/// trace; the tail is pure idle time, which exercises long skips.
+#[test]
+fn skip_identical_with_idle_tail() {
+    for design in [DesignKind::SharedTlb, DesignKind::PwCache, DesignKind::Mask] {
+        let (fast, slow) = run_both(design, 3, &[("RED", 4)], 20_000);
+        assert_eq!(fast, slow, "{design} diverged on an idle-heavy run");
+    }
+}
+
+/// Sanity: both modes simulate the same number of cycles and skipping is
+/// the default.
+#[test]
+fn both_modes_reach_the_cycle_budget() {
+    let mut sim = build(DesignKind::Mask, 1, &[("HISTO", 2), ("GUP", 2)], 5_000);
+    sim.run_to_completion();
+    assert_eq!(sim.now(), 5_000);
+    let mut slow = build(DesignKind::Mask, 1, &[("HISTO", 2), ("GUP", 2)], 5_000);
+    slow.set_cycle_skip(false);
+    slow.run_to_completion();
+    assert_eq!(slow.now(), 5_000);
+}

@@ -21,6 +21,11 @@
 //! |                  | `Condvar`, `mpsc`, atomics) outside `crates/core/src/engine*`|
 //! |                  | and `crates/bench` — parallelism stays centralized in the    |
 //! |                  | job engine so simulator code remains single-threaded         |
+//! | `hotpath`        | heap traffic (`vec![`, `Vec::new()`, `.clone()`, `.collect`) |
+//! |                  | in the per-cycle hot files (`gpu/src/sim.rs`,                |
+//! |                  | `gpu/src/translation.rs`, `cache/src/l2.rs`,                 |
+//! |                  | `dram/src/queues.rs`) outside constructors — the cycle loop  |
+//! |                  | must stay allocation-free in steady state                    |
 //!
 //! Test code is exempt: the scanner skips items guarded by `#[cfg(test)]`
 //! (tracking the brace span of a guarded `mod`). Any line can opt out of
@@ -135,6 +140,61 @@ fn test_mask(contents: &str) -> Vec<bool> {
     mask
 }
 
+/// Files whose per-cycle code must stay allocation-free (the `hotpath`
+/// rule). Matched as path suffixes.
+const HOTPATH_FILES: [&str; 4] = [
+    "crates/gpu/src/sim.rs",
+    "crates/gpu/src/translation.rs",
+    "crates/cache/src/l2.rs",
+    "crates/dram/src/queues.rs",
+];
+
+/// Allocation/copy tokens forbidden on the hot path. `.collect` (no paren)
+/// also catches turbofish `.collect::<T>()`.
+const HOTPATH_TOKENS: [&str; 4] = ["vec![", "Vec::new()", ".clone()", ".collect"];
+
+/// Lines of `contents` inside constructor functions (`fn new*`, `fn with_*`,
+/// `fn default`), where one-time allocation is expected and allowed. Spans
+/// are tracked the same way `test_mask` tracks `#[cfg(test)]` items: from
+/// the declaration line to the function's closing brace.
+fn ctor_mask(contents: &str) -> Vec<bool> {
+    let lines: Vec<&str> = contents.lines().collect();
+    let mut mask = vec![false; lines.len()];
+    let mut i = 0;
+    while i < lines.len() {
+        let code = code_of(lines[i]);
+        let is_ctor = ["fn new", "fn with_", "fn default"]
+            .iter()
+            .any(|p| code.contains(p));
+        if !is_ctor {
+            i += 1;
+            continue;
+        }
+        let mut depth: i64 = 0;
+        let mut saw_open = false;
+        let mut j = i;
+        loop {
+            for c in code_of(lines[j]).chars() {
+                match c {
+                    '{' => {
+                        depth += 1;
+                        saw_open = true;
+                    }
+                    '}' => depth -= 1,
+                    _ => {}
+                }
+            }
+            mask[j] = true;
+            j += 1;
+            if (saw_open && depth <= 0) || j >= lines.len() {
+                break;
+            }
+        }
+        i = j;
+    }
+    mask
+}
+
 /// Which crate (the `crates/<name>` component) a path belongs to, if any.
 fn crate_of(path: &Path) -> Option<String> {
     let mut comps = path.components().map(|c| c.as_os_str().to_string_lossy());
@@ -163,11 +223,14 @@ pub(crate) fn lint_source(path: &Path, contents: &str) -> Vec<Violation> {
 
     // The only places allowed to hold thread primitives: the job engine
     // (crates/core/src/engine*.rs) and the wall-clock-facing bench crate.
-    let engine_file = krate == "core"
-        && path
-            .to_string_lossy()
-            .replace('\\', "/")
-            .contains("src/engine");
+    let norm_path = path.to_string_lossy().replace('\\', "/");
+    let engine_file = krate == "core" && norm_path.contains("src/engine");
+    let hotpath_file = HOTPATH_FILES.iter().any(|f| norm_path.ends_with(f));
+    let ctors = if hotpath_file {
+        ctor_mask(contents)
+    } else {
+        Vec::new()
+    };
 
     let mut push = |lineno: usize, rule: &'static str, message: String| {
         out.push(Violation {
@@ -232,6 +295,23 @@ pub(crate) fn lint_source(path: &Path, contents: &str) -> Vec<Violation> {
                             "`{prim}` outside the job engine; only \
                              crates/core/src/engine* (and crates/bench) may spawn \
                              threads or share mutable state across them"
+                        ),
+                    );
+                }
+            }
+        }
+
+        // hotpath: no steady-state heap traffic in the per-cycle files.
+        if hotpath_file && !ctors[i] {
+            for tok in HOTPATH_TOKENS {
+                if code.contains(tok) && !allowed("hotpath", raw, prev) {
+                    push(
+                        i,
+                        "hotpath",
+                        format!(
+                            "`{tok}` in a per-cycle hot file; the cycle loop must be \
+                             allocation-free — reuse a scratch buffer, drain into an \
+                             out-parameter, or move the allocation into a constructor"
                         ),
                     );
                 }
@@ -422,6 +502,67 @@ mod tests {
             "let x = m.get(&k).unwrap();\npanic!(\"boom\");\n",
         );
         assert_eq!(rules(&v), ["unwrap", "unwrap"]);
+    }
+
+    #[test]
+    fn red_hotpath_flags_allocation_in_cycle_code() {
+        let src = "\
+pub fn tick(&mut self) {
+    let xs = vec![1, 2];
+    let mut out = Vec::new();
+    let c = self.reqs.clone();
+    let v: Vec<u32> = self.reqs.iter().map(f).collect();
+}
+";
+        for file in super::HOTPATH_FILES {
+            let v = lint(&format!("/repo/{file}"), src);
+            assert_eq!(
+                rules(&v),
+                ["hotpath", "hotpath", "hotpath", "hotpath"],
+                "in {file}: {v:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn red_hotpath_catches_turbofish_collect() {
+        let v = lint(
+            "crates/cache/src/l2.rs",
+            "pub fn tick(&mut self) {\n    let v = xs.iter().collect::<Vec<_>>();\n}\n",
+        );
+        assert_eq!(rules(&v), ["hotpath"]);
+    }
+
+    #[test]
+    fn hotpath_constructors_may_allocate() {
+        let src = "\
+pub fn new(n: usize) -> Self {
+    Self { banks: vec![Bank::new(); n], scratch: Vec::new() }
+}
+
+pub fn with_bypass(n: usize) -> Self {
+    let banks: Vec<Bank> = (0..n).map(|_| Bank::new()).collect();
+    Self { banks, scratch: Vec::new() }
+}
+";
+        assert!(lint("crates/cache/src/l2.rs", src).is_empty());
+    }
+
+    #[test]
+    fn hotpath_rule_is_scoped_to_hot_files() {
+        let src = "pub fn tick(&mut self) {\n    let v = Vec::new();\n}\n";
+        assert!(lint("crates/cache/src/mshr.rs", src).is_empty());
+        assert!(lint("crates/gpu/src/core_model.rs", src).is_empty());
+    }
+
+    #[test]
+    fn hotpath_allow_annotation_works() {
+        let v = lint(
+            "crates/gpu/src/sim.rs",
+            "pub fn snapshot(&self) -> Vec<u32> {\n    \
+             self.xs.clone() // lint: allow(hotpath) -- debug API, off-cycle\n}\n",
+        );
+        assert!(v.is_empty(), "{v:?}");
     }
 
     // Exemptions.
