@@ -3,9 +3,12 @@
 //! Unlike the figure/table harnesses, this target measures the simulator
 //! itself: it drives `GpuSim` directly (no job engine, equivalent to
 //! `MASK_JOBS=1`) on quickstart-scale workloads and reports how many
-//! simulated cycles the hot loop retires per second. Results are written to
-//! `target/mask-results/BENCH_pr3.json`; the committed `BENCH_pr3.json` at
-//! the repository root records the before/after numbers for this PR.
+//! simulated cycles the hot loop retires per second. It also sweeps the
+//! sharded SM frontend (`MASK_SM_SHARDS` ∈ {1, 2, 4, 8}) on the two-app
+//! workload and verifies the instruction checksum is identical at every
+//! shard count. Results are written to
+//! `target/mask-results/BENCH_pr4.json`; the committed `BENCH_pr4.json` at
+//! the repository root records the numbers for this PR.
 //!
 //! ```text
 //! cargo bench -p mask-bench --bench throughput              # measure
@@ -16,12 +19,15 @@
 //!
 //! * `MASK_BENCH_CYCLES` — simulated cycles per run (default 200 000);
 //! * `MASK_BENCH_REPS` — timed repetitions, best-of (default 3);
-//! * `MASK_BENCH_MIN_CPS` — override the `--check` floor (cycles/sec).
+//! * `MASK_BENCH_MIN_CPS` — override the serial `--check` floor;
+//! * `MASK_BENCH_MIN_CPS_SHARDED` — override the 4-shard `--check` floor.
 //!
-//! `--check` fails (exit 1) when the measured 2-app throughput drops below
-//! 70% of the `after` value committed in `BENCH_pr3.json` — a >30%
-//! regression gate for CI. The floor can be overridden for slow runners via
-//! `MASK_BENCH_MIN_CPS`.
+//! `--check` fails (exit 1) when (a) the measured serial 2-app throughput
+//! drops below 70% of `cycles_per_sec_after` committed in `BENCH_pr4.json`,
+//! (b) the 4-shard configuration drops below 70% of its committed
+//! reference, or (c) any shard count produces a different instruction
+//! checksum than the serial run — the determinism gate. Floors can be
+//! overridden for slow runners via the environment variables above.
 
 use mask_common::config::{DesignKind, SimConfig};
 use mask_gpu::{AppSpec, GpuSim};
@@ -49,8 +55,10 @@ const WORKLOADS: &[Workload] = &[
     },
 ];
 
-fn build(w: &Workload, cycles: u64) -> GpuSim {
-    let mut cfg = SimConfig::new(DesignKind::Mask).with_max_cycles(cycles);
+fn build(w: &Workload, cycles: u64, shards: usize) -> GpuSim {
+    let mut cfg = SimConfig::new(DesignKind::Mask)
+        .with_max_cycles(cycles)
+        .with_sm_shards(shards);
     cfg.gpu.n_cores = w.apps.iter().map(|(_, c)| c).sum();
     let specs: Vec<AppSpec> = w
         .apps
@@ -63,14 +71,15 @@ fn build(w: &Workload, cycles: u64) -> GpuSim {
     GpuSim::new(&cfg, &specs)
 }
 
-/// Best-of-`reps` cycles/sec for one workload, plus a checksum of the
-/// final instruction counts (so the timed loop cannot be optimized away
-/// and runs are comparable across engine versions).
-fn measure(w: &Workload, cycles: u64, reps: usize) -> (f64, u64) {
+/// Best-of-`reps` cycles/sec for one workload at one shard count, plus a
+/// checksum of the final instruction counts (so the timed loop cannot be
+/// optimized away and runs are comparable across engine versions and
+/// shard counts).
+fn measure(w: &Workload, cycles: u64, reps: usize, shards: usize) -> (f64, u64) {
     let mut best = 0.0f64;
     let mut checksum = 0u64;
     for _ in 0..reps {
-        let mut sim = build(w, cycles);
+        let mut sim = build(w, cycles, shards);
         let started = Instant::now();
         sim.run_to_completion();
         let secs = started.elapsed().as_secs_f64().max(1e-9);
@@ -119,7 +128,7 @@ fn main() {
     println!("=== engine throughput — cycles/run={cycles} reps={reps} (best-of) ===\n");
     let mut results = Vec::new();
     for w in WORKLOADS {
-        let (cps, checksum) = measure(w, cycles, reps);
+        let (cps, checksum) = measure(w, cycles, reps, 1);
         println!(
             "{:<20} {:>14.0} cycles/sec  (instr checksum {checksum})",
             w.name, cps
@@ -127,26 +136,56 @@ fn main() {
         results.push((w.name, cps, checksum));
     }
 
+    // Sharded-frontend sweep on the two-app workload. The checksum must
+    // not move: sharding is bit-identical by construction.
+    let two_app = &WORKLOADS[1];
+    println!("\n=== sharded SM frontend — {} ===\n", two_app.name);
+    let mut sweep = Vec::new();
+    for shards in [1usize, 2, 4, 8] {
+        let (cps, checksum) = measure(two_app, cycles, reps, shards);
+        println!("shards={shards}            {cps:>14.0} cycles/sec  (instr checksum {checksum})");
+        sweep.push((shards, cps, checksum));
+    }
+
     // Always archive the measurement.
     let mut json = String::from("{\n  \"bench\": \"throughput\",\n");
     json.push_str(&format!(
         "  \"cycles_per_run\": {cycles},\n  \"measured\": {{\n"
     ));
-    for (i, (name, cps, checksum)) in results.iter().enumerate() {
-        let comma = if i + 1 == results.len() { "" } else { "," };
+    for (name, cps, checksum) in &results {
         json.push_str(&format!(
-            "    \"{name}\": {{ \"cycles_per_sec\": {cps:.0}, \"instr_checksum\": {checksum} }}{comma}\n"
+            "    \"{name}\": {{ \"cycles_per_sec\": {cps:.0}, \"instr_checksum\": {checksum} }},\n"
         ));
     }
-    json.push_str("  }\n}\n");
+    json.push_str("    \"shard_sweep_two_app_CONS_LPS\": {\n");
+    for (i, (shards, cps, checksum)) in sweep.iter().enumerate() {
+        let comma = if i + 1 == sweep.len() { "" } else { "," };
+        json.push_str(&format!(
+            "      \"shards_{shards}\": {{ \"cycles_per_sec\": {cps:.0}, \"instr_checksum\": {checksum} }}{comma}\n"
+        ));
+    }
+    json.push_str("    }\n  }\n}\n");
     let out_dir = repo_root().join("target/mask-results");
     if std::fs::create_dir_all(&out_dir).is_ok() {
-        let _ = std::fs::write(out_dir.join("BENCH_pr3.json"), &json);
+        let _ = std::fs::write(out_dir.join("BENCH_pr4.json"), &json);
     }
 
     if check {
-        let committed = std::fs::read_to_string(repo_root().join("BENCH_pr3.json"))
-            .expect("--check needs the committed BENCH_pr3.json at the repo root");
+        // Determinism gate: every shard count reproduces the serial
+        // instruction checksum exactly.
+        let serial_checksum = sweep[0].2;
+        for (shards, _, checksum) in &sweep {
+            if *checksum != serial_checksum {
+                eprintln!(
+                    "determinism violation: shards={shards} checksum {checksum} != serial {serial_checksum}"
+                );
+                std::process::exit(1);
+            }
+        }
+        println!("\ncheck: instruction checksum identical across shard counts ({serial_checksum})");
+
+        let committed = std::fs::read_to_string(repo_root().join("BENCH_pr4.json"))
+            .expect("--check needs the committed BENCH_pr4.json at the repo root");
         let reference = std::env::var("MASK_BENCH_MIN_CPS")
             .ok()
             .and_then(|v| v.parse::<f64>().ok())
@@ -158,9 +197,32 @@ fn main() {
             .find(|(n, ..)| *n == "two_app_CONS_LPS")
             .map(|(_, cps, _)| *cps)
             .expect("two-app workload measured");
-        println!("\ncheck: measured {measured:.0} cycles/sec vs floor {floor:.0} (70% of {reference:.0})");
+        println!(
+            "check: measured {measured:.0} cycles/sec vs floor {floor:.0} (70% of {reference:.0})"
+        );
         if measured < floor {
             eprintln!("throughput regression: {measured:.0} < {floor:.0} cycles/sec");
+            std::process::exit(1);
+        }
+
+        let sharded_reference = std::env::var("MASK_BENCH_MIN_CPS_SHARDED")
+            .ok()
+            .and_then(|v| v.parse::<f64>().ok())
+            .or_else(|| json_number(&committed, "shards_4", "cycles_per_sec"))
+            .expect("committed JSON must carry shards_4.cycles_per_sec");
+        let sharded_floor = sharded_reference * 0.7;
+        let sharded_measured = sweep
+            .iter()
+            .find(|(s, ..)| *s == 4)
+            .map(|(_, cps, _)| *cps)
+            .expect("4-shard configuration measured");
+        println!(
+            "check: shards=4 measured {sharded_measured:.0} cycles/sec vs floor {sharded_floor:.0} (70% of {sharded_reference:.0})"
+        );
+        if sharded_measured < sharded_floor {
+            eprintln!(
+                "sharded throughput regression: {sharded_measured:.0} < {sharded_floor:.0} cycles/sec"
+            );
             std::process::exit(1);
         }
         println!("check: OK");

@@ -436,6 +436,8 @@ pub struct SimConfig {
     pub max_cycles: u64,
     /// Base PRNG seed (combined with app/core/warp ids).
     pub seed: u64,
+    /// How many shards the per-cycle SM frontend is split across.
+    pub sm_shards: ShardOptions,
 }
 
 impl SimConfig {
@@ -446,6 +448,7 @@ impl SimConfig {
             design,
             max_cycles: default_max_cycles(),
             seed: 0xA55A_2018,
+            sm_shards: ShardOptions::default(),
         }
     }
 
@@ -464,6 +467,12 @@ impl SimConfig {
     /// Replaces the base seed.
     pub fn with_seed(mut self, seed: u64) -> Self {
         self.seed = seed;
+        self
+    }
+
+    /// Requests exactly `n` SM-frontend shards.
+    pub fn with_sm_shards(mut self, n: usize) -> Self {
+        self.sm_shards = ShardOptions::with_shards(n);
         self
     }
 }
@@ -504,6 +513,48 @@ impl JobOptions {
         self.workers
             .or_else(|| std::env::var("MASK_JOBS").ok().and_then(|v| v.parse().ok()))
             .map(|n: usize| n.max(1))
+    }
+}
+
+/// SM-frontend shard request for `mask-gpu`'s sharded issue stage.
+///
+/// Pure configuration data, mirroring [`JobOptions`]: this type only
+/// *carries the request*. `GpuSim` resolves it at construction time
+/// (clamping to the core count; the `Ideal` design always runs serial),
+/// and stat results are bit-identical at every shard count by design.
+#[derive(Clone, Copy, Default, PartialEq, Eq, Debug)]
+pub struct ShardOptions {
+    /// Explicit shard count (`Some(1)` = the serial issue loop). `None`
+    /// defers to the `MASK_SM_SHARDS` environment variable and, when that
+    /// is unset too, to 1 (serial).
+    pub shards: Option<usize>,
+}
+
+impl ShardOptions {
+    /// Run the issue stage serially (the PR 3 hot path).
+    #[must_use]
+    pub const fn serial() -> Self {
+        ShardOptions { shards: Some(1) }
+    }
+
+    /// Request exactly `n` shards.
+    #[must_use]
+    pub const fn with_shards(n: usize) -> Self {
+        ShardOptions { shards: Some(n) }
+    }
+
+    /// The requested shard count: the explicit setting when present, else
+    /// `MASK_SM_SHARDS`, else 1. Any request is clamped to at least 1.
+    #[must_use]
+    pub fn requested(self) -> usize {
+        self.shards
+            .or_else(|| {
+                std::env::var("MASK_SM_SHARDS")
+                    .ok()
+                    .and_then(|v| v.parse().ok())
+            })
+            .unwrap_or(1)
+            .max(1)
     }
 }
 
@@ -595,5 +646,17 @@ mod tests {
         assert_eq!(cfg.max_cycles, 1234);
         assert_eq!(cfg.seed, 7);
         assert_eq!(cfg.design, DesignKind::Mask);
+        // Default is "defer to MASK_SM_SHARDS / serial".
+        assert_eq!(cfg.sm_shards, ShardOptions::default());
+        let cfg = cfg.with_sm_shards(4);
+        assert_eq!(cfg.sm_shards.shards, Some(4));
+    }
+
+    #[test]
+    fn explicit_shard_options_win_over_environment() {
+        assert_eq!(ShardOptions::serial().requested(), 1);
+        assert_eq!(ShardOptions::with_shards(8).requested(), 8);
+        // A nonsensical explicit request clamps to the serial minimum.
+        assert_eq!(ShardOptions::with_shards(0).requested(), 1);
     }
 }

@@ -30,12 +30,12 @@
 //! primitives (`std::thread`, `Mutex`, atomics) — `cargo xtask lint`
 //! enforces the boundary with the `parallelism` rule.
 
-use mask_common::config::{DesignKind, GpuConfig, JobOptions, SimConfig};
+use mask_common::config::{DesignKind, GpuConfig, JobOptions, ShardOptions, SimConfig};
 use mask_common::stats::SimStats;
 use mask_gpu::{AppSpec, GpuSim};
 use std::collections::BTreeMap;
 use std::fmt;
-use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
 use std::sync::{Arc, Mutex, OnceLock};
 
 /// One self-contained simulation: a design, an application placement, and
@@ -101,9 +101,19 @@ impl SimJob {
     }
 
     /// Runs the simulation to completion and snapshots its statistics,
-    /// measured after the warm-up window.
+    /// measured after the warm-up window. The SM-frontend shard count
+    /// follows `MASK_SM_SHARDS` (unclamped — batch execution through a
+    /// [`JobPool`] budgets it against the pool's worker count instead).
     #[must_use]
     pub fn run(&self) -> SimStats {
+        self.run_with_shards(None)
+    }
+
+    /// Like [`SimJob::run`], with an explicit SM-frontend shard count
+    /// (`None` defers to `MASK_SM_SHARDS`). Results are bit-identical at
+    /// every shard count.
+    #[must_use]
+    pub fn run_with_shards(&self, sm_shards: Option<usize>) -> SimStats {
         let total: usize = self.specs.iter().map(|s| s.n_cores).sum();
         let mut gpu = self.gpu.clone();
         gpu.n_cores = total;
@@ -112,6 +122,7 @@ impl SimJob {
             design: self.design,
             max_cycles: self.max_cycles,
             seed: self.seed,
+            sm_shards: sm_shards.map_or_else(ShardOptions::default, ShardOptions::with_shards),
         };
         let warmup = self.warmup_cycles.min(self.max_cycles / 2);
         let mut sim = GpuSim::new(&cfg, &self.specs);
@@ -120,6 +131,33 @@ impl SimJob {
         sim.run(self.max_cycles - warmup);
         sim.sync_stats();
         sim.stats().clone()
+    }
+}
+
+/// Budgets a per-simulation shard request against the machine: with
+/// `workers` simulations running concurrently, `workers × shards` threads
+/// must not oversubscribe `avail` hardware threads. Returns the largest
+/// per-simulation shard count within budget (at least 1 — the serial
+/// frontend).
+fn clamp_shards(requested: usize, workers: usize, avail: usize) -> usize {
+    let requested = requested.max(1);
+    let workers = workers.max(1);
+    if requested * workers <= avail {
+        requested
+    } else {
+        (avail / workers).max(1)
+    }
+}
+
+/// Emits the oversubscription warning once per process.
+fn warn_shards_clamped(requested: usize, granted: usize, workers: usize, avail: usize) {
+    static WARNED: AtomicBool = AtomicBool::new(false);
+    if !WARNED.swap(true, Ordering::Relaxed) {
+        eprintln!(
+            "[mask-core] MASK_JOBS ({workers}) x MASK_SM_SHARDS ({requested}) exceeds \
+             available parallelism ({avail}); running {granted} shard(s) per simulation \
+             instead (results are identical at any shard count)"
+        );
     }
 }
 
@@ -317,8 +355,19 @@ impl JobPool {
 
     fn execute(&self, work: &[(&SimJob, Vec<usize>)]) -> Vec<SimStats> {
         let n_workers = self.workers.min(work.len());
+        // Budget the per-simulation shard request (MASK_SM_SHARDS) against
+        // the machine so `workers x shards` never oversubscribes it.
+        let avail = std::thread::available_parallelism().map_or(1, std::num::NonZeroUsize::get);
+        let requested = ShardOptions::default().requested();
+        let shards = clamp_shards(requested, n_workers.max(1), avail);
+        if shards < requested {
+            warn_shards_clamped(requested, shards, n_workers.max(1), avail);
+        }
         if n_workers <= 1 {
-            return work.iter().map(|(job, _)| job.run()).collect();
+            return work
+                .iter()
+                .map(|(job, _)| job.run_with_shards(Some(shards)))
+                .collect();
         }
         let next = AtomicUsize::new(0);
         let collected: Vec<Vec<(usize, SimStats)>> = std::thread::scope(|s| {
@@ -331,7 +380,7 @@ impl JobPool {
                             if i >= work.len() {
                                 break;
                             }
-                            local.push((i, work[i].0.run()));
+                            local.push((i, work[i].0.run_with_shards(Some(shards))));
                         }
                         local
                     })
@@ -378,6 +427,32 @@ mod tests {
             warmup_cycles: 1_000,
             seed,
             gpu,
+        }
+    }
+
+    #[test]
+    fn clamp_shards_budgets_against_available_parallelism() {
+        // Fits: granted as requested.
+        assert_eq!(clamp_shards(4, 2, 8), 4);
+        assert_eq!(clamp_shards(1, 8, 8), 1);
+        // Oversubscribed: split the machine across the workers.
+        assert_eq!(clamp_shards(8, 2, 8), 4);
+        assert_eq!(clamp_shards(4, 3, 8), 2);
+        // Never below the serial frontend, even on tiny machines.
+        assert_eq!(clamp_shards(8, 4, 1), 1);
+        assert_eq!(clamp_shards(0, 0, 1), 1);
+    }
+
+    #[test]
+    fn run_with_shards_matches_serial_run() {
+        let j = job(DesignKind::Mask, &[("GUP", 2), ("HISTO", 2)], 11);
+        let serial = j.run_with_shards(Some(1));
+        for shards in [2, 3] {
+            assert_eq!(
+                serial,
+                j.run_with_shards(Some(shards)),
+                "shards={shards} must be bit-identical to serial"
+            );
         }
     }
 

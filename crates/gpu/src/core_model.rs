@@ -21,6 +21,79 @@ use mask_tlb::L1Tlb;
 use mask_workloads::{AppProfile, WarpTrace};
 use std::collections::VecDeque;
 
+/// Where a core's issue stage sends its side effects.
+///
+/// The serial engine hands the core a [`DirectIssue`] that mutates the
+/// shared translation unit and allocates request ids on the spot (the PR 3
+/// hot path, unchanged). The sharded frontend hands it a
+/// `shard::DeferredIssue` that records the same calls, in the same order,
+/// into per-shard queues for the serial merge tail to replay — which is
+/// what keeps sharded results bit-identical to serial ones.
+pub trait IssueSink {
+    /// An L1 TLB miss: park `requester` in the shared translation unit.
+    fn xlat_request(
+        &mut self,
+        asid: Asid,
+        vpn: Vpn,
+        requester: GlobalWarpId,
+        core_rank: usize,
+        now: Cycle,
+    );
+
+    /// A primary L1 data miss: emit one L2-bound request for `line`.
+    fn data_miss(&mut self, core: CoreId, asid: Asid, line: LineAddr, now: Cycle);
+
+    /// Ideal-design synchronous translation (every access hits, §7).
+    fn functional_translate(&mut self, asid: Asid, vpn: Vpn) -> Ppn;
+}
+
+/// The serial [`IssueSink`]: side effects applied immediately.
+#[derive(Debug)]
+pub struct DirectIssue<'a> {
+    /// The shared translation unit L1 TLB misses park in.
+    pub xlat: &'a mut TranslationUnit,
+    /// L2-bound data requests produced this cycle.
+    pub out_l2: &'a mut Vec<MemRequest>,
+    /// The simulation-global request-id counter.
+    pub next_req_id: &'a mut u64,
+}
+
+impl IssueSink for DirectIssue<'_> {
+    #[inline]
+    fn xlat_request(
+        &mut self,
+        asid: Asid,
+        vpn: Vpn,
+        requester: GlobalWarpId,
+        core_rank: usize,
+        now: Cycle,
+    ) {
+        self.xlat.request(asid, vpn, requester, core_rank, now);
+    }
+
+    #[inline]
+    fn data_miss(&mut self, core: CoreId, asid: Asid, line: LineAddr, now: Cycle) {
+        let id = ReqId(*self.next_req_id);
+        *self.next_req_id += 1;
+        // Conservation: one primary data miss = one L2 request = one
+        // response consumed by the simulator's response stage.
+        mask_sanitizer::issue("core-data", id.0);
+        self.out_l2.push(MemRequest::new(
+            id,
+            line,
+            asid,
+            core,
+            RequestClass::Data,
+            now,
+        ));
+    }
+
+    #[inline]
+    fn functional_translate(&mut self, asid: Asid, vpn: Vpn) -> Ppn {
+        self.xlat.functional_translate(asid, vpn)
+    }
+}
+
 /// Execution state of one warp context.
 #[derive(Clone, Debug, PartialEq, Eq)]
 enum WarpState {
@@ -160,16 +233,8 @@ impl GpuCore {
     }
 
     /// Issue stage: at most one instruction this cycle.
-    #[allow(clippy::too_many_arguments)]
-    pub fn issue(
-        &mut self,
-        now: Cycle,
-        xlat: &mut TranslationUnit,
-        out_l2: &mut Vec<MemRequest>,
-        next_req_id: &mut u64,
-        stats: &mut AppStats,
-    ) {
-        self.drain_retries(out_l2, next_req_id, now);
+    pub fn issue(&mut self, now: Cycle, sink: &mut impl IssueSink, stats: &mut AppStats) {
+        self.drain_retries(sink, now);
         let Some(w) = self.select_warp() else {
             stats.stall_cycles += 1;
             return;
@@ -199,7 +264,7 @@ impl GpuCore {
             WarpState::MemReady => {
                 stats.instructions += 1;
                 stats.mem_instructions += 1;
-                self.issue_memory(w, now, xlat, out_l2, next_req_id, stats);
+                self.issue_memory(w, now, sink, stats);
             }
             ref other => unreachable!("ready warp in non-issuable state {other:?}"),
         }
@@ -209,9 +274,7 @@ impl GpuCore {
         &mut self,
         w: usize,
         now: Cycle,
-        xlat: &mut TranslationUnit,
-        out_l2: &mut Vec<MemRequest>,
-        next_req_id: &mut u64,
+        sink: &mut impl IssueSink,
         stats: &mut AppStats,
     ) {
         let mut vpns = std::mem::take(&mut self.scratch_vpns);
@@ -228,7 +291,7 @@ impl GpuCore {
         for &vpn in &vpns {
             if self.ideal_tlb {
                 // Ideal design: "every single TLB access is a TLB hit" (§7).
-                let ppn = xlat.functional_translate(self.asid, vpn);
+                let ppn = sink.functional_translate(self.asid, vpn);
                 stats.l1_tlb.record(true);
                 self.warps[w].xlat.push((vpn, ppn));
                 continue;
@@ -241,7 +304,7 @@ impl GpuCore {
                 None => {
                     stats.l1_tlb.record(false);
                     let gw = GlobalWarpId::new(self.id, WarpId::new(w as u16));
-                    xlat.request(self.asid, vpn, gw, self.core_rank, now);
+                    sink.xlat_request(self.asid, vpn, gw, self.core_rank, now);
                     pending += 1;
                 }
             }
@@ -251,7 +314,7 @@ impl GpuCore {
             self.warps[w].state = WarpState::XlatWait { pending };
             self.set_ready(w, false);
         } else {
-            self.dispatch_data(w, now, out_l2, next_req_id, stats);
+            self.dispatch_data(w, now, sink, stats);
         }
     }
 
@@ -260,8 +323,7 @@ impl GpuCore {
         &mut self,
         w: usize,
         now: Cycle,
-        out_l2: &mut Vec<MemRequest>,
-        next_req_id: &mut u64,
+        sink: &mut impl IssueSink,
         stats: &mut AppStats,
     ) {
         let mut outstanding = 0u32;
@@ -289,7 +351,7 @@ impl GpuCore {
                 continue;
             }
             outstanding += 1;
-            self.allocate_miss(w, line, out_l2, next_req_id, now);
+            self.allocate_miss(w, line, sink, now);
         }
         self.scratch_lines = phys;
         if outstanding > 0 {
@@ -301,55 +363,32 @@ impl GpuCore {
         }
     }
 
-    fn allocate_miss(
-        &mut self,
-        w: usize,
-        line: LineAddr,
-        out_l2: &mut Vec<MemRequest>,
-        next_req_id: &mut u64,
-        now: Cycle,
-    ) {
+    fn allocate_miss(&mut self, w: usize, line: LineAddr, sink: &mut impl IssueSink, now: Cycle) {
         match self.l1mshr.allocate(line, w) {
-            MshrAlloc::Primary => {
-                let id = ReqId(*next_req_id);
-                *next_req_id += 1;
-                // Conservation: one primary data miss = one L2 request = one
-                // response consumed by the simulator's response stage.
-                mask_sanitizer::issue("core-data", id.0);
-                out_l2.push(MemRequest::new(
-                    id,
-                    line,
-                    self.asid,
-                    self.id,
-                    RequestClass::Data,
-                    now,
-                ));
-            }
+            MshrAlloc::Primary => sink.data_miss(self.id, self.asid, line, now),
             MshrAlloc::Secondary => {}
             MshrAlloc::Full => self.retry.push_back((w, line)),
         }
     }
 
-    fn drain_retries(&mut self, out_l2: &mut Vec<MemRequest>, next_req_id: &mut u64, now: Cycle) {
+    fn drain_retries(&mut self, sink: &mut impl IssueSink, now: Cycle) {
         while let Some(&(w, line)) = self.retry.front() {
             if self.l1mshr.is_full() && !self.l1mshr.contains(line) {
                 break;
             }
             self.retry.pop_front();
-            self.allocate_miss(w, line, out_l2, next_req_id, now);
+            self.allocate_miss(w, line, sink, now);
         }
     }
 
     /// Delivers a resolved translation to this core's waiting warps.
-    #[allow(clippy::too_many_arguments)]
     pub fn translation_done(
         &mut self,
         vpn: Vpn,
         ppn: Ppn,
         warps: &[WarpId],
         now: Cycle,
-        out_l2: &mut Vec<MemRequest>,
-        next_req_id: &mut u64,
+        sink: &mut impl IssueSink,
         stats: &mut AppStats,
     ) {
         self.l1tlb.fill(self.asid, vpn, ppn);
@@ -365,7 +404,7 @@ impl GpuCore {
                     pending: pending - 1,
                 };
             } else {
-                self.dispatch_data(w, now, out_l2, next_req_id, stats);
+                self.dispatch_data(w, now, sink, stats);
             }
         }
     }
@@ -449,7 +488,12 @@ mod tests {
         // No memory completions are fed back: every warp eventually parks
         // in DataWait, but never on translation (ideal TLB).
         for now in 0..200 {
-            core.issue(now, &mut xlat, &mut out, &mut id, &mut stats);
+            let mut sink = DirectIssue {
+                xlat: &mut xlat,
+                out_l2: &mut out,
+                next_req_id: &mut id,
+            };
+            core.issue(now, &mut sink, &mut stats);
         }
         assert_eq!(core.stalled_warps(), 8, "all warps stall on data only");
         assert_eq!(stats.l1_tlb.misses(), 0, "ideal TLB never misses");
@@ -463,7 +507,12 @@ mod tests {
         let (mut core2, mut xlat2, _) = setup(DesignKind::Ideal);
         let mut stats2 = AppStats::default();
         for now in 0..200 {
-            core2.issue(now, &mut xlat2, &mut out, &mut id, &mut stats2);
+            let mut sink = DirectIssue {
+                xlat: &mut xlat2,
+                out_l2: &mut out,
+                next_req_id: &mut id,
+            };
+            core2.issue(now, &mut sink, &mut stats2);
             for r in out.drain(..) {
                 core2.line_done(r.line);
             }
@@ -482,7 +531,12 @@ mod tests {
         let mut out = Vec::new();
         let mut id = 0u64;
         for now in 0..50 {
-            core.issue(now, &mut xlat, &mut out, &mut id, &mut stats);
+            let mut sink = DirectIssue {
+                xlat: &mut xlat,
+                out_l2: &mut out,
+                next_req_id: &mut id,
+            };
+            core.issue(now, &mut sink, &mut stats);
         }
         assert!(stats.l1_tlb.misses() > 0);
         assert!(
@@ -500,7 +554,12 @@ mod tests {
         let mut id = 0u64;
         // Run until at least one warp stalls on translation.
         for now in 0..20 {
-            core.issue(now, &mut xlat, &mut out, &mut id, &mut stats);
+            let mut sink = DirectIssue {
+                xlat: &mut xlat,
+                out_l2: &mut out,
+                next_req_id: &mut id,
+            };
+            core.issue(now, &mut sink, &mut stats);
         }
         let before = out.len();
         // Drive the translation unit with an instant memory system.
@@ -525,7 +584,12 @@ mod tests {
         assert!(!resolved.is_empty(), "a walk must complete");
         for r in resolved {
             let warps: Vec<WarpId> = r.waiters.iter().map(|gw| gw.warp).collect();
-            core.translation_done(r.vpn, r.ppn, &warps, 100, &mut out, &mut id, &mut stats);
+            let mut sink = DirectIssue {
+                xlat: &mut xlat,
+                out_l2: &mut out,
+                next_req_id: &mut id,
+            };
+            core.translation_done(r.vpn, r.ppn, &warps, 100, &mut sink, &mut stats);
         }
         assert!(out.len() > before, "data requests must follow translation");
         assert!(out
@@ -542,7 +606,12 @@ mod tests {
         let mut id = 0u64;
         // Issue until some warp stalls on data.
         for now in 0..200 {
-            core.issue(now, &mut xlat, &mut out, &mut id, &mut stats);
+            let mut sink = DirectIssue {
+                xlat: &mut xlat,
+                out_l2: &mut out,
+                next_req_id: &mut id,
+            };
+            core.issue(now, &mut sink, &mut stats);
             if core.stalled_warps() > 0 {
                 break;
             }
@@ -574,7 +643,12 @@ mod tests {
         let mut out = Vec::new();
         let mut id = 0u64;
         for now in 0..2000 {
-            core.issue(now, &mut xlat, &mut out, &mut id, &mut stats);
+            let mut sink = DirectIssue {
+                xlat: &mut xlat,
+                out_l2: &mut out,
+                next_req_id: &mut id,
+            };
+            core.issue(now, &mut sink, &mut stats);
             for r in out.drain(..) {
                 core.line_done(r.line); // zero-latency memory
             }

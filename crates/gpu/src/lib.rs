@@ -10,6 +10,9 @@
 //!   page-walk cache (per design), the 64-slot page-table walker, the
 //!   translation MSHRs that merge duplicate walks and count stalled warps,
 //!   TLB-Fill Tokens;
+//! * [`shard`] — the sharded SM frontend: a persistent worker pool that
+//!   splits the per-cycle issue stage across threads (`MASK_SM_SHARDS`)
+//!   with a serial merge tail, bit-identical to the serial loop;
 //! * [`sim`] — the top-level [`sim::GpuSim`] cycle loop connecting cores,
 //!   translation, the banked shared L2, and DRAM, with epoch handling and
 //!   statistics collection.
@@ -20,9 +23,11 @@
 //! crates.
 
 pub mod core_model;
+pub mod shard;
 pub mod sim;
 pub mod translation;
 
-pub use core_model::GpuCore;
+pub use core_model::{DirectIssue, GpuCore, IssueSink};
+pub use shard::{run_shard, DeferredIssue, DeferredMiss, DeferredXlat, ShardOutput, ShardPool};
 pub use sim::{AppSpec, GpuSim};
 pub use translation::TranslationUnit;

@@ -1,0 +1,486 @@
+//! Sharded SM frontend: runs the per-cycle core issue stage across a
+//! persistent in-simulation worker pool, bit-identically to the serial
+//! loop.
+//!
+//! Stage 1 of `GpuSim::step` is embarrassingly parallel *except* for three
+//! side channels: translation requests into the shared
+//! [`TranslationUnit`](crate::translation::TranslationUnit), L2-bound data
+//! requests (whose ids come from the simulation-global counter), and the
+//! per-app statistics block. Each shard therefore owns a contiguous slice
+//! of cores plus a private [`ShardOutput`] — deferred translation
+//! requests, deferred data misses, per-app stat deltas, and a captured
+//! sanitizer event buffer. The serial merge tail in `GpuSim` replays the
+//! queues in ascending shard order, which reproduces the serial engine's
+//! ascending-core order exactly:
+//!
+//! - **Request ids** are not allocated on the workers at all. A primary L1
+//!   data miss is recorded as a [`DeferredMiss`]; the merge tail feeds the
+//!   misses through the canonical serial sink
+//!   ([`DirectIssue::data_miss`](crate::core_model::DirectIssue)), so the
+//!   id sequence is the serial one (ascending core, program order within a
+//!   core). Translation requests allocate no ids (walker ids are drawn in
+//!   the translation unit's tick, which stays serial).
+//! - **Stream independence**: within a cycle, `TranslationUnit::request`
+//!   and data-miss id allocation touch disjoint state, so draining a
+//!   shard's translation queue before its miss queue produces the same
+//!   final state as the serial per-core interleaving.
+//! - **Stat deltas** are all-integer (`+=`, or `max` for watermarks), so
+//!   [`AppStats::absorb`]ing shard deltas in fixed order equals serial
+//!   accumulation bit-for-bit.
+//! - **Sanitizer events** fired on a worker are captured into the shard's
+//!   [`EventBuffer`] and replayed on the owning thread in shard order (see
+//!   `mask-sanitizer`'s capture API), keeping per-table event order equal
+//!   to the serial run.
+//!
+//! The pool itself is a classic persistent-worker design: shard 0 runs
+//! inline on the coordinating thread, workers 1..k wake on an epoch bump,
+//! execute their fixed shard through raw slice pointers (disjoint ranges,
+//! so no aliasing), and signal completion on an atomic counter. Workers
+//! spin briefly, then yield, then park — the yield rung keeps progress on
+//! machines with fewer hardware threads than shards. This module is, with
+//! `mask-core`'s job engine, one of the two places in the workspace
+//! allowed to touch `std::thread` (enforced by `cargo xtask lint`).
+
+use crate::core_model::{GpuCore, IssueSink};
+use mask_common::addr::{LineAddr, Ppn, Vpn};
+use mask_common::ids::{Asid, CoreId, GlobalWarpId};
+use mask_common::stats::AppStats;
+use mask_common::Cycle;
+use mask_sanitizer::EventBuffer;
+use std::any::Any;
+use std::cell::UnsafeCell;
+use std::ops::Range;
+use std::panic::{catch_unwind, resume_unwind, AssertUnwindSafe};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::{Arc, Mutex, PoisonError};
+use std::thread::JoinHandle;
+
+/// One deferred `TranslationUnit::request` call (an L1 TLB miss).
+#[derive(Clone, Copy, Debug)]
+pub struct DeferredXlat {
+    /// Address space of the missing access.
+    pub asid: Asid,
+    /// The missing virtual page.
+    pub vpn: Vpn,
+    /// The warp waiting on the translation.
+    pub requester: GlobalWarpId,
+    /// Rank of the requesting core within its application.
+    pub core_rank: usize,
+}
+
+/// One deferred data miss (a primary L1 MSHR allocation awaiting its
+/// request id).
+#[derive(Clone, Copy, Debug)]
+pub struct DeferredMiss {
+    /// The requesting core.
+    pub core: CoreId,
+    /// Its address space.
+    pub asid: Asid,
+    /// The missing line.
+    pub line: LineAddr,
+}
+
+/// Private output queues of one shard for one cycle.
+#[derive(Debug, Default)]
+pub struct ShardOutput {
+    /// Deferred translation requests, in issue order.
+    pub xlat: Vec<DeferredXlat>,
+    /// Deferred data misses, in issue order.
+    pub misses: Vec<DeferredMiss>,
+    /// Per-app statistic deltas accumulated by this shard's cores.
+    pub stats: Vec<AppStats>,
+    /// Sanitizer events captured on the shard's thread.
+    pub san: EventBuffer,
+}
+
+impl ShardOutput {
+    /// An empty output block for a simulation with `n_apps` applications.
+    #[must_use]
+    pub fn new(n_apps: usize) -> Self {
+        ShardOutput {
+            xlat: Vec::new(),
+            misses: Vec::new(),
+            stats: vec![AppStats::default(); n_apps],
+            san: EventBuffer::new(),
+        }
+    }
+}
+
+/// The sharded [`IssueSink`]: records issue side effects into a shard's
+/// private queues for the serial merge tail to replay.
+#[derive(Debug)]
+pub struct DeferredIssue<'a> {
+    /// Deferred translation-request queue.
+    pub xlat: &'a mut Vec<DeferredXlat>,
+    /// Deferred data-miss queue.
+    pub misses: &'a mut Vec<DeferredMiss>,
+}
+
+impl IssueSink for DeferredIssue<'_> {
+    #[inline]
+    fn xlat_request(
+        &mut self,
+        asid: Asid,
+        vpn: Vpn,
+        requester: GlobalWarpId,
+        core_rank: usize,
+        _now: Cycle,
+    ) {
+        self.xlat.push(DeferredXlat {
+            asid,
+            vpn,
+            requester,
+            core_rank,
+        });
+    }
+
+    #[inline]
+    fn data_miss(&mut self, core: CoreId, asid: Asid, line: LineAddr, _now: Cycle) {
+        self.misses.push(DeferredMiss { core, asid, line });
+    }
+
+    fn functional_translate(&mut self, _asid: Asid, _vpn: Vpn) -> Ppn {
+        // The Ideal design mutates page-table frame allocation inside the
+        // issue stage, so `GpuSim` always runs it on the serial path.
+        unreachable!("the Ideal design never issues through the sharded frontend")
+    }
+}
+
+/// The contiguous core range owned by `shard` of `shards` over `n_cores`
+/// cores: remainders go to the leading shards, one extra core each.
+#[must_use]
+pub fn shard_range(n_cores: usize, shards: usize, shard: usize) -> Range<usize> {
+    debug_assert!(shard < shards);
+    let base = n_cores / shards;
+    let rem = n_cores % shards;
+    let start = shard * base + shard.min(rem);
+    start..start + base + usize::from(shard < rem)
+}
+
+/// Runs the issue stage for one shard's cores, capturing sanitizer events
+/// and recording all cross-shard side effects into `out`.
+pub fn run_shard(cores: &mut [GpuCore], now: Cycle, out: &mut ShardOutput) {
+    // Reuses the buffer drained by the previous cycle's replay.
+    mask_sanitizer::capture_begin(std::mem::take(&mut out.san));
+    for core in cores.iter_mut() {
+        let app = core.asid.index();
+        let mut sink = DeferredIssue {
+            xlat: &mut out.xlat,
+            misses: &mut out.misses,
+        };
+        core.issue(now, &mut sink, &mut out.stats[app]);
+    }
+    out.san = mask_sanitizer::capture_end();
+}
+
+/// One published unit of work: raw views of the coordinator's core slice
+/// and output array, valid only between the epoch bump and the matching
+/// completion count (the coordinator blocks in `run_issue` for exactly
+/// that window, keeping the underlying `&mut` borrows alive).
+struct Job {
+    cores: *mut GpuCore,
+    n_cores: usize,
+    outs: *mut ShardOutput,
+    shards: usize,
+    now: Cycle,
+}
+
+impl Job {
+    const fn empty() -> Self {
+        Job {
+            cores: std::ptr::null_mut(),
+            n_cores: 0,
+            outs: std::ptr::null_mut(),
+            shards: 0,
+            now: 0,
+        }
+    }
+}
+
+/// State shared between the coordinator and the shard workers.
+struct Shared {
+    /// The published job. Written by the coordinator only while every
+    /// worker is quiescent (before the `epoch` bump); read by workers only
+    /// after observing the bump.
+    job: UnsafeCell<Job>,
+    /// Bumped once per published cycle; the workers' wake condition.
+    epoch: AtomicU64,
+    /// Count of workers finished with the current job.
+    done: AtomicU64,
+    /// Tells workers to exit.
+    shutdown: AtomicBool,
+    /// Park flags, one per worker, for the wake handshake.
+    parked: Vec<AtomicBool>,
+    /// First worker panic payload, re-raised by the coordinator.
+    panic_slot: Mutex<Option<Box<dyn Any + Send>>>,
+}
+
+// SAFETY: `Job`'s raw pointers make `Shared` neither `Send` nor `Sync`
+// automatically. The pool's protocol guarantees exclusive, disjoint
+// access: the coordinator derives the pointers from live `&mut` slices it
+// holds across the whole hand-off, each shard touches only its
+// `shard_range` of cores and its own output slot, and the epoch/done
+// atomics order publication before any worker read. See `run_issue`.
+unsafe impl Send for Shared {}
+unsafe impl Sync for Shared {}
+
+/// Executes `shard` of the currently published job.
+///
+/// # Safety
+///
+/// Callable only between the job's epoch bump and its completion, and at
+/// most once per shard index per epoch: the shard ranges are disjoint and
+/// each output slot has exactly one writer, so the constructed `&mut`
+/// slices never alias.
+unsafe fn exec_shard(job: *const Job, shard: usize) {
+    // SAFETY: the caller guarantees the job is published and live.
+    let job = unsafe { &*job };
+    let range = shard_range(job.n_cores, job.shards, shard);
+    // SAFETY: `cores` points at a live `[GpuCore; n_cores]` held as `&mut`
+    // by the coordinator for the whole window; `range` is disjoint from
+    // every other shard's range.
+    let cores = unsafe { std::slice::from_raw_parts_mut(job.cores.add(range.start), range.len()) };
+    // SAFETY: likewise, output slot `shard` has this single writer.
+    let out = unsafe { &mut *job.outs.add(shard) };
+    run_shard(cores, job.now, out);
+}
+
+/// Spin iterations before a waiting thread starts yielding.
+const SPIN_LIMIT: u32 = 64;
+/// Yield iterations before a waiting worker parks. Yielding early matters
+/// on machines with fewer hardware threads than shards: a spinning waiter
+/// would otherwise starve the thread it is waiting for.
+const YIELD_LIMIT: u32 = 4096;
+
+fn worker_loop(shared: &Arc<Shared>, index: usize) {
+    let my_shard = index + 1;
+    let mut seen_epoch = 0u64;
+    loop {
+        let mut spins = 0u32;
+        loop {
+            let e = shared.epoch.load(Ordering::Acquire);
+            if e != seen_epoch {
+                seen_epoch = e;
+                break;
+            }
+            if shared.shutdown.load(Ordering::Acquire) {
+                return;
+            }
+            spins += 1;
+            if spins < SPIN_LIMIT {
+                std::hint::spin_loop();
+            } else if spins < YIELD_LIMIT {
+                std::thread::yield_now();
+            } else {
+                // Dekker-style park handshake with `run_issue`'s publisher:
+                // either we see the bump here and skip the park, or the
+                // publisher sees `parked` and unparks us.
+                shared.parked[index].store(true, Ordering::SeqCst);
+                if shared.epoch.load(Ordering::SeqCst) != seen_epoch
+                    || shared.shutdown.load(Ordering::SeqCst)
+                {
+                    shared.parked[index].store(false, Ordering::SeqCst);
+                    continue;
+                }
+                std::thread::park();
+                shared.parked[index].store(false, Ordering::SeqCst);
+            }
+        }
+        let result = catch_unwind(AssertUnwindSafe(|| {
+            // SAFETY: the epoch bump publishes a live job; this worker is
+            // the unique executor of `my_shard` for it.
+            unsafe { exec_shard(shared.job.get(), my_shard) }
+        }));
+        if let Err(payload) = result {
+            let mut slot = shared
+                .panic_slot
+                .lock()
+                .unwrap_or_else(PoisonError::into_inner);
+            slot.get_or_insert(payload);
+        }
+        shared.done.fetch_add(1, Ordering::Release);
+    }
+}
+
+/// A persistent pool of `shards - 1` worker threads executing the sharded
+/// issue stage; shard 0 always runs inline on the calling thread.
+pub struct ShardPool {
+    shared: Arc<Shared>,
+    handles: Vec<JoinHandle<()>>,
+    shards: usize,
+}
+
+impl std::fmt::Debug for ShardPool {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("ShardPool")
+            .field("shards", &self.shards)
+            .finish_non_exhaustive()
+    }
+}
+
+impl ShardPool {
+    /// Spawns the pool's `shards - 1` workers (named `mask-shard-<i>`).
+    #[must_use]
+    pub fn new(shards: usize) -> Self {
+        assert!(shards >= 1, "a pool needs at least one shard");
+        let workers = shards - 1;
+        let mut parked = Vec::with_capacity(workers);
+        for _ in 0..workers {
+            parked.push(AtomicBool::new(false));
+        }
+        let shared = Arc::new(Shared {
+            job: UnsafeCell::new(Job::empty()),
+            epoch: AtomicU64::new(0),
+            done: AtomicU64::new(0),
+            shutdown: AtomicBool::new(false),
+            parked,
+            panic_slot: Mutex::new(None),
+        });
+        let mut handles = Vec::with_capacity(workers);
+        for i in 0..workers {
+            let shared = Arc::clone(&shared);
+            let handle = std::thread::Builder::new()
+                .name(format!("mask-shard-{}", i + 1))
+                .spawn(move || worker_loop(&shared, i))
+                .expect("spawn shard worker");
+            handles.push(handle);
+        }
+        ShardPool {
+            shared,
+            handles,
+            shards,
+        }
+    }
+
+    /// Number of shards (including the inline shard 0).
+    #[must_use]
+    pub fn shards(&self) -> usize {
+        self.shards
+    }
+
+    /// Runs one cycle's issue stage: shards `cores` over the pool, filling
+    /// `outs[s]` for each shard `s`. Blocks until every shard finished;
+    /// worker panics are re-raised here.
+    ///
+    /// # Panics
+    ///
+    /// Re-raises panics from shard execution (e.g. sanitizer violations).
+    pub fn run_issue(&self, cores: &mut [GpuCore], outs: &mut [ShardOutput], now: Cycle) {
+        assert_eq!(outs.len(), self.shards, "one output slot per shard");
+        if self.shards == 1 {
+            run_shard(cores, now, &mut outs[0]);
+            return;
+        }
+        // Publish. SAFETY: every worker is quiescent (previous job fully
+        // completed or none published yet), so this write is unobserved
+        // until the epoch bump below releases it.
+        unsafe {
+            *self.shared.job.get() = Job {
+                cores: cores.as_mut_ptr(),
+                n_cores: cores.len(),
+                outs: outs.as_mut_ptr(),
+                shards: self.shards,
+                now,
+            };
+        }
+        self.shared.done.store(0, Ordering::Release);
+        self.shared.epoch.fetch_add(1, Ordering::SeqCst);
+        for (i, flag) in self.shared.parked.iter().enumerate() {
+            if flag.load(Ordering::SeqCst) {
+                self.handles[i].thread().unpark();
+            }
+        }
+        // Shard 0 runs inline, through the same raw-pointer path as the
+        // workers so the coordinator never materializes an aliasing whole-
+        // slice borrow.
+        let inline = catch_unwind(AssertUnwindSafe(|| {
+            // SAFETY: the job was just published; shard 0 is executed only
+            // here.
+            unsafe { exec_shard(self.shared.job.get(), 0) }
+        }));
+        // Wait for the workers; their output writes are ordered before the
+        // `done` release increments.
+        let want = (self.shards - 1) as u64;
+        let mut spins = 0u32;
+        while self.shared.done.load(Ordering::Acquire) != want {
+            spins += 1;
+            if spins < SPIN_LIMIT {
+                std::hint::spin_loop();
+            } else {
+                std::thread::yield_now();
+            }
+        }
+        if let Err(payload) = inline {
+            resume_unwind(payload);
+        }
+        let worker_panic = self
+            .shared
+            .panic_slot
+            .lock()
+            .unwrap_or_else(PoisonError::into_inner)
+            .take();
+        if let Some(payload) = worker_panic {
+            resume_unwind(payload);
+        }
+    }
+}
+
+impl Drop for ShardPool {
+    fn drop(&mut self) {
+        self.shared.shutdown.store(true, Ordering::SeqCst);
+        for handle in self.handles.drain(..) {
+            handle.thread().unpark();
+            // A worker that panicked outside a job already delivered its
+            // payload; nothing useful to do with the join error here.
+            let _ = handle.join();
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn shard_ranges_partition_the_cores() {
+        for (n_cores, shards) in [(30, 4), (30, 8), (7, 3), (4, 8), (1, 1), (16, 16)] {
+            let mut covered = 0;
+            for s in 0..shards {
+                let r = shard_range(n_cores, shards, s);
+                assert_eq!(r.start, covered, "contiguous ascending ranges");
+                covered = r.end;
+                // Balanced to within one core.
+                assert!(r.len() <= n_cores / shards + 1);
+            }
+            assert_eq!(covered, n_cores, "every core covered exactly once");
+        }
+    }
+
+    #[test]
+    fn pool_survives_empty_work_and_drop() {
+        let pool = ShardPool::new(3);
+        assert_eq!(pool.shards(), 3);
+        let mut outs = [
+            ShardOutput::new(1),
+            ShardOutput::new(1),
+            ShardOutput::new(1),
+        ];
+        // No cores at all: every shard range is empty, the handshake still
+        // completes, and dropping the pool joins its workers.
+        pool.run_issue(&mut [], &mut outs, 0);
+        pool.run_issue(&mut [], &mut outs, 1);
+        drop(pool);
+    }
+
+    #[test]
+    #[should_panic(expected = "never issues through the sharded frontend")]
+    fn deferred_sink_rejects_functional_translation() {
+        let mut xlat = Vec::new();
+        let mut misses = Vec::new();
+        let mut sink = DeferredIssue {
+            xlat: &mut xlat,
+            misses: &mut misses,
+        };
+        let _ = sink.functional_translate(Asid::new(0), Vpn(0));
+    }
+}

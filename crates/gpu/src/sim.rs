@@ -1,6 +1,7 @@
 //! The top-level cycle loop: cores + translation + shared L2 + DRAM.
 
-use crate::core_model::GpuCore;
+use crate::core_model::{DirectIssue, GpuCore, IssueSink};
+use crate::shard::{ShardOutput, ShardPool};
 use crate::translation::{ResolvedTranslation, TranslationUnit};
 use mask_cache::l2::{L2Outcome, L2Response};
 use mask_cache::SharedL2Cache;
@@ -22,7 +23,7 @@ pub struct AppSpec {
 }
 
 /// The assembled GPU simulator.
-#[derive(Clone, Debug)]
+#[derive(Debug)]
 pub struct GpuSim {
     cfg: SimConfig,
     cores: Vec<GpuCore>,
@@ -55,6 +56,13 @@ pub struct GpuSim {
     san_session: u64,
     /// Sanitizer instance id for cycle-monotonicity tracking.
     san_id: u64,
+    /// Resolved SM-frontend shard count (1 = the serial issue loop).
+    sm_shards: usize,
+    /// Worker pool for the sharded issue stage, spawned on first use so
+    /// never-stepped (and cloned) simulators carry no threads.
+    pool: Option<ShardPool>,
+    /// Per-shard output queues (empty when running serial).
+    shard_outs: Vec<ShardOutput>,
 }
 
 // The job engine (`mask-core`'s `engine` module) fans simulations out over
@@ -112,6 +120,22 @@ impl GpuSim {
                 ));
             }
         }
+        // The Ideal design translates synchronously inside the issue stage
+        // (mutating page-table frame allocation), so it always runs serial.
+        // More shards than cores would leave trailing shards permanently
+        // empty; clamp rather than spin idle workers.
+        let sm_shards = if design.ideal_tlb() {
+            1
+        } else {
+            cfg.sm_shards.requested().min(cfg.gpu.n_cores).max(1)
+        };
+        let mut shard_outs = Vec::new();
+        if sm_shards > 1 {
+            shard_outs.reserve_exact(sm_shards);
+            for _ in 0..sm_shards {
+                shard_outs.push(ShardOutput::new(n_apps));
+            }
+        }
         GpuSim {
             cfg: cfg.clone(),
             cores,
@@ -133,7 +157,15 @@ impl GpuSim {
             skip_enabled: true,
             san_session,
             san_id: mask_sanitizer::register_component("gpu"),
+            sm_shards,
+            pool: None,
+            shard_outs,
         }
+    }
+
+    /// The resolved SM-frontend shard count (1 = serial issue loop).
+    pub fn sm_shards(&self) -> usize {
+        self.sm_shards
     }
 
     /// Current simulation time.
@@ -195,16 +227,20 @@ impl GpuSim {
         for i in 0..self.bucket_touched.len() {
             let c = self.bucket_touched[i];
             let app_idx = self.cores[c].asid.index();
-            // Split borrows: core, its app stats, and the buckets are
-            // disjoint fields.
+            // Split borrows: core, its app stats, the sink's fields, and
+            // the buckets are disjoint fields.
             let stats = &mut self.stats.apps[app_idx];
+            let mut sink = DirectIssue {
+                xlat: &mut self.xlat,
+                out_l2: &mut self.scratch_l2,
+                next_req_id: &mut self.next_req_id,
+            };
             self.cores[c].translation_done(
                 r.vpn,
                 r.ppn,
                 &self.bucket_warps[c],
                 self.now,
-                &mut self.scratch_l2,
-                &mut self.next_req_id,
+                &mut sink,
                 stats,
             );
         }
@@ -214,21 +250,72 @@ impl GpuSim {
         }
     }
 
+    /// Stage 1 of `step` on the sharded frontend: fan the cores out over
+    /// the worker pool, then merge the per-shard outputs serially in
+    /// ascending shard (= ascending core) order. See `crate::shard` for
+    /// the determinism argument.
+    fn issue_sharded(&mut self, now: Cycle) {
+        // All-idle cycles reduce to one stall count per core in the serial
+        // loop (`is_idle` ⇒ no retries to drain, no warp to select); take
+        // the equivalent cheap path instead of a cross-thread handshake.
+        if self.cores.iter().all(GpuCore::is_idle) {
+            for c in &self.cores {
+                self.stats.apps[c.asid.index()].stall_cycles += 1;
+            }
+            return;
+        }
+        let pool = self
+            .pool
+            .get_or_insert_with(|| ShardPool::new(self.sm_shards));
+        pool.run_issue(&mut self.cores, &mut self.shard_outs, now);
+        for s in 0..self.shard_outs.len() {
+            let out = &mut self.shard_outs[s];
+            // Worker-side sanitizer events first: they were observed while
+            // the shard's cores mutated their tables.
+            mask_sanitizer::replay(&mut out.san);
+            // Translation requests and data misses are independent streams
+            // within a cycle (requests allocate no ids and touch only the
+            // translation unit), so draining one then the other reproduces
+            // the serial per-core interleaving's end state and id order.
+            for x in out.xlat.drain(..) {
+                self.xlat
+                    .request(x.asid, x.vpn, x.requester, x.core_rank, now);
+            }
+            let mut sink = DirectIssue {
+                xlat: &mut self.xlat,
+                out_l2: &mut self.scratch_l2,
+                next_req_id: &mut self.next_req_id,
+            };
+            for m in out.misses.drain(..) {
+                sink.data_miss(m.core, m.asid, m.line, now);
+            }
+            for (app, delta) in out.stats.iter_mut().enumerate() {
+                self.stats.apps[app].absorb(delta);
+                delta.reset();
+            }
+        }
+    }
+
     /// Advances the simulation one cycle.
     pub fn step(&mut self) {
         mask_sanitizer::enter_session(self.san_session);
         let now = self.now;
         mask_sanitizer::cycle(self.san_id, "gpu", now);
-        // 1. Core issue stage.
-        for i in 0..self.cores.len() {
-            let app = self.cores[i].asid.index();
-            self.cores[i].issue(
-                now,
-                &mut self.xlat,
-                &mut self.scratch_l2,
-                &mut self.next_req_id,
-                &mut self.stats.apps[app],
-            );
+        // 1. Core issue stage: serial loop (the PR 3 hot path) or the
+        // sharded frontend + serial merge tail (bit-identical, see
+        // `crate::shard`).
+        if self.sm_shards > 1 {
+            self.issue_sharded(now);
+        } else {
+            let mut sink = DirectIssue {
+                xlat: &mut self.xlat,
+                out_l2: &mut self.scratch_l2,
+                next_req_id: &mut self.next_req_id,
+            };
+            for i in 0..self.cores.len() {
+                let app = self.cores[i].asid.index();
+                self.cores[i].issue(now, &mut sink, &mut self.stats.apps[app]);
+            }
         }
         // 2. Translation unit: L2 TLB pipeline + walker activation. The
         // resolved scratch is taken out of `self` because `deliver_one`
@@ -500,6 +587,51 @@ impl GpuSim {
     /// The simulation configuration.
     pub fn config(&self) -> &SimConfig {
         &self.cfg
+    }
+
+    /// Field-by-field clone of all simulation state. The worker pool is
+    /// *not* cloned — the copy lazily spawns its own on first sharded
+    /// step — and the per-shard queues start fresh (they are empty between
+    /// cycles anyway).
+    fn new_clone(&self) -> Self {
+        let mut shard_outs = Vec::new();
+        if self.sm_shards > 1 {
+            shard_outs.reserve_exact(self.sm_shards);
+            for _ in 0..self.sm_shards {
+                shard_outs.push(ShardOutput::new(self.n_apps));
+            }
+        }
+        GpuSim {
+            cfg: self.cfg.clone(),
+            cores: self.cores.clone(),
+            xlat: self.xlat.clone(),
+            l2: self.l2.clone(),
+            dram: self.dram.clone(),
+            stats: self.stats.clone(),
+            now: self.now,
+            next_req_id: self.next_req_id,
+            n_apps: self.n_apps,
+            scratch_l2: self.scratch_l2.clone(),
+            scratch_pwc: self.scratch_pwc.clone(),
+            scratch_resolved: self.scratch_resolved.clone(),
+            scratch_dram: self.scratch_dram.clone(),
+            scratch_compl: self.scratch_compl.clone(),
+            scratch_resp: self.scratch_resp.clone(),
+            bucket_warps: self.bucket_warps.clone(),
+            bucket_touched: self.bucket_touched.clone(),
+            skip_enabled: self.skip_enabled,
+            san_session: self.san_session,
+            san_id: self.san_id,
+            sm_shards: self.sm_shards,
+            pool: None,
+            shard_outs,
+        }
+    }
+}
+
+impl Clone for GpuSim {
+    fn clone(&self) -> Self {
+        self.new_clone()
     }
 }
 

@@ -1,0 +1,163 @@
+//! Sharding the SM frontend must be invisible in the results.
+//!
+//! `GpuSim` can split its per-cycle issue stage across `MASK_SM_SHARDS`
+//! worker threads (`mask_gpu::shard`). These properties pin the contract:
+//! a sharded run produces **byte-identical** `SimStats` to the serial
+//! engine at any shard count, across seeds, designs, workload mixes, and
+//! run lengths — including lengths that straddle epoch boundaries, where
+//! tokens and bypass decisions depend on exact per-epoch counter values.
+
+use mask_core::prelude::*;
+use proptest::prelude::*;
+
+/// Shard counts exercised everywhere: serial, even split, ragged split
+/// (4 cores / 3 shards), and more shards than one core each.
+const SHARD_COUNTS: [usize; 3] = [2, 3, 8];
+
+/// Builds a small two-app simulation (4 cores, 16 warps/core) with a short
+/// token epoch so a few thousand cycles cross several epoch boundaries.
+fn build(
+    design: DesignKind,
+    seed: u64,
+    apps: &[(&str, usize)],
+    cycles: u64,
+    shards: usize,
+) -> GpuSim {
+    let mut cfg = SimConfig::new(design)
+        .with_max_cycles(cycles)
+        .with_sm_shards(shards);
+    cfg.seed = seed;
+    cfg.gpu.n_cores = apps.iter().map(|(_, c)| c).sum();
+    cfg.gpu.warps_per_core = 16;
+    cfg.gpu.mask.epoch_cycles = 2_000;
+    let specs: Vec<AppSpec> = apps
+        .iter()
+        .map(|(name, c)| AppSpec {
+            profile: app_by_name(name).expect("known app"),
+            n_cores: *c,
+        })
+        .collect();
+    GpuSim::new(&cfg, &specs)
+}
+
+/// Runs one configuration to completion and returns its stats.
+fn run_one(
+    design: DesignKind,
+    seed: u64,
+    apps: &[(&str, usize)],
+    cycles: u64,
+    shards: usize,
+) -> SimStats {
+    let mut sim = build(design, seed, apps, cycles, shards);
+    sim.run_to_completion();
+    sim.sync_stats();
+    sim.stats().clone()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(8))]
+
+    /// The core property: sharding never changes any statistic, for any
+    /// shard count, on every design with a sharded frontend.
+    #[test]
+    fn sharding_is_byte_identical_across_seeds(seed in 0u64..1_000) {
+        for design in [DesignKind::SharedTlb, DesignKind::PwCache, DesignKind::Mask] {
+            let serial = run_one(design, seed, &[("HISTO", 2), ("GUP", 2)], 6_000, 1);
+            for shards in SHARD_COUNTS {
+                let sharded = run_one(design, seed, &[("HISTO", 2), ("GUP", 2)], 6_000, shards);
+                prop_assert_eq!(
+                    &serial, &sharded,
+                    "design {} diverged at {} shards", design, shards
+                );
+            }
+        }
+    }
+
+    /// Run lengths around epoch boundaries: epoch-end work (tokens, bypass
+    /// flips, Silver quotas) reads counters the shards accumulate, so it
+    /// must observe exactly the same values on exactly the same cycles.
+    #[test]
+    fn sharding_is_identical_across_run_lengths(extra in 0u64..4_000) {
+        let cycles = 4_000 + extra;
+        let serial = run_one(DesignKind::Mask, 7, &[("CONS", 2), ("LPS", 2)], cycles, 1);
+        for shards in SHARD_COUNTS {
+            let sharded = run_one(DesignKind::Mask, 7, &[("CONS", 2), ("LPS", 2)], cycles, shards);
+            prop_assert_eq!(&serial, &sharded, "diverged at {} shards", shards);
+        }
+    }
+}
+
+/// Sharding composes with idle cycle-skipping: a single-app run with a
+/// long idle tail exercises the all-idle fast path in the sharded
+/// frontend against the serial stall-counting loop.
+#[test]
+fn sharding_composes_with_cycle_skip() {
+    for skip in [true, false] {
+        let mut serial = build(DesignKind::Mask, 3, &[("RED", 4)], 20_000, 1);
+        serial.set_cycle_skip(skip);
+        serial.run_to_completion();
+        serial.sync_stats();
+        for shards in SHARD_COUNTS {
+            let mut sharded = build(DesignKind::Mask, 3, &[("RED", 4)], 20_000, shards);
+            sharded.set_cycle_skip(skip);
+            sharded.run_to_completion();
+            sharded.sync_stats();
+            assert_eq!(
+                serial.stats(),
+                sharded.stats(),
+                "skip={skip} diverged at {shards} shards"
+            );
+        }
+    }
+}
+
+/// The Ideal design translates functionally inside the issue stage
+/// (mutating shared page tables), so `GpuSim` forces it serial no matter
+/// what was requested.
+#[test]
+fn ideal_design_is_forced_serial() {
+    let sim = build(DesignKind::Ideal, 1, &[("HISTO", 2), ("GUP", 2)], 1_000, 8);
+    assert_eq!(sim.sm_shards(), 1);
+}
+
+/// Shard requests are clamped to the core count (an SM is the unit of
+/// work), but any count up to that sticks.
+#[test]
+fn shard_count_is_clamped_to_cores() {
+    let sim = build(DesignKind::Mask, 1, &[("HISTO", 2), ("GUP", 2)], 1_000, 64);
+    assert_eq!(sim.sm_shards(), 4);
+    let sim = build(DesignKind::Mask, 1, &[("HISTO", 2), ("GUP", 2)], 1_000, 3);
+    assert_eq!(sim.sm_shards(), 3);
+}
+
+/// The batch-engine surface: `SimJob::run_with_shards` is bit-identical to
+/// the plain serial `run` for a two-app job.
+#[test]
+fn job_engine_shard_override_matches_serial() {
+    let gpu = GpuConfig::maxwell();
+    let job = SimJob {
+        design: DesignKind::Mask,
+        specs: vec![
+            AppSpec {
+                profile: app_by_name("CONS").expect("known app"),
+                n_cores: 2,
+            },
+            AppSpec {
+                profile: app_by_name("LPS").expect("known app"),
+                n_cores: 2,
+            },
+        ],
+        max_cycles: 5_000,
+        warmup_cycles: 1_000,
+        seed: 42,
+        gpu,
+    };
+    let serial = job.run_with_shards(Some(1));
+    for shards in SHARD_COUNTS {
+        assert_eq!(
+            serial,
+            job.run_with_shards(Some(shards)),
+            "job diverged at {shards} shards"
+        );
+    }
+}

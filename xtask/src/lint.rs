@@ -19,13 +19,15 @@
 //! |                  | with an invariant message, a typed error, or annotate        |
 //! | `parallelism`    | thread primitives (`std::thread`, `Mutex`/`RwLock`,          |
 //! |                  | `Condvar`, `mpsc`, atomics) outside `crates/core/src/engine*`|
-//! |                  | and `crates/bench` — parallelism stays centralized in the    |
-//! |                  | job engine so simulator code remains single-threaded         |
+//! |                  | , `crates/gpu/src/shard.rs` (the SM-frontend shard pool) and |
+//! |                  | `crates/bench` — parallelism stays centralized in those two  |
+//! |                  | places so the rest of the simulator remains single-threaded  |
 //! | `hotpath`        | heap traffic (`vec![`, `Vec::new()`, `.clone()`, `.collect`) |
 //! |                  | in the per-cycle hot files (`gpu/src/sim.rs`,                |
-//! |                  | `gpu/src/translation.rs`, `cache/src/l2.rs`,                 |
-//! |                  | `dram/src/queues.rs`) outside constructors — the cycle loop  |
-//! |                  | must stay allocation-free in steady state                    |
+//! |                  | `gpu/src/shard.rs`, `gpu/src/translation.rs`,                |
+//! |                  | `cache/src/l2.rs`, `dram/src/queues.rs`) outside             |
+//! |                  | constructors — the cycle loop must stay allocation-free in   |
+//! |                  | steady state                                                 |
 //!
 //! Test code is exempt: the scanner skips items guarded by `#[cfg(test)]`
 //! (tracking the brace span of a guarded `mod`). Any line can opt out of
@@ -142,8 +144,9 @@ fn test_mask(contents: &str) -> Vec<bool> {
 
 /// Files whose per-cycle code must stay allocation-free (the `hotpath`
 /// rule). Matched as path suffixes.
-const HOTPATH_FILES: [&str; 4] = [
+const HOTPATH_FILES: [&str; 5] = [
     "crates/gpu/src/sim.rs",
+    "crates/gpu/src/shard.rs",
     "crates/gpu/src/translation.rs",
     "crates/cache/src/l2.rs",
     "crates/dram/src/queues.rs",
@@ -222,9 +225,11 @@ pub(crate) fn lint_source(path: &Path, contents: &str) -> Vec<Violation> {
         .unwrap_or_default();
 
     // The only places allowed to hold thread primitives: the job engine
-    // (crates/core/src/engine*.rs) and the wall-clock-facing bench crate.
+    // (crates/core/src/engine*.rs), the SM-frontend shard pool
+    // (crates/gpu/src/shard.rs), and the wall-clock-facing bench crate.
     let norm_path = path.to_string_lossy().replace('\\', "/");
     let engine_file = krate == "core" && norm_path.contains("src/engine");
+    let shard_file = norm_path.ends_with("crates/gpu/src/shard.rs");
     let hotpath_file = HOTPATH_FILES.iter().any(|f| norm_path.ends_with(f));
     let ctors = if hotpath_file {
         ctor_mask(contents)
@@ -277,8 +282,9 @@ pub(crate) fn lint_source(path: &Path, contents: &str) -> Vec<Violation> {
             }
         }
 
-        // parallelism: thread primitives stay centralized in the engine.
-        if krate != "bench" && !engine_file {
+        // parallelism: thread primitives stay centralized in the engine
+        // and the SM-frontend shard pool.
+        if krate != "bench" && !engine_file && !shard_file {
             for prim in [
                 "std::thread",
                 "Mutex",
@@ -293,8 +299,9 @@ pub(crate) fn lint_source(path: &Path, contents: &str) -> Vec<Violation> {
                         "parallelism",
                         format!(
                             "`{prim}` outside the job engine; only \
-                             crates/core/src/engine* (and crates/bench) may spawn \
-                             threads or share mutable state across them"
+                             crates/core/src/engine*, crates/gpu/src/shard.rs (and \
+                             crates/bench) may spawn threads or share mutable state \
+                             across them"
                         ),
                     );
                 }
@@ -634,6 +641,20 @@ pub fn f() {
         assert!(lint("crates/bench/src/lib.rs", src).is_empty());
         // The exemption is for engine files only, not all of mask-core.
         assert!(!lint("crates/core/src/metrics.rs", src).is_empty());
+    }
+
+    #[test]
+    fn shard_pool_may_use_thread_primitives_but_stays_hotpath_clean() {
+        // The SM-frontend shard pool is the second parallelism island…
+        let threads = "use std::sync::Mutex;\nstd::thread::scope(|s| {});\n";
+        assert!(lint("crates/gpu/src/shard.rs", threads).is_empty());
+        // …but only shard.rs: the rest of mask-gpu stays single-threaded.
+        assert!(!lint("crates/gpu/src/sim.rs", threads).is_empty());
+        // And the hotpath rule still fires inside shard.rs — the per-cycle
+        // shard/merge code must not allocate in steady state.
+        let alloc = "pub fn run_shard(&mut self) {\n    let v = Vec::new();\n}\n";
+        let v = lint("crates/gpu/src/shard.rs", alloc);
+        assert_eq!(rules(&v), ["hotpath"]);
     }
 
     #[test]
