@@ -7,12 +7,15 @@
 //! sharded SM frontend (`MASK_SM_SHARDS` ∈ {1, 2, 4, 8}) on the two-app
 //! workload and verifies the instruction checksum is identical at every
 //! shard count. Results are written to
-//! `target/mask-results/BENCH_pr4.json`; the committed `BENCH_pr4.json` at
+//! `target/mask-results/BENCH_pr5.json`; the committed `BENCH_pr5.json` at
 //! the repository root records the numbers for this PR.
 //!
 //! ```text
-//! cargo bench -p mask-bench --bench throughput              # measure
-//! cargo bench -p mask-bench --bench throughput -- --check   # CI gate
+//! cargo bench -p mask-bench --bench throughput                  # measure
+//! cargo bench -p mask-bench --bench throughput -- --check       # CI gate
+//! cargo bench -p mask-bench --features obs --bench throughput -- --check
+//! # ^ same gate with the mask-obs hooks compiled in and tracing left off:
+//! #   the floor then bounds the tracing-disabled overhead.
 //! ```
 //!
 //! Environment:
@@ -23,11 +26,14 @@
 //! * `MASK_BENCH_MIN_CPS_SHARDED` — override the 4-shard `--check` floor.
 //!
 //! `--check` fails (exit 1) when (a) the measured serial 2-app throughput
-//! drops below 70% of `cycles_per_sec_after` committed in `BENCH_pr4.json`,
-//! (b) the 4-shard configuration drops below 70% of its committed
-//! reference, or (c) any shard count produces a different instruction
-//! checksum than the serial run — the determinism gate. Floors can be
-//! overridden for slow runners via the environment variables above.
+//! drops below 70% of `cycles_per_sec_after` committed in `BENCH_pr5.json`,
+//! (b) it drops below 70% of the pre-PR `cycles_per_sec_after` committed
+//! in `BENCH_pr4.json` (so an obs build's disabled-tracing path is gated
+//! against the engine as it was before the hooks existed), (c) the 4-shard
+//! configuration drops below 70% of its committed reference, or (d) any
+//! shard count produces a different instruction checksum than the serial
+//! run — the determinism gate. Floors can be overridden for slow runners
+//! via the environment variables above.
 
 use mask_common::config::{DesignKind, SimConfig};
 use mask_gpu::{AppSpec, GpuSim};
@@ -125,7 +131,15 @@ fn main() {
     let cycles = env_u64("MASK_BENCH_CYCLES", 200_000);
     let reps = env_u64("MASK_BENCH_REPS", 3) as usize;
 
-    println!("=== engine throughput — cycles/run={cycles} reps={reps} (best-of) ===\n");
+    // When the obs hooks are compiled in, pin the runtime gate off: this
+    // bench measures (and gates) the tracing-*disabled* path even if the
+    // surrounding CI leg exports MASK_TRACE=1.
+    mask_obs::set_runtime(Some(false));
+    println!(
+        "=== engine throughput — cycles/run={cycles} reps={reps} (best-of) \
+         obs_hooks={} ===\n",
+        mask_obs::is_enabled()
+    );
     let mut results = Vec::new();
     for w in WORKLOADS {
         let (cps, checksum) = measure(w, cycles, reps, 1);
@@ -150,7 +164,8 @@ fn main() {
     // Always archive the measurement.
     let mut json = String::from("{\n  \"bench\": \"throughput\",\n");
     json.push_str(&format!(
-        "  \"cycles_per_run\": {cycles},\n  \"measured\": {{\n"
+        "  \"cycles_per_run\": {cycles},\n  \"obs_hooks_compiled\": {},\n  \"measured\": {{\n",
+        mask_obs::is_enabled()
     ));
     for (name, cps, checksum) in &results {
         json.push_str(&format!(
@@ -167,7 +182,7 @@ fn main() {
     json.push_str("    }\n  }\n}\n");
     let out_dir = repo_root().join("target/mask-results");
     if std::fs::create_dir_all(&out_dir).is_ok() {
-        let _ = std::fs::write(out_dir.join("BENCH_pr4.json"), &json);
+        let _ = std::fs::write(out_dir.join("BENCH_pr5.json"), &json);
     }
 
     if check {
@@ -184,8 +199,8 @@ fn main() {
         }
         println!("\ncheck: instruction checksum identical across shard counts ({serial_checksum})");
 
-        let committed = std::fs::read_to_string(repo_root().join("BENCH_pr4.json"))
-            .expect("--check needs the committed BENCH_pr4.json at the repo root");
+        let committed = std::fs::read_to_string(repo_root().join("BENCH_pr5.json"))
+            .expect("--check needs the committed BENCH_pr5.json at the repo root");
         let reference = std::env::var("MASK_BENCH_MIN_CPS")
             .ok()
             .and_then(|v| v.parse::<f64>().ok())
@@ -203,6 +218,35 @@ fn main() {
         if measured < floor {
             eprintln!("throughput regression: {measured:.0} < {floor:.0} cycles/sec");
             std::process::exit(1);
+        }
+
+        // Tracing-disabled overhead gate: the same measurement must also
+        // clear the floor derived from the engine as committed *before*
+        // the obs hooks existed (BENCH_pr4.json). Run with
+        // `--features obs` this bounds the cost of compiled-in-but-off
+        // tracing; without it it is a plain cross-PR regression gate.
+        if let Some(pre_pr) = std::env::var("MASK_BENCH_MIN_CPS")
+            .ok()
+            .and_then(|v| v.parse::<f64>().ok())
+            .or_else(|| {
+                std::fs::read_to_string(repo_root().join("BENCH_pr4.json"))
+                    .ok()
+                    .and_then(|c| json_number(&c, "two_app_CONS_LPS", "cycles_per_sec_after"))
+            })
+        {
+            let pre_floor = pre_pr * 0.7;
+            println!(
+                "check: tracing-off overhead — {measured:.0} cycles/sec vs pre-PR floor \
+                 {pre_floor:.0} (70% of {pre_pr:.0}, obs_hooks={})",
+                mask_obs::is_enabled()
+            );
+            if measured < pre_floor {
+                eprintln!(
+                    "tracing-disabled overhead regression vs pre-PR baseline: \
+                     {measured:.0} < {pre_floor:.0} cycles/sec"
+                );
+                std::process::exit(1);
+            }
         }
 
         let sharded_reference = std::env::var("MASK_BENCH_MIN_CPS_SHARDED")

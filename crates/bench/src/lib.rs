@@ -34,25 +34,24 @@ pub fn emit(table: &Table) {
     println!("{table}");
     println!();
     let dir = std::path::Path::new("target/mask-results");
-    if std::fs::create_dir_all(dir).is_ok() {
-        let slug: String = table
-            .title
-            .chars()
-            .map(|c| {
-                if c.is_ascii_alphanumeric() {
-                    c.to_ascii_lowercase()
-                } else {
-                    '_'
-                }
-            })
-            .collect::<String>()
-            .split('_')
-            .filter(|s| !s.is_empty())
-            .collect::<Vec<_>>()
-            .join("_");
-        let _ = std::fs::write(dir.join(format!("{slug}.csv")), table.to_csv());
-        let _ = std::fs::write(dir.join(format!("{slug}.json")), table.to_json());
-    }
+    let slug: String = table
+        .title
+        .chars()
+        .map(|c| {
+            if c.is_ascii_alphanumeric() {
+                c.to_ascii_lowercase()
+            } else {
+                '_'
+            }
+        })
+        .collect::<String>()
+        .split('_')
+        .filter(|s| !s.is_empty())
+        .collect::<Vec<_>>()
+        .join("_");
+    // The writers create missing parent directories themselves.
+    let _ = table.write_csv(dir.join(format!("{slug}.csv")));
+    let _ = table.write_json(dir.join(format!("{slug}.json")));
 }
 
 /// Prints the standard harness banner, including the engine's resolved

@@ -130,7 +130,9 @@ impl SharedL2Cache {
         mask_sanitizer::issue("l2-cache", req.id.0);
         if self.bypass_enabled {
             if let RequestClass::Translation(level) = req.class {
-                if self.monitor.should_bypass(req.asid, level) {
+                let bypass = self.monitor.should_bypass(req.asid, level);
+                mask_obs::hooks::bypass_decision(req.asid.index() as u16, level.raw(), bypass);
+                if bypass {
                     match self.bypass_mshr.allocate(req.line, req) {
                         MshrAlloc::Primary => {
                             let mut fwd = req;

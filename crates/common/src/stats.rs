@@ -93,6 +93,20 @@ impl DramClassStats {
         }
     }
 
+    /// Component-wise difference `self - prev` (counters are monotonic;
+    /// saturates defensively so a mismatched snapshot cannot panic).
+    #[must_use]
+    pub fn delta(&self, prev: &DramClassStats) -> DramClassStats {
+        DramClassStats {
+            requests: self.requests.saturating_sub(prev.requests),
+            latency_sum: self.latency_sum.saturating_sub(prev.latency_sum),
+            bus_busy_cycles: self.bus_busy_cycles.saturating_sub(prev.bus_busy_cycles),
+            row_hits: self.row_hits.saturating_sub(prev.row_hits),
+            row_misses: self.row_misses.saturating_sub(prev.row_misses),
+            row_conflicts: self.row_conflicts.saturating_sub(prev.row_conflicts),
+        }
+    }
+
     /// Accumulates another counter set into this one.
     pub fn merge(&mut self, other: &DramClassStats) {
         self.requests += other.requests;
@@ -152,6 +166,17 @@ impl HitStats {
     pub fn merge(&mut self, other: &HitStats) {
         self.accesses += other.accesses;
         self.hits += other.hits;
+    }
+
+    /// Component-wise difference `self - prev` (counters are monotonic;
+    /// saturates defensively so a mismatched snapshot cannot panic).
+    #[inline]
+    #[must_use]
+    pub fn delta(&self, prev: &HitStats) -> HitStats {
+        HitStats {
+            accesses: self.accesses.saturating_sub(prev.accesses),
+            hits: self.hits.saturating_sub(prev.hits),
+        }
     }
 }
 
@@ -307,6 +332,57 @@ impl AppStats {
     /// of the hot loop (the struct is plain data; this is a re-init).
     pub fn reset(&mut self) {
         *self = AppStats::default();
+    }
+
+    /// Counter difference `self - prev` for epoch-over-epoch streams
+    /// (`mask-obs`). Accumulating counters subtract; watermarks
+    /// (`walk_concurrency_max`, `stalled_warps_max`) and snapshots
+    /// (`tokens_final`) carry the current value, since "difference" has no
+    /// meaning for them within an epoch window.
+    #[must_use]
+    pub fn delta_since(&self, prev: &AppStats) -> AppStats {
+        let mut l2_translation = [HitStats::default(); 4];
+        for (out, (cur, old)) in l2_translation
+            .iter_mut()
+            .zip(self.l2_translation.iter().zip(&prev.l2_translation))
+        {
+            *out = cur.delta(old);
+        }
+        AppStats {
+            instructions: self.instructions.saturating_sub(prev.instructions),
+            mem_instructions: self.mem_instructions.saturating_sub(prev.mem_instructions),
+            cycles: self.cycles.saturating_sub(prev.cycles),
+            stall_cycles: self.stall_cycles.saturating_sub(prev.stall_cycles),
+            l1_tlb: self.l1_tlb.delta(&prev.l1_tlb),
+            l2_tlb: self.l2_tlb.delta(&prev.l2_tlb),
+            tlb_bypass_cache: self.tlb_bypass_cache.delta(&prev.tlb_bypass_cache),
+            pwc: self.pwc.delta(&prev.pwc),
+            page_faults: self.page_faults.saturating_sub(prev.page_faults),
+            walks_started: self.walks_started.saturating_sub(prev.walks_started),
+            walks_completed: self.walks_completed.saturating_sub(prev.walks_completed),
+            walk_latency_sum: self.walk_latency_sum.saturating_sub(prev.walk_latency_sum),
+            walk_cycles_integral: self
+                .walk_cycles_integral
+                .saturating_sub(prev.walk_cycles_integral),
+            walk_concurrency_max: self.walk_concurrency_max,
+            stalled_warps_sum: self
+                .stalled_warps_sum
+                .saturating_sub(prev.stalled_warps_sum),
+            stalled_warps_events: self
+                .stalled_warps_events
+                .saturating_sub(prev.stalled_warps_events),
+            stalled_warps_max: self.stalled_warps_max,
+            l1_data: self.l1_data.delta(&prev.l1_data),
+            l2_data: self.l2_data.delta(&prev.l2_data),
+            l2_translation,
+            l2_translation_bypassed: self
+                .l2_translation_bypassed
+                .saturating_sub(prev.l2_translation_bypassed),
+            dram_data: self.dram_data.delta(&prev.dram_data),
+            dram_translation: self.dram_translation.delta(&prev.dram_translation),
+            tokens_final: self.tokens_final,
+            fills_diverted: self.fills_diverted.saturating_sub(prev.fills_diverted),
+        }
     }
 }
 
@@ -502,6 +578,46 @@ mod tests {
 
         d1.reset();
         assert_eq!(d1, AppStats::default());
+    }
+
+    #[test]
+    fn delta_since_subtracts_counters_keeps_watermarks() {
+        let mut prev = AppStats {
+            instructions: 100,
+            cycles: 50,
+            walks_completed: 4,
+            walk_concurrency_max: 9,
+            tokens_final: 12,
+            ..AppStats::default()
+        };
+        prev.l1_tlb.record(true);
+        let mut cur = prev.clone();
+        cur.instructions = 160;
+        cur.cycles = 80;
+        cur.walks_completed = 7;
+        cur.walk_concurrency_max = 11;
+        cur.tokens_final = 8;
+        cur.l1_tlb.record(false);
+        cur.record_l2_translation(WalkLevel::new(3), true);
+        cur.dram_data.requests = 5;
+
+        let d = cur.delta_since(&prev);
+        assert_eq!(d.instructions, 60);
+        assert_eq!(d.cycles, 30);
+        assert_eq!(d.walks_completed, 3);
+        assert_eq!(d.l1_tlb.accesses, 1);
+        assert_eq!(d.l1_tlb.hits, 0);
+        assert_eq!(d.l2_translation[WalkLevel::new(3).index()].hits, 1);
+        assert_eq!(d.dram_data.requests, 5);
+        // Watermarks and snapshots carry the current value.
+        assert_eq!(d.walk_concurrency_max, 11);
+        assert_eq!(d.tokens_final, 8);
+        // A fresh-baseline delta (prev = default) equals the counters.
+        let from_zero = cur.delta_since(&AppStats::default());
+        assert_eq!(from_zero, cur);
+        // Mismatched snapshots saturate instead of panicking.
+        let d = prev.delta_since(&cur);
+        assert_eq!(d.instructions, 0);
     }
 
     #[test]

@@ -149,16 +149,54 @@ fn clamp_shards(requested: usize, workers: usize, avail: usize) -> usize {
     }
 }
 
+/// The oversubscription warning text, stating the resolved jobs×shards
+/// split so readers can tell exactly what configuration actually ran.
+fn shards_clamped_message(
+    requested: usize,
+    granted: usize,
+    workers: usize,
+    avail: usize,
+) -> String {
+    format!(
+        "[mask-core] MASK_JOBS ({workers}) x MASK_SM_SHARDS ({requested}) exceeds \
+         available parallelism ({avail}); resolved split: {workers} job worker(s) x \
+         {granted} SM shard(s) per simulation ({} thread(s) total; results are \
+         identical at any shard count)",
+        workers * granted
+    )
+}
+
 /// Emits the oversubscription warning once per process.
 fn warn_shards_clamped(requested: usize, granted: usize, workers: usize, avail: usize) {
     static WARNED: AtomicBool = AtomicBool::new(false);
     if !WARNED.swap(true, Ordering::Relaxed) {
         eprintln!(
-            "[mask-core] MASK_JOBS ({workers}) x MASK_SM_SHARDS ({requested}) exceeds \
-             available parallelism ({avail}); running {granted} shard(s) per simulation \
-             instead (results are identical at any shard count)"
+            "{}",
+            shards_clamped_message(requested, granted, workers, avail)
         );
     }
+}
+
+/// Runs one job with an engine-timeline span around it (`mask-obs` job
+/// profiling; the span label and timing cost nothing unless tracing is
+/// live).
+fn run_one_timed(job: &SimJob, shards: usize, lane: u32) -> SimStats {
+    let timer = mask_obs::profile::begin_job();
+    let stats = job.run_with_shards(Some(shards));
+    if mask_obs::tracing_active() {
+        timer.finish(&job_label(job), lane);
+    }
+    stats
+}
+
+/// Short human-readable label for a job's engine-timeline span.
+fn job_label(job: &SimJob) -> String {
+    use fmt::Write;
+    let mut s = format!("{:?}", job.design);
+    for spec in &job.specs {
+        let _ = write!(s, " {}x{}", spec.profile.name, spec.n_cores);
+    }
+    s
 }
 
 /// Counters describing one [`BaselineCache`]'s effectiveness.
@@ -316,12 +354,18 @@ impl JobPool {
     /// calling thread, payload intact.
     #[must_use]
     pub fn run_batch(&self, jobs: &[SimJob]) -> Vec<SimStats> {
+        // Trace bookkeeping for the `job_pool` metrics frame (see
+        // `mask-obs`); both values stay `None` unless tracing is live.
+        let trace = mask_obs::tracing_active();
+        let batch_start = trace.then(std::time::Instant::now); // lint: allow(nondeterminism) -- profiling only, never read by the simulation
+        let cache_before = trace.then(|| self.cache.stats());
         // Plan: collapse equal-keyed jobs, answer alone runs from cache.
         let mut results: Vec<Option<SimStats>> = vec![None; jobs.len()];
         let mut unique: BTreeMap<JobKey, Vec<usize>> = BTreeMap::new();
         for (i, job) in jobs.iter().enumerate() {
             unique.entry(job.key()).or_default().push(i);
         }
+        let n_unique = unique.len();
         let mut work: Vec<(&SimJob, Vec<usize>)> = Vec::new();
         for (key, idxs) in unique {
             let job = &jobs[idxs[0]];
@@ -347,6 +391,17 @@ impl JobPool {
                 results[i] = Some(stats.clone());
             }
         }
+        if let (Some(start), Some(before)) = (batch_start, cache_before) {
+            let after = self.cache.stats();
+            mask_obs::metrics::job_pool_frame(
+                self.workers,
+                jobs.len(),
+                n_unique,
+                after.hits.saturating_sub(before.hits),
+                after.misses.saturating_sub(before.misses),
+                start.elapsed().as_micros() as u64,
+            );
+        }
         results
             .into_iter()
             .map(|r| r.expect("every planned job resolves to a result"))
@@ -366,21 +421,23 @@ impl JobPool {
         if n_workers <= 1 {
             return work
                 .iter()
-                .map(|(job, _)| job.run_with_shards(Some(shards)))
+                .map(|(job, _)| run_one_timed(job, shards, 0))
                 .collect();
         }
         let next = AtomicUsize::new(0);
         let collected: Vec<Vec<(usize, SimStats)>> = std::thread::scope(|s| {
             let handles: Vec<_> = (0..n_workers)
-                .map(|_| {
-                    s.spawn(|| {
+                .map(|w| {
+                    let next = &next;
+                    s.spawn(move || {
+                        let lane = w as u32;
                         let mut local = Vec::new();
                         loop {
                             let i = next.fetch_add(1, Ordering::Relaxed);
                             if i >= work.len() {
                                 break;
                             }
-                            local.push((i, work[i].0.run_with_shards(Some(shards))));
+                            local.push((i, run_one_timed(work[i].0, shards, lane)));
                         }
                         local
                     })
@@ -441,6 +498,20 @@ mod tests {
         // Never below the serial frontend, even on tiny machines.
         assert_eq!(clamp_shards(8, 4, 1), 1);
         assert_eq!(clamp_shards(0, 0, 1), 1);
+    }
+
+    #[test]
+    fn clamp_warning_states_the_resolved_split() {
+        let msg = shards_clamped_message(8, 4, 2, 8);
+        assert!(
+            msg.contains("2 job worker(s) x 4 SM shard(s)"),
+            "message must state the resolved split, got: {msg}"
+        );
+        assert!(msg.contains("8 thread(s) total"), "got: {msg}");
+        assert!(
+            msg.contains("MASK_JOBS (2)") && msg.contains("MASK_SM_SHARDS (8)"),
+            "message must echo the requested configuration, got: {msg}"
+        );
     }
 
     #[test]

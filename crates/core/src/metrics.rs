@@ -112,4 +112,47 @@ mod tests {
     fn mismatched_lengths_panic() {
         let _ = weighted_speedup(&[1.0], &[1.0, 2.0]);
     }
+
+    #[test]
+    fn zero_cycle_apps_yield_finite_speedup_and_zero_unfairness_floor() {
+        // An app that never got a measured cycle reports IPC 0 both shared
+        // and alone; the pair's metrics must stay well-defined.
+        let ws = weighted_speedup(&[0.0, 1.0], &[0.0, 2.0]);
+        assert!(
+            (ws - 0.5).abs() < 1e-12,
+            "stalled app contributes 0, got {ws}"
+        );
+        // Unfairness treats 0/0 as infinite slowdown (the shared app made
+        // no progress), never as NaN.
+        let u = unfairness(&[0.0, 1.0], &[0.0, 2.0]);
+        assert!(u.is_infinite() && !u.is_nan());
+        // Both apps zero-cycle: speedup 0, not NaN.
+        assert_eq!(weighted_speedup(&[0.0, 0.0], &[0.0, 0.0]), 0.0);
+    }
+
+    #[test]
+    fn single_app_weighted_speedup_is_its_slowdown_ratio() {
+        // With one app, WS is exactly IPC_shared / IPC_alone ...
+        assert!((weighted_speedup(&[1.5], &[3.0]) - 0.5).abs() < 1e-12);
+        // ... and running truly alone it is exactly 1, with unfairness 1.
+        assert!((weighted_speedup(&[2.75], &[2.75]) - 1.0).abs() < 1e-12);
+        assert!((unfairness(&[2.75], &[2.75]) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn unfairness_when_one_app_starves_dominates_the_other() {
+        // App 0 is starved to 1% of alone speed while app 1 is barely
+        // touched: unfairness is app 0's 100x slowdown, not app 1's 1.01x.
+        let u = unfairness(&[0.01, 0.99], &[1.0, 1.0]);
+        assert!((u - 100.0).abs() < 1e-9, "got {u}");
+        // Order independence: swapping the apps reports the same maximum.
+        let swapped = unfairness(&[0.99, 0.01], &[1.0, 1.0]);
+        assert_eq!(u.to_bits(), swapped.to_bits());
+    }
+
+    #[test]
+    fn empty_workload_metrics_are_identity_values() {
+        assert_eq!(weighted_speedup(&[], &[]), 0.0);
+        assert_eq!(unfairness(&[], &[]), 0.0);
+    }
 }

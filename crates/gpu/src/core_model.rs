@@ -299,10 +299,12 @@ impl GpuCore {
             match self.l1tlb.probe(self.asid, vpn) {
                 Some(ppn) => {
                     stats.l1_tlb.record(true);
+                    mask_obs::hooks::tlb_probe(mask_obs::TlbLevel::L1, self.asid.raw(), true);
                     self.warps[w].xlat.push((vpn, ppn));
                 }
                 None => {
                     stats.l1_tlb.record(false);
+                    mask_obs::hooks::tlb_probe(mask_obs::TlbLevel::L1, self.asid.raw(), false);
                     let gw = GlobalWarpId::new(self.id, WarpId::new(w as u16));
                     sink.xlat_request(self.asid, vpn, gw, self.core_rank, now);
                     pending += 1;
@@ -313,6 +315,11 @@ impl GpuCore {
         if pending > 0 {
             self.warps[w].state = WarpState::XlatWait { pending };
             self.set_ready(w, false);
+            mask_obs::hooks::warp_stall(
+                u32::from(self.id.raw()),
+                w as u32,
+                mask_obs::StallKind::Translation,
+            );
         } else {
             self.dispatch_data(w, now, sink, stats);
         }
@@ -357,6 +364,11 @@ impl GpuCore {
         if outstanding > 0 {
             self.warps[w].state = WarpState::DataWait { outstanding };
             self.set_ready(w, false);
+            mask_obs::hooks::warp_stall(
+                u32::from(self.id.raw()),
+                w as u32,
+                mask_obs::StallKind::Data,
+            );
         } else {
             self.warps[w].state = WarpState::NeedOp;
             self.set_ready(w, true);
@@ -404,6 +416,7 @@ impl GpuCore {
                     pending: pending - 1,
                 };
             } else {
+                mask_obs::hooks::warp_wake(u32::from(self.id.raw()), w as u32);
                 self.dispatch_data(w, now, sink, stats);
             }
         }
@@ -427,6 +440,7 @@ impl GpuCore {
             } else {
                 self.warps[w].state = WarpState::NeedOp;
                 self.set_ready(w, true);
+                mask_obs::hooks::warp_wake(u32::from(self.id.raw()), w as u32);
             }
         }
         self.scratch_waiters = waiters;

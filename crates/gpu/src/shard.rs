@@ -160,6 +160,8 @@ pub fn shard_range(n_cores: usize, shards: usize, shard: usize) -> Range<usize> 
 /// Runs the issue stage for one shard's cores, capturing sanitizer events
 /// and recording all cross-shard side effects into `out`.
 pub fn run_shard(cores: &mut [GpuCore], now: Cycle, out: &mut ShardOutput) {
+    // Stamp this worker thread's trace ring with the simulation cycle.
+    mask_obs::hooks::set_cycle(now);
     // Reuses the buffer drained by the previous cycle's replay.
     mask_sanitizer::capture_begin(std::mem::take(&mut out.san));
     for core in cores.iter_mut() {
@@ -243,6 +245,9 @@ unsafe fn exec_shard(job: *const Job, shard: usize) {
     // SAFETY: likewise, output slot `shard` has this single writer.
     let out = unsafe { &mut *job.outs.add(shard) };
     run_shard(cores, job.now, out);
+    // Drain this thread's trace ring, tagged with its shard lane, while the
+    // events are still cheap to attribute (before the next cycle's stamp).
+    mask_obs::hooks::flush_events(shard as u32);
 }
 
 /// Spin iterations before a waiting thread starts yielding.
@@ -399,7 +404,9 @@ impl ShardPool {
             unsafe { exec_shard(self.shared.job.get(), 0) }
         }));
         // Wait for the workers; their output writes are ordered before the
-        // `done` release increments.
+        // `done` release increments. The wait is the merge tail's serial
+        // overhead, so it is what the self-profiler times here.
+        let wait = mask_obs::profile::begin_merge_wait();
         let want = (self.shards - 1) as u64;
         let mut spins = 0u32;
         while self.shared.done.load(Ordering::Acquire) != want {
@@ -410,6 +417,7 @@ impl ShardPool {
                 std::thread::yield_now();
             }
         }
+        wait.finish();
         if let Err(payload) = inline {
             resume_unwind(payload);
         }

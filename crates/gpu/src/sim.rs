@@ -11,6 +11,8 @@ use mask_common::req::{MemRequest, RequestClass};
 use mask_common::stats::SimStats;
 use mask_common::Cycle;
 use mask_dram::{ChannelPartition, Dram, DramCompletion, RowOutcome};
+use mask_obs::profile::SimStage;
+use mask_obs::QueueKind;
 use mask_workloads::AppProfile;
 
 /// One application's placement in a simulation.
@@ -63,6 +65,9 @@ pub struct GpuSim {
     pool: Option<ShardPool>,
     /// Per-shard output queues (empty when running serial).
     shard_outs: Vec<ShardOutput>,
+    /// Per-epoch metrics tracker (zero-sized and inert unless the `obs`
+    /// feature is compiled in and `MASK_TRACE` is live).
+    obs: mask_obs::metrics::EpochTracker,
 }
 
 // The job engine (`mask-core`'s `engine` module) fans simulations out over
@@ -160,6 +165,7 @@ impl GpuSim {
             sm_shards,
             pool: None,
             shard_outs,
+            obs: mask_obs::metrics::EpochTracker::new(),
         }
     }
 
@@ -301,9 +307,11 @@ impl GpuSim {
         mask_sanitizer::enter_session(self.san_session);
         let now = self.now;
         mask_sanitizer::cycle(self.san_id, "gpu", now);
+        mask_obs::hooks::set_cycle(now);
         // 1. Core issue stage: serial loop (the PR 3 hot path) or the
         // sharded frontend + serial merge tail (bit-identical, see
         // `crate::shard`).
+        let timing = mask_obs::profile::stage(SimStage::Issue, now);
         if self.sm_shards > 1 {
             self.issue_sharded(now);
         } else {
@@ -317,9 +325,11 @@ impl GpuSim {
                 self.cores[i].issue(now, &mut sink, &mut self.stats.apps[app]);
             }
         }
+        drop(timing);
         // 2. Translation unit: L2 TLB pipeline + walker activation. The
         // resolved scratch is taken out of `self` because `deliver_one`
         // needs `&mut self`; it is put back below with its capacity intact.
+        let timing = mask_obs::profile::stage(SimStage::Translation, now);
         let mut pwc_hits = std::mem::take(&mut self.scratch_pwc);
         let mut resolved = std::mem::take(&mut self.scratch_resolved);
         self.xlat.tick(
@@ -333,8 +343,10 @@ impl GpuSim {
             self.deliver_one(r);
         }
         self.scratch_resolved = resolved;
+        drop(timing);
         // 3. Push L2-bound requests (disjoint-field borrow: the drain
         // iterator holds `scratch_l2` while `enqueue` borrows `l2`).
+        let timing = mask_obs::profile::stage(SimStage::CacheL2, now);
         for req in self.scratch_l2.drain(..) {
             self.l2.enqueue(req, now);
         }
@@ -344,7 +356,9 @@ impl GpuSim {
         for req in self.scratch_dram.drain(..) {
             self.dram.enqueue(req, now);
         }
+        drop(timing);
         // 5. DRAM.
+        let timing = mask_obs::profile::stage(SimStage::Dram, now);
         self.dram.tick(now);
         self.dram
             .drain_completions_into(now, &mut self.scratch_compl);
@@ -366,9 +380,11 @@ impl GpuSim {
             self.stats.dram_bus_busy += c.bus_cycles;
             self.l2.dram_fill(c.req.line, now);
         }
+        drop(timing);
         // 6. L2 responses: data to cores, translations to the walker. The
         // response scratch is taken out because the loop body re-enters
         // `&mut self` (`deliver_one`), then put back.
+        let timing = mask_obs::profile::stage(SimStage::Responses, now);
         let mut resps = std::mem::take(&mut self.scratch_resp);
         self.l2.drain_responses_into(&mut resps);
         for resp in resps.drain(..) {
@@ -408,11 +424,20 @@ impl GpuSim {
         for req in self.scratch_l2.drain(..) {
             self.l2.enqueue(req, now);
         }
+        drop(timing);
         // 7. PWC statistics.
         for (asid, hit) in pwc_hits.drain(..) {
             self.stats.apps[asid.index()].pwc.record(hit);
         }
         self.scratch_pwc = pwc_hits;
+        // Queue-depth sampling (deduplicated per thread inside the hook);
+        // the depth computations are skipped entirely when tracing is off.
+        if mask_obs::tracing_active() {
+            mask_obs::hooks::queue_depth(QueueKind::L2, self.l2.queued() as u32);
+            mask_obs::hooks::queue_depth(QueueKind::Dram, self.dram.queued() as u32);
+            mask_obs::hooks::queue_depth(QueueKind::DramInFlight, self.dram.in_flight() as u32);
+            mask_obs::hooks::queue_depth(QueueKind::Walker, self.xlat.walker_demand() as u32);
+        }
         // 8. Per-cycle sampling.
         for app in 0..self.n_apps {
             let walks = self.xlat.concurrent_walks(Asid::new(app as u16)) as u64;
@@ -428,6 +453,21 @@ impl GpuSim {
             let pressure = self.xlat.end_epoch(self.cfg.gpu.mask.epoch_cycles);
             self.dram.update_pressure(&pressure);
             self.l2.end_epoch();
+            self.emit_epoch_metrics();
+        }
+        mask_obs::hooks::flush_events(0);
+    }
+
+    /// Emits the per-epoch metrics frames when tracing is live.
+    ///
+    /// `sync_stats` is re-run first so the lifetime TLB/walker/token
+    /// counters in the snapshot are current; it writes pure functions of
+    /// simulator state that nothing reads back, so traced runs stay
+    /// bit-identical to untraced ones.
+    fn emit_epoch_metrics(&mut self) {
+        if mask_obs::tracing_active() {
+            self.sync_stats();
+            self.obs.on_epoch(self.now, &self.stats);
         }
     }
 
@@ -526,6 +566,7 @@ impl GpuSim {
             let pressure = self.xlat.end_epoch(self.cfg.gpu.mask.epoch_cycles);
             self.dram.update_pressure(&pressure);
             self.l2.end_epoch();
+            self.emit_epoch_metrics();
         }
     }
 
@@ -625,6 +666,7 @@ impl GpuSim {
             sm_shards: self.sm_shards,
             pool: None,
             shard_outs,
+            obs: self.obs.clone(),
         }
     }
 }

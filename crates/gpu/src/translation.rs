@@ -196,6 +196,7 @@ impl TranslationUnit {
     ) -> bool {
         if let Some(entry) = self.mshr.get_mut(&(asid, vpn)) {
             entry.waiters.push(requester);
+            mask_obs::hooks::tlb_mshr_merge(asid.raw());
             return false;
         }
         let mut waiters = self.waiter_pool.pop().unwrap_or_default();
@@ -334,8 +335,17 @@ impl TranslationUnit {
             let req = self.l2tlb_pipe.pop_front().expect("non-empty");
             let l2 = self.l2tlb.as_mut().expect("pipe implies shared L2 TLB");
             match l2.probe(req.asid, req.vpn) {
-                L2TlbProbe::Miss => self.walker.enqueue(req.asid, req.vpn, now),
+                L2TlbProbe::Miss => {
+                    mask_obs::hooks::tlb_probe(mask_obs::TlbLevel::L2, req.asid.raw(), false);
+                    self.walker.enqueue(req.asid, req.vpn, now);
+                }
                 hit => {
+                    let whence = if matches!(hit, L2TlbProbe::HitBypassCache(_)) {
+                        mask_obs::TlbLevel::BypassCache
+                    } else {
+                        mask_obs::TlbLevel::L2
+                    };
+                    mask_obs::hooks::tlb_probe(whence, req.asid.raw(), true);
                     let ppn = hit.ppn().expect("hit carries translation");
                     if let Some(r) = self.resolve(req.asid, req.vpn, ppn, false, 0) {
                         resolved.push(r);
@@ -494,6 +504,12 @@ impl TranslationUnit {
     /// Concurrent page-walk demand for an app (Fig. 5 sampling).
     pub fn concurrent_walks(&self, asid: Asid) -> usize {
         self.walker.total_walks_for(asid)
+    }
+
+    /// Total page-walk demand across all apps: active walks plus walks
+    /// queued for a slot (trace queue-depth sampling).
+    pub fn walker_demand(&self) -> usize {
+        self.walker.total_walks()
     }
 
     /// Current fill-token count for an app (0 when tokens are disabled).

@@ -33,6 +33,14 @@
 //! the component, the object, and the state transition that broke the
 //! invariant.
 //!
+//! The same hook-point pattern — inline functions compiled to nothing
+//! unless a feature is on — carries the observability subsystem: `mask-obs`
+//! (workspace feature `obs`) places its tracing hooks alongside this
+//! crate's at the simulator's state transitions, but *records* events
+//! instead of checking them, and adds a second, runtime gate
+//! (`MASK_TRACE`). The two are independent and compose: a sanitized traced
+//! run checks invariants and collects the trace in one pass.
+//!
 //! # Sessions
 //!
 //! State is tracked per thread and, within a thread, per *session* so that

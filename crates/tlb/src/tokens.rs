@@ -166,6 +166,7 @@ impl TokenAllocator {
                 .clamp(1, app.total_warps());
             app.prev_miss_rate = Some(miss_rate);
             mask_sanitizer::token_epoch(asid.index() as u16, app.tokens, app.total_warps());
+            mask_obs::hooks::token_epoch(asid.index() as u16, app.tokens);
             return;
         }
         if accesses == 0 {
@@ -195,6 +196,7 @@ impl TokenAllocator {
         }
         app.prev_miss_rate = Some(miss_rate);
         mask_sanitizer::token_epoch(asid.index() as u16, app.tokens, app.total_warps());
+        mask_obs::hooks::token_epoch(asid.index() as u16, app.tokens);
     }
 
     /// Whether `asid` is still in its warm-up (first) epoch.

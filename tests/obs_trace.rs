@@ -1,0 +1,173 @@
+//! Tracing must be invisible in the results.
+//!
+//! The `mask-obs` hooks observe the simulator; they never steer it. These
+//! tests pin the bit-identity contract: with the `obs` feature compiled in
+//! and tracing switched **on** at runtime, every statistic — including raw
+//! instruction checksums — is byte-identical to the same run with tracing
+//! **off**, across job-engine worker counts and SM shard counts (the
+//! `MASK_JOBS` × `MASK_SM_SHARDS` matrix). A second test drives a traced
+//! batch end-to-end through the exporter and checks the Perfetto document
+//! and the metrics JSONL stream are well-formed and carry every counter
+//! family.
+
+#![cfg(feature = "obs")]
+
+use std::sync::Mutex;
+
+use mask_core::prelude::*;
+use proptest::prelude::*;
+
+/// The runtime trace gate is process-global, so tests that flip it must
+/// not interleave.
+static GATE: Mutex<()> = Mutex::new(());
+
+/// A small two-app MASK job with a short token epoch (several epoch
+/// boundaries inside a few thousand cycles).
+fn job(seed: u64, apps: &[(&str, usize)], cycles: u64) -> SimJob {
+    let mut gpu = GpuConfig::maxwell();
+    gpu.warps_per_core = 16;
+    gpu.mask.epoch_cycles = 2_000;
+    SimJob {
+        design: DesignKind::Mask,
+        specs: apps
+            .iter()
+            .map(|(name, c)| AppSpec {
+                profile: app_by_name(name).expect("known app"),
+                n_cores: *c,
+            })
+            .collect(),
+        max_cycles: cycles,
+        warmup_cycles: cycles / 4,
+        seed,
+        gpu,
+    }
+}
+
+/// Order-sensitive checksum over the raw instruction counters, so even a
+/// reordering that leaves totals intact would be caught.
+fn checksum(stats: &SimStats) -> u64 {
+    stats
+        .apps
+        .iter()
+        .fold(0xcbf2_9ce4_8422_2325, |acc: u64, a| {
+            acc.wrapping_mul(0x0100_0000_01b3)
+                .wrapping_add(a.instructions)
+                .wrapping_mul(0x0100_0000_01b3)
+                .wrapping_add(a.mem_instructions)
+                .wrapping_mul(0x0100_0000_01b3)
+                .wrapping_add(a.cycles)
+                .wrapping_mul(0x0100_0000_01b3)
+                .wrapping_add(a.stall_cycles)
+        })
+}
+
+/// Runs `jobs` across the worker × shard matrix: through the job engine at
+/// 1 and 2 workers, then directly at 1/2/3 SM shards.
+fn run_matrix(jobs: &[SimJob]) -> Vec<SimStats> {
+    let mut out = Vec::new();
+    for workers in [1, 2] {
+        let pool = JobPool::with_workers(workers).with_cache(BaselineCache::new());
+        out.extend(pool.run_batch(jobs));
+    }
+    for shards in [1, 2, 3] {
+        for j in jobs {
+            out.push(j.run_with_shards(Some(shards)));
+        }
+    }
+    out
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(4))]
+
+    /// The contract itself: tracing on vs. off, same bits everywhere.
+    #[test]
+    fn tracing_is_bit_identical_across_workers_and_shards(seed in 0u64..500) {
+        let _gate = GATE.lock().unwrap_or_else(std::sync::PoisonError::into_inner);
+        let jobs = [
+            job(seed, &[("HISTO", 2), ("GUP", 2)], 5_000),
+            job(seed, &[("CONS", 2), ("LPS", 2)], 5_000),
+        ];
+        mask_obs::set_runtime(Some(false));
+        let off = run_matrix(&jobs);
+        mask_obs::set_runtime(Some(true));
+        let on = run_matrix(&jobs);
+        mask_obs::set_runtime(Some(false));
+        mask_obs::reset_collected();
+        prop_assert_eq!(&off, &on, "tracing changed simulation results");
+        for (a, b) in off.iter().zip(&on) {
+            prop_assert_eq!(checksum(a), checksum(b));
+        }
+    }
+}
+
+/// End-to-end: a traced batch exports a balanced Perfetto document plus a
+/// metrics JSONL stream carrying all six counter families.
+#[test]
+fn traced_batch_exports_all_counter_families() {
+    let _gate = GATE
+        .lock()
+        .unwrap_or_else(std::sync::PoisonError::into_inner);
+    mask_obs::reset_collected();
+    mask_obs::set_runtime(Some(true));
+    let pool = JobPool::with_workers(2).with_cache(BaselineCache::new());
+    let jobs = [
+        job(11, &[("HISTO", 2), ("GUP", 2)], 8_000),
+        job(12, &[("CONS", 2), ("LPS", 2)], 8_000),
+    ];
+    let _ = pool.run_batch(&jobs);
+    mask_obs::set_runtime(Some(false));
+
+    let dir = std::path::PathBuf::from(env!("CARGO_MANIFEST_DIR"))
+        .join("target/tmp")
+        .join(format!("obs_trace_{}", std::process::id()));
+    let summary = mask_obs::export::write_to(&dir).expect("export succeeds");
+    assert!(summary.events > 0, "ring captured no events");
+    assert!(summary.frames > 0, "no metrics frames");
+
+    let trace = std::fs::read_to_string(&summary.trace_path).expect("trace.json written");
+    let balance = |open: char, close: char| {
+        trace.chars().fold(0i64, |d, c| {
+            if c == open {
+                d + 1
+            } else if c == close {
+                d - 1
+            } else {
+                d
+            }
+        })
+    };
+    assert_eq!(balance('{', '}'), 0, "unbalanced braces in trace.json");
+    assert_eq!(balance('[', ']'), 0, "unbalanced brackets in trace.json");
+    assert!(trace.contains("\"traceEvents\""));
+
+    let jsonl = std::fs::read_to_string(&summary.metrics_path).expect("metrics.jsonl written");
+    assert!(jsonl.lines().count() >= 2);
+    for family in ["tlb", "walker", "l2", "dram", "shard_merge", "job_pool"] {
+        assert!(
+            summary.families.iter().any(|f| f == family),
+            "family {family} missing; got {:?}\njsonl head:\n{}",
+            summary.families,
+            jsonl.lines().take(4).collect::<Vec<_>>().join("\n")
+        );
+    }
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+/// Exporting with nothing collected still produces a loadable (empty)
+/// document rather than erroring.
+#[test]
+fn empty_export_is_well_formed() {
+    let _gate = GATE
+        .lock()
+        .unwrap_or_else(std::sync::PoisonError::into_inner);
+    mask_obs::reset_collected();
+    let dir = std::path::PathBuf::from(env!("CARGO_MANIFEST_DIR"))
+        .join("target/tmp")
+        .join(format!("obs_trace_empty_{}", std::process::id()));
+    let summary = mask_obs::export::write_to(&dir).expect("export succeeds");
+    assert_eq!(summary.events, 0);
+    let trace = std::fs::read_to_string(&summary.trace_path).expect("written");
+    assert!(trace.contains("\"traceEvents\""));
+    let _ = std::fs::remove_dir_all(&dir);
+}

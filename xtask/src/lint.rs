@@ -19,15 +19,18 @@
 //! |                  | with an invariant message, a typed error, or annotate        |
 //! | `parallelism`    | thread primitives (`std::thread`, `Mutex`/`RwLock`,          |
 //! |                  | `Condvar`, `mpsc`, atomics) outside `crates/core/src/engine*`|
-//! |                  | , `crates/gpu/src/shard.rs` (the SM-frontend shard pool) and |
-//! |                  | `crates/bench` — parallelism stays centralized in those two  |
-//! |                  | places so the rest of the simulator remains single-threaded  |
+//! |                  | , `crates/gpu/src/shard.rs` (the SM-frontend shard pool),    |
+//! |                  | `crates/obs/src/ring.rs` (the tracer's lock-free ring buffer |
+//! |                  | and its runtime gate) and `crates/bench` — parallelism stays |
+//! |                  | centralized in those islands so the rest of the simulator    |
+//! |                  | remains single-threaded                                      |
 //! | `hotpath`        | heap traffic (`vec![`, `Vec::new()`, `.clone()`, `.collect`) |
 //! |                  | in the per-cycle hot files (`gpu/src/sim.rs`,                |
 //! |                  | `gpu/src/shard.rs`, `gpu/src/translation.rs`,                |
-//! |                  | `cache/src/l2.rs`, `dram/src/queues.rs`) outside             |
-//! |                  | constructors — the cycle loop must stay allocation-free in   |
-//! |                  | steady state                                                 |
+//! |                  | `cache/src/l2.rs`, `dram/src/queues.rs`,                     |
+//! |                  | `obs/src/hooks.rs` — the tracing hooks the cycle loop calls  |
+//! |                  | even when tracing is disabled) outside constructors — the    |
+//! |                  | cycle loop must stay allocation-free in steady state         |
 //!
 //! Test code is exempt: the scanner skips items guarded by `#[cfg(test)]`
 //! (tracking the brace span of a guarded `mod`). Any line can opt out of
@@ -144,12 +147,13 @@ fn test_mask(contents: &str) -> Vec<bool> {
 
 /// Files whose per-cycle code must stay allocation-free (the `hotpath`
 /// rule). Matched as path suffixes.
-const HOTPATH_FILES: [&str; 5] = [
+const HOTPATH_FILES: [&str; 6] = [
     "crates/gpu/src/sim.rs",
     "crates/gpu/src/shard.rs",
     "crates/gpu/src/translation.rs",
     "crates/cache/src/l2.rs",
     "crates/dram/src/queues.rs",
+    "crates/obs/src/hooks.rs",
 ];
 
 /// Allocation/copy tokens forbidden on the hot path. `.collect` (no paren)
@@ -226,10 +230,12 @@ pub(crate) fn lint_source(path: &Path, contents: &str) -> Vec<Violation> {
 
     // The only places allowed to hold thread primitives: the job engine
     // (crates/core/src/engine*.rs), the SM-frontend shard pool
-    // (crates/gpu/src/shard.rs), and the wall-clock-facing bench crate.
+    // (crates/gpu/src/shard.rs), the tracer's ring-buffer/gate module
+    // (crates/obs/src/ring.rs), and the wall-clock-facing bench crate.
     let norm_path = path.to_string_lossy().replace('\\', "/");
     let engine_file = krate == "core" && norm_path.contains("src/engine");
     let shard_file = norm_path.ends_with("crates/gpu/src/shard.rs");
+    let ring_file = norm_path.ends_with("crates/obs/src/ring.rs");
     let hotpath_file = HOTPATH_FILES.iter().any(|f| norm_path.ends_with(f));
     let ctors = if hotpath_file {
         ctor_mask(contents)
@@ -284,7 +290,7 @@ pub(crate) fn lint_source(path: &Path, contents: &str) -> Vec<Violation> {
 
         // parallelism: thread primitives stay centralized in the engine
         // and the SM-frontend shard pool.
-        if krate != "bench" && !engine_file && !shard_file {
+        if krate != "bench" && !engine_file && !shard_file && !ring_file {
             for prim in [
                 "std::thread",
                 "Mutex",
@@ -299,9 +305,9 @@ pub(crate) fn lint_source(path: &Path, contents: &str) -> Vec<Violation> {
                         "parallelism",
                         format!(
                             "`{prim}` outside the job engine; only \
-                             crates/core/src/engine*, crates/gpu/src/shard.rs (and \
-                             crates/bench) may spawn threads or share mutable state \
-                             across them"
+                             crates/core/src/engine*, crates/gpu/src/shard.rs, \
+                             crates/obs/src/ring.rs (and crates/bench) may spawn \
+                             threads or share mutable state across them"
                         ),
                     );
                 }
@@ -655,6 +661,26 @@ pub fn f() {
         let alloc = "pub fn run_shard(&mut self) {\n    let v = Vec::new();\n}\n";
         let v = lint("crates/gpu/src/shard.rs", alloc);
         assert_eq!(rules(&v), ["hotpath"]);
+    }
+
+    #[test]
+    fn obs_ring_may_use_thread_primitives_but_hooks_stay_hotpath_clean() {
+        // The tracer's ring-buffer module is the third parallelism island…
+        let threads = "use std::sync::Mutex;\nstatic GATE: AtomicU8 = AtomicU8::new(0);\n";
+        assert!(lint("crates/obs/src/ring.rs", threads).is_empty());
+        // …and only ring.rs: the rest of mask-obs stays primitive-free.
+        assert_eq!(
+            rules(&lint("crates/obs/src/metrics.rs", threads)),
+            ["parallelism", "parallelism"]
+        );
+        assert!(!lint("crates/obs/src/hooks.rs", threads).is_empty());
+        // The hooks the cycle loop calls unconditionally are a hot file:
+        // the disabled-tracing path must not allocate.
+        let alloc = "pub fn tlb_probe(level: TlbLevel) {\n    let v = Vec::new();\n}\n";
+        assert_eq!(rules(&lint("crates/obs/src/hooks.rs", alloc)), ["hotpath"]);
+        // The hotpath rule is scoped to hooks.rs, not the whole crate —
+        // the exporter may allocate freely.
+        assert!(lint("crates/obs/src/export.rs", alloc).is_empty());
     }
 
     #[test]
