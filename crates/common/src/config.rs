@@ -571,6 +571,19 @@ pub fn default_max_cycles() -> u64 {
         .unwrap_or(300_000)
 }
 
+/// Default number of paper workload pairs an experiment simulates.
+///
+/// Honors the `MASK_PAIR_LIMIT` environment variable (the paper evaluates
+/// all 35 two-app pairs; capping the count keeps smoke runs fast). This is
+/// the designated entry point for that variable — experiment code takes
+/// the resolved value, never the environment.
+pub fn default_pair_limit() -> usize {
+    std::env::var("MASK_PAIR_LIMIT")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(35)
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

@@ -169,6 +169,8 @@ fn shards_clamped_message(
 /// Emits the oversubscription warning once per process.
 fn warn_shards_clamped(requested: usize, granted: usize, workers: usize, avail: usize) {
     static WARNED: AtomicBool = AtomicBool::new(false);
+    // Relaxed ordering: warn-once latch; the swap alone decides a unique
+    // winner and no other memory hangs off it.
     if !WARNED.swap(true, Ordering::Relaxed) {
         eprintln!(
             "{}",
@@ -433,6 +435,9 @@ impl JobPool {
                         let lane = w as u32;
                         let mut local = Vec::new();
                         loop {
+                            // Relaxed ordering: the ticket counter only
+                            // hands out unique indices; `work` is read-only
+                            // and was published by the scope spawn.
                             let i = next.fetch_add(1, Ordering::Relaxed);
                             if i >= work.len() {
                                 break;

@@ -61,10 +61,7 @@ impl Default for ExpOptions {
             cycles: mask_common::config::default_max_cycles(),
             n_cores: 30,
             warps_per_core: 64,
-            pair_limit: std::env::var("MASK_PAIR_LIMIT")
-                .ok()
-                .and_then(|v| v.parse().ok())
-                .unwrap_or(35),
+            pair_limit: mask_common::config::default_pair_limit(),
             seed: 0xA55A_2018,
             jobs: JobOptions::default(),
         }

@@ -224,6 +224,10 @@ struct Shared {
 // `shard_range` of cores and its own output slot, and the epoch/done
 // atomics order publication before any worker read. See `run_issue`.
 unsafe impl Send for Shared {}
+// SAFETY: same protocol as `Send` above — shared references only expose
+// the atomics, the `Mutex`-guarded panic slot, and the `UnsafeCell` job
+// slot, whose single writer (the coordinator) and readers (the shard
+// workers) are sequenced by the epoch/done handshake.
 unsafe impl Sync for Shared {}
 
 /// Executes `shard` of the currently published job.
@@ -263,11 +267,16 @@ fn worker_loop(shared: &Arc<Shared>, index: usize) {
     loop {
         let mut spins = 0u32;
         loop {
+            // Acquire ordering: pairs with the publisher's epoch bump in
+            // `run_issue`, making the job fields written before the bump
+            // visible to this worker.
             let e = shared.epoch.load(Ordering::Acquire);
             if e != seen_epoch {
                 seen_epoch = e;
                 break;
             }
+            // Acquire ordering: pairs with the `Drop` store so anything
+            // written before shutdown is visible on this exit path.
             if shared.shutdown.load(Ordering::Acquire) {
                 return;
             }
@@ -279,15 +288,27 @@ fn worker_loop(shared: &Arc<Shared>, index: usize) {
             } else {
                 // Dekker-style park handshake with `run_issue`'s publisher:
                 // either we see the bump here and skip the park, or the
-                // publisher sees `parked` and unparks us.
+                // publisher sees `parked` and unparks us. SeqCst on every
+                // access (the `parked` stores and the epoch/shutdown
+                // re-checks): the handshake needs a total order between
+                // "I am parked" and "the epoch bumped" — with anything
+                // weaker both sides could miss each other and this worker
+                // would sleep through a published job. Cold path only
+                // (after YIELD_LIMIT), so the cost is irrelevant.
                 shared.parked[index].store(true, Ordering::SeqCst);
+                // SeqCst re-checks: totally ordered after the `parked`
+                // store above (see the handshake ordering rationale).
                 if shared.epoch.load(Ordering::SeqCst) != seen_epoch
                     || shared.shutdown.load(Ordering::SeqCst)
                 {
+                    // SeqCst ordering: withdraws from the handshake before
+                    // retrying the outer wait loop.
                     shared.parked[index].store(false, Ordering::SeqCst);
                     continue;
                 }
                 std::thread::park();
+                // SeqCst ordering: closes the same handshake after waking
+                // (see above); cold path.
                 shared.parked[index].store(false, Ordering::SeqCst);
             }
         }
@@ -303,6 +324,8 @@ fn worker_loop(shared: &Arc<Shared>, index: usize) {
                 .unwrap_or_else(PoisonError::into_inner);
             slot.get_or_insert(payload);
         }
+        // Release ordering: publishes this shard's output writes before the
+        // coordinator's Acquire read of `done` in `run_issue`.
         shared.done.fetch_add(1, Ordering::Release);
     }
 }
@@ -388,9 +411,18 @@ impl ShardPool {
                 now,
             };
         }
+        // Release ordering: the reset must not reorder after the epoch bump
+        // below, or a worker could pair a stale `done` with the new job.
         self.shared.done.store(0, Ordering::Release);
+        // SeqCst (the bump and the `parked` reads): publisher side of the
+        // Dekker park handshake in `worker_loop` — the bump must be totally
+        // ordered with each worker's "I am parked" store so exactly one
+        // side always sees the other. Once per job, not per cycle, so
+        // SeqCst costs nothing measurable here.
         self.shared.epoch.fetch_add(1, Ordering::SeqCst);
         for (i, flag) in self.shared.parked.iter().enumerate() {
+            // SeqCst read of `parked` (same handshake): ordered after the
+            // bump, so a worker that parked before it is always seen.
             if flag.load(Ordering::SeqCst) {
                 self.handles[i].thread().unpark();
             }
@@ -409,6 +441,8 @@ impl ShardPool {
         let wait = mask_obs::profile::begin_merge_wait();
         let want = (self.shards - 1) as u64;
         let mut spins = 0u32;
+        // Acquire ordering: pairs with each worker's Release increment so
+        // all shard output writes are visible once the count matches.
         while self.shared.done.load(Ordering::Acquire) != want {
             spins += 1;
             if spins < SPIN_LIMIT {
@@ -435,6 +469,9 @@ impl ShardPool {
 
 impl Drop for ShardPool {
     fn drop(&mut self) {
+        // SeqCst ordering: shutdown participates in the same park handshake
+        // as the epoch bump (a parking worker re-checks it); one store at
+        // teardown, so the strongest ordering is free.
         self.shared.shutdown.store(true, Ordering::SeqCst);
         for handle in self.handles.drain(..) {
             handle.thread().unpark();

@@ -38,11 +38,15 @@ mod active {
 
     #[inline(always)]
     pub(crate) fn runtime_enabled() -> bool {
+        // Relaxed ordering: the gate is a single flag with no associated
+        // data to publish; a racing thread at worst re-reads the env once.
         match RUNTIME.load(Ordering::Relaxed) {
             2 | 4 => true,
             1 | 3 => false,
             _ => {
                 let on = std::env::var("MASK_TRACE").is_ok_and(|v| !v.is_empty() && v != "0");
+                // Relaxed ordering: caching an idempotent env probe; every
+                // thread that races here computes the same value.
                 RUNTIME.store(if on { 4 } else { 3 }, Ordering::Relaxed);
                 on
             }
@@ -55,6 +59,8 @@ mod active {
             Some(false) => 1,
             Some(true) => 2,
         };
+        // Relaxed ordering: the gate synchronizes nothing — rings observe
+        // the new state on their next probe, which is all callers need.
         RUNTIME.store(state, Ordering::Relaxed);
     }
 

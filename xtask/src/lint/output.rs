@@ -1,0 +1,300 @@
+//! Machine-readable output for mask-lint: `--format json` and
+//! `--format sarif`.
+//!
+//! The SARIF document follows the 2.1.0 shape GitHub code scanning
+//! consumes: one run, a `tool.driver` carrying the full rule table (ids,
+//! short/full descriptions, default level), and one `result` per violation
+//! with a `physicalLocation` whose `artifactLocation.uri` is
+//! repo-relative (`uriBaseId: %SRCROOT%`), so CI can upload the file
+//! directly and GitHub renders inline annotations. Everything is emitted
+//! by hand — the linter stays zero-dependency.
+
+use super::passes::RULES;
+use super::Violation;
+use std::path::Path;
+
+/// Escapes `s` for embedding in a JSON string literal.
+fn esc(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+/// `path` relative to `root`, with forward slashes (a SARIF/JSON URI).
+fn rel_uri(root: &Path, path: &Path) -> String {
+    path.strip_prefix(root)
+        .unwrap_or(path)
+        .to_string_lossy()
+        .replace('\\', "/")
+}
+
+/// Index of a rule id in [`RULES`] (the SARIF `ruleIndex`).
+fn rule_index(id: &str) -> usize {
+    RULES
+        .iter()
+        .position(|r| r.id == id)
+        .expect("every violation carries a registered rule id")
+}
+
+/// The mask-lint native JSON report.
+pub(crate) fn json(root: &Path, violations: &[Violation]) -> String {
+    let mut out = String::from(
+        "{\n  \"tool\": \"mask-lint\",\n  \"version\": \"2.0.0\",\n  \"violations\": [",
+    );
+    for (n, v) in violations.iter().enumerate() {
+        if n > 0 {
+            out.push(',');
+        }
+        out.push_str(&format!(
+            "\n    {{\"path\": \"{}\", \"line\": {}, \"col\": {}, \"rule\": \"{}\", \
+             \"message\": \"{}\", \"fixable\": {}}}",
+            esc(&rel_uri(root, &v.path)),
+            v.line,
+            v.col,
+            esc(v.rule),
+            esc(&v.message),
+            v.fix.is_some()
+        ));
+    }
+    out.push_str("\n  ]\n}\n");
+    out
+}
+
+/// A SARIF 2.1.0 report suitable for GitHub code-scanning upload.
+pub(crate) fn sarif(root: &Path, violations: &[Violation]) -> String {
+    let mut out = String::from(
+        "{\n  \"$schema\": \"https://raw.githubusercontent.com/oasis-tcs/sarif-spec/master/Schemata/sarif-schema-2.1.0.json\",\n  \"version\": \"2.1.0\",\n  \"runs\": [\n    {\n      \"tool\": {\n        \"driver\": {\n          \"name\": \"mask-lint\",\n          \"version\": \"2.0.0\",\n          \"informationUri\": \"https://github.com/mask-repro/mask\",\n          \"rules\": [",
+    );
+    for (n, r) in RULES.iter().enumerate() {
+        if n > 0 {
+            out.push(',');
+        }
+        out.push_str(&format!(
+            "\n            {{\"id\": \"{}\", \"shortDescription\": {{\"text\": \"{}\"}}, \
+             \"fullDescription\": {{\"text\": \"{}\"}}, \
+             \"defaultConfiguration\": {{\"level\": \"error\"}}}}",
+            esc(r.id),
+            esc(r.short),
+            esc(r.help)
+        ));
+    }
+    out.push_str("\n          ]\n        }\n      },\n      \"results\": [");
+    for (n, v) in violations.iter().enumerate() {
+        if n > 0 {
+            out.push(',');
+        }
+        out.push_str(&format!(
+            "\n        {{\"ruleId\": \"{}\", \"ruleIndex\": {}, \"level\": \"error\", \
+             \"message\": {{\"text\": \"{}\"}}, \"locations\": [{{\"physicalLocation\": \
+             {{\"artifactLocation\": {{\"uri\": \"{}\", \"uriBaseId\": \"%SRCROOT%\"}}, \
+             \"region\": {{\"startLine\": {}, \"startColumn\": {}}}}}}}]}}",
+            esc(v.rule),
+            rule_index(v.rule),
+            esc(&v.message),
+            esc(&rel_uri(root, &v.path)),
+            v.line,
+            v.col
+        ));
+    }
+    out.push_str("\n      ]\n    }\n  ]\n}\n");
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::path::PathBuf;
+
+    /// A minimal JSON syntax checker: consumes one value, panicking on any
+    /// malformed construct. Enough to prove the hand-rolled emitters
+    /// produce well-formed documents without pulling in a JSON dependency.
+    fn check_json(s: &str) {
+        let b = s.as_bytes();
+        let end = value(b, skip_ws(b, 0));
+        assert_eq!(
+            skip_ws(b, end),
+            b.len(),
+            "trailing garbage after JSON value"
+        );
+    }
+
+    fn skip_ws(b: &[u8], mut i: usize) -> usize {
+        while i < b.len() && (b[i] as char).is_ascii_whitespace() {
+            i += 1;
+        }
+        i
+    }
+
+    fn value(b: &[u8], i: usize) -> usize {
+        match b.get(i) {
+            Some(b'{') => object(b, i),
+            Some(b'[') => array(b, i),
+            Some(b'"') => string(b, i),
+            Some(b't') => lit(b, i, "true"),
+            Some(b'f') => lit(b, i, "false"),
+            Some(b'n') => lit(b, i, "null"),
+            Some(c) if c.is_ascii_digit() || *c == b'-' => number(b, i),
+            other => panic!("unexpected token {other:?} at byte {i}"),
+        }
+    }
+
+    fn lit(b: &[u8], i: usize, word: &str) -> usize {
+        assert_eq!(&b[i..i + word.len()], word.as_bytes());
+        i + word.len()
+    }
+
+    fn number(b: &[u8], mut i: usize) -> usize {
+        if b[i] == b'-' {
+            i += 1;
+        }
+        let start = i;
+        while i < b.len()
+            && (b[i].is_ascii_digit() || matches!(b[i], b'.' | b'e' | b'E' | b'+' | b'-'))
+        {
+            i += 1;
+        }
+        assert!(i > start, "empty number at byte {i}");
+        i
+    }
+
+    fn string(b: &[u8], mut i: usize) -> usize {
+        assert_eq!(b[i], b'"');
+        i += 1;
+        while i < b.len() {
+            match b[i] {
+                b'"' => return i + 1,
+                b'\\' => i += 2,
+                c => {
+                    assert!(c >= 0x20, "unescaped control char in string");
+                    i += 1;
+                }
+            }
+        }
+        panic!("unterminated string");
+    }
+
+    fn object(b: &[u8], mut i: usize) -> usize {
+        assert_eq!(b[i], b'{');
+        i = skip_ws(b, i + 1);
+        if b[i] == b'}' {
+            return i + 1;
+        }
+        loop {
+            i = string(b, skip_ws(b, i));
+            i = skip_ws(b, i);
+            assert_eq!(b[i], b':');
+            i = skip_ws(b, value(b, skip_ws(b, i + 1)));
+            match b[i] {
+                b',' => i = skip_ws(b, i + 1),
+                b'}' => return i + 1,
+                c => panic!("unexpected {:?} in object", c as char),
+            }
+        }
+    }
+
+    fn array(b: &[u8], mut i: usize) -> usize {
+        assert_eq!(b[i], b'[');
+        i = skip_ws(b, i + 1);
+        if b[i] == b']' {
+            return i + 1;
+        }
+        loop {
+            i = skip_ws(b, value(b, i));
+            match b[i] {
+                b',' => i = skip_ws(b, i + 1),
+                b']' => return i + 1,
+                c => panic!("unexpected {:?} in array", c as char),
+            }
+        }
+    }
+
+    fn sample() -> (PathBuf, Vec<Violation>) {
+        let root = PathBuf::from("/repo");
+        let violations = vec![
+            Violation {
+                path: PathBuf::from("/repo/crates/tlb/src/l1.rs"),
+                line: 3,
+                col: 7,
+                rule: "collections",
+                message: "a \"quoted\" message with a\nnewline and a \\ backslash".into(),
+                fix: None,
+            },
+            Violation {
+                path: PathBuf::from("/repo/crates/common/src/req.rs"),
+                line: 10,
+                col: 1,
+                rule: "debug-derive",
+                message: "missing Debug".into(),
+                fix: Some(super::super::Fix::InsertAbove("#[derive(Debug)]".into())),
+            },
+        ];
+        (root, violations)
+    }
+
+    #[test]
+    fn json_report_is_well_formed_and_repo_relative() {
+        let (root, v) = sample();
+        let doc = json(&root, &v);
+        check_json(&doc);
+        assert!(
+            doc.contains("\"crates/tlb/src/l1.rs\""),
+            "repo-relative path"
+        );
+        assert!(doc.contains("\"fixable\": true"));
+        assert!(doc.contains("\\\"quoted\\\""), "escaped quotes: {doc}");
+    }
+
+    #[test]
+    fn sarif_report_has_the_code_scanning_shape() {
+        let (root, v) = sample();
+        let doc = sarif(&root, &v);
+        check_json(&doc);
+        // The SARIF 2.1.0 envelope.
+        assert!(doc.contains("\"version\": \"2.1.0\""));
+        assert!(doc.contains("sarif-schema-2.1.0"));
+        // Driver carries the full rule table.
+        assert!(doc.contains("\"name\": \"mask-lint\""));
+        for r in RULES {
+            assert!(
+                doc.contains(&format!("\"id\": \"{}\"", r.id)),
+                "rule {}",
+                r.id
+            );
+        }
+        // Results reference rules by id + index and locate the violation.
+        assert!(doc.contains("\"ruleId\": \"collections\""));
+        assert!(doc.contains(&format!(
+            "\"ruleIndex\": {}",
+            super::rule_index("collections")
+        )));
+        assert!(doc.contains("\"uri\": \"crates/tlb/src/l1.rs\""));
+        assert!(doc.contains("\"uriBaseId\": \"%SRCROOT%\""));
+        assert!(doc.contains("\"startLine\": 3"));
+        assert!(doc.contains("\"startColumn\": 7"));
+        assert!(doc.contains("\"level\": \"error\""));
+    }
+
+    #[test]
+    fn empty_reports_are_still_valid_json() {
+        let root = PathBuf::from("/repo");
+        check_json(&json(&root, &[]));
+        check_json(&sarif(&root, &[]));
+    }
+
+    #[test]
+    fn sarif_rule_index_is_stable_for_every_rule() {
+        for (n, r) in RULES.iter().enumerate() {
+            assert_eq!(rule_index(r.id), n);
+        }
+    }
+}

@@ -1,0 +1,641 @@
+//! Engine and rule tests: one red-fixture test per rule (proving each
+//! rule fires), one clean fixture per rule, the v1 regression cases
+//! (`//` inside strings, brace-in-string `#[cfg(test)]` spans), and a
+//! self-check that the repository itself is lint-clean under all 11 rules.
+
+use super::*;
+
+fn lint(path: &str, src: &str) -> Vec<Violation> {
+    lint_source(Path::new(path), src)
+}
+
+fn rules(v: &[Violation]) -> Vec<&'static str> {
+    v.iter().map(|x| x.rule).collect()
+}
+
+// One red test per rule: each proves the rule actually fires.
+
+#[test]
+fn red_collections_flags_hashmap() {
+    let v = lint(
+        "crates/tlb/src/l1.rs",
+        "use std::collections::HashMap;\nstruct S { m: HashMap<u32, u32> }\n",
+    );
+    assert_eq!(rules(&v), ["collections", "collections"]);
+    assert_eq!(v[0].line, 1);
+}
+
+#[test]
+fn red_nondeterminism_flags_wall_clock() {
+    let v = lint(
+        "crates/gpu/src/sim.rs",
+        "let t = std::time::Instant::now();\n",
+    );
+    assert_eq!(rules(&v), ["nondeterminism"]);
+    let v = lint("crates/dram/src/device.rs", "let r = rand::thread_rng();\n");
+    assert_eq!(rules(&v), ["nondeterminism"]);
+}
+
+#[test]
+fn red_float_accum_flags_naive_sum() {
+    let v = lint(
+        "crates/common/src/stats.rs",
+        "pub fn total(&self) -> f64 {\n    self.apps.iter().map(A::ipc).sum()\n}\n",
+    );
+    assert_eq!(rules(&v), ["float-accum"]);
+    assert_eq!(v[0].line, 2);
+}
+
+#[test]
+fn red_debug_derive_flags_missing_debug() {
+    let v = lint(
+        "crates/common/src/req.rs",
+        "#[derive(Clone, Copy)]\npub struct Raw {\n    pub bits: u64,\n}\n",
+    );
+    assert_eq!(rules(&v), ["debug-derive"]);
+    // The violation is mechanically fixable: insert a derive line above.
+    assert_eq!(v[0].fix, Some(Fix::InsertAbove("#[derive(Debug)]".into())));
+}
+
+#[test]
+fn red_parallelism_flags_thread_primitives_outside_engine() {
+    let v = lint(
+        "crates/gpu/src/sim.rs",
+        "let h = std::thread::spawn(f);\nlet m = std::sync::Mutex::new(0);\n",
+    );
+    assert_eq!(rules(&v), ["parallelism", "parallelism"]);
+    let v = lint(
+        "crates/core/src/runner.rs",
+        "use std::sync::atomic::AtomicUsize;\n",
+    );
+    assert_eq!(rules(&v), ["parallelism"]);
+}
+
+#[test]
+fn red_unwrap_flags_unwrap_and_panic() {
+    let v = lint(
+        "crates/cache/src/l2.rs",
+        "let x = m.get(&k).unwrap();\npanic!(\"boom\");\n",
+    );
+    assert_eq!(rules(&v), ["unwrap", "unwrap"]);
+}
+
+#[test]
+fn red_hotpath_flags_allocation_in_cycle_code() {
+    let src = "\
+pub fn tick(&mut self) {
+    let xs = vec![1, 2];
+    let mut out = Vec::new();
+    let c = self.reqs.clone();
+    let v: Vec<u32> = self.reqs.iter().map(f).collect();
+}
+";
+    for file in HOTPATH_FILES {
+        let v = lint(&format!("/repo/{file}"), src);
+        assert_eq!(
+            rules(&v),
+            ["hotpath", "hotpath", "hotpath", "hotpath"],
+            "in {file}: {v:?}"
+        );
+    }
+}
+
+#[test]
+fn red_hotpath_catches_turbofish_collect() {
+    let v = lint(
+        "crates/cache/src/l2.rs",
+        "pub fn tick(&mut self) {\n    let v = xs.iter().collect::<Vec<_>>();\n}\n",
+    );
+    assert_eq!(rules(&v), ["hotpath"]);
+}
+
+// The four mask-lint v2 passes: red + clean fixtures per rule.
+
+#[test]
+fn red_unsafe_audit_flags_unsafe_outside_islands() {
+    let v = lint(
+        "crates/tlb/src/l1.rs",
+        "pub fn f(p: *const u32) -> u32 {\n    unsafe { *p }\n}\n",
+    );
+    assert_eq!(rules(&v), ["unsafe-audit"]);
+    assert!(v[0].message.contains("islands"), "{}", v[0].message);
+}
+
+#[test]
+fn red_unsafe_audit_flags_missing_safety_comment_inside_island() {
+    let v = lint(
+        "crates/gpu/src/shard.rs",
+        "fn g(p: *mut u32) {\n    let r = unsafe { &mut *p };\n    *r = 1;\n}\n",
+    );
+    assert_eq!(rules(&v), ["unsafe-audit"]);
+    assert!(v[0].message.contains("SAFETY"), "{}", v[0].message);
+}
+
+#[test]
+fn clean_unsafe_audit_accepts_safety_comment_and_doc_section() {
+    let src = "\
+/// Does a thing.
+///
+/// # Safety
+///
+/// `p` must be valid and exclusively owned for the call.
+unsafe fn g(p: *mut u32) {
+    // SAFETY: the caller guarantees `p` is valid and unaliased.
+    let r = unsafe { &mut *p };
+    *r = 1;
+}
+";
+    assert!(lint("crates/gpu/src/shard.rs", src).is_empty());
+}
+
+#[test]
+fn clean_unsafe_audit_safety_comment_covers_multiline_statement() {
+    let src = "\
+// SAFETY: disjoint shard ranges; single writer per slot.
+let cores = unsafe {
+    std::slice::from_raw_parts_mut(base.add(start), len)
+};
+";
+    assert!(lint("crates/gpu/src/shard.rs", src).is_empty());
+}
+
+#[test]
+fn red_atomic_ordering_flags_uncommented_ordering() {
+    let v = lint(
+        "crates/core/src/engine.rs",
+        "let e = self.epoch.load(Ordering::Acquire);\n",
+    );
+    assert_eq!(rules(&v), ["atomic-ordering"]);
+}
+
+#[test]
+fn clean_atomic_ordering_accepts_justification_comments() {
+    let src = "\
+// Acquire: pairs with the publisher's release bump, making the job
+// visible before we execute it.
+let e = self.epoch.load(Ordering::Acquire);
+let n = counter.fetch_add(1, Ordering::Relaxed); // Relaxed: counter only, nothing synchronizes on it
+";
+    assert!(lint("crates/core/src/engine.rs", src).is_empty());
+}
+
+#[test]
+fn clean_atomic_ordering_comment_above_covers_multiline_condition() {
+    let src = "\
+// SeqCst (both loads): the Dekker handshake re-check must not reorder.
+if shared.epoch.load(Ordering::SeqCst) != seen
+    || shared.shutdown.load(Ordering::SeqCst)
+{
+    return;
+}
+";
+    assert!(lint("crates/gpu/src/shard.rs", src).is_empty());
+}
+
+#[test]
+fn red_atomic_ordering_seqcst_smell_in_hot_file_needs_naming() {
+    // Justified generically ("ordering"), but SeqCst in a hot file must be
+    // justified by name.
+    let src = "\
+// This ordering keeps the flag in sync.
+flag.store(true, Ordering::SeqCst);
+";
+    let v = lint("crates/gpu/src/shard.rs", src);
+    assert_eq!(rules(&v), ["atomic-ordering"]);
+    assert!(v[0].message.contains("smell"), "{}", v[0].message);
+    // Outside a hot file the generic justification suffices.
+    assert!(lint("crates/core/src/engine.rs", src).is_empty());
+    // Naming SeqCst satisfies the hot-file smell check too.
+    let named = "\
+// SeqCst: the park/unpark handshake needs total order with the bump.
+flag.store(true, Ordering::SeqCst);
+";
+    assert!(lint("crates/gpu/src/shard.rs", named).is_empty());
+}
+
+#[test]
+fn red_stale_allow_flags_suppressing_nothing() {
+    let v = lint(
+        "crates/cache/src/mshr.rs",
+        "let x = well_behaved(); // lint: allow(unwrap)\n",
+    );
+    assert_eq!(rules(&v), ["stale-allow"]);
+    assert_eq!(v[0].fix, Some(Fix::TruncateAt(24)));
+    // An annotation alone on its line is removed wholesale.
+    let v = lint(
+        "crates/cache/src/mshr.rs",
+        "// lint: allow(hotpath) -- obsolete\nlet x = well_behaved();\n",
+    );
+    assert_eq!(rules(&v), ["stale-allow"]);
+    assert_eq!(v[0].fix, Some(Fix::DeleteLine));
+}
+
+#[test]
+fn clean_stale_allow_used_annotations_survive() {
+    let v = lint(
+        "crates/cache/src/mshr.rs",
+        "let x = m.get(&k).unwrap(); // lint: allow(unwrap) -- checked above\n",
+    );
+    assert!(v.is_empty(), "{v:?}");
+}
+
+#[test]
+fn stale_allow_catches_misspelled_rule_names() {
+    // A typo'd rule id suppresses nothing, so it rots immediately instead
+    // of silently masking the author's intent.
+    let v = lint(
+        "crates/cache/src/mshr.rs",
+        "let x = m.get(&k).unwrap(); // lint: allow(unwarp)\n",
+    );
+    assert_eq!(rules(&v), ["unwrap", "stale-allow"]);
+}
+
+#[test]
+fn red_env_determinism_flags_env_reads_outside_entry_points() {
+    let v = lint(
+        "crates/gpu/src/sim.rs",
+        "let n = std::env::var(\"MASK_FANCY\").ok();\n",
+    );
+    assert_eq!(rules(&v), ["env-determinism"]);
+    let v = lint(
+        "crates/core/src/experiments/mod.rs",
+        "let n = std::env::var_os(\"MASK_PAIR_LIMIT\");\n",
+    );
+    assert_eq!(rules(&v), ["env-determinism"]);
+}
+
+#[test]
+fn clean_env_determinism_entry_points_may_read() {
+    let src = "let n = std::env::var(\"MASK_JOBS\").ok();\n";
+    assert!(lint("crates/common/src/config.rs", src).is_empty());
+    assert!(lint("crates/obs/src/ring.rs", src).is_empty());
+    assert!(lint("crates/obs/src/export.rs", src).is_empty());
+    assert!(lint("crates/bench/src/lib.rs", src).is_empty());
+}
+
+// v1 regression cases the token-aware engine fixes.
+
+#[test]
+fn regression_comment_slashes_inside_string_do_not_truncate_the_line() {
+    // v1's `code_of` cut this line at the `//` inside the string literal,
+    // so the HashMap after it was never scanned. v2 lexes the string and
+    // sees the whole line.
+    let v = lint(
+        "crates/tlb/src/l1.rs",
+        "let note = \"// not a comment\"; let m: HashMap<u8, u8> = HashMap::new();\n",
+    );
+    assert_eq!(rules(&v), ["collections"]);
+    assert!(
+        v[0].col > 20,
+        "flagged after the string, not inside it: {v:?}"
+    );
+}
+
+#[test]
+fn forbidden_tokens_inside_strings_and_chars_do_not_fire() {
+    let v = lint(
+        "crates/tlb/src/l1.rs",
+        "let s = \"HashMap::new() Instant::now Mutex\";\nlet c = '{';\n",
+    );
+    assert!(v.is_empty(), "{v:?}");
+}
+
+#[test]
+fn cfg_test_span_survives_braces_inside_strings() {
+    // v1 counted the `"}"` string brace and closed the test span early,
+    // leaking the rest of the module into linted code.
+    let src = "\
+pub fn lib() {}
+
+#[cfg(test)]
+mod tests {
+    fn fixture() -> &'static str { \"}\" }
+
+    #[test]
+    fn t() {
+        use std::collections::HashMap;
+        let m: HashMap<u8, u8> = HashMap::new();
+    }
+}
+";
+    assert!(lint("crates/tlb/src/l1.rs", src).is_empty());
+}
+
+#[test]
+fn nested_cfg_test_items_are_masked() {
+    let src = "\
+#[cfg(test)]
+mod tests {
+    #[cfg(test)]
+    mod inner {
+        use std::collections::HashMap;
+    }
+
+    fn t() { let m = HashMap::new(); }
+}
+";
+    assert!(lint("crates/tlb/src/l1.rs", src).is_empty());
+}
+
+#[test]
+fn cfg_test_on_use_statements_is_masked() {
+    let src = "\
+#[cfg(test)]
+use std::collections::HashMap;
+
+#[cfg(test)]
+use std::sync::{Mutex, RwLock};
+
+pub fn f() {
+    let x = Some(1).unwrap();
+}
+";
+    let v = lint("crates/tlb/src/l1.rs", src);
+    assert_eq!(rules(&v), ["unwrap"]);
+    assert_eq!(v[0].line, 8);
+}
+
+#[test]
+fn cfg_test_conjunctions_are_masked_but_not_test_is_not() {
+    let masked = "\
+#[cfg(all(test, feature = \"slow\"))]
+mod tests {
+    use std::collections::HashMap;
+}
+";
+    assert!(lint("crates/tlb/src/l1.rs", masked).is_empty());
+    let not_test = "\
+#[cfg(not(test))]
+pub fn f() {
+    let m = std::collections::HashMap::new();
+}
+";
+    assert_eq!(
+        rules(&lint("crates/tlb/src/l1.rs", not_test)),
+        ["collections"]
+    );
+}
+
+// Exemptions and scoping (ported from v1).
+
+#[test]
+fn hotpath_constructors_may_allocate() {
+    let src = "\
+pub fn new(n: usize) -> Self {
+    Self { banks: vec![Bank::new(); n], scratch: Vec::new() }
+}
+
+pub fn with_bypass(n: usize) -> Self {
+    let banks: Vec<Bank> = (0..n).map(|_| Bank::new()).collect();
+    Self { banks, scratch: Vec::new() }
+}
+";
+    assert!(lint("crates/cache/src/l2.rs", src).is_empty());
+}
+
+#[test]
+fn hotpath_rule_is_scoped_to_hot_files() {
+    let src = "pub fn tick(&mut self) {\n    let v = Vec::new();\n}\n";
+    assert!(lint("crates/cache/src/mshr.rs", src).is_empty());
+    assert!(lint("crates/gpu/src/core_model.rs", src).is_empty());
+}
+
+#[test]
+fn hotpath_allow_annotation_works() {
+    let v = lint(
+        "crates/gpu/src/sim.rs",
+        "pub fn snapshot(&self) -> Vec<u32> {\n    \
+         self.xs.clone() // lint: allow(hotpath) -- debug API, off-cycle\n}\n",
+    );
+    assert!(v.is_empty(), "{v:?}");
+}
+
+#[test]
+fn allow_annotation_suppresses_same_line_and_next_line() {
+    let v = lint(
+        "crates/cache/src/l2.rs",
+        "let x = m.get(&k).unwrap(); // lint: allow(unwrap)\n\
+         // lint: allow(unwrap) -- checked above\n\
+         let y = m.get(&k).unwrap();\n",
+    );
+    assert!(v.is_empty(), "{v:?}");
+}
+
+#[test]
+fn consecutive_same_line_allows_each_cover_their_own_line() {
+    // The first annotation also *covers* the second line, but the second
+    // line's own annotation must be the one consumed — otherwise it would
+    // be reported stale.
+    let v = lint(
+        "crates/cache/src/l2.rs",
+        "let x = m.get(&a).unwrap(); // lint: allow(unwrap)\n\
+         let y = m.get(&b).unwrap(); // lint: allow(unwrap)\n",
+    );
+    assert!(v.is_empty(), "{v:?}");
+}
+
+#[test]
+fn allow_annotation_is_rule_specific_and_rots_when_mismatched() {
+    // The mismatched annotation does not suppress the unwrap — and, being
+    // useless, is itself flagged as stale.
+    let v = lint(
+        "crates/cache/src/l2.rs",
+        "let x = m.get(&k).unwrap(); // lint: allow(collections)\n",
+    );
+    assert_eq!(rules(&v), ["unwrap", "stale-allow"]);
+}
+
+#[test]
+fn cfg_test_module_is_exempt() {
+    let src = "\
+pub fn lib() {}
+
+#[cfg(test)]
+mod tests {
+    use std::collections::HashMap;
+
+    #[test]
+    fn t() {
+        let m: HashMap<u8, u8> = HashMap::new();
+        assert!(m.is_empty() || panic!(\"x\"));
+    }
+}
+";
+    assert!(lint("crates/tlb/src/l1.rs", src).is_empty());
+}
+
+#[test]
+fn cfg_test_single_item_is_exempt_but_rest_is_not() {
+    let src = "\
+#[cfg(test)]
+use std::collections::HashMap;
+
+pub fn f() {
+    let x = Some(1).unwrap();
+}
+";
+    let v = lint("crates/tlb/src/l1.rs", src);
+    assert_eq!(rules(&v), ["unwrap"]);
+    assert_eq!(v[0].line, 5);
+}
+
+#[test]
+fn commented_out_code_is_exempt() {
+    let v = lint("crates/tlb/src/l1.rs", "// let m = HashMap::new();\n");
+    assert!(v.is_empty());
+    let v = lint("crates/tlb/src/l1.rs", "/* let m = HashMap::new(); */\n");
+    assert!(v.is_empty());
+}
+
+#[test]
+fn engine_and_bench_may_use_thread_primitives() {
+    let src = "use std::sync::Mutex;\nstd::thread::scope(|s| {});\n";
+    assert!(lint("crates/core/src/engine.rs", src).is_empty());
+    assert!(lint("crates/bench/src/lib.rs", src).is_empty());
+    // The exemption is for engine files only, not all of mask-core.
+    assert!(!lint("crates/core/src/metrics.rs", src).is_empty());
+}
+
+#[test]
+fn shard_pool_may_use_thread_primitives_but_stays_hotpath_clean() {
+    // The SM-frontend shard pool is the second parallelism island…
+    let threads = "use std::sync::Mutex;\nstd::thread::scope(|s| {});\n";
+    assert!(lint("crates/gpu/src/shard.rs", threads).is_empty());
+    // …but only shard.rs: the rest of mask-gpu stays single-threaded.
+    assert!(!lint("crates/gpu/src/sim.rs", threads).is_empty());
+    // And the hotpath rule still fires inside shard.rs — the per-cycle
+    // shard/merge code must not allocate in steady state.
+    let alloc = "pub fn run_shard(&mut self) {\n    let v = Vec::new();\n}\n";
+    let v = lint("crates/gpu/src/shard.rs", alloc);
+    assert_eq!(rules(&v), ["hotpath"]);
+}
+
+#[test]
+fn obs_ring_may_use_thread_primitives_but_hooks_stay_hotpath_clean() {
+    // The tracer's ring-buffer module is the third parallelism island…
+    let threads = "use std::sync::Mutex;\nstatic GATE: AtomicU8 = AtomicU8::new(0);\n";
+    assert!(lint("crates/obs/src/ring.rs", threads).is_empty());
+    // …and only ring.rs: the rest of mask-obs stays primitive-free.
+    assert_eq!(
+        rules(&lint("crates/obs/src/metrics.rs", threads)),
+        ["parallelism", "parallelism"]
+    );
+    assert!(!lint("crates/obs/src/hooks.rs", threads).is_empty());
+    // The hooks the cycle loop calls unconditionally are a hot file:
+    // the disabled-tracing path must not allocate.
+    let alloc = "pub fn tlb_probe(level: TlbLevel) {\n    let v = Vec::new();\n}\n";
+    assert_eq!(rules(&lint("crates/obs/src/hooks.rs", alloc)), ["hotpath"]);
+    // The hotpath rule is scoped to hooks.rs, not the whole crate —
+    // the exporter may allocate freely.
+    assert!(lint("crates/obs/src/export.rs", alloc).is_empty());
+}
+
+#[test]
+fn bench_crate_may_use_wall_clock() {
+    let v = lint(
+        "crates/bench/src/lib.rs",
+        "let t = std::time::Instant::now();\n",
+    );
+    assert!(v.is_empty());
+}
+
+#[test]
+fn integer_and_compensated_sums_are_exempt_in_stats() {
+    let src = "\
+let n: u64 = xs.iter().sum();
+let t = CompensatedSum::total(ys.iter().map(f));
+";
+    assert!(lint("crates/common/src/stats.rs", src).is_empty());
+}
+
+#[test]
+fn float_sum_outside_stats_rs_is_not_this_rules_business() {
+    let v = lint(
+        "crates/core/src/metrics.rs",
+        "let t: f64 = xs.iter().sum::<f64>();\n",
+    );
+    assert!(v.is_empty());
+}
+
+#[test]
+fn debug_derive_accepts_derive_with_doc_comments_between() {
+    let src = "\
+#[derive(Clone, Copy, Debug)]
+pub struct Tagged {
+    pub bits: u64,
+}
+";
+    assert!(lint("crates/common/src/req.rs", src).is_empty());
+}
+
+#[test]
+fn expect_with_message_is_allowed() {
+    let v = lint(
+        "crates/cache/src/l2.rs",
+        "let x = m.get(&k).expect(\"present\");\n",
+    );
+    assert!(v.is_empty());
+}
+
+// Fix application.
+
+#[test]
+fn apply_fixes_rewrites_stale_allows_and_missing_derives() {
+    let dir = std::env::temp_dir().join(format!("mask-lint-fix-{}", std::process::id()));
+    std::fs::create_dir_all(dir.join("crates/common/src")).unwrap();
+    let req = dir.join("crates/common/src/req.rs");
+    std::fs::write(
+        &req,
+        "// lint: allow(collections) -- long gone\n\
+         #[derive(Clone)]\n\
+         pub struct Raw {\n\
+         \x20   pub bits: u64, // lint: allow(unwrap)\n\
+         }\n",
+    )
+    .unwrap();
+    let contents = std::fs::read_to_string(&req).unwrap();
+    let violations = lint_source(&req, &contents);
+    assert_eq!(
+        rules(&violations),
+        ["stale-allow", "debug-derive", "stale-allow"]
+    );
+    let log = apply_fixes(&violations).unwrap();
+    assert_eq!(log.len(), 3, "{log:?}");
+    let fixed = std::fs::read_to_string(&req).unwrap();
+    // The derive is inserted directly above the struct line (a second
+    // derive attribute is valid Rust).
+    assert_eq!(
+        fixed,
+        "#[derive(Clone)]\n\
+         #[derive(Debug)]\n\
+         pub struct Raw {\n\
+         \x20   pub bits: u64,\n\
+         }\n"
+    );
+    // The fixed file is clean.
+    assert!(
+        lint_source(&req, &fixed).is_empty(),
+        "{:?}",
+        lint_source(&req, &fixed)
+    );
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+// Self-check: the repository itself must be clean under all 11 rules.
+
+#[test]
+fn repo_is_lint_clean() {
+    let root = Path::new(env!("CARGO_MANIFEST_DIR"))
+        .parent()
+        .expect("xtask lives one level under the workspace root");
+    let violations = lint_workspace(root).expect("scan the workspace");
+    assert!(
+        violations.is_empty(),
+        "the repo must hold its own lint rules:\n{}",
+        violations
+            .iter()
+            .map(std::string::ToString::to_string)
+            .collect::<Vec<_>>()
+            .join("\n")
+    );
+}

@@ -1,10 +1,14 @@
 //! Workspace automation tasks (`cargo xtask <task>`).
 //!
-//! The only task today is `lint`, the static-analysis pass described in
-//! [`lint`]. It exits non-zero when any rule fires, so CI can gate on it:
+//! The only task today is `lint`, the mask-lint v2 static-analysis engine
+//! described in [`lint`]. It exits non-zero when any rule fires, so CI can
+//! gate on it:
 //!
 //! ```text
-//! cargo xtask lint          # scan crates/*/src
+//! cargo xtask lint                   # scan crates/*/src, human-readable
+//! cargo xtask lint --format json     # machine-readable report on stdout
+//! cargo xtask lint --format sarif    # SARIF 2.1.0 for code-scanning upload
+//! cargo xtask lint --fix             # apply mechanical fixes, then re-lint
 //! ```
 
 mod lint;
@@ -12,12 +16,28 @@ mod lint;
 use std::path::PathBuf;
 use std::process::ExitCode;
 
+const USAGE: &str = "usage: cargo xtask <task>
+
+tasks:
+  lint [--format text|json|sarif] [--fix]
+        scan crates/*/src for simulator hygiene violations
+        --format json|sarif   machine-readable report on stdout
+        --fix                 apply mechanical fixes (stale allows,
+                              missing #[derive(Debug)]), then re-lint";
+
+#[derive(Clone, Copy, PartialEq, Eq)]
+enum Format {
+    Text,
+    Json,
+    Sarif,
+}
+
 fn main() -> ExitCode {
     let mut args = std::env::args().skip(1);
     match args.next().as_deref() {
-        Some("lint") => run_lint(),
+        Some("lint") => run_lint(args),
         Some("--help" | "-h" | "help") | None => {
-            eprintln!("usage: cargo xtask <task>\n\ntasks:\n  lint    scan crates/*/src for simulator hygiene violations");
+            eprintln!("{USAGE}");
             ExitCode::SUCCESS
         }
         Some(other) => {
@@ -40,23 +60,78 @@ fn workspace_root() -> PathBuf {
     )
 }
 
-fn run_lint() -> ExitCode {
-    let root = workspace_root();
-    match lint::lint_workspace(&root) {
-        Ok(violations) if violations.is_empty() => {
-            eprintln!("xtask lint: clean");
-            ExitCode::SUCCESS
+fn run_lint(args: impl Iterator<Item = String>) -> ExitCode {
+    let mut format = Format::Text;
+    let mut fix = false;
+    let mut args = args.peekable();
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--fix" => fix = true,
+            "--format" => match args.next().as_deref() {
+                Some("text") => format = Format::Text,
+                Some("json") => format = Format::Json,
+                Some("sarif") => format = Format::Sarif,
+                other => {
+                    eprintln!("xtask lint: --format takes text|json|sarif, got {other:?}");
+                    return ExitCode::FAILURE;
+                }
+            },
+            other => {
+                eprintln!("xtask lint: unknown flag `{other}`\n\n{USAGE}");
+                return ExitCode::FAILURE;
+            }
         }
-        Ok(violations) => {
+    }
+
+    let root = workspace_root();
+    let mut violations = match lint::lint_workspace(&root) {
+        Ok(v) => v,
+        Err(e) => {
+            eprintln!("xtask lint: cannot scan {}: {e}", root.display());
+            return ExitCode::FAILURE;
+        }
+    };
+
+    if fix {
+        match lint::apply_fixes(&violations) {
+            Ok(log) => {
+                for line in &log {
+                    eprintln!("fixed: {line}");
+                }
+                if !log.is_empty() {
+                    // Re-lint: fixes shift line numbers and may clear
+                    // violations; report the post-fix state.
+                    violations = match lint::lint_workspace(&root) {
+                        Ok(v) => v,
+                        Err(e) => {
+                            eprintln!("xtask lint: re-scan failed: {e}");
+                            return ExitCode::FAILURE;
+                        }
+                    };
+                }
+            }
+            Err(e) => {
+                eprintln!("xtask lint: cannot apply fixes: {e}");
+                return ExitCode::FAILURE;
+            }
+        }
+    }
+
+    match format {
+        Format::Json => print!("{}", lint::output::json(&root, &violations)),
+        Format::Sarif => print!("{}", lint::output::sarif(&root, &violations)),
+        Format::Text => {}
+    }
+    if violations.is_empty() {
+        eprintln!("xtask lint: clean");
+        ExitCode::SUCCESS
+    } else {
+        if format == Format::Text {
             for v in &violations {
                 eprintln!("{v}");
             }
-            eprintln!("xtask lint: {} violation(s)", violations.len());
-            ExitCode::FAILURE
         }
-        Err(e) => {
-            eprintln!("xtask lint: cannot scan {}: {e}", root.display());
-            ExitCode::FAILURE
-        }
+        eprintln!("xtask lint: {} violation(s)", violations.len());
+        ExitCode::FAILURE
     }
 }
