@@ -134,7 +134,7 @@ fn frontend(n: usize, shards: usize) -> (Vec<GpuCore>, TranslationUnit, Vec<Shar
             )
         })
         .collect();
-    let xlat = TranslationUnit::new(&cfg, DesignKind::Mask, &[n / 2, n - n / 2]);
+    let xlat = TranslationUnit::new(&cfg, DesignKind::Mask.spec(), &[n / 2, n - n / 2]);
     let outs = (0..shards).map(|_| ShardOutput::new(2)).collect();
     (cores, xlat, outs)
 }

@@ -7,7 +7,7 @@
 //! sharded SM frontend (`MASK_SM_SHARDS` ∈ {1, 2, 4, 8}) on the two-app
 //! workload and verifies the instruction checksum is identical at every
 //! shard count. Results are written to
-//! `target/mask-results/BENCH_pr5.json`; the committed `BENCH_pr5.json` at
+//! `target/mask-results/BENCH_pr7.json`; the committed `BENCH_pr7.json` at
 //! the repository root records the numbers for this PR.
 //!
 //! ```text
@@ -26,9 +26,9 @@
 //! * `MASK_BENCH_MIN_CPS_SHARDED` — override the 4-shard `--check` floor.
 //!
 //! `--check` fails (exit 1) when (a) the measured serial 2-app throughput
-//! drops below 70% of `cycles_per_sec_after` committed in `BENCH_pr5.json`,
+//! drops below 70% of `cycles_per_sec_after` committed in `BENCH_pr7.json`,
 //! (b) it drops below 70% of the pre-PR `cycles_per_sec_after` committed
-//! in `BENCH_pr4.json` (so an obs build's disabled-tracing path is gated
+//! in `BENCH_pr5.json` (so an obs build's disabled-tracing path is gated
 //! against the engine as it was before the hooks existed), (c) the 4-shard
 //! configuration drops below 70% of its committed reference, or (d) any
 //! shard count produces a different instruction checksum than the serial
@@ -182,7 +182,7 @@ fn main() {
     json.push_str("    }\n  }\n}\n");
     let out_dir = repo_root().join("target/mask-results");
     if std::fs::create_dir_all(&out_dir).is_ok() {
-        let _ = std::fs::write(out_dir.join("BENCH_pr5.json"), &json);
+        let _ = std::fs::write(out_dir.join("BENCH_pr7.json"), &json);
     }
 
     if check {
@@ -199,8 +199,8 @@ fn main() {
         }
         println!("\ncheck: instruction checksum identical across shard counts ({serial_checksum})");
 
-        let committed = std::fs::read_to_string(repo_root().join("BENCH_pr5.json"))
-            .expect("--check needs the committed BENCH_pr5.json at the repo root");
+        let committed = std::fs::read_to_string(repo_root().join("BENCH_pr7.json"))
+            .expect("--check needs the committed BENCH_pr7.json at the repo root");
         let reference = std::env::var("MASK_BENCH_MIN_CPS")
             .ok()
             .and_then(|v| v.parse::<f64>().ok())
@@ -222,14 +222,14 @@ fn main() {
 
         // Tracing-disabled overhead gate: the same measurement must also
         // clear the floor derived from the engine as committed *before*
-        // the obs hooks existed (BENCH_pr4.json). Run with
+        // the obs hooks existed (BENCH_pr5.json). Run with
         // `--features obs` this bounds the cost of compiled-in-but-off
         // tracing; without it it is a plain cross-PR regression gate.
         if let Some(pre_pr) = std::env::var("MASK_BENCH_MIN_CPS")
             .ok()
             .and_then(|v| v.parse::<f64>().ok())
             .or_else(|| {
-                std::fs::read_to_string(repo_root().join("BENCH_pr4.json"))
+                std::fs::read_to_string(repo_root().join("BENCH_pr5.json"))
                     .ok()
                     .and_then(|c| json_number(&c, "two_app_CONS_LPS", "cycles_per_sec_after"))
             })

@@ -1,11 +1,15 @@
 //! A line-granularity set-associative data cache with LRU replacement and
-//! optional per-ASID way partitioning.
+//! optional per-ASID way partitioning or set coloring.
 //!
 //! Way partitioning implements the `Static` baseline of §7: "an oracle is
 //! used to partition GPU cores, but the shared L2 cache and memory channels
 //! are partitioned equally across applications". Probes search *all* ways
 //! (correctness is unaffected by partitioning); only victim selection is
 //! restricted to the ASID's way range.
+//!
+//! Set coloring implements the FGPU-style `Partitioned` design: each ASID's
+//! accesses index into a disjoint range of sets, so no set ever holds lines
+//! of two applications (an invariant the sanitizer enforces on every fill).
 
 use mask_common::addr::LineAddr;
 use mask_common::ids::Asid;
@@ -15,6 +19,8 @@ struct Way {
     line: LineAddr,
     last_used: u64,
     valid: bool,
+    /// Filling ASID (isolation bookkeeping for the colored designs).
+    owner: u16,
 }
 
 impl Default for Way {
@@ -23,8 +29,25 @@ impl Default for Way {
             line: LineAddr(0),
             last_used: 0,
             valid: false,
+            owner: 0,
         }
     }
+}
+
+/// Splits `total` resources among `n_apps` deterministically: everyone gets
+/// `total / n_apps`, and the *last* application absorbs the remainder (so a
+/// 16-way cache over 3 apps yields ranges of 5, 5, and 6 ways). Shared by
+/// way partitioning and set coloring; `mask-dram`'s channel/bank splits use
+/// the same rule.
+fn split_ranges(total: usize, n_apps: usize) -> Vec<(usize, usize)> {
+    let per = total / n_apps;
+    (0..n_apps)
+        .map(|i| {
+            let start = i * per;
+            let end = if i == n_apps - 1 { total } else { start + per };
+            (start, end)
+        })
+        .collect()
 }
 
 /// A set-associative cache over physical lines.
@@ -35,6 +58,9 @@ pub struct DataCache {
     stamp: u64,
     /// Way-range restriction per ASID (Static design); `None` = shared.
     partition: Option<Vec<(usize, usize)>>,
+    /// Set-range restriction per ASID (Partitioned design); `None` =
+    /// shared indexing. `(start, len)` per ASID.
+    set_colors: Option<Vec<(usize, usize)>>,
 }
 
 impl DataCache {
@@ -55,11 +81,14 @@ impl DataCache {
             assoc,
             stamp: 0,
             partition: None,
+            set_colors: None,
         }
     }
 
-    /// Splits the ways equally among `n_apps` address spaces (Static
-    /// design). ASID `i` may only allocate into its own way range.
+    /// Splits the ways among `n_apps` address spaces (Static design).
+    /// ASID `i` may only allocate into its own way range; an uneven split
+    /// gives every app `assoc / n_apps` ways and the last app the
+    /// remainder (see [`split_ranges`]).
     ///
     /// # Panics
     ///
@@ -70,19 +99,37 @@ impl DataCache {
             "cannot partition {} ways {n_apps} ways",
             self.assoc
         );
-        let per = self.assoc / n_apps;
-        let ranges = (0..n_apps)
-            .map(|i| {
-                let start = i * per;
-                let end = if i == n_apps - 1 {
-                    self.assoc
-                } else {
-                    start + per
-                };
-                (start, end)
-            })
-            .collect();
-        self.partition = Some(ranges);
+        self.partition = Some(split_ranges(self.assoc, n_apps));
+    }
+
+    /// Colors the sets among `n_apps` address spaces (the `Partitioned`
+    /// design): ASID `i` indexes exclusively into its own contiguous set
+    /// range, so no set ever holds two applications' lines. Uneven splits
+    /// follow the same deterministic remainder-to-last rule as
+    /// [`DataCache::partition_ways`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n_apps` is zero or exceeds the set count.
+    pub fn partition_sets(&mut self, n_apps: usize) {
+        let n_sets = self.sets.len();
+        assert!(
+            n_apps > 0 && n_apps <= n_sets,
+            "cannot color {n_sets} sets for {n_apps} apps"
+        );
+        self.set_colors = Some(
+            split_ranges(n_sets, n_apps)
+                .into_iter()
+                .map(|(start, end)| (start, end - start))
+                .collect(),
+        );
+    }
+
+    /// The colored set range `(start, len)` an ASID indexes into, when set
+    /// coloring is active.
+    pub fn set_color_range(&self, asid: Asid) -> Option<(usize, usize)> {
+        let colors = self.set_colors.as_ref()?;
+        Some(colors[asid.index() % colors.len()])
     }
 
     /// Total line capacity.
@@ -95,13 +142,20 @@ impl DataCache {
         self.sets.len()
     }
 
-    fn set_index(&self, line: LineAddr) -> usize {
+    fn set_index(&self, line: LineAddr, asid: Asid) -> usize {
         // Low line bits index the set (plus a simple hash fold of higher
         // bits to avoid pathological power-of-two strides). Set counts are
         // powers of two for every shipped geometry, where a mask computes
         // the same residue as `%` without the 64-bit divide.
-        let n = self.sets.len() as u64;
         let folded = line.0 ^ (line.0 >> 16);
+        if let Some(colors) = &self.set_colors {
+            // Set coloring: the nominal index is folded into the ASID's
+            // disjoint set range (color lengths are rarely powers of two,
+            // so this path pays the divide).
+            let (start, len) = colors[asid.index() % colors.len()];
+            return start + (folded % len as u64) as usize;
+        }
+        let n = self.sets.len() as u64;
         if n.is_power_of_two() {
             (folded & (n - 1)) as usize
         } else {
@@ -109,11 +163,11 @@ impl DataCache {
         }
     }
 
-    /// Probes for `line`, updating LRU on hit.
-    pub fn probe(&mut self, line: LineAddr) -> bool {
+    /// Probes for `line` on behalf of `asid`, updating LRU on hit.
+    pub fn probe(&mut self, line: LineAddr, asid: Asid) -> bool {
         self.stamp += 1;
         let stamp = self.stamp;
-        let set = self.set_index(line);
+        let set = self.set_index(line, asid);
         if let Some(w) = self.sets[set]
             .iter_mut()
             .find(|w| w.valid && w.line == line)
@@ -126,8 +180,8 @@ impl DataCache {
     }
 
     /// Checks residency without perturbing LRU.
-    pub fn peek(&self, line: LineAddr) -> bool {
-        let set = self.set_index(line);
+    pub fn peek(&self, line: LineAddr, asid: Asid) -> bool {
+        let set = self.set_index(line, asid);
         self.sets[set].iter().any(|w| w.valid && w.line == line)
     }
 
@@ -136,7 +190,7 @@ impl DataCache {
     pub fn fill(&mut self, line: LineAddr, asid: Asid) -> Option<LineAddr> {
         self.stamp += 1;
         let stamp = self.stamp;
-        let set = self.set_index(line);
+        let set = self.set_index(line, asid);
         let (lo, hi) = match &self.partition {
             Some(ranges) => *ranges.get(asid.index()).unwrap_or(&(0, self.assoc)),
             None => (0, self.assoc),
@@ -156,6 +210,7 @@ impl DataCache {
             line,
             last_used: stamp,
             valid: true,
+            owner: asid.raw(),
         };
         if mask_sanitizer::is_enabled() {
             let resident = ways.iter().filter(|w| w.valid && w.line == line).count();
@@ -164,6 +219,16 @@ impl DataCache {
                 "l2-data-array",
                 "a line must be resident in exactly one way of its set",
             );
+            if self.set_colors.is_some() {
+                // Partitioned-design isolation: a colored set only ever
+                // holds lines filled by its owning application.
+                let foreign = ways.iter().any(|w| w.valid && w.owner != asid.raw());
+                mask_sanitizer::check(
+                    !foreign,
+                    "l2-set-color",
+                    "a colored L2 set must hold a single application's lines",
+                );
+            }
         }
         evicted
     }
@@ -204,10 +269,10 @@ mod tests {
     fn miss_then_fill_then_hit() {
         let mut c = cache();
         let line = LineAddr(1234);
-        assert!(!c.probe(line));
+        assert!(!c.probe(line, Asid::new(0)));
         c.fill(line, Asid::new(0));
-        assert!(c.probe(line));
-        assert!(c.peek(line));
+        assert!(c.probe(line, Asid::new(0)));
+        assert!(c.peek(line, Asid::new(0)));
     }
 
     #[test]
@@ -217,10 +282,10 @@ mod tests {
         for i in 0..4u64 {
             c.fill(LineAddr(i), Asid::new(0));
         }
-        assert!(c.probe(LineAddr(0))); // 0 is now MRU; 1 is LRU
+        assert!(c.probe(LineAddr(0), Asid::new(0))); // 0 is now MRU; 1 is LRU
         let evicted = c.fill(LineAddr(99), Asid::new(0));
         assert_eq!(evicted, Some(LineAddr(1)));
-        assert!(c.peek(LineAddr(0)));
+        assert!(c.peek(LineAddr(0), Asid::new(0)));
     }
 
     #[test]
@@ -244,8 +309,59 @@ mod tests {
         let evicted = c.fill(LineAddr(5), Asid::new(0)).expect("must evict");
         assert!(evicted == LineAddr(1) || evicted == LineAddr(2));
         // App 1's lines are untouched and still probeable by anyone.
-        assert!(c.probe(LineAddr(3)));
-        assert!(c.probe(LineAddr(4)));
+        assert!(c.probe(LineAddr(3), Asid::new(1)));
+        assert!(c.probe(LineAddr(4), Asid::new(1)));
+    }
+
+    #[test]
+    fn uneven_way_partition_gives_remainder_to_last_app() {
+        let mut c = DataCache::new(2048, 16); // one set of 16 ways
+        assert_eq!(c.n_sets(), 1);
+        c.partition_ways(3);
+        // 16 ways / 3 apps = 5, 5, 6 deterministically.
+        for (asid, count) in [(0u16, 5u64), (1, 5), (2, 6)] {
+            for i in 0..count {
+                let line = LineAddr(u64::from(asid) * 1000 + i);
+                assert_eq!(c.fill(line, Asid::new(asid)), None, "no self-eviction");
+            }
+            // The range is now full: one more fill evicts from *this* app.
+            let extra = LineAddr(u64::from(asid) * 1000 + 999);
+            let evicted = c.fill(extra, Asid::new(asid)).expect("range full");
+            assert_eq!(evicted.0 / 1000, u64::from(asid), "evicts own lines only");
+        }
+    }
+
+    #[test]
+    fn set_coloring_indexes_disjoint_ranges() {
+        let mut c = DataCache::new(16 * 1024, 4); // 32 sets
+        c.partition_sets(3);
+        // 32 sets / 3 apps = 10, 10, 12 deterministically.
+        assert_eq!(c.set_color_range(Asid::new(0)), Some((0, 10)));
+        assert_eq!(c.set_color_range(Asid::new(1)), Some((10, 10)));
+        assert_eq!(c.set_color_range(Asid::new(2)), Some((20, 12)));
+        // The same line indexes into different sets per ASID, each within
+        // the owner's range — so cross-app conflict misses cannot happen.
+        for line in 0..200u64 {
+            for asid in 0..3u16 {
+                let (start, len) = c.set_color_range(Asid::new(asid)).unwrap();
+                let set = c.set_index(LineAddr(line), Asid::new(asid));
+                assert!(set >= start && set < start + len);
+            }
+        }
+    }
+
+    #[test]
+    fn set_coloring_isolates_fills() {
+        let mut c = DataCache::new(4096, 4); // 8 sets
+        c.partition_sets(2);
+        for i in 0..64u64 {
+            c.fill(LineAddr(i), Asid::new(0));
+            c.fill(LineAddr(i), Asid::new(1));
+        }
+        // Both apps still see their own copies: disjoint sets, no
+        // cross-app eviction possible.
+        assert!(c.peek(LineAddr(63), Asid::new(0)));
+        assert!(c.peek(LineAddr(63), Asid::new(1)));
     }
 
     #[test]
@@ -257,7 +373,7 @@ mod tests {
         assert!(!c.is_empty());
         c.flush();
         assert!(c.is_empty());
-        assert!(!c.probe(LineAddr(3)));
+        assert!(!c.probe(LineAddr(3), Asid::new(0)));
     }
 
     #[test]

@@ -15,7 +15,7 @@ use crate::bypass::BypassMonitor;
 use crate::data::DataCache;
 use crate::mshr::{MshrAlloc, MshrTable};
 use mask_common::addr::LineAddr;
-use mask_common::config::CacheConfig;
+use mask_common::config::{CacheConfig, L2Policy};
 use mask_common::req::{MemRequest, RequestClass};
 use mask_common::Cycle;
 use std::collections::VecDeque;
@@ -68,22 +68,34 @@ pub struct SharedL2Cache {
 }
 
 impl SharedL2Cache {
-    /// Builds the L2 from its configuration. `bypass_enabled` activates
-    /// MASK's translation-aware bypass (mechanism ❷).
-    pub fn new(cfg: &CacheConfig, bypass_enabled: bool, n_asids: usize) -> Self {
-        Self::with_bypass_margin(cfg, bypass_enabled, n_asids, crate::bypass::BYPASS_MARGIN)
+    /// Builds the L2 from its configuration under `policy` — the one
+    /// [`DesignSpec`](mask_common::config::DesignSpec) axis this layer
+    /// consumes. [`L2Policy::SharedBypass`] activates MASK's
+    /// translation-aware bypass (mechanism ❷);
+    /// [`L2Policy::WayPartitioned`] / [`L2Policy::SetColored`] split the
+    /// array between address spaces (no-ops for a single app).
+    pub fn new(cfg: &CacheConfig, policy: L2Policy, n_asids: usize) -> Self {
+        Self::with_bypass_margin(cfg, policy, n_asids, crate::bypass::BYPASS_MARGIN)
     }
 
     /// Like [`SharedL2Cache::new`] with an explicit bypass hysteresis
     /// margin (ablation studies).
     pub fn with_bypass_margin(
         cfg: &CacheConfig,
-        bypass_enabled: bool,
+        policy: L2Policy,
         n_asids: usize,
         margin: f64,
     ) -> Self {
+        let mut array = DataCache::new(cfg.bytes, cfg.assoc);
+        if n_asids > 1 {
+            match policy {
+                L2Policy::WayPartitioned => array.partition_ways(n_asids),
+                L2Policy::SetColored => array.partition_sets(n_asids),
+                L2Policy::Shared | L2Policy::SharedBypass => {}
+            }
+        }
         SharedL2Cache {
-            array: DataCache::new(cfg.bytes, cfg.assoc),
+            array,
             banks: (0..cfg.banks)
                 .map(|_| Bank {
                     queue: VecDeque::new(),
@@ -91,7 +103,7 @@ impl SharedL2Cache {
                 })
                 .collect(),
             monitor: BypassMonitor::with_margin(n_asids, margin),
-            bypass_enabled,
+            bypass_enabled: matches!(policy, L2Policy::SharedBypass),
             latency: cfg.latency,
             ports: cfg.ports_per_bank,
             bypass_mshr: MshrTable::labelled("l2-bypass-mshr", cfg.mshrs * cfg.banks),
@@ -168,7 +180,7 @@ impl SharedL2Cache {
                     break;
                 }
                 // Probe the array.
-                let hit = self.array.probe(req.line);
+                let hit = self.array.probe(req.line, req.asid);
                 self.monitor.record(req.asid, req.class, hit);
                 if hit {
                     self.banks[b].queue.pop_front();
@@ -204,7 +216,9 @@ impl SharedL2Cache {
         self.bypass_mshr.complete_into(line, &mut gathered);
         if n_banked > 0 {
             // Fill on behalf of the first demander's address space (only
-            // relevant under Static way-partitioning).
+            // relevant under way partitioning / set coloring; every
+            // physical line belongs to exactly one application, so all
+            // gathered demanders share an ASID).
             self.array.fill(line, gathered[0].asid);
         }
         for (i, req) in gathered.drain(..).enumerate() {
@@ -344,7 +358,7 @@ mod tests {
 
     #[test]
     fn miss_goes_to_dram_then_fill_hits() {
-        let mut l2 = SharedL2Cache::new(&cfg(), false, 1);
+        let mut l2 = SharedL2Cache::new(&cfg(), L2Policy::Shared, 1);
         l2.enqueue(req(1, 42, RequestClass::Data), 0);
         // Nothing served before the pipeline latency elapses.
         for now in 0..10 {
@@ -368,7 +382,7 @@ mod tests {
 
     #[test]
     fn concurrent_misses_merge_in_mshr() {
-        let mut l2 = SharedL2Cache::new(&cfg(), false, 1);
+        let mut l2 = SharedL2Cache::new(&cfg(), L2Policy::Shared, 1);
         l2.enqueue(req(1, 7, RequestClass::Data), 0);
         l2.enqueue(req(2, 7, RequestClass::Data), 0);
         l2.enqueue(req(3, 7, RequestClass::Data), 0);
@@ -382,7 +396,7 @@ mod tests {
 
     #[test]
     fn ports_limit_throughput_creates_queueing() {
-        let mut l2 = SharedL2Cache::new(&cfg(), false, 1);
+        let mut l2 = SharedL2Cache::new(&cfg(), L2Policy::Shared, 1);
         // 40 requests to distinct lines all at cycle 0.
         for i in 0..40u64 {
             l2.enqueue(req(i, i * 64, RequestClass::Data), 0);
@@ -396,7 +410,7 @@ mod tests {
 
     #[test]
     fn bypassed_translation_skips_queue_and_array() {
-        let mut l2 = SharedL2Cache::new(&cfg(), true, 1);
+        let mut l2 = SharedL2Cache::new(&cfg(), L2Policy::SharedBypass, 1);
         // Train the monitor: leaf translations always miss, data often hits.
         let leaf = RequestClass::Translation(WalkLevel::new(4));
         for i in 0..32u64 {
@@ -425,7 +439,7 @@ mod tests {
 
     #[test]
     fn data_requests_never_bypass() {
-        let mut l2 = SharedL2Cache::new(&cfg(), true, 1);
+        let mut l2 = SharedL2Cache::new(&cfg(), L2Policy::SharedBypass, 1);
         l2.enqueue(req(1, 42, RequestClass::Data), 0);
         assert!(
             l2.take_dram_requests().is_empty(),
@@ -438,7 +452,7 @@ mod tests {
     fn mshr_full_stalls_bank() {
         let mut small = CacheConfig { mshrs: 2, ..cfg() };
         small.banks = 1;
-        let mut l2 = SharedL2Cache::new(&small, false, 1);
+        let mut l2 = SharedL2Cache::new(&small, L2Policy::Shared, 1);
         for i in 0..6u64 {
             l2.enqueue(req(i, i * 64, RequestClass::Data), 0);
         }

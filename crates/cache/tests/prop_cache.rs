@@ -2,7 +2,7 @@
 
 use mask_cache::{DataCache, MshrAlloc, MshrTable, SharedL2Cache};
 use mask_common::addr::LineAddr;
-use mask_common::config::CacheConfig;
+use mask_common::config::{CacheConfig, L2Policy};
 use mask_common::ids::{Asid, CoreId};
 use mask_common::req::{MemRequest, ReqId, RequestClass};
 use proptest::prelude::*;
@@ -15,10 +15,10 @@ proptest! {
         let mut c = DataCache::new(1 << 20, 16); // huge: no evictions
         for &l in &lines {
             c.fill(LineAddr(l), Asid::new(0));
-            prop_assert!(c.probe(LineAddr(l)));
+            prop_assert!(c.probe(LineAddr(l), Asid::new(0)));
         }
         for &l in &lines {
-            prop_assert!(c.peek(LineAddr(l)), "line {l} lost without pressure");
+            prop_assert!(c.peek(LineAddr(l), Asid::new(0)), "line {l} lost without pressure");
         }
     }
 
@@ -60,7 +60,7 @@ proptest! {
     #[test]
     fn l2_conserves_requests(lines in proptest::collection::vec(0u64..64, 1..80), translation_mask: u8) {
         let cfg = CacheConfig { bytes: 32 * 1024, assoc: 4, latency: 5, banks: 4, ports_per_bank: 2, mshrs: 8 };
-        let mut l2 = SharedL2Cache::new(&cfg, translation_mask.is_multiple_of(2), 1);
+        let mut l2 = SharedL2Cache::new(&cfg, if translation_mask.is_multiple_of(2) { L2Policy::SharedBypass } else { L2Policy::Shared }, 1);
         let mut ids = HashSet::new();
         for (i, &l) in lines.iter().enumerate() {
             let class = if i % 3 == 0 {

@@ -3,18 +3,134 @@
 //! [`GpuConfig::maxwell`] reproduces Table 1 of the paper (the NVIDIA
 //! Maxwell-like baseline); [`GpuConfig::fermi`] and
 //! [`GpuConfig::integrated`] reproduce the two extra architectures of the
-//! generality study (§7.3, Table 4). [`DesignKind`] enumerates the eight
-//! designs compared in the evaluation (§7).
+//! generality study (§7.3, Table 4). [`DesignSpec`] composes the orthogonal
+//! per-layer policies of a design point; [`DesignKind`] names the evaluated
+//! presets — the paper's eight designs (§7) plus the FGPU-style
+//! `Partitioned` and MPS-style `NoIsolation` brackets.
 
 use crate::addr::PAGE_SIZE_4K_LOG2;
 
-/// Which of the paper's evaluated designs to simulate (§7).
+/// How L1-TLB misses reach a translation (the Fig. 2 / Fig. 10 choice).
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug)]
+pub enum TranslationPath {
+    /// Every L1 TLB access hits; no translation traffic exists at all
+    /// (the `Ideal` design of §7).
+    Ideal,
+    /// L1 miss → page-table walker, whose per-level accesses probe a
+    /// shared page-walk cache (Power et al. \[106\]; Fig. 2a).
+    PageWalkCache,
+    /// L1 miss → shared L2 TLB → page-table walker (Fig. 2b and all MASK
+    /// designs).
+    SharedL2Tlb,
+}
+
+/// Whether TLB-Fill Tokens (and the token-holder bypass cache) gate
+/// shared-L2-TLB fills (§5.2).
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug)]
+pub enum TokenPolicy {
+    /// Every completed walk fills the shared TLB.
+    Disabled,
+    /// Only token-holding warps fill; the rest go to the bypass cache.
+    FillTokens,
+}
+
+/// How the shared L2 data cache arbitrates between address spaces.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug)]
+pub enum L2Policy {
+    /// Fully shared: all sets and ways visible to every application.
+    Shared,
+    /// Cache ways split between applications (the `Static` baseline).
+    WayPartitioned,
+    /// Cache sets split between applications by page color (FGPU-style
+    /// spatial partitioning; the `Partitioned` design).
+    SetColored,
+    /// Shared, plus Address-Translation-Aware L2 Bypass (§5.3).
+    SharedBypass,
+}
+
+/// How DRAM channels/banks are mapped and requests scheduled.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug)]
+pub enum DramPolicy {
+    /// All channels and banks shared; baseline FR-FCFS/batch scheduler.
+    Shared,
+    /// Memory channels split between applications (the `Static` baseline).
+    ChannelPartitioned,
+    /// All channels visible, but banks within each channel split between
+    /// applications by color (FGPU-style; the `Partitioned` design).
+    BankColored,
+    /// Shared channels with MASK's Golden/Silver/Normal queues (§5.4).
+    MaskQueues,
+}
+
+/// How shader cores (SMs) are assigned to concurrent applications.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug)]
+pub enum ComputePolicy {
+    /// Each application owns a contiguous, disjoint set of SMs.
+    SmSets,
+    /// Applications interleave across all SMs round-robin (MPS-style
+    /// share-everything placement).
+    AllSms,
+}
+
+/// How the physical frame allocator places application pages.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug)]
+pub enum AllocPolicy {
+    /// Contiguous per-application frame regions (bump allocation).
+    Linear,
+    /// Frames striped so each application's pages carry its color in the
+    /// low frame bits (the cache-set / DRAM-bank index inputs), in the
+    /// spirit of Mosaic's contiguity-conserving allocator.
+    ColorAware,
+}
+
+/// A design point in the multi-application GPU memory-hierarchy space: one
+/// independent policy choice per hardware layer.
+///
+/// Every simulated layer consumes exactly one axis of this struct — the
+/// translation unit reads [`TranslationPath`]/[`TokenPolicy`]/
+/// [`AllocPolicy`], the shared L2 reads [`L2Policy`], the DRAM model reads
+/// [`DramPolicy`], and core placement reads [`ComputePolicy`]. The paper's
+/// named designs are presets over these axes ([`DesignKind::spec`]).
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug)]
+pub struct DesignSpec {
+    /// Translation path after an L1 TLB miss.
+    pub translation: TranslationPath,
+    /// TLB-Fill Token gating of shared-TLB fills.
+    pub tokens: TokenPolicy,
+    /// Shared L2 data-cache policy.
+    pub l2: L2Policy,
+    /// DRAM mapping/scheduling policy.
+    pub dram: DramPolicy,
+    /// SM-to-application placement.
+    pub compute: ComputePolicy,
+    /// Physical frame allocation policy.
+    pub alloc: AllocPolicy,
+}
+
+/// The `SharedTlb` baseline: everything shared, no MASK mechanisms.
+const SHARED_BASE: DesignSpec = DesignSpec {
+    translation: TranslationPath::SharedL2Tlb,
+    tokens: TokenPolicy::Disabled,
+    l2: L2Policy::Shared,
+    dram: DramPolicy::Shared,
+    compute: ComputePolicy::SmSets,
+    alloc: AllocPolicy::Linear,
+};
+
+/// Which of the evaluated designs to simulate (§7 plus the two
+/// design-space brackets): a named preset over [`DesignSpec`] axes.
 #[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug)]
 pub enum DesignKind {
     /// Static spatial partitioning: cores *and* L2 cache ways *and* DRAM
     /// channels are split equally between applications (models NVIDIA GRID /
     /// AMD `FirePro`; the `Static` baseline of §7).
     Static,
+    /// FGPU-style page-colored partitioning: disjoint SM sets, color-aware
+    /// frame allocation, and disjoint L2 sets + DRAM banks per application.
+    Partitioned,
+    /// MPS-style share-everything: applications interleave across all SMs
+    /// and contend freely for every shared resource.
+    NoIsolation,
     /// Baseline variant with a shared page-walk cache after the L1 TLBs
     /// (Power et al. \[106\]; Fig. 2a).
     PwCache,
@@ -36,9 +152,13 @@ pub enum DesignKind {
 }
 
 impl DesignKind {
-    /// All designs compared in Figures 11–15, in the paper's plotting order.
-    pub const ALL: [DesignKind; 8] = [
+    /// All designs compared in the Figure 11–15 grids, in plotting order:
+    /// the paper's eight designs plus the two design-space brackets
+    /// (`Partitioned` below `Static`, `NoIsolation` above the baselines).
+    pub const ALL: [DesignKind; 10] = [
         DesignKind::Static,
+        DesignKind::Partitioned,
+        DesignKind::NoIsolation,
         DesignKind::PwCache,
         DesignKind::SharedTlb,
         DesignKind::MaskTlb,
@@ -48,46 +168,62 @@ impl DesignKind {
         DesignKind::Ideal,
     ];
 
-    /// Whether the design places a shared L2 TLB after the L1 TLBs.
-    pub const fn has_shared_l2_tlb(self) -> bool {
-        !matches!(self, DesignKind::PwCache | DesignKind::Ideal)
-    }
-
-    /// Whether the design places a shared page-walk cache in the walker path.
-    pub const fn has_page_walk_cache(self) -> bool {
-        matches!(self, DesignKind::PwCache)
-    }
-
-    /// Whether TLB-Fill Tokens + the TLB bypass cache are active (§5.2).
-    pub const fn tokens_enabled(self) -> bool {
-        matches!(self, DesignKind::MaskTlb | DesignKind::Mask)
-    }
-
-    /// Whether Address-Translation-Aware L2 Bypass is active (§5.3).
-    pub const fn l2_bypass_enabled(self) -> bool {
-        matches!(self, DesignKind::MaskCache | DesignKind::Mask)
-    }
-
-    /// Whether the Address-Space-Aware DRAM Scheduler is active (§5.4).
-    pub const fn mask_dram_enabled(self) -> bool {
-        matches!(self, DesignKind::MaskDram | DesignKind::Mask)
-    }
-
-    /// Whether every L1 TLB access hits (no translation traffic at all).
-    pub const fn ideal_tlb(self) -> bool {
-        matches!(self, DesignKind::Ideal)
-    }
-
-    /// Whether shared resources (L2 ways, DRAM channels) are statically
-    /// partitioned between applications.
-    pub const fn static_partition(self) -> bool {
-        matches!(self, DesignKind::Static)
+    /// The preset's policy axes. This is the *only* place a named design
+    /// is interpreted — simulated layers never see `DesignKind`, they each
+    /// consume one axis of the returned [`DesignSpec`].
+    pub const fn spec(self) -> DesignSpec {
+        match self {
+            DesignKind::Static => DesignSpec {
+                l2: L2Policy::WayPartitioned,
+                dram: DramPolicy::ChannelPartitioned,
+                ..SHARED_BASE
+            },
+            DesignKind::Partitioned => DesignSpec {
+                l2: L2Policy::SetColored,
+                dram: DramPolicy::BankColored,
+                alloc: AllocPolicy::ColorAware,
+                ..SHARED_BASE
+            },
+            DesignKind::NoIsolation => DesignSpec {
+                compute: ComputePolicy::AllSms,
+                ..SHARED_BASE
+            },
+            DesignKind::PwCache => DesignSpec {
+                translation: TranslationPath::PageWalkCache,
+                ..SHARED_BASE
+            },
+            DesignKind::SharedTlb => SHARED_BASE,
+            DesignKind::MaskTlb => DesignSpec {
+                tokens: TokenPolicy::FillTokens,
+                ..SHARED_BASE
+            },
+            DesignKind::MaskCache => DesignSpec {
+                l2: L2Policy::SharedBypass,
+                ..SHARED_BASE
+            },
+            DesignKind::MaskDram => DesignSpec {
+                dram: DramPolicy::MaskQueues,
+                ..SHARED_BASE
+            },
+            DesignKind::Mask => DesignSpec {
+                tokens: TokenPolicy::FillTokens,
+                l2: L2Policy::SharedBypass,
+                dram: DramPolicy::MaskQueues,
+                ..SHARED_BASE
+            },
+            DesignKind::Ideal => DesignSpec {
+                translation: TranslationPath::Ideal,
+                ..SHARED_BASE
+            },
+        }
     }
 
     /// Short label used in experiment tables.
     pub const fn label(self) -> &'static str {
         match self {
             DesignKind::Static => "Static",
+            DesignKind::Partitioned => "Partitioned",
+            DesignKind::NoIsolation => "NoIsolation",
             DesignKind::PwCache => "PWCache",
             DesignKind::SharedTlb => "SharedTLB",
             DesignKind::MaskTlb => "MASK-TLB",
@@ -96,6 +232,12 @@ impl DesignKind {
             DesignKind::Mask => "MASK",
             DesignKind::Ideal => "Ideal",
         }
+    }
+}
+
+impl From<DesignKind> for DesignSpec {
+    fn from(kind: DesignKind) -> Self {
+        kind.spec()
     }
 }
 
@@ -430,8 +572,9 @@ impl Default for GpuConfig {
 pub struct SimConfig {
     /// The simulated machine.
     pub gpu: GpuConfig,
-    /// Which evaluated design to model.
-    pub design: DesignKind,
+    /// The design point to model (named presets convert via
+    /// [`DesignKind::spec`] / `Into<DesignSpec>`).
+    pub design: DesignSpec,
     /// Number of cycles to simulate.
     pub max_cycles: u64,
     /// Base PRNG seed (combined with app/core/warp ids).
@@ -441,11 +584,12 @@ pub struct SimConfig {
 }
 
 impl SimConfig {
-    /// A configuration for `design` on the Table 1 machine.
-    pub fn new(design: DesignKind) -> Self {
+    /// A configuration for `design` (a [`DesignKind`] preset or an
+    /// explicit [`DesignSpec`]) on the Table 1 machine.
+    pub fn new(design: impl Into<DesignSpec>) -> Self {
         SimConfig {
             gpu: GpuConfig::maxwell(),
-            design,
+            design: design.into(),
             max_cycles: default_max_cycles(),
             seed: 0xA55A_2018,
             sm_shards: ShardOptions::default(),
@@ -600,32 +744,86 @@ mod tests {
     fn design_feature_matrix_matches_paper() {
         use DesignKind::*;
         // Fig. 2: PWCache has a page-walk cache, no shared L2 TLB.
-        assert!(PwCache.has_page_walk_cache() && !PwCache.has_shared_l2_tlb());
+        assert_eq!(PwCache.spec().translation, TranslationPath::PageWalkCache);
         // Fig. 2b / Fig. 10: SharedTLB and every MASK variant share an L2 TLB.
         for d in [SharedTlb, MaskTlb, MaskCache, MaskDram, Mask] {
-            assert!(d.has_shared_l2_tlb(), "{d} should have a shared L2 TLB");
+            assert_eq!(
+                d.spec().translation,
+                TranslationPath::SharedL2Tlb,
+                "{d} should have a shared L2 TLB"
+            );
         }
         // Fig. 10: full MASK enables all three mechanisms.
-        assert!(Mask.tokens_enabled() && Mask.l2_bypass_enabled() && Mask.mask_dram_enabled());
+        let mask = Mask.spec();
+        assert_eq!(mask.tokens, TokenPolicy::FillTokens);
+        assert_eq!(mask.l2, L2Policy::SharedBypass);
+        assert_eq!(mask.dram, DramPolicy::MaskQueues);
         // Component studies enable exactly one mechanism each.
-        assert!(
-            MaskTlb.tokens_enabled()
-                && !MaskTlb.l2_bypass_enabled()
-                && !MaskTlb.mask_dram_enabled()
+        let tlb = MaskTlb.spec();
+        assert_eq!(
+            (tlb.tokens, tlb.l2, tlb.dram),
+            (TokenPolicy::FillTokens, L2Policy::Shared, DramPolicy::Shared)
         );
-        assert!(!MaskCache.tokens_enabled() && MaskCache.l2_bypass_enabled());
-        assert!(!MaskDram.l2_bypass_enabled() && MaskDram.mask_dram_enabled());
+        let cache = MaskCache.spec();
+        assert_eq!(
+            (cache.tokens, cache.l2, cache.dram),
+            (
+                TokenPolicy::Disabled,
+                L2Policy::SharedBypass,
+                DramPolicy::Shared
+            )
+        );
+        let dram = MaskDram.spec();
+        assert_eq!(
+            (dram.tokens, dram.l2, dram.dram),
+            (
+                TokenPolicy::Disabled,
+                L2Policy::Shared,
+                DramPolicy::MaskQueues
+            )
+        );
         // Ideal has no translation overhead at all.
-        assert!(Ideal.ideal_tlb() && !Ideal.has_shared_l2_tlb());
-        // Only Static partitions shared resources.
-        assert!(Static.static_partition());
-        assert!(
-            DesignKind::ALL
-                .iter()
-                .filter(|d| d.static_partition())
-                .count()
-                == 1
+        assert_eq!(Ideal.spec().translation, TranslationPath::Ideal);
+        // Static splits ways and channels; Partitioned colors sets/banks
+        // and allocates color-aware frames; both pin SM sets.
+        let st = Static.spec();
+        assert_eq!(
+            (st.l2, st.dram),
+            (L2Policy::WayPartitioned, DramPolicy::ChannelPartitioned)
         );
+        let part = Partitioned.spec();
+        assert_eq!(
+            (part.l2, part.dram, part.alloc, part.compute),
+            (
+                L2Policy::SetColored,
+                DramPolicy::BankColored,
+                AllocPolicy::ColorAware,
+                ComputePolicy::SmSets
+            )
+        );
+        // NoIsolation shares everything and interleaves across all SMs —
+        // it differs from SharedTlb only in compute placement.
+        let noiso = NoIsolation.spec();
+        assert_eq!(noiso.compute, ComputePolicy::AllSms);
+        assert_eq!(
+            DesignSpec {
+                compute: ComputePolicy::SmSets,
+                ..noiso
+            },
+            SharedTlb.spec()
+        );
+    }
+
+    #[test]
+    fn presets_are_distinct_design_points() {
+        // The engine dedup key hashes the spec, so no two named presets may
+        // collapse onto the same axes.
+        for (i, a) in DesignKind::ALL.iter().enumerate() {
+            for b in &DesignKind::ALL[i + 1..] {
+                assert_ne!(a.spec(), b.spec(), "{a} and {b} share a spec");
+            }
+        }
+        assert_eq!(DesignKind::ALL.len(), 10);
     }
 
     #[test]
@@ -658,7 +856,7 @@ mod tests {
             .with_seed(7);
         assert_eq!(cfg.max_cycles, 1234);
         assert_eq!(cfg.seed, 7);
-        assert_eq!(cfg.design, DesignKind::Mask);
+        assert_eq!(cfg.design, DesignKind::Mask.spec());
         // Default is "defer to MASK_SM_SHARDS / serial".
         assert_eq!(cfg.sm_shards, ShardOptions::default());
         let cfg = cfg.with_sm_shards(4);

@@ -32,7 +32,8 @@ pub mod rng;
 pub mod stats;
 
 pub use addr::{LineAddr, PhysAddr, Ppn, VirtAddr, Vpn};
-pub use config::{DesignKind, GpuConfig, SimConfig};
+// lint: allow(design-predicates) -- crate-root re-export, not a policy decision
+pub use config::{DesignKind, DesignSpec, GpuConfig, SimConfig};
 pub use ids::{AppId, Asid, CoreId, WarpId};
 pub use req::{MemRequest, RequestClass, WalkLevel};
 pub use rng::Pcg32;

@@ -30,7 +30,7 @@
 //! primitives (`std::thread`, `Mutex`, atomics) — `cargo xtask lint`
 //! enforces the boundary with the `parallelism` rule.
 
-use mask_common::config::{DesignKind, GpuConfig, JobOptions, ShardOptions, SimConfig};
+use mask_common::config::{DesignKind, DesignSpec, GpuConfig, JobOptions, ShardOptions, SimConfig};
 use mask_common::stats::SimStats;
 use mask_gpu::{AppSpec, GpuSim};
 use std::collections::BTreeMap;
@@ -67,7 +67,11 @@ pub struct SimJob {
 /// sensitivity sweep that tweaks any `GpuConfig` knob gets distinct keys.
 #[derive(Clone, PartialEq, Eq, PartialOrd, Ord, Debug)]
 pub struct JobKey {
-    design: DesignKind,
+    /// The *spec*, not the preset name: two named presets with identical
+    /// policy axes would dedup to one simulation, and distinct specs
+    /// (e.g. `NoIsolation` vs `SharedTlb`, which differ only in compute
+    /// partitioning) never collapse.
+    design: DesignSpec,
     apps: Vec<(&'static str, usize)>,
     max_cycles: u64,
     warmup_cycles: u64,
@@ -80,7 +84,7 @@ impl SimJob {
     #[must_use]
     pub fn key(&self) -> JobKey {
         JobKey {
-            design: self.design,
+            design: self.design.spec(),
             apps: self
                 .specs
                 .iter()
@@ -119,7 +123,7 @@ impl SimJob {
         gpu.n_cores = total;
         let cfg = SimConfig {
             gpu,
-            design: self.design,
+            design: self.design.spec(),
             max_cycles: self.max_cycles,
             seed: self.seed,
             sm_shards: sm_shards.map_or_else(ShardOptions::default, ShardOptions::with_shards),

@@ -15,7 +15,7 @@ use mask_workloads::{AppPair, HmrCategory};
 use std::collections::BTreeMap;
 
 /// All designs Figures 11–15 compare.
-pub const FIG11_DESIGNS: [DesignKind; 8] = DesignKind::ALL;
+pub const FIG11_DESIGNS: [DesignKind; 10] = DesignKind::ALL;
 
 /// The sweep: every (pair, design) outcome.
 #[derive(Clone, Debug)]
@@ -125,6 +125,8 @@ impl MultiprogSweep {
                 matches!(
                     d,
                     DesignKind::Static
+                        | DesignKind::Partitioned
+                        | DesignKind::NoIsolation
                         | DesignKind::PwCache
                         | DesignKind::SharedTlb
                         | DesignKind::Mask

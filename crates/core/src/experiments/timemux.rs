@@ -58,7 +58,7 @@ pub fn run(opts: &ExpOptions) -> Table {
         gpu.n_cores = opts.n_cores;
         SimConfig {
             gpu,
-            design: DesignKind::SharedTlb,
+            design: DesignKind::SharedTlb.spec(),
             max_cycles: opts.cycles,
             seed: ropts.seed,
             sm_shards: ShardOptions::default(),

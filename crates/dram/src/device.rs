@@ -2,7 +2,7 @@
 
 use crate::mapping::{decode, ChannelPartition, Decoded};
 use crate::queues::{frfcfs_pick, BatchState, MaskQueues, QueueEntry};
-use mask_common::config::{DramConfig, MemSchedKind, RowPolicy};
+use mask_common::config::{DramConfig, DramPolicy, MemSchedKind, RowPolicy};
 use mask_common::ids::Asid;
 use mask_common::req::MemRequest;
 use mask_common::Cycle;
@@ -76,17 +76,24 @@ pub struct Dram {
 }
 
 impl Dram {
-    /// Creates the device.
-    ///
-    /// `mask_sched` selects the Address-Space-Aware scheduler; `partition`
-    /// confines applications to channel subsets (Static baseline) or is
-    /// [`ChannelPartition::shared`].
-    pub fn new(
-        cfg: &DramConfig,
-        n_apps: usize,
-        mask_sched: bool,
-        partition: ChannelPartition,
-    ) -> Self {
+    /// Creates the device under `policy` — the one
+    /// [`DesignSpec`](mask_common::config::DesignSpec) axis this layer
+    /// consumes. [`DramPolicy::MaskQueues`] selects the Address-Space-Aware
+    /// scheduler; [`DramPolicy::ChannelPartitioned`] confines applications
+    /// to channel subsets (Static baseline);
+    /// [`DramPolicy::BankColored`] colors banks within shared channels
+    /// (Partitioned baseline). Partitioning is a no-op for a single app.
+    pub fn new(cfg: &DramConfig, n_apps: usize, policy: DramPolicy) -> Self {
+        let mask_sched = policy == DramPolicy::MaskQueues;
+        let partition = match policy {
+            DramPolicy::ChannelPartitioned if n_apps > 1 => {
+                ChannelPartition::split(cfg.channels, n_apps)
+            }
+            DramPolicy::BankColored if n_apps > 1 => {
+                ChannelPartition::bank_colored(cfg.banks_per_channel, n_apps)
+            }
+            _ => ChannelPartition::shared(),
+        };
         let make_queue = || {
             if mask_sched {
                 ChannelQueue::Mask(MaskQueues::new(
@@ -127,6 +134,15 @@ impl Dram {
         // `take_completions`.
         mask_sanitizer::issue("dram", req.id.0);
         let decoded = decode(req.line, &self.cfg, &self.partition, req.asid);
+        if mask_sanitizer::is_enabled() {
+            if let Some((start, n)) = self.partition.bank_range(req.asid) {
+                mask_sanitizer::check(
+                    decoded.bank >= start && decoded.bank < start + n,
+                    "dram-bank-color",
+                    "a bank-colored request must stay inside its application's bank range",
+                );
+            }
+        }
         let entry = QueueEntry {
             req,
             decoded,
@@ -299,7 +315,7 @@ mod tests {
 
     #[test]
     fn single_access_latency_is_miss_plus_burst() {
-        let mut d = Dram::new(&cfg(), 1, false, ChannelPartition::shared());
+        let mut d = Dram::new(&cfg(), 1, DramPolicy::Shared);
         d.enqueue(req(1, 100, RequestClass::Data), 0);
         let done = run(&mut d, 0, 100);
         assert_eq!(done.len(), 1);
@@ -310,7 +326,7 @@ mod tests {
 
     #[test]
     fn same_row_second_access_is_a_hit() {
-        let mut d = Dram::new(&cfg(), 1, false, ChannelPartition::shared());
+        let mut d = Dram::new(&cfg(), 1, DramPolicy::Shared);
         d.enqueue(req(1, 100, RequestClass::Data), 0);
         d.enqueue(req(2, 101, RequestClass::Data), 0); // same 16-line row
         let done = run(&mut d, 0, 200);
@@ -324,7 +340,7 @@ mod tests {
 
     #[test]
     fn conflict_costs_more_than_hit() {
-        let mut d = Dram::new(&cfg(), 1, false, ChannelPartition::shared());
+        let mut d = Dram::new(&cfg(), 1, DramPolicy::Shared);
         // Two rows in the same bank: line +16 moves one row but the bank
         // XOR-fold may move banks; pick rows far apart mapping to the same
         // channel+bank by brute force.
@@ -367,7 +383,7 @@ mod tests {
     fn closed_row_policy_never_hits_or_conflicts() {
         let mut c = cfg();
         c.row_policy = RowPolicy::Closed;
-        let mut d = Dram::new(&c, 1, false, ChannelPartition::shared());
+        let mut d = Dram::new(&c, 1, DramPolicy::Shared);
         for i in 0..8u64 {
             d.enqueue(req(i, 100 + i, RequestClass::Data), 0);
         }
@@ -382,7 +398,7 @@ mod tests {
         // FR-FCFS keeps serving its row hits and an isolated translation
         // request (different row, no hit) waits even though it is older
         // than most of the stream.
-        let mut d = Dram::new(&cfg(), 1, false, ChannelPartition::shared());
+        let mut d = Dram::new(&cfg(), 1, DramPolicy::Shared);
         // Find a line in the same channel and bank as line 0 but another
         // row: the translation then row-conflicts with the stream.
         let part = ChannelPartition::shared();
@@ -426,7 +442,7 @@ mod tests {
 
     #[test]
     fn mask_scheduler_prioritizes_translations() {
-        let mut d = Dram::new(&cfg(), 2, true, ChannelPartition::shared());
+        let mut d = Dram::new(&cfg(), 2, DramPolicy::MaskQueues);
         // Flood with data row hits, then one translation.
         for i in 0..32u64 {
             d.enqueue(req(i, i % 16, RequestClass::Data), 0);
@@ -462,7 +478,7 @@ mod tests {
 
     #[test]
     fn bus_serializes_transfers_on_one_channel() {
-        let mut d = Dram::new(&cfg(), 1, false, ChannelPartition::shared());
+        let mut d = Dram::new(&cfg(), 1, DramPolicy::Shared);
         // 4 accesses to the same row: one miss + three hits, but the bus
         // only moves one burst at a time.
         for i in 0..4u64 {
@@ -478,7 +494,7 @@ mod tests {
 
     #[test]
     fn channels_operate_in_parallel() {
-        let mut d = Dram::new(&cfg(), 1, false, ChannelPartition::shared());
+        let mut d = Dram::new(&cfg(), 1, DramPolicy::Shared);
         // One access per channel: all finish at the same cycle.
         for ch_target in 0..8u64 {
             d.enqueue(req(ch_target, ch_target * 16, RequestClass::Data), 0);
@@ -494,7 +510,7 @@ mod tests {
 
     #[test]
     fn queue_occupancy_tracks_enqueues() {
-        let mut d = Dram::new(&cfg(), 1, false, ChannelPartition::shared());
+        let mut d = Dram::new(&cfg(), 1, DramPolicy::Shared);
         for i in 0..10u64 {
             d.enqueue(req(i, i * 1000, RequestClass::Data), 0);
         }

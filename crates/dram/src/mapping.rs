@@ -22,42 +22,66 @@ pub struct Decoded {
 }
 
 /// Restricts address spaces to channel subsets (the `Static` baseline
-/// partitions "memory channels ... equally across applications", §7).
+/// partitions "memory channels ... equally across applications", §7) or to
+/// bank subsets within every channel (the FGPU-style `Partitioned` design,
+/// which colors DRAM banks instead of reserving whole channels).
 #[derive(Clone, Debug, Default)]
 pub struct ChannelPartition {
     /// `ranges[asid] = (first_channel, n_channels)`; empty = no partition.
     ranges: Vec<(usize, usize)>,
+    /// `bank_ranges[asid] = (first_bank, n_banks)` within every channel;
+    /// empty = banks shared.
+    bank_ranges: Vec<(usize, usize)>,
+}
+
+/// Splits `total` resources among `n_apps`: everyone gets `total / n_apps`
+/// and the *last* app absorbs the remainder, so an uneven split such as
+/// 8 ÷ 3 yields 2, 2, 4 deterministically.
+fn split_ranges(total: usize, n_apps: usize, what: &str) -> Vec<(usize, usize)> {
+    assert!(
+        n_apps > 0 && n_apps <= total,
+        "cannot split {total} {what} {n_apps} ways"
+    );
+    let per = total / n_apps;
+    (0..n_apps)
+        .map(|i| {
+            let start = i * per;
+            let n = if i == n_apps - 1 { total - start } else { per };
+            (start, n)
+        })
+        .collect()
 }
 
 impl ChannelPartition {
-    /// No partitioning: all apps use all channels.
+    /// No partitioning: all apps use all channels and banks.
     pub fn shared() -> Self {
-        ChannelPartition { ranges: Vec::new() }
+        ChannelPartition::default()
     }
 
-    /// Splits `channels` equally among `n_apps`.
+    /// Splits `channels` equally among `n_apps` (remainder to the last app).
     ///
     /// # Panics
     ///
     /// Panics if `n_apps` is 0 or exceeds the channel count.
     pub fn split(channels: usize, n_apps: usize) -> Self {
-        assert!(
-            n_apps > 0 && n_apps <= channels,
-            "cannot split {channels} channels {n_apps} ways"
-        );
-        let per = channels / n_apps;
-        let ranges = (0..n_apps)
-            .map(|i| {
-                let start = i * per;
-                let n = if i == n_apps - 1 {
-                    channels - start
-                } else {
-                    per
-                };
-                (start, n)
-            })
-            .collect();
-        ChannelPartition { ranges }
+        ChannelPartition {
+            ranges: split_ranges(channels, n_apps, "channels"),
+            bank_ranges: Vec::new(),
+        }
+    }
+
+    /// Colors the `banks` of every channel among `n_apps` (remainder to the
+    /// last app); channels stay fully shared so per-app bus bandwidth is
+    /// not reserved, only bank conflicts are isolated.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n_apps` is 0 or exceeds the per-channel bank count.
+    pub fn bank_colored(banks: usize, n_apps: usize) -> Self {
+        ChannelPartition {
+            ranges: Vec::new(),
+            bank_ranges: split_ranges(banks, n_apps, "banks"),
+        }
     }
 
     /// Maps a nominal channel index to the app's allowed subset.
@@ -66,6 +90,20 @@ impl ChannelPartition {
             Some(&(start, n)) if n > 0 => start + nominal % n,
             _ => nominal,
         }
+    }
+
+    /// Maps a nominal bank index to the app's allowed subset.
+    pub fn restrict_bank(&self, nominal: usize, asid: Asid) -> usize {
+        match self.bank_ranges.get(asid.index()) {
+            Some(&(start, n)) if n > 0 => start + nominal % n,
+            _ => nominal,
+        }
+    }
+
+    /// The `(first_bank, n_banks)` range `asid` is colored into, if bank
+    /// coloring is active (sanitizer hooks and tests).
+    pub fn bank_range(&self, asid: Asid) -> Option<(usize, usize)> {
+        self.bank_ranges.get(asid.index()).copied()
     }
 }
 
@@ -83,7 +121,7 @@ pub fn decode(line: LineAddr, cfg: &DramConfig, part: &ChannelPartition, asid: A
         % cfg.banks_per_channel as u64) as usize;
     Decoded {
         channel: part.restrict(nominal_channel, asid),
-        bank,
+        bank: part.restrict_bank(bank, asid),
         row,
     }
 }
@@ -147,6 +185,38 @@ mod tests {
         assert_eq!(part.restrict(5, Asid::new(0)), 1);
         assert_eq!(part.restrict(0, Asid::new(2)), 4);
         assert_eq!(part.restrict(3, Asid::new(2)), 7);
+    }
+
+    #[test]
+    fn bank_coloring_confines_apps_to_their_banks() {
+        let cfg = cfg();
+        let part = ChannelPartition::bank_colored(cfg.banks_per_channel, 2);
+        let mut ch0 = std::collections::HashSet::new();
+        for i in 0..4096u64 {
+            let d0 = decode(LineAddr(i * 17), &cfg, &part, Asid::new(0));
+            let d1 = decode(LineAddr(i * 17), &cfg, &part, Asid::new(1));
+            assert!(d0.bank < 4, "app 0 confined to banks 0-3");
+            assert!((4..8).contains(&d1.bank), "app 1 confined to banks 4-7");
+            ch0.insert(d0.channel);
+        }
+        // Channels are *not* reserved under bank coloring.
+        assert_eq!(ch0.len(), cfg.channels);
+    }
+
+    #[test]
+    fn uneven_bank_coloring_gives_remainder_to_last_app() {
+        // 8 banks ÷ 3 apps: 2, 2, 4.
+        let part = ChannelPartition::bank_colored(8, 3);
+        assert_eq!(part.bank_range(Asid::new(0)), Some((0, 2)));
+        assert_eq!(part.bank_range(Asid::new(1)), Some((2, 2)));
+        assert_eq!(part.bank_range(Asid::new(2)), Some((4, 4)));
+        assert_eq!(part.restrict_bank(0, Asid::new(2)), 4);
+        assert_eq!(part.restrict_bank(5, Asid::new(2)), 5);
+        assert_eq!(part.restrict_bank(5, Asid::new(0)), 1);
+        // Channel splits obey the same rule: 8 ÷ 3 → 2, 2, 4.
+        let chans = ChannelPartition::split(8, 3);
+        assert_eq!(chans.restrict(0, Asid::new(1)), 2);
+        assert_eq!(chans.restrict(3, Asid::new(2)), 7);
     }
 
     #[test]

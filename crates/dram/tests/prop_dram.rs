@@ -1,10 +1,10 @@
 //! Property tests for the DRAM device and schedulers.
 
 use mask_common::addr::LineAddr;
-use mask_common::config::{DramConfig, MemSchedKind, RowPolicy};
+use mask_common::config::{DramConfig, DramPolicy, MemSchedKind, RowPolicy};
 use mask_common::ids::{Asid, CoreId};
 use mask_common::req::{MemRequest, ReqId, RequestClass, WalkLevel};
-use mask_dram::{ChannelPartition, Dram};
+use mask_dram::Dram;
 use proptest::prelude::*;
 use std::collections::HashSet;
 
@@ -53,7 +53,7 @@ proptest! {
             sched: if batch { MemSchedKind::GpuBatch } else { MemSchedKind::FrFcfs },
             ..DramConfig::default()
         };
-        let mut dram = Dram::new(&cfg, 2, mask_sched, ChannelPartition::shared());
+        let mut dram = Dram::new(&cfg, 2, if mask_sched { DramPolicy::MaskQueues } else { DramPolicy::Shared });
         for (i, &(l, a)) in lines.iter().enumerate() {
             dram.enqueue(request(i, l, a), 0);
         }
@@ -69,7 +69,7 @@ proptest! {
     #[test]
     fn bus_transfers_serialize(lines in proptest::collection::vec(0u64..4096, 1..60)) {
         let cfg = DramConfig::default();
-        let mut dram = Dram::new(&cfg, 1, false, ChannelPartition::shared());
+        let mut dram = Dram::new(&cfg, 1, DramPolicy::Shared);
         for (i, &l) in lines.iter().enumerate() {
             dram.enqueue(request(i, l, 0), 0);
         }
@@ -92,7 +92,7 @@ proptest! {
     #[test]
     fn partition_isolation(lines in proptest::collection::vec(0u64..100_000, 1..60)) {
         let cfg = DramConfig::default();
-        let dram = Dram::new(&cfg, 2, false, ChannelPartition::split(8, 2));
+        let dram = Dram::new(&cfg, 2, DramPolicy::ChannelPartitioned);
         for &l in &lines {
             prop_assert!(dram.channel_of(LineAddr(l), Asid::new(0)) < 4);
             prop_assert!(dram.channel_of(LineAddr(l), Asid::new(1)) >= 4);
@@ -103,7 +103,7 @@ proptest! {
     #[test]
     fn closed_row_uniform_latency(lines in proptest::collection::vec(0u64..10_000, 1..60)) {
         let cfg = DramConfig { row_policy: RowPolicy::Closed, ..DramConfig::default() };
-        let mut dram = Dram::new(&cfg, 1, false, ChannelPartition::shared());
+        let mut dram = Dram::new(&cfg, 1, DramPolicy::Shared);
         for (i, &l) in lines.iter().enumerate() {
             dram.enqueue(request(i, l, 0), 0);
         }

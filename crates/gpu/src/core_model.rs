@@ -352,7 +352,7 @@ impl GpuCore {
         phys.sort_unstable_by_key(|l| l.0);
         phys.dedup();
         for &line in &phys {
-            let hit = self.l1cache.probe(line);
+            let hit = self.l1cache.probe(line, self.asid);
             stats.l1_data.record(hit);
             if hit {
                 continue;
@@ -480,7 +480,8 @@ mod tests {
 
     fn setup(design: DesignKind) -> (GpuCore, TranslationUnit, GpuConfig) {
         let cfg = small_cfg();
-        let xlat = TranslationUnit::new(&cfg, design, &[1]);
+        let spec = design.spec();
+        let xlat = TranslationUnit::new(&cfg, spec, &[1]);
         let core = GpuCore::new(
             &cfg,
             CoreId::new(0),
@@ -488,7 +489,7 @@ mod tests {
             0,
             app_by_name("GUP").expect("exists"),
             42,
-            design.ideal_tlb(),
+            spec.translation == mask_common::config::TranslationPath::Ideal,
         );
         (core, xlat, cfg)
     }

@@ -157,6 +157,42 @@ pub fn shard_range(n_cores: usize, shards: usize, shard: usize) -> Range<usize> 
     start..start + base + usize::from(shard < rem)
 }
 
+/// Computes the `shards + 1` cut points slicing `n_cores` cores into shard
+/// ranges (`cuts[s]..cuts[s + 1]` is shard `s`).
+///
+/// The cuts start from the balanced [`shard_range`] positions; an interior
+/// cut is then snapped to the nearest application boundary in `app_starts`
+/// (the SM-set layout under
+/// [`ComputePolicy::SmSets`](mask_common::config::ComputePolicy)) when that
+/// boundary lies within half a balanced shard of the cut, so shards follow
+/// SM-set edges without collapsing to empty ranges when there are more
+/// shards than SM sets. Pass an empty `app_starts` for unaligned slicing —
+/// interleaved `AllSms` layouts have no meaningful core boundaries. The
+/// cut sequence is monotone. Because the merge tail replays shards in
+/// ascending order, results are bit-identical for *any* monotone cut
+/// placement — alignment only keeps one application's cores from straddling
+/// shards when the shapes allow it.
+#[must_use]
+pub fn shard_cuts(n_cores: usize, shards: usize, app_starts: &[usize]) -> Vec<usize> {
+    let snap_radius = (n_cores / shards.max(1)) / 2;
+    let mut cuts = Vec::with_capacity(shards + 1);
+    cuts.push(0);
+    for s in 1..shards {
+        let even = shard_range(n_cores, shards, s).start;
+        let snapped = app_starts
+            .iter()
+            .copied()
+            .filter(|&b| b > 0 && b < n_cores)
+            .min_by_key(|&b| (b.abs_diff(even), b))
+            .filter(|&b| b.abs_diff(even) <= snap_radius)
+            .unwrap_or(even);
+        let prev = *cuts.last().expect("cuts start non-empty");
+        cuts.push(snapped.clamp(prev, n_cores));
+    }
+    cuts.push(n_cores);
+    cuts
+}
+
 /// Runs the issue stage for one shard's cores, capturing sanitizer events
 /// and recording all cross-shard side effects into `out`.
 pub fn run_shard(cores: &mut [GpuCore], now: Cycle, out: &mut ShardOutput) {
@@ -181,7 +217,10 @@ pub fn run_shard(cores: &mut [GpuCore], now: Cycle, out: &mut ShardOutput) {
 /// that window, keeping the underlying `&mut` borrows alive).
 struct Job {
     cores: *mut GpuCore,
-    n_cores: usize,
+    /// The `shards + 1` cut points slicing the core slice (see
+    /// [`shard_cuts`]); lives in the coordinator's `GpuSim` for the whole
+    /// hand-off window.
+    cuts: *const usize,
     outs: *mut ShardOutput,
     shards: usize,
     now: Cycle,
@@ -191,7 +230,7 @@ impl Job {
     const fn empty() -> Self {
         Job {
             cores: std::ptr::null_mut(),
-            n_cores: 0,
+            cuts: std::ptr::null(),
             outs: std::ptr::null_mut(),
             shards: 0,
             now: 0,
@@ -241,7 +280,10 @@ unsafe impl Sync for Shared {}
 unsafe fn exec_shard(job: *const Job, shard: usize) {
     // SAFETY: the caller guarantees the job is published and live.
     let job = unsafe { &*job };
-    let range = shard_range(job.n_cores, job.shards, shard);
+    // SAFETY: `cuts` points at the coordinator's live `[usize; shards + 1]`
+    // cut array, immutable for the whole window.
+    let cuts = unsafe { std::slice::from_raw_parts(job.cuts, job.shards + 1) };
+    let range = cuts[shard]..cuts[shard + 1];
     // SAFETY: `cores` points at a live `[GpuCore; n_cores]` held as `&mut`
     // by the coordinator for the whole window; `range` is disjoint from
     // every other shard's range.
@@ -393,8 +435,17 @@ impl ShardPool {
     /// # Panics
     ///
     /// Re-raises panics from shard execution (e.g. sanitizer violations).
-    pub fn run_issue(&self, cores: &mut [GpuCore], outs: &mut [ShardOutput], now: Cycle) {
+    pub fn run_issue(
+        &self,
+        cores: &mut [GpuCore],
+        outs: &mut [ShardOutput],
+        cuts: &[usize],
+        now: Cycle,
+    ) {
         assert_eq!(outs.len(), self.shards, "one output slot per shard");
+        assert_eq!(cuts.len(), self.shards + 1, "shards + 1 cut points");
+        debug_assert!(cuts.windows(2).all(|w| w[0] <= w[1]), "monotone cuts");
+        assert_eq!(*cuts.last().expect("non-empty"), cores.len());
         if self.shards == 1 {
             run_shard(cores, now, &mut outs[0]);
             return;
@@ -405,7 +456,7 @@ impl ShardPool {
         unsafe {
             *self.shared.job.get() = Job {
                 cores: cores.as_mut_ptr(),
-                n_cores: cores.len(),
+                cuts: cuts.as_ptr(),
                 outs: outs.as_mut_ptr(),
                 shards: self.shards,
                 now,
@@ -502,6 +553,25 @@ mod tests {
     }
 
     #[test]
+    fn shard_cuts_align_to_sm_set_edges() {
+        // No boundaries: the cuts reproduce `shard_range` exactly.
+        assert_eq!(shard_cuts(30, 4, &[]), vec![0, 8, 16, 23, 30]);
+        // A nearby SM-set edge (app split 10 + 22) pulls the first cut.
+        assert_eq!(shard_cuts(32, 4, &[10, 32]), vec![0, 10, 16, 24, 32]);
+        // Edges beyond the snap radius are ignored.
+        assert_eq!(shard_cuts(32, 4, &[2, 32]), vec![0, 8, 16, 24, 32]);
+        // Uneven three-way SM sets (5, 5, 6) over two shards.
+        assert_eq!(shard_cuts(16, 2, &[5, 10, 16]), vec![0, 10, 16]);
+        // Cuts stay monotone and cover the cores for odd shapes.
+        for (n, k, starts) in [(7usize, 3usize, vec![3usize, 7]), (16, 8, vec![8, 16])] {
+            let cuts = shard_cuts(n, k, &starts);
+            assert_eq!(cuts.len(), k + 1);
+            assert_eq!((cuts[0], cuts[k]), (0, n));
+            assert!(cuts.windows(2).all(|w| w[0] <= w[1]));
+        }
+    }
+
+    #[test]
     fn pool_survives_empty_work_and_drop() {
         let pool = ShardPool::new(3);
         assert_eq!(pool.shards(), 3);
@@ -512,8 +582,8 @@ mod tests {
         ];
         // No cores at all: every shard range is empty, the handshake still
         // completes, and dropping the pool joins its workers.
-        pool.run_issue(&mut [], &mut outs, 0);
-        pool.run_issue(&mut [], &mut outs, 1);
+        pool.run_issue(&mut [], &mut outs, &[0, 0, 0, 0], 0);
+        pool.run_issue(&mut [], &mut outs, &[0, 0, 0, 0], 1);
         drop(pool);
     }
 

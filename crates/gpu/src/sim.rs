@@ -5,12 +5,12 @@ use crate::shard::{ShardOutput, ShardPool};
 use crate::translation::{ResolvedTranslation, TranslationUnit};
 use mask_cache::l2::{L2Outcome, L2Response};
 use mask_cache::SharedL2Cache;
-use mask_common::config::SimConfig;
+use mask_common::config::{ComputePolicy, SimConfig, TranslationPath};
 use mask_common::ids::{Asid, CoreId, WarpId};
 use mask_common::req::{MemRequest, RequestClass};
 use mask_common::stats::SimStats;
 use mask_common::Cycle;
-use mask_dram::{ChannelPartition, Dram, DramCompletion, RowOutcome};
+use mask_dram::{Dram, DramCompletion, RowOutcome};
 use mask_obs::profile::SimStage;
 use mask_obs::QueueKind;
 use mask_workloads::AppProfile;
@@ -22,6 +22,38 @@ pub struct AppSpec {
     pub profile: &'static AppProfile,
     /// Number of GPU cores assigned to it.
     pub n_cores: usize,
+}
+
+/// Maps every core index to the application that owns it, honoring the
+/// spec's compute-partitioning axis.
+///
+/// * [`ComputePolicy::SmSets`] gives each application a contiguous block of
+///   cores (§7's disjoint SM sets — every baseline and MASK design).
+/// * [`ComputePolicy::AllSms`] interleaves applications round-robin across
+///   the whole GPU (MPS-style `NoIsolation`), honoring the per-app core
+///   counts; with a single application the two layouts coincide.
+pub(crate) fn core_layout(policy: ComputePolicy, cores_per_app: &[usize]) -> Vec<usize> {
+    let total: usize = cores_per_app.iter().sum();
+    let mut layout = Vec::with_capacity(total);
+    match policy {
+        ComputePolicy::SmSets => {
+            for (app, &n) in cores_per_app.iter().enumerate() {
+                layout.extend(std::iter::repeat_n(app, n));
+            }
+        }
+        ComputePolicy::AllSms => {
+            let mut remaining = cores_per_app.to_vec();
+            while layout.len() < total {
+                for (app, rem) in remaining.iter_mut().enumerate() {
+                    if *rem > 0 {
+                        *rem -= 1;
+                        layout.push(app);
+                    }
+                }
+            }
+        }
+    }
+    layout
 }
 
 /// The assembled GPU simulator.
@@ -65,6 +97,8 @@ pub struct GpuSim {
     pool: Option<ShardPool>,
     /// Per-shard output queues (empty when running serial).
     shard_outs: Vec<ShardOutput>,
+    /// SM-set-aligned shard cut points (`shard_cuts`; empty when serial).
+    shard_cuts: Vec<usize>,
     /// Per-epoch metrics tracker (zero-sized and inert unless the `obs`
     /// feature is compiled in and `MASK_TRACE` is live).
     obs: mask_obs::metrics::EpochTracker,
@@ -97,49 +131,65 @@ impl GpuSim {
         let n_apps = apps.len();
         let cores_per_app: Vec<usize> = apps.iter().map(|a| a.n_cores).collect();
         let design = cfg.design;
+        let ideal_xlat = design.translation == TranslationPath::Ideal;
+        // Each layer consumes exactly one axis of the spec: the translation
+        // unit its translation/token/alloc axes, the L2 its cache policy,
+        // the DRAM its scheduling/partitioning policy, and the core layout
+        // the compute policy.
         let xlat = TranslationUnit::new(&cfg.gpu, design, &cores_per_app);
-        let mut l2 = SharedL2Cache::with_bypass_margin(
+        let l2 = SharedL2Cache::with_bypass_margin(
             &cfg.gpu.l2_cache,
-            design.l2_bypass_enabled(),
+            design.l2,
             n_apps,
             cfg.gpu.mask.bypass_margin,
         );
-        let partition = if design.static_partition() && n_apps > 1 {
-            l2.partition_ways(n_apps);
-            ChannelPartition::split(cfg.gpu.dram.channels, n_apps)
-        } else {
-            ChannelPartition::shared()
-        };
-        let dram = Dram::new(&cfg.gpu.dram, n_apps, design.mask_dram_enabled(), partition);
+        let dram = Dram::new(&cfg.gpu.dram, n_apps, design.dram);
+        let layout = core_layout(design.compute, &cores_per_app);
         let mut cores = Vec::with_capacity(cfg.gpu.n_cores);
-        for (app_idx, spec) in apps.iter().enumerate() {
-            for rank in 0..spec.n_cores {
-                cores.push(GpuCore::new(
-                    &cfg.gpu,
-                    CoreId::new(cores.len() as u16),
-                    Asid::new(app_idx as u16),
-                    rank,
-                    spec.profile,
-                    cfg.seed ^ (app_idx as u64) << 32,
-                    design.ideal_tlb(),
-                ));
-            }
+        let mut ranks = vec![0usize; n_apps];
+        for (core_idx, &app_idx) in layout.iter().enumerate() {
+            let rank = ranks[app_idx];
+            ranks[app_idx] += 1;
+            cores.push(GpuCore::new(
+                &cfg.gpu,
+                CoreId::new(core_idx as u16),
+                Asid::new(app_idx as u16),
+                rank,
+                apps[app_idx].profile,
+                cfg.seed ^ (app_idx as u64) << 32,
+                ideal_xlat,
+            ));
         }
         // The Ideal design translates synchronously inside the issue stage
         // (mutating page-table frame allocation), so it always runs serial.
         // More shards than cores would leave trailing shards permanently
         // empty; clamp rather than spin idle workers.
-        let sm_shards = if design.ideal_tlb() {
+        let sm_shards = if ideal_xlat {
             1
         } else {
             cfg.sm_shards.requested().min(cfg.gpu.n_cores).max(1)
         };
         let mut shard_outs = Vec::new();
+        let mut shard_cuts = Vec::new();
         if sm_shards > 1 {
             shard_outs.reserve_exact(sm_shards);
             for _ in 0..sm_shards {
                 shard_outs.push(ShardOutput::new(n_apps));
             }
+            // Align shard boundaries to SM-set edges so one application's
+            // cores straddle shards only when shards outnumber SM sets;
+            // interleaved layouts have no edges to respect.
+            let app_starts: Vec<usize> = match design.compute {
+                ComputePolicy::SmSets => cores_per_app
+                    .iter()
+                    .scan(0usize, |acc, &n| {
+                        *acc += n;
+                        Some(*acc)
+                    })
+                    .collect(),
+                ComputePolicy::AllSms => Vec::new(),
+            };
+            shard_cuts = crate::shard::shard_cuts(cfg.gpu.n_cores, sm_shards, &app_starts);
         }
         GpuSim {
             cfg: cfg.clone(),
@@ -165,6 +215,7 @@ impl GpuSim {
             sm_shards,
             pool: None,
             shard_outs,
+            shard_cuts,
             obs: mask_obs::metrics::EpochTracker::new(),
         }
     }
@@ -273,7 +324,7 @@ impl GpuSim {
         let pool = self
             .pool
             .get_or_insert_with(|| ShardPool::new(self.sm_shards));
-        pool.run_issue(&mut self.cores, &mut self.shard_outs, now);
+        pool.run_issue(&mut self.cores, &mut self.shard_outs, &self.shard_cuts, now);
         for s in 0..self.shard_outs.len() {
             let out = &mut self.shard_outs[s];
             // Worker-side sanitizer events first: they were observed while
@@ -666,6 +717,7 @@ impl GpuSim {
             sm_shards: self.sm_shards,
             pool: None,
             shard_outs,
+            shard_cuts: self.shard_cuts.clone(),
             obs: self.obs.clone(),
         }
     }

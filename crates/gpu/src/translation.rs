@@ -15,12 +15,12 @@
 //! metric and the `WarpsStalled` input of Eq. 1.
 
 use mask_common::addr::{LineAddr, Ppn, Vpn};
-use mask_common::config::{DesignKind, GpuConfig};
+use mask_common::config::{DesignSpec, GpuConfig, TokenPolicy, TranslationPath};
 use mask_common::ids::{Asid, GlobalWarpId};
 use mask_common::req::{MemRequest, ReqId, RequestClass};
 use mask_common::Cycle;
 use mask_pagetable::{PageTables, PageWalker, WalkAccess, WalkId, WalkOutcome};
-use mask_tlb::{L2TlbProbe, PageWalkCache, SharedL2Tlb, TokenAllocator, TokenPolicy};
+use mask_tlb::{L2TlbProbe, PageWalkCache, SharedL2Tlb, TokenAllocator, TokenPolicy as TlbTokenPolicy};
 // FastMap below is keyed-access only (never iterated) with a fixed-seed
 // hasher, so iteration-order nondeterminism cannot reach simulation results.
 // lint: allow(collections) -- fixed hasher, never iterated.
@@ -132,24 +132,28 @@ pub struct TranslationUnit {
 
 impl TranslationUnit {
     /// Builds the translation path for `design` with `cores_per_app[i]`
-    /// cores assigned to application `i`.
-    pub fn new(cfg: &GpuConfig, design: DesignKind, cores_per_app: &[usize]) -> Self {
+    /// cores assigned to application `i`. This layer consumes the
+    /// `translation`, `tokens`, and `alloc` axes of the spec: the
+    /// translation path picks the shared structures, fill tokens gate L2
+    /// TLB fills, and the allocation policy shapes physical frame
+    /// placement.
+    pub fn new(cfg: &GpuConfig, design: DesignSpec, cores_per_app: &[usize]) -> Self {
         let n_apps = cores_per_app.len();
-        let l2tlb = design.has_shared_l2_tlb().then(|| {
-            let bypass = if design.tokens_enabled() {
+        let tokens_on = design.tokens == TokenPolicy::FillTokens;
+        let l2tlb = (design.translation == TranslationPath::SharedL2Tlb).then(|| {
+            let bypass = if tokens_on {
                 cfg.tlb.bypass_cache_entries
             } else {
                 0
             };
             SharedL2Tlb::new(cfg.tlb.l2_entries, cfg.tlb.l2_assoc, n_apps, bypass)
         });
-        let pwc = design
-            .has_page_walk_cache()
+        let pwc = (design.translation == TranslationPath::PageWalkCache)
             .then(|| PageWalkCache::new(cfg.pwc.bytes, cfg.pwc.assoc));
-        let tokens = design.tokens_enabled().then(|| {
+        let tokens = tokens_on.then(|| {
             let policy = match cfg.mask.token_policy {
-                mask_common::config::TokenPolicyKind::Literal => TokenPolicy::Literal,
-                mask_common::config::TokenPolicyKind::HillClimb => TokenPolicy::HillClimb,
+                mask_common::config::TokenPolicyKind::Literal => TlbTokenPolicy::Literal,
+                mask_common::config::TokenPolicyKind::HillClimb => TlbTokenPolicy::HillClimb,
             };
             TokenAllocator::with_policy(&cfg.mask, cores_per_app, cfg.warps_per_core, policy)
         });
@@ -157,7 +161,7 @@ impl TranslationUnit {
             l2tlb,
             pwc,
             walker: PageWalker::new(cfg.walker_slots, n_apps),
-            tables: PageTables::new(n_apps, cfg.page_size_log2),
+            tables: PageTables::with_alloc(n_apps, cfg.page_size_log2, design.alloc),
             tokens,
             mshr: FastMap::default(),
             l2tlb_pipe: VecDeque::new(),
@@ -610,7 +614,7 @@ impl TranslationUnit {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use mask_common::config::GpuConfig;
+    use mask_common::config::{DesignKind, GpuConfig};
     use mask_common::ids::{CoreId, WarpId};
 
     fn warp(core: u16, warp: u16) -> GlobalWarpId {
@@ -648,7 +652,7 @@ mod tests {
     #[test]
     fn shared_tlb_miss_walks_four_levels() {
         let cfg = GpuConfig::maxwell();
-        let mut unit = TranslationUnit::new(&cfg, DesignKind::SharedTlb, &[2]);
+        let mut unit = TranslationUnit::new(&cfg, DesignKind::SharedTlb.spec(), &[2]);
         assert!(unit.request(Asid::new(0), Vpn(42), warp(0, 0), 0, 0));
         let (resolved, reqs) = drive(&mut unit, 0, 40);
         assert_eq!(resolved.len(), 1);
@@ -661,7 +665,7 @@ mod tests {
     #[test]
     fn second_request_hits_shared_l2_tlb() {
         let cfg = GpuConfig::maxwell();
-        let mut unit = TranslationUnit::new(&cfg, DesignKind::SharedTlb, &[2]);
+        let mut unit = TranslationUnit::new(&cfg, DesignKind::SharedTlb.spec(), &[2]);
         unit.request(Asid::new(0), Vpn(42), warp(0, 0), 0, 0);
         let (r1, _) = drive(&mut unit, 0, 40);
         assert!(r1[0].walked);
@@ -675,7 +679,7 @@ mod tests {
     #[test]
     fn duplicate_requests_merge_and_wake_together() {
         let cfg = GpuConfig::maxwell();
-        let mut unit = TranslationUnit::new(&cfg, DesignKind::SharedTlb, &[2]);
+        let mut unit = TranslationUnit::new(&cfg, DesignKind::SharedTlb.spec(), &[2]);
         assert!(unit.request(Asid::new(0), Vpn(7), warp(0, 0), 0, 0));
         assert!(!unit.request(Asid::new(0), Vpn(7), warp(0, 1), 0, 1));
         assert!(!unit.request(Asid::new(0), Vpn(7), warp(1, 5), 1, 2));
@@ -688,7 +692,7 @@ mod tests {
     #[test]
     fn pwcache_design_skips_l2_tlb_and_uses_pwc() {
         let cfg = GpuConfig::maxwell();
-        let mut unit = TranslationUnit::new(&cfg, DesignKind::PwCache, &[2]);
+        let mut unit = TranslationUnit::new(&cfg, DesignKind::PwCache.spec(), &[2]);
         unit.request(Asid::new(0), Vpn(1), warp(0, 0), 0, 0);
         let (r1, reqs1) = drive(&mut unit, 0, 60);
         assert_eq!(r1.len(), 1);
@@ -709,7 +713,7 @@ mod tests {
     #[test]
     fn different_asids_do_not_share_translations() {
         let cfg = GpuConfig::maxwell();
-        let mut unit = TranslationUnit::new(&cfg, DesignKind::SharedTlb, &[1, 1]);
+        let mut unit = TranslationUnit::new(&cfg, DesignKind::SharedTlb.spec(), &[1, 1]);
         unit.request(Asid::new(0), Vpn(42), warp(0, 0), 0, 0);
         let (r1, _) = drive(&mut unit, 0, 40);
         unit.request(Asid::new(1), Vpn(42), warp(1, 0), 0, 100);
@@ -721,7 +725,7 @@ mod tests {
     #[test]
     fn epoch_pressure_reflects_stalled_warps() {
         let cfg = GpuConfig::maxwell();
-        let mut unit = TranslationUnit::new(&cfg, DesignKind::Mask, &[2]);
+        let mut unit = TranslationUnit::new(&cfg, DesignKind::Mask.spec(), &[2]);
         for w in 0..8 {
             unit.request(Asid::new(0), Vpn(9), warp(0, w), 0, 0);
         }
@@ -735,7 +739,7 @@ mod tests {
     #[test]
     fn tokens_warmup_then_activate() {
         let cfg = GpuConfig::maxwell();
-        let mut unit = TranslationUnit::new(&cfg, DesignKind::Mask, &[2]);
+        let mut unit = TranslationUnit::new(&cfg, DesignKind::Mask.spec(), &[2]);
         assert_eq!(unit.tokens_for(Asid::new(0)), 2 * cfg.warps_per_core as u64);
         unit.end_epoch(100_000);
         let t = unit.tokens_for(Asid::new(0));
@@ -746,7 +750,7 @@ mod tests {
     fn demand_paging_fault_delays_first_touch_only() {
         let mut cfg = GpuConfig::maxwell();
         cfg.page_fault_latency = 500;
-        let mut unit = TranslationUnit::new(&cfg, DesignKind::SharedTlb, &[1]);
+        let mut unit = TranslationUnit::new(&cfg, DesignKind::SharedTlb.spec(), &[1]);
         unit.request(Asid::new(0), Vpn(1), warp(0, 0), 0, 0);
         // Nothing resolves before the fault service time.
         let (early, _) = drive(&mut unit, 0, 400);
@@ -762,7 +766,7 @@ mod tests {
     #[test]
     fn ideal_functional_translation_is_stable() {
         let cfg = GpuConfig::maxwell();
-        let mut unit = TranslationUnit::new(&cfg, DesignKind::Ideal, &[1]);
+        let mut unit = TranslationUnit::new(&cfg, DesignKind::Ideal.spec(), &[1]);
         let p1 = unit.functional_translate(Asid::new(0), Vpn(5));
         let p2 = unit.functional_translate(Asid::new(0), Vpn(5));
         assert_eq!(p1, p2);

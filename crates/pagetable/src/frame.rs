@@ -36,6 +36,11 @@ pub struct FrameAllocator {
     data_next: Vec<u64>,
     /// Next free page-table-node index (nodes are 4 KB each).
     node_next: u64,
+    /// Page-coloring stripe count (≤ 1 = plain contiguous allocation).
+    /// With `n` colors, ASID `a`'s data frames all satisfy
+    /// `frame % n == a % n`, so an application's color rides in the low
+    /// frame bits that feed cache-set and DRAM-bank indexing.
+    n_colors: u64,
 }
 
 impl FrameAllocator {
@@ -45,6 +50,17 @@ impl FrameAllocator {
             page_size_log2,
             data_next: Vec::new(),
             node_next: 0,
+            n_colors: 1,
+        }
+    }
+
+    /// Creates a color-aware allocator striping data frames over
+    /// `n_colors` page colors (the FGPU-style `Partitioned` design;
+    /// `n_colors <= 1` degenerates to [`FrameAllocator::new`]).
+    pub fn with_colors(page_size_log2: u32, n_colors: u64) -> Self {
+        FrameAllocator {
+            n_colors: n_colors.max(1),
+            ..FrameAllocator::new(page_size_log2)
         }
     }
 
@@ -65,11 +81,23 @@ impl FrameAllocator {
             self.data_next.resize(idx + 1, 0);
         }
         let n = self.data_next[idx];
-        assert!(n < DATA_REGION_FRAMES, "data region exhausted for {asid:?}");
+        assert!(
+            n < DATA_REGION_FRAMES / self.n_colors,
+            "data region exhausted for {asid:?}"
+        );
         self.data_next[idx] = n + 1;
         // Region base in *4 KB-equivalent* frames, converted to this page size.
         let region_base_bytes = (idx as u64 * DATA_REGION_FRAMES) << 12;
-        Ppn((region_base_bytes >> self.page_size_log2) + n)
+        let base = region_base_bytes >> self.page_size_log2;
+        if self.n_colors <= 1 {
+            return Ppn(base + n);
+        }
+        // Color-aware striping: every frame of this ASID carries its color
+        // in the low bits (`frame % n_colors == color`), still walking the
+        // region front to back so contiguity within a color is preserved.
+        let color = idx as u64 % self.n_colors;
+        let align = (color + self.n_colors - base % self.n_colors) % self.n_colors;
+        Ppn(base + align + n * self.n_colors)
     }
 
     /// Allocates a 4 KB page-table node, returning its base *byte* address
@@ -144,6 +172,43 @@ mod tests {
             f0.abs_diff(f1) > 1,
             "consecutive nodes should not be adjacent"
         );
+    }
+
+    #[test]
+    fn colored_frames_carry_the_asid_color() {
+        let mut a = FrameAllocator::with_colors(12, 3);
+        for asid in 0..3u16 {
+            for _ in 0..100 {
+                let ppn = a.alloc_data(Asid::new(asid));
+                assert_eq!(ppn.0 % 3, u64::from(asid) % 3, "frame {ppn:?}");
+            }
+        }
+    }
+
+    #[test]
+    fn colored_frames_are_unique_and_stride_by_color_count() {
+        let mut a = FrameAllocator::with_colors(12, 4);
+        let mut seen = HashSet::new();
+        for asid in 0..4u16 {
+            let f0 = a.alloc_data(Asid::new(asid));
+            let f1 = a.alloc_data(Asid::new(asid));
+            assert_eq!(f1.0, f0.0 + 4, "stripe stride is the color count");
+            assert!(seen.insert(f0) && seen.insert(f1));
+        }
+    }
+
+    #[test]
+    fn one_color_degenerates_to_linear() {
+        let mut lin = FrameAllocator::new(12);
+        let mut col = FrameAllocator::with_colors(12, 1);
+        for asid in 0..2u16 {
+            for _ in 0..50 {
+                assert_eq!(
+                    lin.alloc_data(Asid::new(asid)),
+                    col.alloc_data(Asid::new(asid))
+                );
+            }
+        }
     }
 
     #[test]

@@ -2,6 +2,7 @@
 
 use crate::frame::FrameAllocator;
 use mask_common::addr::{levels_for_page_size, LineAddr, Ppn, Vpn, BITS_PER_LEVEL};
+use mask_common::config::AllocPolicy;
 use mask_common::ids::Asid;
 use mask_common::req::WalkLevel;
 
@@ -163,9 +164,22 @@ pub struct PageTables {
 }
 
 impl PageTables {
-    /// Creates tables for `n_asids` address spaces with the given page size.
+    /// Creates tables for `n_asids` address spaces with the given page size
+    /// and a [`AllocPolicy::Linear`] frame allocator.
     pub fn new(n_asids: usize, page_size_log2: u32) -> Self {
-        let mut alloc = FrameAllocator::new(page_size_log2);
+        PageTables::with_alloc(n_asids, page_size_log2, AllocPolicy::Linear)
+    }
+
+    /// Like [`PageTables::new`] with an explicit frame-allocation policy:
+    /// [`AllocPolicy::ColorAware`] stripes each address space's data frames
+    /// over `n_asids` page colors (see [`FrameAllocator::with_colors`]).
+    pub fn with_alloc(n_asids: usize, page_size_log2: u32, policy: AllocPolicy) -> Self {
+        let mut alloc = match policy {
+            AllocPolicy::Linear => FrameAllocator::new(page_size_log2),
+            AllocPolicy::ColorAware => {
+                FrameAllocator::with_colors(page_size_log2, n_asids.max(1) as u64)
+            }
+        };
         let tables = (0..n_asids)
             .map(|i| PageTable::new(Asid::new(i as u16), &mut alloc))
             .collect();
@@ -324,6 +338,15 @@ mod tests {
     fn walk_line_requires_mapping() {
         let pts = tables();
         let _ = pts.walk_line(Asid::new(0), Vpn(0x55), WalkLevel::new(4));
+    }
+
+    #[test]
+    fn color_aware_tables_stripe_data_frames() {
+        let mut pts = PageTables::with_alloc(2, PAGE_SIZE_4K_LOG2, AllocPolicy::ColorAware);
+        for i in 0..64u64 {
+            assert_eq!(pts.ensure_mapped(Asid::new(0), Vpn(i)).0 % 2, 0);
+            assert_eq!(pts.ensure_mapped(Asid::new(1), Vpn(i)).0 % 2, 1);
+        }
     }
 
     #[test]

@@ -1,0 +1,204 @@
+//! Design-preset contracts for the `DesignSpec` refactor.
+//!
+//! PR 7 replaced scattered `DesignKind` predicate checks with per-layer
+//! `DesignSpec` policy axes. These tests pin the refactor down from three
+//! sides:
+//!
+//! 1. **Oracle checksums** — every preset that existed before the refactor
+//!    must simulate *bit-identically* to the predicate-based code. The
+//!    constants below were recorded by hashing `format!("{:?}", stats)`
+//!    (FNV-1a) on the pre-refactor tree at the same configuration.
+//! 2. **Degeneracy** — the new `NoIsolation` preset only differs from
+//!    `SharedTlb` in how cores are laid out across applications, so with a
+//!    single application they must produce byte-identical statistics.
+//! 3. **Isolation** — the new `Partitioned` preset colors frames, L2 sets,
+//!    and DRAM banks per application; with `--features sanitize` the
+//!    `l2-set-color` and `dram-bank-color` checks audit every fill and
+//!    enqueue, and sharding must not perturb any of it.
+
+use mask_core::prelude::*;
+use proptest::prelude::*;
+
+/// FNV-1a over the canonical `Debug` rendering of the final statistics.
+/// Cheap, dependency-free, and sensitive to any field changing anywhere.
+fn fnv1a(bytes: &[u8]) -> u64 {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for &b in bytes {
+        h = (h ^ u64::from(b)).wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    h
+}
+
+/// The oracle configuration: MUM (2 cores) + LPS (2 cores), short token
+/// epochs, serial frontend. Matches the recording run exactly.
+fn oracle_config(design: DesignKind, shards: usize) -> (SimConfig, Vec<AppSpec>) {
+    let mut cfg = SimConfig::new(design)
+        .with_max_cycles(20_000)
+        .with_sm_shards(shards);
+    cfg.seed = 3;
+    cfg.gpu.n_cores = 4;
+    cfg.gpu.warps_per_core = 16;
+    cfg.gpu.mask.epoch_cycles = 5_000;
+    let specs = [("MUM", 2usize), ("LPS", 2usize)]
+        .iter()
+        .map(|&(name, n_cores)| AppSpec {
+            profile: app_by_name(name).expect("known app"),
+            n_cores,
+        })
+        .collect();
+    (cfg, specs)
+}
+
+fn checksum(design: DesignKind, shards: usize) -> u64 {
+    let (cfg, specs) = oracle_config(design, shards);
+    let mut sim = GpuSim::new(&cfg, &specs);
+    sim.run_to_completion();
+    sim.sync_stats();
+    fnv1a(format!("{:?}", sim.stats()).as_bytes())
+}
+
+/// Checksums recorded on the pre-refactor tree (predicate methods still in
+/// place) for every preset that existed then, in the old plotting order.
+const ORACLE: [(DesignKind, u64); 8] = [
+    (DesignKind::Static, 0x6cf6_c693_c132_619c),
+    (DesignKind::PwCache, 0xc790_aea4_2064_63af),
+    (DesignKind::SharedTlb, 0xfa0a_5d67_b666_70fb),
+    (DesignKind::MaskTlb, 0x174e_9bb8_09bf_233c),
+    (DesignKind::MaskCache, 0x85b7_7f45_86cd_69b8),
+    (DesignKind::MaskDram, 0xe5e8_dca8_bf64_1e2f),
+    (DesignKind::Mask, 0xd346_3979_a2f8_6822),
+    (DesignKind::Ideal, 0x2cab_2687_9807_f317),
+];
+
+/// The tentpole's bit-identity guarantee: decomposing each preset into
+/// policy axes must not change a single simulated event.
+#[test]
+fn old_presets_simulate_bit_identically_to_the_predicate_era() {
+    for (design, expected) in ORACLE {
+        let got = checksum(design, 1);
+        assert_eq!(
+            got, expected,
+            "{design} diverged from its pre-refactor oracle: \
+             got {got:#018x}, recorded {expected:#018x}"
+        );
+    }
+}
+
+/// With one application there is nothing to interleave: `AllSms`
+/// round-robin over a single app is the identity layout, and every other
+/// axis of the two presets is already equal.
+#[test]
+fn no_isolation_degenerates_to_shared_tlb_for_a_single_app() {
+    let run = |design: DesignKind| {
+        let mut cfg = SimConfig::new(design).with_max_cycles(15_000);
+        cfg.seed = 11;
+        cfg.gpu.n_cores = 4;
+        cfg.gpu.warps_per_core = 16;
+        let specs = [AppSpec {
+            profile: app_by_name("HISTO").expect("known app"),
+            n_cores: 4,
+        }];
+        let mut sim = GpuSim::new(&cfg, &specs);
+        sim.run_to_completion();
+        sim.sync_stats();
+        sim.stats().clone()
+    };
+    assert_eq!(
+        run(DesignKind::NoIsolation),
+        run(DesignKind::SharedTlb),
+        "NoIsolation must be byte-identical to SharedTlb when one app runs"
+    );
+}
+
+/// Every preset is a distinct point in policy space — the engine dedups
+/// jobs by spec, so two presets collapsing silently would drop results.
+#[test]
+fn all_ten_presets_have_pairwise_distinct_specs() {
+    let specs: Vec<_> = DesignKind::ALL.iter().map(|d| d.spec()).collect();
+    for i in 0..specs.len() {
+        for j in i + 1..specs.len() {
+            assert_ne!(
+                specs[i], specs[j],
+                "{} and {} share a DesignSpec; the job engine would dedup them",
+                DesignKind::ALL[i],
+                DesignKind::ALL[j]
+            );
+        }
+    }
+}
+
+/// `Partitioned` isolation end to end. Under `--features sanitize` the
+/// `l2-set-color` and `dram-bank-color` checks audit every L2 fill and
+/// DRAM enqueue; in any build, per-app instruction counts prove all apps
+/// made progress inside their partitions.
+#[test]
+fn partitioned_runs_clean_under_the_sanitizer() {
+    for (a, b) in [("MUM", "LPS"), ("CONS", "GUP"), ("HISTO", "RED")] {
+        let mut cfg = SimConfig::new(DesignKind::Partitioned).with_max_cycles(15_000);
+        cfg.seed = 5;
+        cfg.gpu.n_cores = 4;
+        cfg.gpu.warps_per_core = 16;
+        let specs = [a, b].map(|name| AppSpec {
+            profile: app_by_name(name).expect("known app"),
+            n_cores: 2,
+        });
+        let mut sim = GpuSim::new(&cfg, &specs);
+        sim.run_to_completion();
+        sim.sync_stats();
+        for (app, stats) in sim.stats().apps.iter().enumerate() {
+            assert!(
+                stats.instructions > 0,
+                "{a}+{b}: app {app} starved inside its partition"
+            );
+        }
+    }
+}
+
+/// Uneven partitioning: three apps over 16 L2 ways / 8 DRAM banks forces
+/// the remainder-to-last split everywhere. Must not panic (sanitized or
+/// not) and every app must make progress.
+#[test]
+fn partitioned_survives_uneven_three_app_splits() {
+    let mut cfg = SimConfig::new(DesignKind::Partitioned).with_max_cycles(12_000);
+    cfg.seed = 9;
+    cfg.gpu.n_cores = 6;
+    cfg.gpu.warps_per_core = 16;
+    let specs = ["MUM", "LPS", "GUP"].map(|name| AppSpec {
+        profile: app_by_name(name).expect("known app"),
+        n_cores: 2,
+    });
+    let mut sim = GpuSim::new(&cfg, &specs);
+    sim.run_to_completion();
+    sim.sync_stats();
+    for (app, stats) in sim.stats().apps.iter().enumerate() {
+        assert!(stats.instructions > 0, "app {app} starved");
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(8))]
+
+    /// The sharded SM frontend must stay invisible for the two presets this
+    /// PR introduced — including `NoIsolation`, whose interleaved core
+    /// layout is exactly what the SM-set-aware shard cuts have to handle.
+    #[test]
+    fn new_presets_shard_bit_identically(seed in 0u64..1_000, shards in 2usize..8) {
+        for design in [DesignKind::Partitioned, DesignKind::NoIsolation] {
+            let serial = checksum_with_seed(design, 1, seed);
+            let sharded = checksum_with_seed(design, shards, seed);
+            prop_assert_eq!(
+                serial, sharded,
+                "{} diverged at {} shards (seed {})", design, shards, seed
+            );
+        }
+    }
+}
+
+fn checksum_with_seed(design: DesignKind, shards: usize, seed: u64) -> u64 {
+    let (mut cfg, specs) = oracle_config(design, shards);
+    cfg.seed = seed;
+    let mut sim = GpuSim::new(&cfg, &specs);
+    sim.run_to_completion();
+    sim.sync_stats();
+    fnv1a(format!("{:?}", sim.stats()).as_bytes())
+}

@@ -52,6 +52,19 @@ fn fig11_15_run() {
     assert!(!s.fig15_unfairness().is_empty());
 }
 
+/// The presets PR 7 introduced go through the full multiprog harness —
+/// and, in the CI `--features sanitize` leg, under the runtime sanitizer,
+/// so their coloring invariants are audited on every fill and enqueue.
+#[test]
+fn new_presets_run_through_multiprog() {
+    let s = multiprog::sweep(
+        &tiny(),
+        &[DesignKind::Partitioned, DesignKind::NoIsolation],
+    );
+    assert!(!s.fig11_weighted_speedup().is_empty());
+    assert!(!s.fig15_unfairness().is_empty());
+}
+
 #[test]
 fn sec72_runs() {
     assert!(components::run(&tiny()).len() >= 10);

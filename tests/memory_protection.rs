@@ -61,7 +61,7 @@ fn per_asid_flush_is_precise() {
 #[test]
 fn translation_unit_isolates_walks() {
     let cfg = GpuConfig::maxwell();
-    let mut unit = TranslationUnit::new(&cfg, DesignKind::SharedTlb, &[1, 1]);
+    let mut unit = TranslationUnit::new(&cfg, DesignKind::SharedTlb.spec(), &[1, 1]);
     let w0 = GlobalWarpId::new(CoreId::new(0), WarpId::new(0));
     let w1 = GlobalWarpId::new(CoreId::new(1), WarpId::new(0));
     unit.request(Asid::new(0), Vpn(42), w0, 0, 0);

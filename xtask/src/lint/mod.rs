@@ -31,6 +31,9 @@
 //! |                   | comment; `SeqCst` in a hot file must be justified by name    |
 //! | `stale-allow`     | a `// lint: allow(R)` that no longer suppresses anything is  |
 //! |                   | itself an error (fixable with `--fix`)                       |
+//! | `design-predicates` | `DesignKind` stays out of the simulator layers: presets    |
+//! |                   | live in `crates/common/src/config.rs` and the experiment /   |
+//! |                   | bench harnesses; layers consume `DesignSpec` axes            |
 //! | `env-determinism` | environment reads (`env::var*`) only in the designated       |
 //! |                   | config entry points, so no stage of the cycle loop can fork  |
 //! |                   | behavior on the environment mid-run                          |

@@ -22,7 +22,7 @@ pub(crate) struct RuleInfo {
 }
 
 /// Every rule the engine knows, in stable order (SARIF `ruleIndex`).
-pub(crate) const RULES: [RuleInfo; 11] = [
+pub(crate) const RULES: [RuleInfo; 12] = [
     RuleInfo {
         id: "collections",
         short: "HashMap/HashSet in a simulator crate",
@@ -96,6 +96,16 @@ pub(crate) const RULES: [RuleInfo; 11] = [
                correct its rule name.",
     },
     RuleInfo {
+        id: "design-predicates",
+        short: "DesignKind consulted outside the config/experiment layers",
+        help: "Simulator layers must consume their own DesignSpec policy \
+               axis (translation, tokens, l2, dram, compute, alloc) instead \
+               of matching on named presets; DesignKind stays in \
+               crates/common/src/config.rs (where the presets are defined), \
+               crates/core (the experiment harnesses and job vocabulary), \
+               and crates/bench.",
+    },
+    RuleInfo {
         id: "env-determinism",
         short: "environment read outside the config entry points",
         help: "std::env::var reads (MASK_* or otherwise) are only permitted \
@@ -108,7 +118,7 @@ pub(crate) const RULES: [RuleInfo; 11] = [
 
 /// The pass functions, run in order over every file. (`stale-allow` is
 /// implemented by the engine itself, from the allow-usage ledger.)
-pub(crate) const PASSES: [fn(&FileCtx<'_>, &mut Sink<'_>); 10] = [
+pub(crate) const PASSES: [fn(&FileCtx<'_>, &mut Sink<'_>); 11] = [
     pass_collections,
     pass_nondeterminism,
     pass_parallelism,
@@ -118,6 +128,7 @@ pub(crate) const PASSES: [fn(&FileCtx<'_>, &mut Sink<'_>); 10] = [
     pass_debug_derive,
     pass_unsafe_audit,
     pass_atomic_ordering,
+    pass_design_predicates,
     pass_env_determinism,
 ];
 
@@ -380,6 +391,33 @@ fn pass_atomic_ordering(ctx: &FileCtx<'_>, sink: &mut Sink<'_>) {
     }
 }
 
+fn pass_design_predicates(ctx: &FileCtx<'_>, sink: &mut Sink<'_>) {
+    // The preset table itself, the experiment/bench harnesses (which name
+    // designs for tables and plots), and the job vocabulary in mask-core
+    // legitimately speak in presets.
+    if ctx.krate == "core"
+        || ctx.krate == "bench"
+        || (ctx.krate == "common" && ctx.file_name == "config.rs")
+    {
+        return;
+    }
+    for (i, l) in ctx.lines.iter().enumerate() {
+        if let Some(c) = find_word(&l.code, "DesignKind") {
+            sink.report(
+                i,
+                c,
+                "design-predicates",
+                "simulator layers must consume their own `DesignSpec` axis \
+                 (translation/tokens/l2/dram/compute/alloc), not branch on \
+                 named `DesignKind` presets; preset knowledge belongs in \
+                 crates/common/src/config.rs and the experiment harnesses"
+                    .into(),
+                None,
+            );
+        }
+    }
+}
+
 fn pass_env_determinism(ctx: &FileCtx<'_>, sink: &mut Sink<'_>) {
     if ctx.env_entry {
         return;
@@ -466,7 +504,7 @@ mod tests {
 
     #[test]
     fn rules_table_matches_pass_count() {
-        // 10 pass functions + the engine-implemented stale-allow.
+        // 11 pass functions + the engine-implemented stale-allow.
         assert_eq!(RULES.len(), PASSES.len() + 1);
         let ids: Vec<&str> = RULES.iter().map(|r| r.id).collect();
         assert!(ids.contains(&"stale-allow"));

@@ -1,7 +1,7 @@
 //! Engine and rule tests: one red-fixture test per rule (proving each
 //! rule fires), one clean fixture per rule, the v1 regression cases
 //! (`//` inside strings, brace-in-string `#[cfg(test)]` spans), and a
-//! self-check that the repository itself is lint-clean under all 11 rules.
+//! self-check that the repository itself is lint-clean under all 12 rules.
 
 use super::*;
 
@@ -248,6 +248,39 @@ fn stale_allow_catches_misspelled_rule_names() {
         "let x = m.get(&k).unwrap(); // lint: allow(unwarp)\n",
     );
     assert_eq!(rules(&v), ["unwrap", "stale-allow"]);
+}
+
+#[test]
+fn red_design_predicates_flags_preset_checks_in_sim_layers() {
+    let v = lint(
+        "crates/gpu/src/sim.rs",
+        "if design == DesignKind::Mask { enable_tokens(); }\n",
+    );
+    assert_eq!(rules(&v), ["design-predicates"]);
+    // Any mention counts, not just comparisons: imports rot into use sites.
+    let v = lint(
+        "crates/dram/src/device.rs",
+        "use mask_common::config::DesignKind;\n",
+    );
+    assert_eq!(rules(&v), ["design-predicates"]);
+}
+
+#[test]
+fn clean_design_predicates_config_harnesses_and_tests_are_exempt() {
+    let src = "let d = DesignKind::Mask.spec();\n";
+    // The preset table itself.
+    assert!(lint("crates/common/src/config.rs", src).is_empty());
+    // Experiment harnesses and the job vocabulary.
+    assert!(lint("crates/core/src/experiments/multiprog.rs", src).is_empty());
+    assert!(lint("crates/core/src/engine.rs", src).is_empty());
+    assert!(lint("crates/bench/src/lib.rs", src).is_empty());
+    // Test code is masked like every other rule.
+    let guarded = "#[cfg(test)]\nmod tests {\n    use mask_common::DesignKind;\n}\n";
+    assert!(lint("crates/gpu/src/sim.rs", guarded).is_empty());
+    // A word-boundary hit only: identifiers merely containing the token
+    // are someone else's business.
+    let v = lint("crates/gpu/src/sim.rs", "let my_design_kind = 3;\n");
+    assert!(v.is_empty());
 }
 
 #[test]
@@ -621,7 +654,7 @@ fn apply_fixes_rewrites_stale_allows_and_missing_derives() {
     std::fs::remove_dir_all(&dir).ok();
 }
 
-// Self-check: the repository itself must be clean under all 11 rules.
+// Self-check: the repository itself must be clean under all 12 rules.
 
 #[test]
 fn repo_is_lint_clean() {
