@@ -1,0 +1,199 @@
+//! Warm-up prefix-reuse benchmark: wall-clock speedup of a sweep whose
+//! jobs share one warm-up prefix through the engine's `PrefixCache`.
+//!
+//! The workload is a single-axis MASK sensitivity sweep: `n` jobs that
+//! differ only in `initial_tokens_frac`, an epoch-end-only knob that
+//! provably cannot influence a warm-up ending before the first epoch
+//! boundary. With prefix reuse *off* every job simulates warm-up +
+//! measured phase from cycle zero; with reuse *on* the warm-up prefix is
+//! simulated exactly once, snapshotted, and every other job restores from
+//! the sealed bytes and runs only its measured phase. Restore-then-run is
+//! bit-identical to the straight-through simulation, so the per-job
+//! instruction checksums must match exactly between the two modes — the
+//! speedup is pure wall clock. Both modes run the pool serially
+//! (`workers = 1`): the comparison measures simulation work avoided, not
+//! scheduling. Results are written to
+//! `target/mask-results/BENCH_pr8.json`; the committed `BENCH_pr8.json`
+//! at the repository root records the numbers for this PR.
+//!
+//! ```text
+//! cargo bench -p mask-bench --bench prefix_reuse             # measure
+//! cargo bench -p mask-bench --bench prefix_reuse -- --check  # CI gate
+//! ```
+//!
+//! Environment:
+//!
+//! * `MASK_BENCH_PREFIX_CYCLES` — cycles per job (default 160 000; half
+//!   is warm-up, kept under one 100 000-cycle epoch);
+//! * `MASK_BENCH_PREFIX_JOBS` — sweep width (default 8);
+//! * `MASK_BENCH_REPS` — timed repetitions, best-of (default 2);
+//! * `MASK_BENCH_MIN_SPEEDUP` — override the `--check` speedup floor.
+//!
+//! `--check` fails (exit 1) when (a) any job's instruction checksum
+//! differs between reuse-off and reuse-on — the determinism gate — or
+//! (b) the measured speedup drops below 70% of the `speedup` committed in
+//! `BENCH_pr8.json` (never below 1.0), overridable for slow runners via
+//! `MASK_BENCH_MIN_SPEEDUP`.
+
+use mask_common::config::{DesignKind, GpuConfig};
+use mask_common::stats::SimStats;
+use mask_core::engine::{BaselineCache, JobPool, PrefixCache, SimJob};
+use mask_gpu::AppSpec;
+use mask_workloads::app_by_name;
+use std::path::Path;
+use std::time::Instant;
+
+/// The single-axis sweep: `n` MASK jobs over `initial_tokens_frac`.
+fn sweep(n: usize, cycles: u64) -> Vec<SimJob> {
+    let mut gpu = GpuConfig::maxwell();
+    gpu.warps_per_core = 16;
+    (0..n)
+        .map(|i| {
+            let mut job = SimJob {
+                design: DesignKind::Mask,
+                specs: [("HISTO", 4), ("GUP", 4)]
+                    .iter()
+                    .map(|&(name, n_cores)| AppSpec {
+                        profile: app_by_name(name).expect("known app"),
+                        n_cores,
+                    })
+                    .collect(),
+                max_cycles: cycles,
+                warmup_cycles: cycles / 2,
+                seed: 42,
+                gpu: gpu.clone(),
+            };
+            job.gpu.mask.initial_tokens_frac = 0.20 + 0.08 * i as f64;
+            job
+        })
+        .collect()
+}
+
+/// Per-job instruction checksums, the cross-mode determinism witness.
+fn checksums(results: &[SimStats]) -> Vec<u64> {
+    results
+        .iter()
+        .map(|s| s.apps.iter().map(|a| a.instructions).sum())
+        .collect()
+}
+
+/// Best-of-`reps` wall time for one pool mode, with a fresh private
+/// prefix cache per repetition so every timed run does its own warm-ups.
+fn measure(jobs: &[SimJob], reps: usize, reuse: bool) -> (f64, Vec<u64>, u64, u64) {
+    let mut best = f64::INFINITY;
+    let mut sums = Vec::new();
+    let (mut hits, mut misses) = (0, 0);
+    for _ in 0..reps {
+        let prefix = PrefixCache::in_memory();
+        let pool = JobPool::with_workers(1)
+            .with_cache(BaselineCache::new())
+            .with_prefix_cache(std::sync::Arc::clone(&prefix))
+            .with_prefix_reuse(reuse);
+        let started = Instant::now();
+        let results = pool.run_batch(jobs);
+        best = best.min(started.elapsed().as_secs_f64());
+        sums = checksums(&results);
+        let stats = prefix.stats();
+        hits = stats.hits;
+        misses = stats.misses;
+    }
+    (best, sums, hits, misses)
+}
+
+fn env_u64(key: &str, default: u64) -> u64 {
+    std::env::var(key)
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(default)
+}
+
+/// Repository root (this file lives at `crates/bench/benches/`).
+fn repo_root() -> &'static Path {
+    Path::new(env!("CARGO_MANIFEST_DIR"))
+        .ancestors()
+        .nth(2)
+        .expect("crates/bench has a workspace root two levels up")
+}
+
+/// Extracts `"key": <number>` from a flat JSON object.
+fn json_number(text: &str, key: &str) -> Option<f64> {
+    let k = text.find(&format!("\"{key}\""))?;
+    let after = &text[k..];
+    let colon = after.find(':')?;
+    let rest = after[colon + 1..].trim_start();
+    let end = rest
+        .find(|c: char| !(c.is_ascii_digit() || c == '.' || c == '-' || c == 'e' || c == '+'))
+        .unwrap_or(rest.len());
+    rest[..end].parse().ok()
+}
+
+fn main() {
+    let check = std::env::args().any(|a| a == "--check");
+    let cycles = env_u64("MASK_BENCH_PREFIX_CYCLES", 160_000);
+    let n_jobs = env_u64("MASK_BENCH_PREFIX_JOBS", 8) as usize;
+    let reps = env_u64("MASK_BENCH_REPS", 2) as usize;
+    mask_obs::set_runtime(Some(false));
+
+    let jobs = sweep(n_jobs, cycles);
+    let warmup = jobs[0].warmup_cycles;
+    assert!(
+        jobs.iter().all(|j| j.prefix_key() == jobs[0].prefix_key()),
+        "sweep must share one warm-up prefix"
+    );
+    println!(
+        "=== prefix reuse — {n_jobs}-job initial_tokens_frac sweep, \
+         cycles/job={cycles} (warm-up {warmup}) reps={reps} (best-of) ===\n"
+    );
+
+    let (off_secs, off_sums, ..) = measure(&jobs, reps, false);
+    println!("reuse=off  {off_secs:>8.2}s wall  ({n_jobs} full runs)");
+    let (on_secs, on_sums, hits, misses) = measure(&jobs, reps, true);
+    println!("reuse=on   {on_secs:>8.2}s wall  ({misses} warm-up(s) simulated, {hits} restored)");
+    let speedup = off_secs / on_secs.max(1e-9);
+    let identical = off_sums == on_sums;
+    println!("\nspeedup {speedup:.2}x; per-job instruction checksums identical: {identical}");
+
+    // Always archive the measurement.
+    let mut json = String::from("{\n  \"bench\": \"prefix_reuse\",\n");
+    json.push_str(&format!(
+        "  \"jobs\": {n_jobs},\n  \"cycles_per_job\": {cycles},\n  \
+         \"warmup_cycles\": {warmup},\n  \"sweep_axis\": \"initial_tokens_frac\",\n  \
+         \"wall_secs_reuse_off\": {off_secs:.3},\n  \"wall_secs_reuse_on\": {on_secs:.3},\n  \
+         \"speedup\": {speedup:.3},\n  \"warmups_simulated\": {misses},\n  \
+         \"warmups_restored\": {hits},\n  \"checksums_identical\": {identical},\n"
+    ));
+    json.push_str("  \"instr_checksums\": [");
+    for (i, sum) in on_sums.iter().enumerate() {
+        let comma = if i + 1 == on_sums.len() { "" } else { ", " };
+        json.push_str(&format!("{sum}{comma}"));
+    }
+    json.push_str("]\n}\n");
+    let out_dir = repo_root().join("target/mask-results");
+    if std::fs::create_dir_all(&out_dir).is_ok() {
+        let _ = std::fs::write(out_dir.join("BENCH_pr8.json"), &json);
+    }
+
+    if check {
+        if !identical {
+            eprintln!("determinism violation: reuse-on checksums differ from reuse-off");
+            eprintln!("  off: {off_sums:?}");
+            eprintln!("  on:  {on_sums:?}");
+            std::process::exit(1);
+        }
+        println!("check: checksums identical across reuse modes");
+        let committed = std::fs::read_to_string(repo_root().join("BENCH_pr8.json"))
+            .expect("--check needs the committed BENCH_pr8.json at the repo root");
+        let reference =
+            json_number(&committed, "speedup").expect("committed JSON must carry a speedup field");
+        let floor = std::env::var("MASK_BENCH_MIN_SPEEDUP")
+            .ok()
+            .and_then(|v| v.parse::<f64>().ok())
+            .unwrap_or_else(|| (reference * 0.7).max(1.0));
+        println!("check: measured {speedup:.2}x vs floor {floor:.2}x (committed {reference:.2}x)");
+        if speedup < floor {
+            eprintln!("prefix-reuse regression: {speedup:.2}x < {floor:.2}x");
+            std::process::exit(1);
+        }
+        println!("check: OK");
+    }
+}

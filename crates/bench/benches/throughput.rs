@@ -23,7 +23,10 @@
 //! * `MASK_BENCH_CYCLES` — simulated cycles per run (default 200 000);
 //! * `MASK_BENCH_REPS` — timed repetitions, best-of (default 3);
 //! * `MASK_BENCH_MIN_CPS` — override the serial `--check` floor;
-//! * `MASK_BENCH_MIN_CPS_SHARDED` — override the 4-shard `--check` floor.
+//! * `MASK_BENCH_MIN_CPS_SHARDED` — override the 4-shard `--check` floor;
+//! * `MASK_BENCH_FORCE_SWEEP` — set to `1` to time shard counts above the
+//!   machine's available parallelism anyway (skipped by default: timing an
+//!   oversubscribed frontend reports scheduler noise, not the engine).
 //!
 //! `--check` fails (exit 1) when (a) the measured serial 2-app throughput
 //! drops below 70% of `cycles_per_sec_after` committed in `BENCH_pr7.json`,
@@ -151,14 +154,30 @@ fn main() {
     }
 
     // Sharded-frontend sweep on the two-app workload. The checksum must
-    // not move: sharding is bit-identical by construction.
+    // not move: sharding is bit-identical by construction. Shard counts
+    // beyond the machine's available parallelism would time thread
+    // oversubscription rather than the frontend, so they are skipped
+    // (recorded as such in the JSON) unless explicitly forced.
     let two_app = &WORKLOADS[1];
-    println!("\n=== sharded SM frontend — {} ===\n", two_app.name);
-    let mut sweep = Vec::new();
+    let avail = std::thread::available_parallelism().map_or(1, std::num::NonZeroUsize::get);
+    let force = std::env::var("MASK_BENCH_FORCE_SWEEP").is_ok_and(|v| v == "1");
+    println!(
+        "\n=== sharded SM frontend — {} (available parallelism {avail}) ===\n",
+        two_app.name
+    );
+    let mut sweep: Vec<(usize, Option<(f64, u64)>)> = Vec::new();
     for shards in [1usize, 2, 4, 8] {
+        if shards > avail && !force {
+            println!(
+                "shards={shards}            skipped (exceeds available parallelism {avail}; \
+                 set MASK_BENCH_FORCE_SWEEP=1 to time it anyway)"
+            );
+            sweep.push((shards, None));
+            continue;
+        }
         let (cps, checksum) = measure(two_app, cycles, reps, shards);
         println!("shards={shards}            {cps:>14.0} cycles/sec  (instr checksum {checksum})");
-        sweep.push((shards, cps, checksum));
+        sweep.push((shards, Some((cps, checksum))));
     }
 
     // Always archive the measurement.
@@ -173,11 +192,17 @@ fn main() {
         ));
     }
     json.push_str("    \"shard_sweep_two_app_CONS_LPS\": {\n");
-    for (i, (shards, cps, checksum)) in sweep.iter().enumerate() {
+    for (i, (shards, outcome)) in sweep.iter().enumerate() {
         let comma = if i + 1 == sweep.len() { "" } else { "," };
-        json.push_str(&format!(
-            "      \"shards_{shards}\": {{ \"cycles_per_sec\": {cps:.0}, \"instr_checksum\": {checksum} }}{comma}\n"
-        ));
+        match outcome {
+            Some((cps, checksum)) => json.push_str(&format!(
+                "      \"shards_{shards}\": {{ \"cycles_per_sec\": {cps:.0}, \"instr_checksum\": {checksum} }}{comma}\n"
+            )),
+            None => json.push_str(&format!(
+                "      \"shards_{shards}\": {{ \"skipped\": true, \"note\": \
+                 \"exceeds available parallelism ({avail})\" }}{comma}\n"
+            )),
+        }
     }
     json.push_str("    }\n  }\n}\n");
     let out_dir = repo_root().join("target/mask-results");
@@ -186,18 +211,21 @@ fn main() {
     }
 
     if check {
-        // Determinism gate: every shard count reproduces the serial
-        // instruction checksum exactly.
-        let serial_checksum = sweep[0].2;
-        for (shards, _, checksum) in &sweep {
-            if *checksum != serial_checksum {
-                eprintln!(
-                    "determinism violation: shards={shards} checksum {checksum} != serial {serial_checksum}"
-                );
-                std::process::exit(1);
+        // Determinism gate: every *measured* shard count reproduces the
+        // serial instruction checksum exactly (skipped entries carry no
+        // measurement to compare).
+        let serial_checksum = sweep[0].1.expect("serial frontend is always measured").1;
+        for (shards, outcome) in &sweep {
+            if let Some((_, checksum)) = outcome {
+                if *checksum != serial_checksum {
+                    eprintln!(
+                        "determinism violation: shards={shards} checksum {checksum} != serial {serial_checksum}"
+                    );
+                    std::process::exit(1);
+                }
             }
         }
-        println!("\ncheck: instruction checksum identical across shard counts ({serial_checksum})");
+        println!("\ncheck: instruction checksum identical across measured shard counts ({serial_checksum})");
 
         let committed = std::fs::read_to_string(repo_root().join("BENCH_pr7.json"))
             .expect("--check needs the committed BENCH_pr7.json at the repo root");
@@ -249,25 +277,36 @@ fn main() {
             }
         }
 
+        // The 4-shard floor only applies when both sides exist: the entry
+        // may be skipped in this run (machine with < 4 hardware threads)
+        // or in the committed reference (recorded on such a machine).
+        let sharded_measured = sweep
+            .iter()
+            .find(|(s, _)| *s == 4)
+            .and_then(|(_, outcome)| outcome.map(|(cps, _)| cps));
         let sharded_reference = std::env::var("MASK_BENCH_MIN_CPS_SHARDED")
             .ok()
             .and_then(|v| v.parse::<f64>().ok())
-            .or_else(|| json_number(&committed, "shards_4", "cycles_per_sec"))
-            .expect("committed JSON must carry shards_4.cycles_per_sec");
-        let sharded_floor = sharded_reference * 0.7;
-        let sharded_measured = sweep
-            .iter()
-            .find(|(s, ..)| *s == 4)
-            .map(|(_, cps, _)| *cps)
-            .expect("4-shard configuration measured");
-        println!(
-            "check: shards=4 measured {sharded_measured:.0} cycles/sec vs floor {sharded_floor:.0} (70% of {sharded_reference:.0})"
-        );
-        if sharded_measured < sharded_floor {
-            eprintln!(
-                "sharded throughput regression: {sharded_measured:.0} < {sharded_floor:.0} cycles/sec"
-            );
-            std::process::exit(1);
+            .or_else(|| json_number(&committed, "shards_4", "cycles_per_sec"));
+        match (sharded_measured, sharded_reference) {
+            (Some(measured4), Some(reference4)) => {
+                let sharded_floor = reference4 * 0.7;
+                println!(
+                    "check: shards=4 measured {measured4:.0} cycles/sec vs floor {sharded_floor:.0} (70% of {reference4:.0})"
+                );
+                if measured4 < sharded_floor {
+                    eprintln!(
+                        "sharded throughput regression: {measured4:.0} < {sharded_floor:.0} cycles/sec"
+                    );
+                    std::process::exit(1);
+                }
+            }
+            (None, _) => println!(
+                "check: shards=4 skipped on this machine (available parallelism {avail}); floor not applied"
+            ),
+            (Some(_), None) => println!(
+                "check: shards=4 has no committed reference (skipped when recorded); floor not applied"
+            ),
         }
         println!("check: OK");
     }

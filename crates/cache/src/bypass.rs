@@ -150,6 +150,55 @@ impl BypassMonitor {
     }
 }
 
+impl mask_common::snapshot::Snapshot for BypassMonitor {
+    /// Serializes every per-app field except the config-derived margin.
+    /// Rates are captured as exact f64 bit patterns so a restored monitor
+    /// latches bit-identical decisions at the next epoch boundary.
+    fn snapshot(&self, w: &mut mask_common::snapshot::SnapshotWriter) {
+        w.seq(self.apps.len());
+        for app in &self.apps {
+            for s in &app.level_epoch {
+                s.snapshot(w);
+            }
+            app.data_epoch.snapshot(w);
+            for &b in &app.bypass_level {
+                w.bool(b);
+            }
+            for &rate in &app.level_rate {
+                w.f64(rate);
+            }
+            w.f64(app.data_rate);
+            for &c in &app.sample_ctr {
+                w.u64(c);
+            }
+        }
+    }
+
+    fn restore(
+        &mut self,
+        r: &mut mask_common::snapshot::SnapshotReader<'_>,
+    ) -> Result<(), mask_common::snapshot::SnapshotError> {
+        r.seq_exact(self.apps.len())?;
+        for app in &mut self.apps {
+            for s in &mut app.level_epoch {
+                s.restore(r)?;
+            }
+            app.data_epoch.restore(r)?;
+            for b in &mut app.bypass_level {
+                *b = r.bool()?;
+            }
+            for rate in &mut app.level_rate {
+                *rate = r.f64()?;
+            }
+            app.data_rate = r.f64()?;
+            for c in &mut app.sample_ctr {
+                *c = r.u64()?;
+            }
+        }
+        Ok(())
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

@@ -257,6 +257,41 @@ impl DataCache {
     }
 }
 
+impl mask_common::snapshot::Snapshot for DataCache {
+    /// Serializes the stamp and every way (valid or not) of every set: the
+    /// geometry is fixed at construction, so the layout is positional.
+    /// Partitioning and set coloring are config-derived and not captured.
+    fn snapshot(&self, w: &mut mask_common::snapshot::SnapshotWriter) {
+        w.u64(self.stamp);
+        w.seq(self.sets.len());
+        for set in &self.sets {
+            for way in set {
+                w.u64(way.line.0);
+                w.u64(way.last_used);
+                w.bool(way.valid);
+                w.u16(way.owner);
+            }
+        }
+    }
+
+    fn restore(
+        &mut self,
+        r: &mut mask_common::snapshot::SnapshotReader<'_>,
+    ) -> Result<(), mask_common::snapshot::SnapshotError> {
+        self.stamp = r.u64()?;
+        r.seq_exact(self.sets.len())?;
+        for set in &mut self.sets {
+            for way in set.iter_mut() {
+                way.line = LineAddr(r.u64()?);
+                way.last_used = r.u64()?;
+                way.valid = r.bool()?;
+                way.owner = r.u16()?;
+            }
+        }
+        Ok(())
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

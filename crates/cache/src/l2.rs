@@ -305,6 +305,116 @@ impl SharedL2Cache {
     pub fn flush(&mut self) {
         self.array.flush();
     }
+
+    /// Visits every request currently held inside the L2 — bank queues,
+    /// banked MSHR waiters, bypass MSHR waiters, and undelivered responses.
+    ///
+    /// This set is exactly the requests accepted by [`SharedL2Cache::enqueue`]
+    /// and not yet drained by [`SharedL2Cache::drain_responses_into`], with
+    /// each request visited once (`to_dram` copies are duplicates of MSHR
+    /// primaries and are skipped). [`GpuSim::restore`] uses it to re-open
+    /// client-side conservation domains after restoring into a fresh
+    /// sanitizer session.
+    ///
+    /// [`GpuSim::restore`]: mask_common::snapshot::Snapshot::restore
+    pub fn for_each_in_flight(&self, mut f: impl FnMut(&MemRequest)) {
+        for bank in &self.banks {
+            for (req, _) in &bank.queue {
+                f(req);
+            }
+            for entry in bank.mshr.entries() {
+                for req in &entry.waiters {
+                    f(req);
+                }
+            }
+        }
+        for entry in self.bypass_mshr.entries() {
+            for req in &entry.waiters {
+                f(req);
+            }
+        }
+        for resp in &self.responses {
+            f(&resp.req);
+        }
+    }
+}
+
+impl mask_common::snapshot::Snapshot for SharedL2Cache {
+    fn snapshot(&self, w: &mut mask_common::snapshot::SnapshotWriter) {
+        use mask_common::snapshot::SnapField;
+        w.section("l2cache");
+        self.array.snapshot(w);
+        w.seq(self.banks.len());
+        for bank in &self.banks {
+            w.seq(bank.queue.len());
+            for (req, ready) in &bank.queue {
+                req.write(w);
+                w.u64(*ready);
+            }
+            bank.mshr.snapshot(w);
+        }
+        self.monitor.snapshot(w);
+        self.bypass_mshr.snapshot(w);
+        w.seq(self.to_dram.len());
+        for req in &self.to_dram {
+            req.write(w);
+        }
+        w.seq(self.responses.len());
+        for resp in &self.responses {
+            resp.req.write(w);
+            w.u8(match resp.outcome {
+                L2Outcome::Hit => 0,
+                L2Outcome::Miss => 1,
+                L2Outcome::Bypassed => 2,
+            });
+        }
+    }
+
+    fn restore(
+        &mut self,
+        r: &mut mask_common::snapshot::SnapshotReader<'_>,
+    ) -> Result<(), mask_common::snapshot::SnapshotError> {
+        use mask_common::snapshot::{SnapField, SnapshotError};
+        r.section("l2cache")?;
+        self.array.restore(r)?;
+        r.seq_exact(self.banks.len())?;
+        for b in 0..self.banks.len() {
+            let n = r.seq()?;
+            self.banks[b].queue.clear();
+            for _ in 0..n {
+                let req = MemRequest::read(r)?;
+                let ready = r.u64()?;
+                self.banks[b].queue.push_back((req, ready));
+            }
+            self.banks[b].mshr.restore(r)?;
+        }
+        self.monitor.restore(r)?;
+        self.bypass_mshr.restore(r)?;
+        let n = r.seq()?;
+        self.to_dram.clear();
+        for _ in 0..n {
+            self.to_dram.push(MemRequest::read(r)?);
+        }
+        let n = r.seq()?;
+        self.responses.clear();
+        for _ in 0..n {
+            let req = MemRequest::read(r)?;
+            let outcome = match r.u8()? {
+                0 => L2Outcome::Hit,
+                1 => L2Outcome::Miss,
+                2 => L2Outcome::Bypassed,
+                _ => return Err(SnapshotError::Malformed("unknown L2 outcome")),
+            };
+            self.responses.push(L2Response { req, outcome });
+        }
+        // Re-open the L2's own conservation domain in the current sanitizer
+        // session: every request inside the restored structures was issued
+        // before the snapshot and has yet to retire.
+        if mask_sanitizer::is_enabled() {
+            self.for_each_in_flight(|req| mask_sanitizer::issue("l2-cache", req.id.0));
+        }
+        Ok(())
+    }
 }
 
 #[cfg(test)]

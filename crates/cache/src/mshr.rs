@@ -169,13 +169,17 @@ impl<W> MshrTable<W> {
     pub fn peak_waiters(&self) -> usize {
         self.peak_waiters
     }
-}
 
-impl<W: Clone> Clone for MshrTable<W> {
-    /// Clones register a fresh sanitizer mirror and replay the live entries
-    /// into it, so a cloned simulator keeps independent MSHR accounting.
-    fn clone(&self) -> Self {
-        let san_table = if mask_sanitizer::is_enabled() {
+    /// Iterates over the occupied entries in table order.
+    pub fn entries(&self) -> impl Iterator<Item = &MshrEntry<W>> {
+        self.entries.iter()
+    }
+
+    /// Re-registers a fresh sanitizer mirror and replays the live entries
+    /// into it (shared by [`Clone`] and [`Snapshot::restore`], both of which
+    /// must leave the mirror consistent with `entries`).
+    fn replay_san_mirror(&mut self) {
+        self.san_table = if mask_sanitizer::is_enabled() {
             let id = mask_sanitizer::register_table(self.component, self.capacity);
             for (i, e) in self.entries.iter().enumerate() {
                 mask_sanitizer::mshr_alloc(
@@ -199,15 +203,70 @@ impl<W: Clone> Clone for MshrTable<W> {
         } else {
             0
         };
-        MshrTable {
+    }
+}
+
+impl<W: mask_common::snapshot::SnapField> mask_common::snapshot::Snapshot for MshrTable<W> {
+    /// Serializes the occupied entries in table order (lookup uses a linear
+    /// scan and completion uses `swap_remove`, so order is behaviorally
+    /// significant) plus the peak-waiter statistic. Capacity, component
+    /// label, and the recycling pool are construction-time/transient.
+    fn snapshot(&self, w: &mut mask_common::snapshot::SnapshotWriter) {
+        use mask_common::snapshot::SnapField;
+        w.usize(self.peak_waiters);
+        w.seq(self.entries.len());
+        for e in &self.entries {
+            e.line.write(w);
+            w.seq(e.waiters.len());
+            for waiter in &e.waiters {
+                waiter.write(w);
+            }
+        }
+    }
+
+    fn restore(
+        &mut self,
+        r: &mut mask_common::snapshot::SnapshotReader<'_>,
+    ) -> Result<(), mask_common::snapshot::SnapshotError> {
+        use mask_common::snapshot::{SnapField, SnapshotError};
+        self.peak_waiters = r.usize()?;
+        let n = r.seq()?;
+        if n > self.capacity {
+            return Err(SnapshotError::Malformed("MSHR entries exceed capacity"));
+        }
+        self.entries.clear();
+        for _ in 0..n {
+            let line = mask_common::addr::LineAddr::read(r)?;
+            let n_waiters = r.seq()?;
+            if n_waiters == 0 {
+                return Err(SnapshotError::Malformed("MSHR entry without waiters"));
+            }
+            let mut waiters = self.pool.pop().unwrap_or_default();
+            for _ in 0..n_waiters {
+                waiters.push(W::read(r)?);
+            }
+            self.entries.push(MshrEntry { line, waiters });
+        }
+        self.replay_san_mirror();
+        Ok(())
+    }
+}
+
+impl<W: Clone> Clone for MshrTable<W> {
+    /// Clones register a fresh sanitizer mirror and replay the live entries
+    /// into it, so a cloned simulator keeps independent MSHR accounting.
+    fn clone(&self) -> Self {
+        let mut cloned = MshrTable {
             entries: self.entries.clone(),
             capacity: self.capacity,
             peak_waiters: self.peak_waiters,
             component: self.component,
-            san_table,
+            san_table: 0,
             // The pool is a perf cache, not state: clones start empty.
             pool: Vec::new(),
-        }
+        };
+        cloned.replay_san_mirror();
+        cloned
     }
 }
 

@@ -29,6 +29,7 @@ pub mod config;
 pub mod ids;
 pub mod req;
 pub mod rng;
+pub mod snapshot;
 pub mod stats;
 
 pub use addr::{LineAddr, PhysAddr, Ppn, VirtAddr, Vpn};
@@ -37,6 +38,7 @@ pub use config::{DesignKind, DesignSpec, GpuConfig, SimConfig};
 pub use ids::{AppId, Asid, CoreId, WarpId};
 pub use req::{MemRequest, RequestClass, WalkLevel};
 pub use rng::Pcg32;
+pub use snapshot::{PrefixKey, Snapshot, SnapshotError, SnapshotReader, SnapshotWriter};
 pub use stats::{AppStats, DramClassStats, SimStats};
 
 /// Current simulation time, measured in core clock cycles.

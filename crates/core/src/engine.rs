@@ -31,10 +31,12 @@
 //! enforces the boundary with the `parallelism` rule.
 
 use mask_common::config::{DesignKind, DesignSpec, GpuConfig, JobOptions, ShardOptions, SimConfig};
+use mask_common::snapshot::{PrefixHasher, PrefixKey, SnapshotReader};
 use mask_common::stats::SimStats;
 use mask_gpu::{AppSpec, GpuSim};
 use std::collections::BTreeMap;
 use std::fmt;
+use std::path::PathBuf;
 use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
 use std::sync::{Arc, Mutex, OnceLock};
 
@@ -118,6 +120,118 @@ impl SimJob {
     /// every shard count.
     #[must_use]
     pub fn run_with_shards(&self, sm_shards: Option<usize>) -> SimStats {
+        let mut sim = self.build_sim(sm_shards);
+        sim.run(self.warmup_eff());
+        self.finish_measured(sim)
+    }
+
+    /// Like [`SimJob::run_with_shards`], but with the warm-up phase served
+    /// from `prefix` when possible: the first job per [`PrefixKey`]
+    /// simulates its warm-up exactly once and publishes a sealed snapshot;
+    /// every later job restores from those bytes and runs only the
+    /// measured phase. Restore-then-run is bit-identical to the
+    /// straight-through simulation, so results cannot depend on whether a
+    /// snapshot was reused. Falls back to the plain path when the job has
+    /// no warm-up or its warm-up endpoint is not epoch-safe, and re-runs
+    /// from cycle zero if a (disk-loaded) snapshot fails to restore.
+    #[must_use]
+    pub fn run_with_prefix(&self, sm_shards: Option<usize>, prefix: &PrefixCache) -> SimStats {
+        let warmup = self.warmup_eff();
+        if warmup == 0 || !self.warmup_is_epoch_safe() {
+            return self.run_with_shards(sm_shards);
+        }
+        let key = self.prefix_key();
+        let cell = prefix.cell(key);
+        let mut warmed: Option<GpuSim> = None;
+        let mut simulated = false;
+        let bytes = cell.get_or_init(|| {
+            if let Some(bytes) = prefix.load_disk(key) {
+                return Arc::new(bytes);
+            }
+            simulated = true;
+            let mut sim = self.build_sim(sm_shards);
+            sim.run(warmup);
+            let bytes = sim.encode_snapshot(key);
+            prefix.store_disk(key, &bytes);
+            warmed = Some(sim);
+            Arc::new(bytes)
+        });
+        if simulated {
+            prefix.note_miss();
+        } else {
+            prefix.note_hit();
+        }
+        let sim = match warmed {
+            // The winner keeps its live warmed simulator — restoring its
+            // own snapshot would only re-derive the state it already has.
+            Some(sim) => sim,
+            None => {
+                let mut fresh = self.build_sim(sm_shards);
+                match fresh.restore_snapshot(bytes, key) {
+                    Ok(()) => fresh,
+                    Err(_) => {
+                        // A failed restore leaves `fresh` unusable; a
+                        // damaged snapshot must only cost wall clock,
+                        // never change results.
+                        let mut cold = self.build_sim(sm_shards);
+                        cold.run(warmup);
+                        cold
+                    }
+                }
+            }
+        };
+        self.finish_measured(sim)
+    }
+
+    /// The canonical warm-up prefix key: an FNV-1a digest over everything
+    /// that can influence the first `warmup` cycles — design axes, machine
+    /// configuration, placement, seed, and the effective warm-up length —
+    /// and nothing that provably cannot (`max_cycles`, shard and worker
+    /// counts, and, when the warm-up ends before the first epoch boundary,
+    /// the epoch-end-only MASK knobs). Jobs with equal keys reach
+    /// bit-identical machine state at the end of warm-up.
+    #[must_use]
+    pub fn prefix_key(&self) -> PrefixKey {
+        let warmup = self.warmup_eff();
+        let epoch = self.gpu.mask.epoch_cycles;
+        let crosses_epoch = epoch != 0 && warmup >= epoch;
+        let mut h = PrefixHasher::new();
+        h.tag("mask-prefix");
+        self.design.spec().prefix_hash(&mut h);
+        let mut gpu = self.gpu.clone();
+        gpu.n_cores = self.specs.iter().map(|s| s.n_cores).sum();
+        gpu.prefix_hash(&mut h, crosses_epoch);
+        h.tag("apps");
+        h.usize(self.specs.len());
+        for spec in &self.specs {
+            h.str(spec.profile.name);
+            h.usize(spec.n_cores);
+        }
+        h.tag("run");
+        h.u64(self.seed);
+        h.u64(warmup);
+        h.finish()
+    }
+
+    /// Whether the end of the warm-up phase lands on an epoch-safe
+    /// snapshot point (an epoch boundary, or anywhere before the first
+    /// one). Only such warm-ups may be shared through the [`PrefixCache`].
+    #[must_use]
+    pub fn warmup_is_epoch_safe(&self) -> bool {
+        let warmup = self.warmup_eff();
+        let epoch = self.gpu.mask.epoch_cycles;
+        epoch == 0 || warmup < epoch || warmup.is_multiple_of(epoch)
+    }
+
+    /// The effective warm-up length: clamped to at most half of
+    /// `max_cycles`, exactly as the serial runner always did.
+    fn warmup_eff(&self) -> u64 {
+        self.warmup_cycles.min(self.max_cycles / 2)
+    }
+
+    /// Builds the simulator this job describes (machine sized by the
+    /// placement), at cycle zero.
+    fn build_sim(&self, sm_shards: Option<usize>) -> GpuSim {
         let total: usize = self.specs.iter().map(|s| s.n_cores).sum();
         let mut gpu = self.gpu.clone();
         gpu.n_cores = total;
@@ -128,11 +242,14 @@ impl SimJob {
             seed: self.seed,
             sm_shards: sm_shards.map_or_else(ShardOptions::default, ShardOptions::with_shards),
         };
-        let warmup = self.warmup_cycles.min(self.max_cycles / 2);
-        let mut sim = GpuSim::new(&cfg, &self.specs);
-        sim.run(warmup);
+        GpuSim::new(&cfg, &self.specs)
+    }
+
+    /// Runs the measured phase on a simulator positioned at the end of
+    /// warm-up and snapshots its statistics.
+    fn finish_measured(&self, mut sim: GpuSim) -> SimStats {
         sim.reset_stats();
-        sim.run(self.max_cycles - warmup);
+        sim.run(self.max_cycles - self.warmup_eff());
         sim.sync_stats();
         sim.stats().clone()
     }
@@ -186,9 +303,12 @@ fn warn_shards_clamped(requested: usize, granted: usize, workers: usize, avail: 
 /// Runs one job with an engine-timeline span around it (`mask-obs` job
 /// profiling; the span label and timing cost nothing unless tracing is
 /// live).
-fn run_one_timed(job: &SimJob, shards: usize, lane: u32) -> SimStats {
+fn run_one_timed(job: &SimJob, shards: usize, lane: u32, prefix: Option<&PrefixCache>) -> SimStats {
     let timer = mask_obs::profile::begin_job();
-    let stats = job.run_with_shards(Some(shards));
+    let stats = match prefix {
+        Some(cache) => job.run_with_prefix(Some(shards), cache),
+        None => job.run_with_shards(Some(shards)),
+    };
     if mask_obs::tracing_active() {
         timer.finish(&job_label(job), lane);
     }
@@ -285,6 +405,139 @@ pub fn process_cache() -> Arc<BaselineCache> {
     Arc::clone(CACHE.get_or_init(BaselineCache::new))
 }
 
+/// Counters describing one [`PrefixCache`]'s effectiveness.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct PrefixCacheStats {
+    /// Distinct warm-up prefixes tracked (each simulated at most once per
+    /// process, or zero times when served from the on-disk store).
+    pub entries: usize,
+    /// Jobs whose warm-up was answered by an existing snapshot (warm-up
+    /// simulations avoided, whether from memory or disk).
+    pub hits: u64,
+    /// Jobs that had to simulate their warm-up (one per prefix not found
+    /// on disk).
+    pub misses: u64,
+}
+
+struct PrefixInner {
+    map: BTreeMap<PrefixKey, Arc<OnceLock<Arc<Vec<u8>>>>>,
+    hits: u64,
+    misses: u64,
+}
+
+/// Process-wide store of sealed warm-up snapshots, keyed by
+/// [`SimJob::prefix_key`].
+///
+/// A sweep varies measurement-phase knobs around a common warm-up; this
+/// cache makes each unique warm-up prefix run exactly once — concurrent
+/// jobs with the same key block on one `OnceLock` cell, the winner
+/// simulates and seals the snapshot, everyone else restores from the
+/// bytes. With `MASK_SNAPSHOT_DIR` set, snapshots are also persisted as
+/// `<key>.msnp` files and reloaded by later processes, amortizing warm-up
+/// across whole sweep invocations.
+pub struct PrefixCache {
+    inner: Mutex<PrefixInner>,
+    dir: Option<PathBuf>,
+}
+
+impl PrefixCache {
+    /// An in-memory cache with the on-disk store at `dir` (see
+    /// `MASK_SNAPSHOT_DIR`), behind the shared handle [`JobPool`] expects.
+    #[must_use]
+    pub fn with_dir(dir: Option<PathBuf>) -> Arc<Self> {
+        Arc::new(PrefixCache {
+            inner: Mutex::new(PrefixInner {
+                map: BTreeMap::new(),
+                hits: 0,
+                misses: 0,
+            }),
+            dir,
+        })
+    }
+
+    /// A purely in-memory cache (no on-disk store); what tests that assert
+    /// exact warm-up counts attach via [`JobPool::with_prefix_cache`].
+    #[must_use]
+    pub fn in_memory() -> Arc<Self> {
+        Self::with_dir(None)
+    }
+
+    /// A cache whose on-disk store follows the `MASK_SNAPSHOT_DIR`
+    /// environment variable (unset: in-memory only).
+    #[must_use]
+    pub fn from_env() -> Arc<Self> {
+        Self::with_dir(std::env::var_os("MASK_SNAPSHOT_DIR").map(PathBuf::from))
+    }
+
+    /// Hit/miss/occupancy counters.
+    ///
+    /// # Panics
+    ///
+    /// Panics if a worker thread panicked while holding the cache lock.
+    #[must_use]
+    pub fn stats(&self) -> PrefixCacheStats {
+        let inner = self.inner.lock().expect("prefix cache lock poisoned");
+        PrefixCacheStats {
+            entries: inner.map.len(),
+            hits: inner.hits,
+            misses: inner.misses,
+        }
+    }
+
+    /// The shared once-cell for `key`; its winner simulates the warm-up.
+    fn cell(&self, key: PrefixKey) -> Arc<OnceLock<Arc<Vec<u8>>>> {
+        let mut inner = self.inner.lock().expect("prefix cache lock poisoned");
+        Arc::clone(inner.map.entry(key).or_default())
+    }
+
+    fn note_hit(&self) {
+        self.inner.lock().expect("prefix cache lock poisoned").hits += 1;
+    }
+
+    fn note_miss(&self) {
+        self.inner
+            .lock()
+            .expect("prefix cache lock poisoned")
+            .misses += 1;
+    }
+
+    /// Loads `key`'s snapshot from the on-disk store, if it exists and
+    /// passes full envelope validation (magic, version, key, checksum) —
+    /// a truncated or stale file degrades to re-simulation instead of
+    /// poisoning the in-memory cell.
+    fn load_disk(&self, key: PrefixKey) -> Option<Vec<u8>> {
+        let dir = self.dir.as_ref()?;
+        let bytes = std::fs::read(dir.join(format!("{key}.msnp"))).ok()?;
+        SnapshotReader::open_keyed(&bytes, key).ok()?;
+        Some(bytes)
+    }
+
+    /// Persists `key`'s sealed snapshot, best-effort: the store is a pure
+    /// accelerator, so every I/O failure is swallowed. Written via a
+    /// process-unique temp file and rename so concurrent sweeps never
+    /// observe a torn file.
+    fn store_disk(&self, key: PrefixKey, bytes: &[u8]) {
+        let Some(dir) = self.dir.as_ref() else {
+            return;
+        };
+        let _ = std::fs::create_dir_all(dir);
+        let tmp = dir.join(format!("{key}.msnp.{}.tmp", std::process::id()));
+        if std::fs::write(&tmp, bytes).is_ok()
+            && std::fs::rename(&tmp, dir.join(format!("{key}.msnp"))).is_err()
+        {
+            let _ = std::fs::remove_file(&tmp);
+        }
+    }
+}
+
+/// The process-wide [`PrefixCache`] every default [`JobPool`] shares,
+/// configured from `MASK_SNAPSHOT_DIR` at first use.
+#[must_use]
+pub fn process_prefix_cache() -> Arc<PrefixCache> {
+    static CACHE: OnceLock<Arc<PrefixCache>> = OnceLock::new();
+    Arc::clone(CACHE.get_or_init(PrefixCache::from_env))
+}
+
 /// Executes [`SimJob`] batches over a fixed number of worker threads.
 ///
 /// Cheap to clone: clones share the same baseline cache.
@@ -292,6 +545,8 @@ pub fn process_cache() -> Arc<BaselineCache> {
 pub struct JobPool {
     workers: usize,
     cache: Arc<BaselineCache>,
+    prefix: Arc<PrefixCache>,
+    reuse_prefix: bool,
 }
 
 impl fmt::Debug for JobPool {
@@ -299,6 +554,8 @@ impl fmt::Debug for JobPool {
         f.debug_struct("JobPool")
             .field("workers", &self.workers)
             .field("cache", &self.cache.stats())
+            .field("prefix", &self.prefix.stats())
+            .field("reuse_prefix", &self.reuse_prefix)
             .finish()
     }
 }
@@ -321,6 +578,8 @@ impl JobPool {
         JobPool {
             workers: workers.max(1),
             cache: process_cache(),
+            prefix: process_prefix_cache(),
+            reuse_prefix: true,
         }
     }
 
@@ -338,6 +597,25 @@ impl JobPool {
         self
     }
 
+    /// Replaces the prefix cache (e.g. with a private one in tests that
+    /// assert exact warm-up counts, or one bound to a specific snapshot
+    /// directory).
+    #[must_use]
+    pub fn with_prefix_cache(mut self, prefix: Arc<PrefixCache>) -> Self {
+        self.prefix = prefix;
+        self
+    }
+
+    /// Enables or disables warm-up prefix reuse (default: enabled).
+    /// Results are bit-identical either way — disabling only forces every
+    /// job to re-simulate its warm-up, which is what the reuse benchmark
+    /// measures against.
+    #[must_use]
+    pub fn with_prefix_reuse(mut self, reuse: bool) -> Self {
+        self.reuse_prefix = reuse;
+        self
+    }
+
     /// The worker count this pool fans out over.
     #[must_use]
     pub fn workers(&self) -> usize {
@@ -348,6 +626,27 @@ impl JobPool {
     #[must_use]
     pub fn cache(&self) -> &Arc<BaselineCache> {
         &self.cache
+    }
+
+    /// The warm-up prefix cache this pool consults.
+    #[must_use]
+    pub fn prefix_cache(&self) -> &Arc<PrefixCache> {
+        &self.prefix
+    }
+
+    /// One-line human-readable completion summary: worker count plus the
+    /// baseline- and prefix-cache counters, stating how many simulations
+    /// (whole alone runs, warm-up phases) the caches avoided.
+    #[must_use]
+    pub fn completion_summary(&self) -> String {
+        let b = self.cache.stats();
+        let p = self.prefix.stats();
+        format!(
+            "[mask-core] job pool: {} worker(s); baseline cache: {} entries, \
+             {} hit(s) / {} miss(es); prefix cache: {} snapshot(s), \
+             {} warm-up(s) reused / {} simulated",
+            self.workers, b.entries, b.hits, b.misses, p.entries, p.hits, p.misses
+        )
     }
 
     /// Runs a batch and returns one [`SimStats`] per job, in submission
@@ -365,6 +664,7 @@ impl JobPool {
         let trace = mask_obs::tracing_active();
         let batch_start = trace.then(std::time::Instant::now); // lint: allow(nondeterminism) -- profiling only, never read by the simulation
         let cache_before = trace.then(|| self.cache.stats());
+        let prefix_before = trace.then(|| self.prefix.stats());
         // Plan: collapse equal-keyed jobs, answer alone runs from cache.
         let mut results: Vec<Option<SimStats>> = vec![None; jobs.len()];
         let mut unique: BTreeMap<JobKey, Vec<usize>> = BTreeMap::new();
@@ -397,14 +697,19 @@ impl JobPool {
                 results[i] = Some(stats.clone());
             }
         }
-        if let (Some(start), Some(before)) = (batch_start, cache_before) {
+        if let (Some(start), Some(before), Some(p_before)) =
+            (batch_start, cache_before, prefix_before)
+        {
             let after = self.cache.stats();
+            let p_after = self.prefix.stats();
             mask_obs::metrics::job_pool_frame(
                 self.workers,
                 jobs.len(),
                 n_unique,
                 after.hits.saturating_sub(before.hits),
                 after.misses.saturating_sub(before.misses),
+                p_after.hits.saturating_sub(p_before.hits),
+                p_after.misses.saturating_sub(p_before.misses),
                 start.elapsed().as_micros() as u64,
             );
         }
@@ -424,10 +729,11 @@ impl JobPool {
         if shards < requested {
             warn_shards_clamped(requested, shards, n_workers.max(1), avail);
         }
+        let prefix = self.reuse_prefix.then(|| &*self.prefix);
         if n_workers <= 1 {
             return work
                 .iter()
-                .map(|(job, _)| run_one_timed(job, shards, 0))
+                .map(|(job, _)| run_one_timed(job, shards, 0, prefix))
                 .collect();
         }
         let next = AtomicUsize::new(0);
@@ -446,7 +752,7 @@ impl JobPool {
                             if i >= work.len() {
                                 break;
                             }
-                            local.push((i, run_one_timed(work[i].0, shards, lane)));
+                            local.push((i, run_one_timed(work[i].0, shards, lane, prefix)));
                         }
                         local
                     })
@@ -591,5 +897,127 @@ mod tests {
         let j = job(DesignKind::SharedTlb, &[("HISTO", 2), ("GUP", 2)], 3);
         let _ = pool.run_batch(std::slice::from_ref(&j));
         assert_eq!(cache.stats().entries, 0);
+    }
+
+    /// An 8-job single-axis sweep sharing one warm-up prefix (the varied
+    /// knob is epoch-end-only and the warm-up ends before the first
+    /// epoch boundary).
+    fn token_sweep(n: usize) -> Vec<SimJob> {
+        (0..n)
+            .map(|i| {
+                let mut j = job(DesignKind::Mask, &[("HISTO", 2), ("GUP", 2)], 9);
+                j.gpu.mask.initial_tokens_frac = 0.3 + 0.05 * i as f64;
+                j
+            })
+            .collect()
+    }
+
+    #[test]
+    fn prefix_keys_share_across_epoch_end_only_knobs() {
+        let jobs = token_sweep(3);
+        assert!(jobs[0].warmup_is_epoch_safe());
+        assert_eq!(jobs[0].prefix_key(), jobs[1].prefix_key());
+        assert_eq!(jobs[0].prefix_key(), jobs[2].prefix_key());
+        // ... but every JobKey stays distinct: no result deduplication.
+        assert_ne!(jobs[0].key(), jobs[1].key());
+        // Prefix-shaping ingredients split the key.
+        let mut seed = jobs[0].clone();
+        seed.seed += 1;
+        let mut warm = jobs[0].clone();
+        warm.warmup_cycles += 500;
+        let mut machine = jobs[0].clone();
+        machine.gpu.tlb.l2_entries /= 2;
+        let mut epoch = jobs[0].clone();
+        epoch.gpu.mask.epoch_cycles = 1; // warm-up now crosses boundaries
+        for other in [&seed, &warm, &machine, &epoch] {
+            assert_ne!(jobs[0].prefix_key(), other.prefix_key());
+        }
+        // Once the warm-up crosses an epoch boundary, epoch-end-only
+        // knobs shape the prefix and must split the key.
+        let mut a = jobs[0].clone();
+        a.warmup_cycles = 2_000;
+        a.max_cycles = 4_000;
+        a.gpu.mask.epoch_cycles = 1_000;
+        let mut b = a.clone();
+        b.gpu.mask.initial_tokens_frac = 0.9;
+        assert_ne!(a.prefix_key(), b.prefix_key());
+    }
+
+    #[test]
+    fn prefix_reuse_is_invisible_in_results_and_warms_up_once() {
+        let jobs = token_sweep(4);
+        let oracle: Vec<SimStats> = jobs.iter().map(SimJob::run).collect();
+        for workers in [1, 4] {
+            let prefix = PrefixCache::in_memory();
+            let pool = JobPool::with_workers(workers)
+                .with_cache(BaselineCache::new())
+                .with_prefix_cache(Arc::clone(&prefix));
+            let reused = pool.run_batch(&jobs);
+            assert_eq!(oracle, reused, "prefix reuse must not change results");
+            let stats = prefix.stats();
+            assert_eq!(stats.entries, 1, "one shared prefix");
+            assert_eq!(stats.misses, 1, "warm-up simulated exactly once");
+            assert_eq!(stats.hits, jobs.len() as u64 - 1);
+        }
+    }
+
+    #[test]
+    fn prefix_reuse_can_be_disabled() {
+        let jobs = token_sweep(2);
+        let prefix = PrefixCache::in_memory();
+        let pool = JobPool::with_workers(2)
+            .with_cache(BaselineCache::new())
+            .with_prefix_cache(Arc::clone(&prefix))
+            .with_prefix_reuse(false);
+        let off = pool.run_batch(&jobs);
+        assert_eq!(off, jobs.iter().map(SimJob::run).collect::<Vec<_>>());
+        assert_eq!(prefix.stats(), PrefixCacheStats::default());
+    }
+
+    #[test]
+    fn epoch_unsafe_warmups_fall_back_to_the_plain_path() {
+        let mut j = job(DesignKind::Mask, &[("GUP", 2)], 5);
+        // Warm-up strictly between the first and second epoch boundaries:
+        // its endpoint is not epoch-safe, so no snapshot may be taken.
+        j.gpu.mask.epoch_cycles = 1_000;
+        j.warmup_cycles = 1_500;
+        j.max_cycles = 4_000;
+        assert!(!j.warmup_is_epoch_safe());
+        let prefix = PrefixCache::in_memory();
+        assert_eq!(
+            j.run_with_prefix(Some(1), &prefix),
+            j.run_with_shards(Some(1))
+        );
+        assert_eq!(prefix.stats(), PrefixCacheStats::default());
+    }
+
+    #[test]
+    fn snapshot_dir_round_trips_across_cache_instances() {
+        let dir = std::env::temp_dir().join(format!("mask-snap-test-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        let jobs = token_sweep(2);
+        let first = PrefixCache::with_dir(Some(dir.clone()));
+        let a = jobs[0].run_with_prefix(Some(1), &first);
+        assert_eq!(first.stats().misses, 1);
+        let file = dir.join(format!("{}.msnp", jobs[0].prefix_key()));
+        assert!(file.exists(), "winner persists its sealed snapshot");
+        // A fresh cache (a later sweep process) loads the snapshot instead
+        // of re-simulating the warm-up.
+        let second = PrefixCache::with_dir(Some(dir.clone()));
+        let b = jobs[1].run_with_prefix(Some(1), &second);
+        let stats = second.stats();
+        assert_eq!((stats.hits, stats.misses), (1, 0), "served from disk");
+        assert_eq!(a, jobs[0].run());
+        assert_eq!(b, jobs[1].run());
+        // A corrupted file degrades to re-simulation with correct results.
+        let mut bytes = std::fs::read(&file).expect("snapshot readable");
+        let mid = bytes.len() / 2;
+        bytes[mid] ^= 0xFF;
+        std::fs::write(&file, &bytes).expect("snapshot writable");
+        let third = PrefixCache::with_dir(Some(dir.clone()));
+        let c = jobs[0].run_with_prefix(Some(1), &third);
+        assert_eq!(c, a, "corruption costs wall clock, never correctness");
+        assert_eq!(third.stats().misses, 1, "re-simulated the warm-up");
+        let _ = std::fs::remove_dir_all(&dir);
     }
 }

@@ -280,6 +280,142 @@ impl Dram {
     pub fn channel_of(&self, line: mask_common::addr::LineAddr, asid: Asid) -> usize {
         decode(line, &self.cfg, &self.partition, asid).channel
     }
+
+    /// Visits every request currently held by the device — queued in a
+    /// channel's request buffer or in flight to a bank. Each accepted,
+    /// uncompleted request is visited exactly once.
+    pub fn for_each_in_flight(&self, mut f: impl FnMut(&MemRequest)) {
+        for ch in &self.channels {
+            match &ch.queue {
+                ChannelQueue::Baseline(q, _) => {
+                    for e in q {
+                        f(&e.req);
+                    }
+                }
+                ChannelQueue::Mask(m) => m.for_each_entry(|e| f(&e.req)),
+            }
+            for c in &ch.in_flight {
+                f(&c.req);
+            }
+        }
+    }
+}
+
+fn row_outcome_tag(outcome: RowOutcome) -> u8 {
+    match outcome {
+        RowOutcome::Hit => 0,
+        RowOutcome::Miss => 1,
+        RowOutcome::Conflict => 2,
+    }
+}
+
+impl mask_common::snapshot::Snapshot for Dram {
+    fn snapshot(&self, w: &mut mask_common::snapshot::SnapshotWriter) {
+        use mask_common::snapshot::SnapField;
+        w.section("dram");
+        w.seq(self.channels.len());
+        for ch in &self.channels {
+            w.seq(ch.banks.len());
+            for bank in &ch.banks {
+                w.bool(bank.open_row.is_some());
+                w.u64(bank.open_row.unwrap_or(0));
+                w.u64(bank.busy_until);
+            }
+            // The queue *variant* is config-derived; only contents are state.
+            match &ch.queue {
+                ChannelQueue::Baseline(q, batch) => {
+                    w.seq(q.len());
+                    for e in q {
+                        e.write(w);
+                    }
+                    if let Some(b) = batch {
+                        b.snapshot(w);
+                    }
+                }
+                ChannelQueue::Mask(m) => m.snapshot(w),
+            }
+            w.u64(ch.bus_free_at);
+            w.seq(ch.in_flight.len());
+            for c in &ch.in_flight {
+                c.req.write(w);
+                w.u8(row_outcome_tag(c.outcome));
+                w.u64(c.arrival);
+                w.u64(c.finish);
+                w.u64(c.bus_cycles);
+            }
+        }
+    }
+
+    fn restore(
+        &mut self,
+        r: &mut mask_common::snapshot::SnapshotReader<'_>,
+    ) -> Result<(), mask_common::snapshot::SnapshotError> {
+        use mask_common::snapshot::{SnapField, SnapshotError};
+        r.section("dram")?;
+        r.seq_exact(self.channels.len())?;
+        for ch in &mut self.channels {
+            r.seq_exact(ch.banks.len())?;
+            for bank in &mut ch.banks {
+                let open = r.bool()?;
+                let row = r.u64()?;
+                bank.open_row = open.then_some(row);
+                bank.busy_until = r.u64()?;
+            }
+            match &mut ch.queue {
+                ChannelQueue::Baseline(q, batch) => {
+                    let n = r.seq()?;
+                    q.clear();
+                    for _ in 0..n {
+                        q.push(QueueEntry::read(r)?);
+                    }
+                    if let Some(b) = batch {
+                        b.restore(r)?;
+                    }
+                }
+                ChannelQueue::Mask(m) => m.restore(r)?,
+            }
+            ch.bus_free_at = r.u64()?;
+            let n = r.seq()?;
+            ch.in_flight.clear();
+            for _ in 0..n {
+                let req = MemRequest::read(r)?;
+                let outcome = match r.u8()? {
+                    0 => RowOutcome::Hit,
+                    1 => RowOutcome::Miss,
+                    2 => RowOutcome::Conflict,
+                    _ => return Err(SnapshotError::Malformed("unknown row outcome")),
+                };
+                ch.in_flight.push(DramCompletion {
+                    req,
+                    outcome,
+                    arrival: r.u64()?,
+                    finish: r.u64()?,
+                    bus_cycles: r.u64()?,
+                });
+            }
+        }
+        // Re-open the device's conservation domain: every queued or
+        // in-flight request was accepted before the snapshot and has yet to
+        // complete. (MaskQueues re-opens its own `dram-queues` domain.)
+        if mask_sanitizer::is_enabled() {
+            for ch in &self.channels {
+                match &ch.queue {
+                    ChannelQueue::Baseline(q, _) => {
+                        for e in q {
+                            mask_sanitizer::issue("dram", e.req.id.0);
+                        }
+                    }
+                    ChannelQueue::Mask(m) => {
+                        m.for_each_entry(|e| mask_sanitizer::issue("dram", e.req.id.0));
+                    }
+                }
+                for c in &ch.in_flight {
+                    mask_sanitizer::issue("dram", c.req.id.0);
+                }
+            }
+        }
+        Ok(())
+    }
 }
 
 #[cfg(test)]

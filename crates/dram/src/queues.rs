@@ -244,6 +244,129 @@ impl MaskQueues {
     pub fn quotas(&self) -> &[u64] {
         &self.quotas
     }
+
+    /// Visits every queued entry across the three queues.
+    pub fn for_each_entry(&self, mut f: impl FnMut(&QueueEntry)) {
+        for e in self
+            .golden
+            .iter()
+            .chain(self.silver.iter())
+            .chain(self.normal.iter())
+        {
+            f(e);
+        }
+    }
+}
+
+impl mask_common::snapshot::SnapField for QueueEntry {
+    fn write(&self, w: &mut mask_common::snapshot::SnapshotWriter) {
+        self.req.write(w);
+        w.usize(self.decoded.channel);
+        w.usize(self.decoded.bank);
+        w.u64(self.decoded.row);
+        w.u64(self.arrival);
+    }
+
+    fn read(
+        r: &mut mask_common::snapshot::SnapshotReader<'_>,
+    ) -> Result<Self, mask_common::snapshot::SnapshotError> {
+        Ok(QueueEntry {
+            req: MemRequest::read(r)?,
+            decoded: Decoded {
+                channel: r.usize()?,
+                bank: r.usize()?,
+                row: r.u64()?,
+            },
+            arrival: r.u64()?,
+        })
+    }
+}
+
+impl mask_common::snapshot::Snapshot for BatchState {
+    fn snapshot(&self, w: &mut mask_common::snapshot::SnapshotWriter) {
+        w.usize(self.current_app);
+        w.u32(self.served);
+    }
+
+    fn restore(
+        &mut self,
+        r: &mut mask_common::snapshot::SnapshotReader<'_>,
+    ) -> Result<(), mask_common::snapshot::SnapshotError> {
+        self.current_app = r.usize()?;
+        self.served = r.u32()?;
+        Ok(())
+    }
+}
+
+impl mask_common::snapshot::Snapshot for MaskQueues {
+    /// Serializes queue contents and the Silver rotation state; capacities
+    /// and `thresh_max` are config-derived. Restore re-opens the
+    /// `dram-queues` conservation domain for every queued entry.
+    fn snapshot(&self, w: &mut mask_common::snapshot::SnapshotWriter) {
+        use mask_common::snapshot::SnapField;
+        for queue_len in [self.golden.len(), self.silver.len(), self.normal.len()] {
+            w.seq(queue_len);
+        }
+        for e in &self.golden {
+            e.write(w);
+        }
+        for e in &self.silver {
+            e.write(w);
+        }
+        for e in &self.normal {
+            e.write(w);
+        }
+        w.usize(self.silver_app);
+        w.u64(self.silver_left);
+        w.seq(self.quotas.len());
+        for &q in &self.quotas {
+            w.u64(q);
+        }
+    }
+
+    fn restore(
+        &mut self,
+        r: &mut mask_common::snapshot::SnapshotReader<'_>,
+    ) -> Result<(), mask_common::snapshot::SnapshotError> {
+        use mask_common::snapshot::SnapField;
+        let n_golden = r.seq()?;
+        let n_silver = r.seq()?;
+        let n_normal = r.seq()?;
+        self.golden.clear();
+        self.silver.clear();
+        self.normal.clear();
+        for _ in 0..n_golden {
+            self.golden.push_back(QueueEntry::read(r)?);
+        }
+        for _ in 0..n_silver {
+            self.silver.push(QueueEntry::read(r)?);
+        }
+        for _ in 0..n_normal {
+            self.normal.push(QueueEntry::read(r)?);
+        }
+        self.silver_app = r.usize()?;
+        self.silver_left = r.u64()?;
+        r.seq_exact(self.quotas.len())?;
+        for q in &mut self.quotas {
+            *q = r.u64()?;
+        }
+        if self.silver_app >= self.quotas.len() {
+            return Err(mask_common::snapshot::SnapshotError::Malformed(
+                "silver app index out of range",
+            ));
+        }
+        if mask_sanitizer::is_enabled() {
+            for e in self
+                .golden
+                .iter()
+                .chain(self.silver.iter())
+                .chain(self.normal.iter())
+            {
+                mask_sanitizer::issue("dram-queues", e.req.id.0);
+            }
+        }
+        Ok(())
+    }
 }
 
 #[cfg(test)]

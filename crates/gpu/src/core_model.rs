@@ -466,6 +466,119 @@ impl GpuCore {
     }
 }
 
+impl WarpState {
+    fn snapshot(&self, w: &mut mask_common::snapshot::SnapshotWriter) {
+        match *self {
+            WarpState::NeedOp => w.u8(0),
+            WarpState::Compute { left } => {
+                w.u8(1);
+                w.u32(left);
+            }
+            WarpState::MemReady => w.u8(2),
+            WarpState::XlatWait { pending } => {
+                w.u8(3);
+                w.u32(pending);
+            }
+            WarpState::DataWait { outstanding } => {
+                w.u8(4);
+                w.u32(outstanding);
+            }
+        }
+    }
+
+    fn restore(
+        r: &mut mask_common::snapshot::SnapshotReader<'_>,
+    ) -> Result<Self, mask_common::snapshot::SnapshotError> {
+        use mask_common::snapshot::SnapshotError;
+        Ok(match r.u8()? {
+            0 => WarpState::NeedOp,
+            1 => WarpState::Compute { left: r.u32()? },
+            2 => WarpState::MemReady,
+            3 => WarpState::XlatWait { pending: r.u32()? },
+            4 => WarpState::DataWait {
+                outstanding: r.u32()?,
+            },
+            _ => return Err(SnapshotError::Malformed("unknown warp state tag")),
+        })
+    }
+}
+
+impl mask_common::snapshot::Snapshot for GpuCore {
+    fn snapshot(&self, w: &mut mask_common::snapshot::SnapshotWriter) {
+        use mask_common::snapshot::SnapField;
+        w.seq(self.warps.len());
+        for warp in &self.warps {
+            warp.trace.snapshot(w);
+            warp.state.snapshot(w);
+            w.seq(warp.lines.len());
+            for va in &warp.lines {
+                va.write(w);
+            }
+            w.seq(warp.xlat.len());
+            for (vpn, ppn) in &warp.xlat {
+                vpn.write(w);
+                ppn.write(w);
+            }
+        }
+        w.u128(self.ready);
+        w.usize(self.last);
+        self.l1tlb.snapshot(w);
+        self.l1cache.snapshot(w);
+        self.l1mshr.snapshot(w);
+        w.seq(self.retry.len());
+        for &(warp, line) in &self.retry {
+            w.usize(warp);
+            line.write(w);
+        }
+    }
+
+    fn restore(
+        &mut self,
+        r: &mut mask_common::snapshot::SnapshotReader<'_>,
+    ) -> Result<(), mask_common::snapshot::SnapshotError> {
+        use mask_common::snapshot::{SnapField, SnapshotError};
+        let n_warps = self.warps.len();
+        r.seq_exact(n_warps)?;
+        for warp in &mut self.warps {
+            warp.trace.restore(r)?;
+            warp.state = WarpState::restore(r)?;
+            let n_lines = r.seq()?;
+            warp.lines.clear();
+            for _ in 0..n_lines {
+                warp.lines.push(mask_common::addr::VirtAddr::read(r)?);
+            }
+            let n_xlat = r.seq()?;
+            warp.xlat.clear();
+            for _ in 0..n_xlat {
+                let vpn = mask_common::addr::Vpn::read(r)?;
+                let ppn = mask_common::addr::Ppn::read(r)?;
+                warp.xlat.push((vpn, ppn));
+            }
+        }
+        self.ready = r.u128()?;
+        if n_warps < 128 && self.ready >> n_warps != 0 {
+            return Err(SnapshotError::Malformed("ready mask beyond warp count"));
+        }
+        self.last = r.usize()?;
+        if self.last >= n_warps {
+            return Err(SnapshotError::Malformed("last-issued warp out of range"));
+        }
+        self.l1tlb.restore(r)?;
+        self.l1cache.restore(r)?;
+        self.l1mshr.restore(r)?;
+        let n_retry = r.seq()?;
+        self.retry.clear();
+        for _ in 0..n_retry {
+            let warp = r.usize()?;
+            if warp >= n_warps {
+                return Err(SnapshotError::Malformed("retry warp out of range"));
+            }
+            self.retry.push_back((warp, LineAddr::read(r)?));
+        }
+        Ok(())
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

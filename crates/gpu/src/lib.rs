@@ -29,5 +29,5 @@ pub mod translation;
 
 pub use core_model::{DirectIssue, GpuCore, IssueSink};
 pub use shard::{run_shard, DeferredIssue, DeferredMiss, DeferredXlat, ShardOutput, ShardPool};
-pub use sim::{AppSpec, GpuSim};
+pub use sim::{AppSpec, GpuSim, SampledRun};
 pub use translation::TranslationUnit;

@@ -56,6 +56,23 @@ pub(crate) fn core_layout(policy: ComputePolicy, cores_per_app: &[usize]) -> Vec
     layout
 }
 
+/// Result of a [`GpuSim::run_sampled`] span: extrapolated per-app
+/// instruction counts with an explicit uncertainty band.
+#[derive(Clone, Debug)]
+pub struct SampledRun {
+    /// Cycles simulated in detail (the sampled windows).
+    pub detailed_cycles: u64,
+    /// Cycles statistically skipped (the gaps).
+    pub skipped_cycles: u64,
+    /// Number of detailed windows taken.
+    pub windows: usize,
+    /// Per-app instruction estimate for the whole span.
+    pub est_instructions: Vec<f64>,
+    /// Per-app ± error band: two standard errors of the window IPC,
+    /// scaled to the span.
+    pub error_band: Vec<f64>,
+}
+
 /// The assembled GPU simulator.
 #[derive(Debug)]
 pub struct GpuSim {
@@ -621,6 +638,98 @@ impl GpuSim {
         }
     }
 
+    /// Runs `cycles` further cycles in sampled mode: `window`-cycle
+    /// detailed bursts separated by `gap`-cycle statistical skips, in the
+    /// spirit of interval sampling. Detailed windows execute exactly like
+    /// [`GpuSim::run`]; gaps advance the clock (and fire epoch-boundary
+    /// bookkeeping on schedule) without simulating, so in-flight work
+    /// simply resumes at the next window.
+    ///
+    /// Sampled numbers are *estimates*, not bit-exact results — that is
+    /// why the returned [`SampledRun`] carries an explicit error band
+    /// (±2 standard errors of the per-window IPC) next to every
+    /// extrapolated instruction count. The serial, snapshot-free run
+    /// remains the oracle sampled numbers are judged against.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `window` is zero.
+    pub fn run_sampled(&mut self, cycles: u64, window: u64, gap: u64) -> SampledRun {
+        assert!(window > 0, "sampled mode needs a non-empty detailed window");
+        let end = self.now + cycles;
+        // lint: allow(hotpath) -- per-window bookkeeping, not per-cycle.
+        let mut window_ipc: Vec<Vec<f64>> = vec![Vec::new(); self.n_apps];
+        let mut detailed_cycles = 0u64;
+        let mut skipped_cycles = 0u64;
+        let mut windows = 0usize;
+        while self.now < end {
+            let w = window.min(end - self.now);
+            let before: Vec<u64> = self.stats.apps.iter().map(|a| a.instructions).collect(); // lint: allow(hotpath) -- once per detailed window.
+            self.run(w);
+            detailed_cycles += w;
+            windows += 1;
+            for (app, b) in before.into_iter().enumerate() {
+                let delta = self.stats.apps[app].instructions - b;
+                window_ipc[app].push(delta as f64 / w as f64);
+            }
+            let g = gap.min(end - self.now);
+            if g > 0 {
+                self.statistical_skip(g);
+                skipped_cycles += g;
+            }
+        }
+        let span = cycles as f64;
+        let mut est_instructions = Vec::with_capacity(self.n_apps);
+        let mut error_band = Vec::with_capacity(self.n_apps);
+        for ipcs in &window_ipc {
+            let n = ipcs.len() as f64;
+            let mean = ipcs.iter().sum::<f64>() / n;
+            let var = if ipcs.len() > 1 {
+                ipcs.iter().map(|x| (x - mean) * (x - mean)).sum::<f64>() / (n - 1.0)
+            } else {
+                0.0
+            };
+            let stderr = (var / n).sqrt();
+            est_instructions.push(mean * span);
+            error_band.push(2.0 * stderr * span);
+        }
+        SampledRun {
+            detailed_cycles,
+            skipped_cycles,
+            windows,
+            est_instructions,
+            error_band,
+        }
+    }
+
+    /// Advances the clock by `delta` cycles without simulating, firing
+    /// epoch-boundary bookkeeping on its usual schedule. Unlike
+    /// [`GpuSim::fast_forward`] this needs no idleness proof — it is the
+    /// deliberate approximation behind [`GpuSim::run_sampled`], never used
+    /// on the bit-exact paths.
+    fn statistical_skip(&mut self, delta: u64) {
+        let epoch = self.cfg.gpu.mask.epoch_cycles;
+        let mut left = delta;
+        while left > 0 {
+            let step = if epoch == 0 {
+                left
+            } else {
+                left.min(epoch - self.now % epoch)
+            };
+            self.now += step;
+            self.stats.cycles += step;
+            for app in 0..self.n_apps {
+                self.stats.apps[app].cycles += step;
+            }
+            left -= step;
+            if epoch != 0 && self.now.is_multiple_of(epoch) {
+                let pressure = self.xlat.end_epoch(epoch);
+                self.dram.update_pressure(&pressure);
+                self.l2.end_epoch();
+            }
+        }
+    }
+
     /// Performs a TLB shootdown for one address space (§5.5): every core
     /// assigned to the address space flushes its L1 TLB, and the shared L2
     /// TLB (plus bypass cache) drops the matching entries. In-flight walks
@@ -681,6 +790,57 @@ impl GpuSim {
         &self.cfg
     }
 
+    /// Whether the current cycle is a safe snapshot point: an epoch
+    /// boundary, or any between-step cycle before the first boundary
+    /// (where no epoch-end bookkeeping has run yet). Only at such points
+    /// is the encoded state independent of the epoch-end-only MASK knobs
+    /// excluded from [`mask_common::snapshot::PrefixKey`] derivation.
+    pub fn at_epoch_safe_point(&self) -> bool {
+        let epoch = self.cfg.gpu.mask.epoch_cycles;
+        epoch == 0 || self.now.is_multiple_of(epoch) || self.now < epoch
+    }
+
+    /// Encodes the full dynamic simulator state into a sealed snapshot
+    /// carrying `key`.
+    ///
+    /// # Panics
+    ///
+    /// Panics when called off an epoch-safe point (see
+    /// [`GpuSim::at_epoch_safe_point`]) — snapshots between epoch
+    /// boundaries would silently invalidate prefix-key sharing.
+    pub fn encode_snapshot(&self, key: mask_common::snapshot::PrefixKey) -> Vec<u8> {
+        use mask_common::snapshot::Snapshot as _;
+        assert!(
+            self.at_epoch_safe_point(),
+            "snapshot at cycle {} is not epoch-safe (epoch = {})",
+            self.now,
+            self.cfg.gpu.mask.epoch_cycles
+        );
+        let mut w = mask_common::snapshot::SnapshotWriter::new();
+        self.snapshot(&mut w);
+        w.seal(key)
+    }
+
+    /// Restores the dynamic state encoded in `bytes` into this simulator,
+    /// which must have been freshly constructed from the same
+    /// configuration and applications. Rejects snapshots sealed under a
+    /// different [`mask_common::snapshot::PrefixKey`] than `key`.
+    ///
+    /// # Errors
+    ///
+    /// Any envelope or payload failure leaves the simulator unusable;
+    /// discard it and fall back to simulating from cycle zero.
+    pub fn restore_snapshot(
+        &mut self,
+        bytes: &[u8],
+        key: mask_common::snapshot::PrefixKey,
+    ) -> Result<(), mask_common::snapshot::SnapshotError> {
+        use mask_common::snapshot::Snapshot as _;
+        let mut r = mask_common::snapshot::SnapshotReader::open_keyed(bytes, key)?;
+        self.restore(&mut r)?;
+        r.finish()
+    }
+
     /// Field-by-field clone of all simulation state. The worker pool is
     /// *not* cloned — the copy lazily spawns its own on first sharded
     /// step — and the per-shard queues start fresh (they are empty between
@@ -726,6 +886,57 @@ impl GpuSim {
 impl Clone for GpuSim {
     fn clone(&self) -> Self {
         self.new_clone()
+    }
+}
+
+impl mask_common::snapshot::Snapshot for GpuSim {
+    fn snapshot(&self, w: &mut mask_common::snapshot::SnapshotWriter) {
+        w.section("gpu");
+        w.u64(self.now);
+        w.u64(self.next_req_id);
+        self.stats.snapshot(w);
+        w.seq(self.cores.len());
+        for core in &self.cores {
+            core.snapshot(w);
+        }
+        self.xlat.snapshot(w);
+        self.l2.snapshot(w);
+        self.dram.snapshot(w);
+    }
+
+    fn restore(
+        &mut self,
+        r: &mut mask_common::snapshot::SnapshotReader<'_>,
+    ) -> Result<(), mask_common::snapshot::SnapshotError> {
+        // Bind the structural replays performed by component restores
+        // (MSHR mirrors, walker slots, conservation domains) to this
+        // simulator's own sanitizer session.
+        mask_sanitizer::enter_session(self.san_session);
+        r.section("gpu")?;
+        self.now = r.u64()?;
+        self.next_req_id = r.u64()?;
+        self.stats.restore(r)?;
+        r.seq_exact(self.cores.len())?;
+        for core in &mut self.cores {
+            core.restore(r)?;
+        }
+        self.xlat.restore(r)?;
+        self.l2.restore(r)?;
+        self.dram.restore(r)?;
+        // Conservation: data-class requests below the cores were `issue`d
+        // as "core-data" in the snapshotted session. Every outstanding one
+        // is visible in the L2 exactly once (requests forwarded to DRAM
+        // are copies whose originals remain as MSHR waiters); translation
+        // requests were already re-issued by the translation unit from its
+        // own outstanding-walk table.
+        if mask_sanitizer::is_enabled() {
+            self.l2.for_each_in_flight(|req| {
+                if req.class == RequestClass::Data {
+                    mask_sanitizer::issue("core-data", req.id.0);
+                }
+            });
+        }
+        Ok(())
     }
 }
 
@@ -876,6 +1087,69 @@ mod tests {
         s.sync_stats();
         assert!(s.stats().apps[0].instructions > 0);
         assert!(s.stats().apps[1].instructions > 0);
+    }
+
+    #[test]
+    fn snapshot_restore_resumes_bit_identically() {
+        use mask_common::snapshot::PrefixKey;
+        let apps: &[(&str, usize)] = &[("HISTO", 2), ("GUP", 2)];
+        let mut oracle = sim(DesignKind::Mask, apps, 6_000);
+        oracle.run(6_000);
+        oracle.sync_stats();
+
+        let mut prefix = sim(DesignKind::Mask, apps, 6_000);
+        prefix.run(3_000);
+        let bytes = prefix.encode_snapshot(PrefixKey(7));
+
+        let mut resumed = sim(DesignKind::Mask, apps, 6_000);
+        resumed
+            .restore_snapshot(&bytes, PrefixKey(7))
+            .expect("restore");
+        resumed.run(3_000);
+        resumed.sync_stats();
+        assert_eq!(oracle.stats(), resumed.stats(), "resume must be bit-exact");
+
+        // The encoded state at the common end point must be byte-identical
+        // too — stats equality alone could hide architectural divergence.
+        assert_eq!(
+            oracle.encode_snapshot(PrefixKey(7)),
+            resumed.encode_snapshot(PrefixKey(7)),
+        );
+    }
+
+    #[test]
+    fn restore_rejects_wrong_key_and_garbage() {
+        use mask_common::snapshot::PrefixKey;
+        let apps: &[(&str, usize)] = &[("HISTO", 2)];
+        let mut s = sim(DesignKind::SharedTlb, apps, 2_000);
+        s.run(1_000);
+        let bytes = s.encode_snapshot(PrefixKey(1));
+        let mut fresh = sim(DesignKind::SharedTlb, apps, 2_000);
+        assert!(fresh.restore_snapshot(&bytes, PrefixKey(2)).is_err());
+        assert!(fresh
+            .restore_snapshot(&bytes[..bytes.len() / 2], PrefixKey(1))
+            .is_err());
+    }
+
+    #[test]
+    fn sampled_run_brackets_the_serial_oracle() {
+        let apps: &[(&str, usize)] = &[("HISTO", 2), ("GUP", 2)];
+        let mut oracle = sim(DesignKind::SharedTlb, apps, 40_000);
+        oracle.run(40_000);
+
+        let mut sampled = sim(DesignKind::SharedTlb, apps, 40_000);
+        let report = sampled.run_sampled(40_000, 2_000, 2_000);
+        assert_eq!(report.detailed_cycles + report.skipped_cycles, 40_000);
+        assert!(report.windows >= 10);
+        for app in 0..2 {
+            let exact = oracle.instructions(app) as f64;
+            let est = report.est_instructions[app];
+            let band = report.error_band[app].max(exact * 0.05);
+            assert!(
+                (est - exact).abs() <= band.max(exact * 0.25),
+                "app {app}: est {est:.0} vs oracle {exact:.0} outside band {band:.0}"
+            );
+        }
     }
 
     #[test]

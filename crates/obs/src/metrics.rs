@@ -106,15 +106,19 @@ impl EpochTracker {
     }
 }
 
-/// Emits one `job_pool` frame: pool occupancy and baseline-cache counters
-/// for a completed engine batch. Called by `mask-core`'s `JobPool` after
-/// `run_batch`; no-op unless tracing is live.
+/// Emits one `job_pool` frame: pool occupancy plus baseline- and
+/// prefix-cache counters for a completed engine batch. Called by
+/// `mask-core`'s `JobPool` after `run_batch`; no-op unless tracing is
+/// live.
+#[allow(clippy::too_many_arguments)]
 pub fn job_pool_frame(
     workers: usize,
     jobs: usize,
     unique_jobs: usize,
     cache_hits: u64,
     cache_misses: u64,
+    prefix_hits: u64,
+    prefix_misses: u64,
     wall_us: u64,
 ) {
     #[cfg(feature = "enabled")]
@@ -125,7 +129,9 @@ pub fn job_pool_frame(
         crate::ring::push_frame(format!(
             "{{\"type\":\"job_pool\",\"workers\":{workers},\"jobs\":{jobs},\
              \"unique_jobs\":{unique_jobs},\"baseline_cache_hits\":{cache_hits},\
-             \"baseline_cache_misses\":{cache_misses},\"wall_us\":{wall_us}}}"
+             \"baseline_cache_misses\":{cache_misses},\
+             \"prefix_cache_hits\":{prefix_hits},\
+             \"prefix_cache_misses\":{prefix_misses},\"wall_us\":{wall_us}}}"
         ));
     }
     #[cfg(not(feature = "enabled"))]
@@ -135,6 +141,8 @@ pub fn job_pool_frame(
         unique_jobs,
         cache_hits,
         cache_misses,
+        prefix_hits,
+        prefix_misses,
         wall_us,
     );
 }

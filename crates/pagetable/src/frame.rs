@@ -127,6 +127,32 @@ impl FrameAllocator {
     }
 }
 
+impl mask_common::snapshot::Snapshot for FrameAllocator {
+    /// Serializes the allocation cursors (`data_next` grows on demand, so
+    /// its length is state too); page size and color count are
+    /// config-derived.
+    fn snapshot(&self, w: &mut mask_common::snapshot::SnapshotWriter) {
+        w.seq(self.data_next.len());
+        for &n in &self.data_next {
+            w.u64(n);
+        }
+        w.u64(self.node_next);
+    }
+
+    fn restore(
+        &mut self,
+        r: &mut mask_common::snapshot::SnapshotReader<'_>,
+    ) -> Result<(), mask_common::snapshot::SnapshotError> {
+        let n = r.seq()?;
+        self.data_next.clear();
+        for _ in 0..n {
+            self.data_next.push(r.u64()?);
+        }
+        self.node_next = r.u64()?;
+        Ok(())
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

@@ -236,6 +236,75 @@ impl PageTables {
     }
 }
 
+impl mask_common::snapshot::Snapshot for PageTable {
+    /// Serializes the radix nodes densely (frame, children, leaves) plus the
+    /// mapped-page count; the ASID, page size, and level count are fixed at
+    /// construction.
+    fn snapshot(&self, w: &mut mask_common::snapshot::SnapshotWriter) {
+        w.seq(self.nodes.len());
+        for node in &self.nodes {
+            w.u64(node.frame);
+            for &c in node.children.iter() {
+                w.u32(c);
+            }
+            for &l in node.leaves.iter() {
+                w.u64(l);
+            }
+        }
+        w.usize(self.mapped);
+    }
+
+    fn restore(
+        &mut self,
+        r: &mut mask_common::snapshot::SnapshotReader<'_>,
+    ) -> Result<(), mask_common::snapshot::SnapshotError> {
+        let n = r.seq()?;
+        if n == 0 {
+            return Err(mask_common::snapshot::SnapshotError::Malformed(
+                "page table without a root node",
+            ));
+        }
+        self.nodes.clear();
+        for _ in 0..n {
+            let frame = r.u64()?;
+            let mut node = Node::new(frame);
+            for c in node.children.iter_mut() {
+                *c = r.u32()?;
+            }
+            for l in node.leaves.iter_mut() {
+                *l = r.u64()?;
+            }
+            self.nodes.push(node);
+        }
+        self.mapped = r.usize()?;
+        Ok(())
+    }
+}
+
+impl mask_common::snapshot::Snapshot for PageTables {
+    fn snapshot(&self, w: &mut mask_common::snapshot::SnapshotWriter) {
+        w.section("pagetables");
+        self.alloc.snapshot(w);
+        w.seq(self.tables.len());
+        for t in &self.tables {
+            t.snapshot(w);
+        }
+    }
+
+    fn restore(
+        &mut self,
+        r: &mut mask_common::snapshot::SnapshotReader<'_>,
+    ) -> Result<(), mask_common::snapshot::SnapshotError> {
+        r.section("pagetables")?;
+        self.alloc.restore(r)?;
+        r.seq_exact(self.tables.len())?;
+        for t in &mut self.tables {
+            t.restore(r)?;
+        }
+        Ok(())
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

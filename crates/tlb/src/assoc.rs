@@ -5,6 +5,7 @@
 //! cache. Data caches live in `mask-cache` and add MSHRs and banking on
 //! top of the same structure.
 
+use mask_common::snapshot::{SnapField, Snapshot, SnapshotError, SnapshotReader, SnapshotWriter};
 use std::hash::{Hash, Hasher};
 
 /// A set-associative, true-LRU lookup structure.
@@ -171,6 +172,45 @@ impl<K: Eq + Hash + Copy, V: Copy> AssocArray<K, V> {
         self.sets
             .iter()
             .flat_map(|s| s.iter().map(|e| (&e.key, &e.value)))
+    }
+}
+
+impl<K: SnapField + Eq + Hash + Copy, V: SnapField + Copy> Snapshot for AssocArray<K, V> {
+    /// Captures the stamp and every set's entries *in stored order*:
+    /// eviction picks the positionally-first minimum `last_used` and
+    /// removal uses `swap_remove`, so both the order and the exact LRU
+    /// stamps are behaviorally significant.
+    fn snapshot(&self, w: &mut SnapshotWriter) {
+        w.u64(self.stamp);
+        w.seq(self.sets.len());
+        for set in &self.sets {
+            w.seq(set.len());
+            for e in set {
+                e.key.write(w);
+                e.value.write(w);
+                w.u64(e.last_used);
+            }
+        }
+    }
+
+    fn restore(&mut self, r: &mut SnapshotReader<'_>) -> Result<(), SnapshotError> {
+        self.stamp = r.u64()?;
+        r.seq_exact(self.sets.len())?;
+        for set in &mut self.sets {
+            set.clear();
+            let n = r.seq()?;
+            if n > self.assoc {
+                return Err(SnapshotError::Malformed("set holds more than assoc"));
+            }
+            for _ in 0..n {
+                set.push(Entry {
+                    key: K::read(r)?,
+                    value: V::read(r)?,
+                    last_used: r.u64()?,
+                });
+            }
+        }
+        Ok(())
     }
 }
 

@@ -75,6 +75,21 @@ impl TlbBypassCache {
     }
 }
 
+impl mask_common::snapshot::Snapshot for TlbBypassCache {
+    fn snapshot(&self, w: &mut mask_common::snapshot::SnapshotWriter) {
+        self.entries.snapshot(w);
+        self.stats.snapshot(w);
+    }
+
+    fn restore(
+        &mut self,
+        r: &mut mask_common::snapshot::SnapshotReader<'_>,
+    ) -> Result<(), mask_common::snapshot::SnapshotError> {
+        self.entries.restore(r)?;
+        self.stats.restore(r)
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

@@ -176,6 +176,46 @@ impl SharedL2Tlb {
     }
 }
 
+impl mask_common::snapshot::Snapshot for SharedL2Tlb {
+    fn snapshot(&self, w: &mut mask_common::snapshot::SnapshotWriter) {
+        w.section("l2tlb");
+        self.entries.snapshot(w);
+        // Presence of the bypass cache is config-derived; only its contents
+        // are state.
+        if let Some(b) = &self.bypass {
+            b.snapshot(w);
+        }
+        w.seq(self.epoch.len());
+        for s in &self.epoch {
+            s.snapshot(w);
+        }
+        w.seq(self.lifetime.len());
+        for s in &self.lifetime {
+            s.snapshot(w);
+        }
+    }
+
+    fn restore(
+        &mut self,
+        r: &mut mask_common::snapshot::SnapshotReader<'_>,
+    ) -> Result<(), mask_common::snapshot::SnapshotError> {
+        r.section("l2tlb")?;
+        self.entries.restore(r)?;
+        if let Some(b) = &mut self.bypass {
+            b.restore(r)?;
+        }
+        r.seq_exact(self.epoch.len())?;
+        for s in &mut self.epoch {
+            s.restore(r)?;
+        }
+        r.seq_exact(self.lifetime.len())?;
+        for s in &mut self.lifetime {
+            s.restore(r)?;
+        }
+        Ok(())
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

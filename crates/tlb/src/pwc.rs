@@ -62,6 +62,21 @@ impl PageWalkCache {
     }
 }
 
+impl mask_common::snapshot::Snapshot for PageWalkCache {
+    fn snapshot(&self, w: &mut mask_common::snapshot::SnapshotWriter) {
+        self.lines.snapshot(w);
+        self.stats.snapshot(w);
+    }
+
+    fn restore(
+        &mut self,
+        r: &mut mask_common::snapshot::SnapshotReader<'_>,
+    ) -> Result<(), mask_common::snapshot::SnapshotError> {
+        self.lines.restore(r)?;
+        self.stats.restore(r)
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

@@ -210,6 +210,44 @@ impl TokenAllocator {
     }
 }
 
+impl mask_common::snapshot::Snapshot for TokenAllocator {
+    /// Serializes only the adaptive per-app state; the policy, core/warp
+    /// geometry, and tuning fractions are config-derived.
+    fn snapshot(&self, w: &mut mask_common::snapshot::SnapshotWriter) {
+        w.section("tokens");
+        w.seq(self.apps.len());
+        for app in &self.apps {
+            w.u64(app.tokens);
+            w.bool(app.prev_miss_rate.is_some());
+            w.f64(app.prev_miss_rate.unwrap_or(0.0));
+            w.i8(app.direction);
+            w.bool(app.warmup);
+        }
+    }
+
+    fn restore(
+        &mut self,
+        r: &mut mask_common::snapshot::SnapshotReader<'_>,
+    ) -> Result<(), mask_common::snapshot::SnapshotError> {
+        r.section("tokens")?;
+        r.seq_exact(self.apps.len())?;
+        for app in &mut self.apps {
+            app.tokens = r.u64()?;
+            let has_prev = r.bool()?;
+            let prev = r.f64()?;
+            app.prev_miss_rate = has_prev.then_some(prev);
+            app.direction = r.i8()?;
+            app.warmup = r.bool()?;
+            if app.tokens > app.total_warps() {
+                return Err(mask_common::snapshot::SnapshotError::Malformed(
+                    "token count exceeds total warps",
+                ));
+            }
+        }
+        Ok(())
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

@@ -240,6 +240,43 @@ impl WarpTrace {
     }
 }
 
+impl mask_common::snapshot::Snapshot for WarpTrace {
+    /// Serializes the RNG stream plus the stream/locality state; the
+    /// profile, page size, and warp coordinates are fixed at construction.
+    fn snapshot(&self, w: &mut mask_common::snapshot::SnapshotWriter) {
+        self.rng.snapshot(w);
+        w.u64(self.step);
+        w.u64(self.burst_left);
+        for &(page, line) in &self.recent {
+            w.u64(page);
+            w.u64(line);
+        }
+        w.usize(self.recent_len);
+        w.usize(self.recent_next);
+    }
+
+    fn restore(
+        &mut self,
+        r: &mut mask_common::snapshot::SnapshotReader<'_>,
+    ) -> Result<(), mask_common::snapshot::SnapshotError> {
+        self.rng.restore(r)?;
+        self.step = r.u64()?;
+        self.burst_left = r.u64()?;
+        for slot in &mut self.recent {
+            *slot = (r.u64()?, r.u64()?);
+        }
+        self.recent_len = r.usize()?;
+        self.recent_next = r.usize()?;
+        let cap = self.recent.len();
+        if self.recent_len > cap || self.recent_next >= cap {
+            return Err(mask_common::snapshot::SnapshotError::Malformed(
+                "trace recency cursor out of range",
+            ));
+        }
+        Ok(())
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

@@ -118,7 +118,8 @@ fn all_ten_presets_have_pairwise_distinct_specs() {
     for i in 0..specs.len() {
         for j in i + 1..specs.len() {
             assert_ne!(
-                specs[i], specs[j],
+                specs[i],
+                specs[j],
                 "{} and {} share a DesignSpec; the job engine would dedup them",
                 DesignKind::ALL[i],
                 DesignKind::ALL[j]

@@ -57,10 +57,7 @@ fn fig11_15_run() {
 /// so their coloring invariants are audited on every fill and enqueue.
 #[test]
 fn new_presets_run_through_multiprog() {
-    let s = multiprog::sweep(
-        &tiny(),
-        &[DesignKind::Partitioned, DesignKind::NoIsolation],
-    );
+    let s = multiprog::sweep(&tiny(), &[DesignKind::Partitioned, DesignKind::NoIsolation]);
     assert!(!s.fig11_weighted_speedup().is_empty());
     assert!(!s.fig15_unfairness().is_empty());
 }

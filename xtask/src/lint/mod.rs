@@ -171,6 +171,11 @@ impl Sink<'_> {
 
 /// Files whose per-cycle code must stay allocation-free (the `hotpath`
 /// rule) and where `SeqCst` is a smell. Matched as path suffixes.
+///
+/// The snapshot codec (`crates/common/src/snapshot.rs`) is deliberately
+/// *not* registered here: checkpoint encoding/decoding runs only at
+/// epoch-boundary snapshot points, never inside the per-cycle loop, so
+/// it may allocate freely (the fixture tests pin this decision down).
 pub(crate) const HOTPATH_FILES: [&str; 6] = [
     "crates/gpu/src/sim.rs",
     "crates/gpu/src/shard.rs",
@@ -181,12 +186,15 @@ pub(crate) const HOTPATH_FILES: [&str; 6] = [
 ];
 
 /// Designated environment-read entry points (the `env-determinism` rule):
-/// the shared config module and the tracer's gate/exporter. `crates/bench`
-/// is exempt as a whole (wall-clock-facing harness code).
-pub(crate) const ENV_ENTRY_FILES: [&str; 3] = [
+/// the shared config module, the tracer's gate/exporter, and the job
+/// engine (which resolves `MASK_SNAPSHOT_DIR` once when the process-wide
+/// prefix cache is built). `crates/bench` is exempt as a whole
+/// (wall-clock-facing harness code).
+pub(crate) const ENV_ENTRY_FILES: [&str; 4] = [
     "crates/common/src/config.rs",
     "crates/obs/src/ring.rs",
     "crates/obs/src/export.rs",
+    "crates/core/src/engine.rs",
 ];
 
 /// Which crate (the `crates/<name>` component) a path belongs to, if any.

@@ -430,9 +430,10 @@ fn pass_env_determinism(ctx: &FileCtx<'_>, sink: &mut Sink<'_>) {
                 "env-determinism",
                 "environment read outside the designated config entry points \
                  (crates/common/src/config.rs, crates/obs/src/ring.rs, \
-                 crates/obs/src/export.rs, crates/bench); resolve MASK_* \
-                 settings once at configuration time so no stage of the cycle \
-                 loop can fork behavior on the environment"
+                 crates/obs/src/export.rs, crates/core/src/engine.rs, \
+                 crates/bench); resolve MASK_* settings once at configuration \
+                 time so no stage of the cycle loop can fork behavior on the \
+                 environment"
                     .into(),
                 None,
             );
@@ -519,5 +520,7 @@ mod tests {
     fn hot_file_predicate_matches_suffixes() {
         assert!(is_hot_file("/repo/crates/gpu/src/sim.rs"));
         assert!(!is_hot_file("/repo/crates/gpu/src/core_model.rs"));
+        // The snapshot codec runs at epoch boundaries, not per cycle.
+        assert!(!is_hot_file("/repo/crates/common/src/snapshot.rs"));
     }
 }

@@ -306,6 +306,38 @@ fn clean_env_determinism_entry_points_may_read() {
     assert!(lint("crates/bench/src/lib.rs", src).is_empty());
 }
 
+#[test]
+fn clean_env_determinism_engine_resolves_snapshot_dir() {
+    // The job engine is a designated entry point: it resolves
+    // MASK_SNAPSHOT_DIR once when the process-wide prefix cache is built.
+    let src = "let d = std::env::var_os(\"MASK_SNAPSHOT_DIR\");\n";
+    assert!(lint("crates/core/src/engine.rs", src).is_empty());
+    // Entry-point status does not leak to the rest of mask-core.
+    assert_eq!(
+        rules(&lint("crates/core/src/runner.rs", src)),
+        ["env-determinism"]
+    );
+}
+
+#[test]
+fn clean_hotpath_snapshot_codec_may_allocate() {
+    // The snapshot codec is registered as a cold file: it runs at
+    // epoch-boundary checkpoint points, never inside the cycle loop.
+    let src = "let mut buf: Vec<u8> = Vec::new();\nlet c = self.sections.clone();\n";
+    assert!(lint("crates/common/src/snapshot.rs", src).is_empty());
+}
+
+#[test]
+fn red_hotpath_snapshot_style_code_in_hot_files_still_fires() {
+    // The same allocation pattern inside a per-cycle hot file stays red —
+    // the codec exemption is per-file, not per-pattern.
+    let v = lint(
+        "crates/gpu/src/translation.rs",
+        "let mut buf: Vec<u8> = Vec::new();\n",
+    );
+    assert_eq!(rules(&v), ["hotpath"]);
+}
+
 // v1 regression cases the token-aware engine fixes.
 
 #[test]
