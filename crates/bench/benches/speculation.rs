@@ -1,0 +1,261 @@
+//! Speculative epoch parallelism benchmark: wall-clock effect of running
+//! one simulation's time axis across the worker pool
+//! (`mask_gpu::spec::run_speculative`).
+//!
+//! Three modes over the identical workload (one long MASK run):
+//!
+//! * **serial** — the plain cycle loop, the oracle;
+//! * **spec-cold** — speculation from *functional* predictions. The
+//!   synthetic traces are infinite PRNG streams, so predictions on busy
+//!   spans essentially never byte-match truth and every segment replays:
+//!   this mode honestly measures the worst case (predict + discard +
+//!   replay), and its commit/replay tally is reported as such;
+//! * **spec-seeded** — speculation from the true boundary snapshots
+//!   recorded by a previous identical run (`SpecReport::boundaries`).
+//!   Every segment verifies and commits, so the detailed work genuinely
+//!   runs concurrently — the case where speculation pays (sweep campaigns
+//!   re-visiting configurations, regression reruns).
+//!
+//! All three modes must end in byte-identical machine state (compared via
+//! the sealed snapshot's FNV-1a checksum plus per-app instruction
+//! counters) — that identity is the `--check` hard gate. The speedup gate
+//! compares seeded speculation against serial; on a single-hardware-thread
+//! host the segments time-share one CPU and only the handoff cost is
+//! visible, so the speedup gate is skipped with an honest note (the
+//! `host_parallelism` field records the machine either way, as `BENCH_pr4`
+//! did). Results are written to `target/mask-results/BENCH_pr9.json`; the
+//! committed `BENCH_pr9.json` at the repository root records the numbers
+//! for this PR.
+//!
+//! ```text
+//! cargo bench -p mask-bench --bench speculation             # measure
+//! cargo bench -p mask-bench --bench speculation -- --check  # CI gate
+//! ```
+//!
+//! Environment:
+//!
+//! * `MASK_BENCH_SPEC_CYCLES` — run length (default 400 000; the epoch is
+//!   50 000 cycles, so the default span has 7 internal cuts);
+//! * `MASK_BENCH_SPEC_SEGMENTS` — requested segments (default 4);
+//! * `MASK_BENCH_REPS` — timed repetitions, best-of (default 2);
+//! * `MASK_BENCH_MIN_SPEEDUP` — override the `--check` speedup floor.
+
+use mask_common::config::{DesignKind, SimConfig};
+use mask_common::snapshot::{envelope_checksum, PrefixKey};
+use mask_gpu::{run_speculative, AppSpec, GpuSim, SpecPlan};
+use mask_workloads::app_by_name;
+use std::path::Path;
+use std::time::Instant;
+
+/// The benched machine: 8 cores split between a TLB-hostile pair, epoch
+/// short enough that the span has plenty of snapshot-safe cut points.
+fn build(cycles: u64) -> GpuSim {
+    let mut cfg = SimConfig::new(DesignKind::Mask).with_max_cycles(cycles);
+    cfg.gpu.n_cores = 8;
+    cfg.gpu.warps_per_core = 16;
+    cfg.gpu.mask.epoch_cycles = 50_000;
+    let specs: Vec<AppSpec> = [("HISTO", 4), ("GUP", 4)]
+        .iter()
+        .map(|&(name, n_cores)| AppSpec {
+            profile: app_by_name(name).expect("known app"),
+            n_cores,
+        })
+        .collect();
+    GpuSim::new(&cfg, &specs)
+}
+
+/// Byte-exact witness of the final machine state: the sealed snapshot's
+/// payload checksum plus per-app instruction counters.
+fn digest(sim: &mut GpuSim) -> (u64, Vec<u64>) {
+    sim.sync_stats();
+    let bytes = sim.encode_snapshot(PrefixKey(0x5BEC));
+    let sum = envelope_checksum(&bytes).expect("sealed snapshot has a checksum");
+    let instr = sim.stats().apps.iter().map(|a| a.instructions).collect();
+    (sum, instr)
+}
+
+/// Best-of-`reps` serial wall time.
+fn measure_serial(cycles: u64, reps: usize) -> (f64, u64, Vec<u64>) {
+    let mut best = f64::INFINITY;
+    let mut out = (0, Vec::new());
+    for _ in 0..reps {
+        let mut sim = build(cycles);
+        let started = Instant::now();
+        sim.run(cycles);
+        best = best.min(started.elapsed().as_secs_f64());
+        out = digest(&mut sim);
+    }
+    (best, out.0, out.1)
+}
+
+/// Best-of-`reps` speculative wall time; `seeds` switches between the
+/// cold (functional-prediction) and seeded (recorded-boundary) modes.
+#[allow(clippy::type_complexity)]
+fn measure_spec(
+    cycles: u64,
+    reps: usize,
+    segments: usize,
+    seeds: Option<&[Vec<u8>]>,
+) -> (f64, u64, Vec<u64>, u64, u64) {
+    let mut best = f64::INFINITY;
+    let mut out = (0, Vec::new());
+    let (mut commits, mut replays) = (0, 0);
+    for _ in 0..reps {
+        let mut plan = SpecPlan::new(segments);
+        if let Some(seeds) = seeds {
+            plan = plan.with_seeds(seeds.to_vec());
+        }
+        let sim = build(cycles);
+        let started = Instant::now();
+        let (mut done, report) = run_speculative(sim, cycles, &plan, || build(cycles));
+        best = best.min(started.elapsed().as_secs_f64());
+        out = digest(&mut done);
+        commits = report.commits;
+        replays = report.replays;
+    }
+    (best, out.0, out.1, commits, replays)
+}
+
+fn env_u64(key: &str, default: u64) -> u64 {
+    std::env::var(key)
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(default)
+}
+
+/// Repository root (this file lives at `crates/bench/benches/`).
+fn repo_root() -> &'static Path {
+    Path::new(env!("CARGO_MANIFEST_DIR"))
+        .ancestors()
+        .nth(2)
+        .expect("crates/bench has a workspace root two levels up")
+}
+
+/// Extracts `"key": <number>` from a flat JSON object.
+fn json_number(text: &str, key: &str) -> Option<f64> {
+    let k = text.find(&format!("\"{key}\""))?;
+    let after = &text[k..];
+    let colon = after.find(':')?;
+    let rest = after[colon + 1..].trim_start();
+    let end = rest
+        .find(|c: char| !(c.is_ascii_digit() || c == '.' || c == '-' || c == 'e' || c == '+'))
+        .unwrap_or(rest.len());
+    rest[..end].parse().ok()
+}
+
+fn main() {
+    let check = std::env::args().any(|a| a == "--check");
+    let cycles = env_u64("MASK_BENCH_SPEC_CYCLES", 400_000);
+    let segments = env_u64("MASK_BENCH_SPEC_SEGMENTS", 4) as usize;
+    let reps = env_u64("MASK_BENCH_REPS", 2) as usize;
+    let avail = std::thread::available_parallelism().map_or(1, std::num::NonZeroUsize::get);
+    mask_obs::set_runtime(Some(false));
+
+    println!(
+        "=== speculative epoch parallelism — HISTO|GUP on 8 cores, \
+         {cycles} cycles, {segments} segment(s), reps={reps} (best-of), \
+         host parallelism {avail} ===\n"
+    );
+
+    let (serial_secs, serial_sum, serial_instr) = measure_serial(cycles, reps);
+    println!("serial       {serial_secs:>8.2}s wall");
+
+    // Record the true boundaries once (untimed) for the seeded mode.
+    let (_, recording) = run_speculative(build(cycles), cycles, &SpecPlan::new(segments), || {
+        build(cycles)
+    });
+    let seeds = recording.boundaries;
+
+    let (cold_secs, cold_sum, cold_instr, cold_commits, cold_replays) =
+        measure_spec(cycles, reps, segments, None);
+    println!(
+        "spec-cold    {cold_secs:>8.2}s wall  ({cold_commits} commit(s), {cold_replays} \
+         replay(s) — infinite traces defeat functional prediction, as expected)"
+    );
+    let (seed_secs, seed_sum, seed_instr, seed_commits, seed_replays) =
+        measure_spec(cycles, reps, segments, Some(&seeds));
+    println!(
+        "spec-seeded  {seed_secs:>8.2}s wall  ({seed_commits} commit(s), {seed_replays} replay(s))"
+    );
+
+    let speedup = serial_secs / seed_secs.max(1e-9);
+    let identical = serial_sum == cold_sum
+        && serial_sum == seed_sum
+        && serial_instr == cold_instr
+        && serial_instr == seed_instr;
+    println!(
+        "\nseeded speedup {speedup:.2}x vs serial; final-state checksums identical \
+         across all modes: {identical}"
+    );
+    if avail == 1 {
+        println!(
+            "note: single hardware thread — segments time-share one CPU, so the wall \
+             clock shows only the snapshot/handoff overhead, not a speedup"
+        );
+    }
+
+    // Always archive the measurement.
+    let mut json = String::from("{\n  \"bench\": \"speculation\",\n");
+    json.push_str(&format!(
+        "  \"cycles\": {cycles},\n  \"segments_requested\": {segments},\n  \
+         \"segments_effective\": {},\n  \"host_parallelism\": {avail},\n  \
+         \"wall_secs_serial\": {serial_secs:.3},\n  \
+         \"wall_secs_spec_cold\": {cold_secs:.3},\n  \
+         \"wall_secs_spec_seeded\": {seed_secs:.3},\n  \
+         \"speedup_seeded\": {speedup:.3},\n  \
+         \"commits_cold\": {cold_commits},\n  \"replays_cold\": {cold_replays},\n  \
+         \"commits_seeded\": {seed_commits},\n  \"replays_seeded\": {seed_replays},\n  \
+         \"checksums_identical\": {identical},\n  \"state_checksum\": {serial_sum},\n",
+        seed_commits + seed_replays + 1
+    ));
+    json.push_str("  \"instr_checksums\": [");
+    for (i, sum) in serial_instr.iter().enumerate() {
+        let comma = if i + 1 == serial_instr.len() {
+            ""
+        } else {
+            ", "
+        };
+        json.push_str(&format!("{sum}{comma}"));
+    }
+    json.push_str("]\n}\n");
+    let out_dir = repo_root().join("target/mask-results");
+    if std::fs::create_dir_all(&out_dir).is_ok() {
+        let _ = std::fs::write(out_dir.join("BENCH_pr9.json"), &json);
+    }
+
+    if check {
+        if !identical {
+            eprintln!("determinism violation: speculative final state differs from serial");
+            eprintln!("  serial: {serial_sum:#018x} {serial_instr:?}");
+            eprintln!("  cold:   {cold_sum:#018x} {cold_instr:?}");
+            eprintln!("  seeded: {seed_sum:#018x} {seed_instr:?}");
+            std::process::exit(1);
+        }
+        println!("check: final-state checksums identical across serial/cold/seeded");
+        if seed_replays != 0 {
+            eprintln!("seeded speculation must commit every segment, saw {seed_replays} replay(s)");
+            std::process::exit(1);
+        }
+        if avail == 1 {
+            println!(
+                "check: single hardware thread — speedup gate skipped (handoff-cost-only \
+                 regime); identity gate passed"
+            );
+            return;
+        }
+        let committed = std::fs::read_to_string(repo_root().join("BENCH_pr9.json"))
+            .expect("--check needs the committed BENCH_pr9.json at the repo root");
+        let reference = json_number(&committed, "speedup_seeded")
+            .expect("committed JSON must carry a speedup_seeded field");
+        let floor = std::env::var("MASK_BENCH_MIN_SPEEDUP")
+            .ok()
+            .and_then(|v| v.parse::<f64>().ok())
+            .unwrap_or_else(|| (reference * 0.7).max(1.0));
+        println!("check: measured {speedup:.2}x vs floor {floor:.2}x (committed {reference:.2}x)");
+        if speedup < floor {
+            eprintln!("speculation regression: {speedup:.2}x < {floor:.2}x");
+            std::process::exit(1);
+        }
+        println!("check: OK");
+    }
+}

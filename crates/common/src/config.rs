@@ -844,6 +844,54 @@ impl ShardOptions {
     }
 }
 
+/// Speculative time-segment request for `mask-core`'s job engine.
+///
+/// Pure configuration data, mirroring [`ShardOptions`]: this type only
+/// *carries the request*. The engine resolves it when running a job's
+/// measured phase — a run of `E` epochs is cut into up to this many
+/// segments at epoch-safe snapshot points, segments 1.. start from
+/// *predicted* states, and every misprediction replays from the true
+/// state. Like worker and shard counts, the segment count is
+/// results-invariant: stats are bit-identical at every segment count, so
+/// it never participates in job dedup or prefix keys (the same reason
+/// `WarmupInfluence` declarations exclude it).
+#[derive(Clone, Copy, Default, PartialEq, Eq, Debug)]
+pub struct SpecOptions {
+    /// Explicit segment count (`Some(1)` = the plain serial run). `None`
+    /// defers to the `MASK_SPEC_SEGMENTS` environment variable and, when
+    /// that is unset too, to 1 (no speculation).
+    pub segments: Option<usize>,
+}
+
+impl SpecOptions {
+    /// Run the measured phase serially (no speculation).
+    #[must_use]
+    pub const fn serial() -> Self {
+        SpecOptions { segments: Some(1) }
+    }
+
+    /// Request exactly `n` time segments.
+    #[must_use]
+    pub const fn with_segments(n: usize) -> Self {
+        SpecOptions { segments: Some(n) }
+    }
+
+    /// The requested segment count: the explicit setting when present,
+    /// else `MASK_SPEC_SEGMENTS`, else 1. Any request is clamped to at
+    /// least 1.
+    #[must_use]
+    pub fn requested(self) -> usize {
+        self.segments
+            .or_else(|| {
+                std::env::var("MASK_SPEC_SEGMENTS")
+                    .ok()
+                    .and_then(|v| v.parse().ok())
+            })
+            .unwrap_or(1)
+            .max(1)
+    }
+}
+
 /// Default per-run cycle budget.
 ///
 /// Honors the `MASK_SIM_CYCLES` environment variable so the full experiment
@@ -880,6 +928,14 @@ mod tests {
         assert_eq!(JobOptions::with_workers(6).requested(), Some(6));
         // A nonsensical explicit request clamps to the serial minimum.
         assert_eq!(JobOptions::with_workers(0).requested(), Some(1));
+    }
+
+    #[test]
+    fn explicit_spec_options_win_over_environment() {
+        assert_eq!(SpecOptions::serial().requested(), 1);
+        assert_eq!(SpecOptions::with_segments(4).requested(), 4);
+        // A nonsensical explicit request clamps to the serial minimum.
+        assert_eq!(SpecOptions::with_segments(0).requested(), 1);
     }
 
     #[test]

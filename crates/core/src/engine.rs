@@ -30,14 +30,16 @@
 //! primitives (`std::thread`, `Mutex`, atomics) — `cargo xtask lint`
 //! enforces the boundary with the `parallelism` rule.
 
-use mask_common::config::{DesignKind, DesignSpec, GpuConfig, JobOptions, ShardOptions, SimConfig};
-use mask_common::snapshot::{PrefixHasher, PrefixKey, SnapshotReader};
+use mask_common::config::{
+    DesignKind, DesignSpec, GpuConfig, JobOptions, ShardOptions, SimConfig, SpecOptions,
+};
+use mask_common::snapshot::{validate_envelope, PrefixHasher, PrefixKey, SnapshotReader};
 use mask_common::stats::SimStats;
-use mask_gpu::{AppSpec, GpuSim};
+use mask_gpu::{run_speculative, AppSpec, GpuSim, SpecPlan};
 use std::collections::BTreeMap;
 use std::fmt;
-use std::path::PathBuf;
-use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
 use std::sync::{Arc, Mutex, OnceLock};
 
 /// One self-contained simulation: a design, an application placement, and
@@ -120,9 +122,19 @@ impl SimJob {
     /// every shard count.
     #[must_use]
     pub fn run_with_shards(&self, sm_shards: Option<usize>) -> SimStats {
+        self.run_with_spec(sm_shards, 1).0
+    }
+
+    /// Like [`SimJob::run_with_shards`], plus speculative epoch
+    /// parallelism of the measured phase when `segments > 1` (see
+    /// `mask_gpu::spec`). Returns the statistics together with the
+    /// speculation commit/replay tally — results are bit-identical at any
+    /// segment count, so the tally is pure telemetry.
+    #[must_use]
+    pub fn run_with_spec(&self, sm_shards: Option<usize>, segments: usize) -> (SimStats, u64, u64) {
         let mut sim = self.build_sim(sm_shards);
         sim.run(self.warmup_eff());
-        self.finish_measured(sim)
+        self.finish_measured(sim, sm_shards, segments)
     }
 
     /// Like [`SimJob::run_with_shards`], but with the warm-up phase served
@@ -136,9 +148,24 @@ impl SimJob {
     /// from cycle zero if a (disk-loaded) snapshot fails to restore.
     #[must_use]
     pub fn run_with_prefix(&self, sm_shards: Option<usize>, prefix: &PrefixCache) -> SimStats {
+        self.run_with_prefix_spec(sm_shards, 1, prefix).0
+    }
+
+    /// Like [`SimJob::run_with_prefix`], plus speculative epoch
+    /// parallelism of the measured phase when `segments > 1`; the
+    /// prefix-restored simulator is exactly the speculation's segment-0
+    /// seed. Returns the statistics together with the speculation
+    /// commit/replay tally.
+    #[must_use]
+    pub fn run_with_prefix_spec(
+        &self,
+        sm_shards: Option<usize>,
+        segments: usize,
+        prefix: &PrefixCache,
+    ) -> (SimStats, u64, u64) {
         let warmup = self.warmup_eff();
         if warmup == 0 || !self.warmup_is_epoch_safe() {
-            return self.run_with_shards(sm_shards);
+            return self.run_with_spec(sm_shards, segments);
         }
         let key = self.prefix_key();
         let cell = prefix.cell(key);
@@ -180,7 +207,7 @@ impl SimJob {
                 }
             }
         };
-        self.finish_measured(sim)
+        self.finish_measured(sim, sm_shards, segments)
     }
 
     /// The canonical warm-up prefix key: an FNV-1a digest over everything
@@ -246,12 +273,27 @@ impl SimJob {
     }
 
     /// Runs the measured phase on a simulator positioned at the end of
-    /// warm-up and snapshots its statistics.
-    fn finish_measured(&self, mut sim: GpuSim) -> SimStats {
+    /// warm-up and snapshots its statistics, speculatively across the time
+    /// axis when `segments > 1` (the segment runner falls back to the
+    /// plain serial loop whenever the span has no epoch-safe cut).
+    fn finish_measured(
+        &self,
+        mut sim: GpuSim,
+        sm_shards: Option<usize>,
+        segments: usize,
+    ) -> (SimStats, u64, u64) {
         sim.reset_stats();
-        sim.run(self.max_cycles - self.warmup_eff());
+        let measured = self.max_cycles - self.warmup_eff();
+        if segments > 1 {
+            let plan = SpecPlan::new(segments);
+            let (mut done, report) =
+                run_speculative(sim, measured, &plan, || self.build_sim(sm_shards));
+            done.sync_stats();
+            return (done.stats().clone(), report.commits, report.replays);
+        }
+        sim.run(measured);
         sim.sync_stats();
-        sim.stats().clone()
+        (sim.stats().clone(), 0, 0)
     }
 }
 
@@ -270,32 +312,66 @@ fn clamp_shards(requested: usize, workers: usize, avail: usize) -> usize {
     }
 }
 
-/// The oversubscription warning text, stating the resolved jobs×shards
-/// split so readers can tell exactly what configuration actually ran.
-fn shards_clamped_message(
-    requested: usize,
-    granted: usize,
+/// Budgets the full three-way split: with `workers` simulations running
+/// concurrently, each sharding its frontend `shards` ways and speculating
+/// over `segments` time segments, `workers × shards × segments` threads
+/// must not oversubscribe `avail`. Shards win ties (they accelerate every
+/// cycle of every run; segments only pipeline the time axis), then
+/// segments take whatever budget remains. Both grants floor at 1.
+fn clamp_split(
+    shards_req: usize,
+    segments_req: usize,
+    workers: usize,
+    avail: usize,
+) -> (usize, usize) {
+    let workers = workers.max(1);
+    let shards = clamp_shards(shards_req, workers, avail);
+    let segments_req = segments_req.max(1);
+    let segments = if workers * shards * segments_req <= avail {
+        segments_req
+    } else {
+        (avail / (workers * shards)).max(1)
+    };
+    (shards, segments)
+}
+
+/// The oversubscription warning text, stating the resolved
+/// jobs×shards×segments split so readers can tell exactly what
+/// configuration actually ran.
+fn split_clamped_message(
+    shards_req: usize,
+    shards: usize,
+    segments_req: usize,
+    segments: usize,
     workers: usize,
     avail: usize,
 ) -> String {
     format!(
-        "[mask-core] MASK_JOBS ({workers}) x MASK_SM_SHARDS ({requested}) exceeds \
-         available parallelism ({avail}); resolved split: {workers} job worker(s) x \
-         {granted} SM shard(s) per simulation ({} thread(s) total; results are \
-         identical at any shard count)",
-        workers * granted
+        "[mask-core] MASK_JOBS ({workers}) x MASK_SM_SHARDS ({shards_req}) x \
+         MASK_SPEC_SEGMENTS ({segments_req}) exceeds available parallelism ({avail}); \
+         resolved split: {workers} job worker(s) x {shards} SM shard(s) x \
+         {segments} speculative segment(s) per simulation ({} thread(s) total; results \
+         are identical at any split)",
+        workers * shards * segments
     )
 }
 
 /// Emits the oversubscription warning once per process.
-fn warn_shards_clamped(requested: usize, granted: usize, workers: usize, avail: usize) {
+fn warn_split_clamped(
+    shards_req: usize,
+    shards: usize,
+    segments_req: usize,
+    segments: usize,
+    workers: usize,
+    avail: usize,
+) {
     static WARNED: AtomicBool = AtomicBool::new(false);
     // Relaxed ordering: warn-once latch; the swap alone decides a unique
     // winner and no other memory hangs off it.
     if !WARNED.swap(true, Ordering::Relaxed) {
         eprintln!(
             "{}",
-            shards_clamped_message(requested, granted, workers, avail)
+            split_clamped_message(shards_req, shards, segments_req, segments, workers, avail)
         );
     }
 }
@@ -303,16 +379,22 @@ fn warn_shards_clamped(requested: usize, granted: usize, workers: usize, avail: 
 /// Runs one job with an engine-timeline span around it (`mask-obs` job
 /// profiling; the span label and timing cost nothing unless tracing is
 /// live).
-fn run_one_timed(job: &SimJob, shards: usize, lane: u32, prefix: Option<&PrefixCache>) -> SimStats {
+fn run_one_timed(
+    job: &SimJob,
+    shards: usize,
+    segments: usize,
+    lane: u32,
+    prefix: Option<&PrefixCache>,
+) -> (SimStats, u64, u64) {
     let timer = mask_obs::profile::begin_job();
-    let stats = match prefix {
-        Some(cache) => job.run_with_prefix(Some(shards), cache),
-        None => job.run_with_shards(Some(shards)),
+    let out = match prefix {
+        Some(cache) => job.run_with_prefix_spec(Some(shards), segments, cache),
+        None => job.run_with_spec(Some(shards), segments),
     };
     if mask_obs::tracing_active() {
         timer.finish(&job_label(job), lane);
     }
-    stats
+    out
 }
 
 /// Short human-readable label for a job's engine-timeline span.
@@ -438,13 +520,30 @@ struct PrefixInner {
 pub struct PrefixCache {
     inner: Mutex<PrefixInner>,
     dir: Option<PathBuf>,
+    /// Maximum number of snapshots kept on disk (`MASK_SNAPSHOT_CAP`);
+    /// `None` = unbounded. Enforced LRU-wise after every store.
+    cap: Option<usize>,
 }
 
 impl PrefixCache {
     /// An in-memory cache with the on-disk store at `dir` (see
     /// `MASK_SNAPSHOT_DIR`), behind the shared handle [`JobPool`] expects.
+    /// Equivalent to [`PrefixCache::with_store`] without a size cap.
     #[must_use]
     pub fn with_dir(dir: Option<PathBuf>) -> Arc<Self> {
+        Self::with_store(dir, None)
+    }
+
+    /// An in-memory cache with the on-disk store at `dir`, keeping at most
+    /// `cap` snapshots on disk (least-recently-used evicted first; `None`
+    /// = unbounded). Construction sweeps the store once: snapshots whose
+    /// envelope fails validation (truncated, stale format, checksum
+    /// mismatch) and orphaned recency sidecars are deleted.
+    #[must_use]
+    pub fn with_store(dir: Option<PathBuf>, cap: Option<usize>) -> Arc<Self> {
+        if let Some(dir) = dir.as_deref() {
+            cleanup_store(dir);
+        }
         Arc::new(PrefixCache {
             inner: Mutex::new(PrefixInner {
                 map: BTreeMap::new(),
@@ -452,6 +551,7 @@ impl PrefixCache {
                 misses: 0,
             }),
             dir,
+            cap,
         })
     }
 
@@ -463,10 +563,16 @@ impl PrefixCache {
     }
 
     /// A cache whose on-disk store follows the `MASK_SNAPSHOT_DIR`
-    /// environment variable (unset: in-memory only).
+    /// environment variable (unset: in-memory only), capped at
+    /// `MASK_SNAPSHOT_CAP` snapshots (unset or unparsable: unbounded).
     #[must_use]
     pub fn from_env() -> Arc<Self> {
-        Self::with_dir(std::env::var_os("MASK_SNAPSHOT_DIR").map(PathBuf::from))
+        Self::with_store(
+            std::env::var_os("MASK_SNAPSHOT_DIR").map(PathBuf::from),
+            std::env::var("MASK_SNAPSHOT_CAP")
+                .ok()
+                .and_then(|v| v.parse().ok()),
+        )
     }
 
     /// Hit/miss/occupancy counters.
@@ -504,18 +610,21 @@ impl PrefixCache {
     /// Loads `key`'s snapshot from the on-disk store, if it exists and
     /// passes full envelope validation (magic, version, key, checksum) —
     /// a truncated or stale file degrades to re-simulation instead of
-    /// poisoning the in-memory cell.
+    /// poisoning the in-memory cell. A successful load refreshes the
+    /// snapshot's recency, protecting hot prefixes from eviction.
     fn load_disk(&self, key: PrefixKey) -> Option<Vec<u8>> {
         let dir = self.dir.as_ref()?;
         let bytes = std::fs::read(dir.join(format!("{key}.msnp"))).ok()?;
         SnapshotReader::open_keyed(&bytes, key).ok()?;
+        touch_store(dir, key);
         Some(bytes)
     }
 
     /// Persists `key`'s sealed snapshot, best-effort: the store is a pure
     /// accelerator, so every I/O failure is swallowed. Written via a
     /// process-unique temp file and rename so concurrent sweeps never
-    /// observe a torn file.
+    /// observe a torn file. Enforces the snapshot cap afterwards, evicting
+    /// least-recently-used entries.
     fn store_disk(&self, key: PrefixKey, bytes: &[u8]) {
         let Some(dir) = self.dir.as_ref() else {
             return;
@@ -526,6 +635,90 @@ impl PrefixCache {
             && std::fs::rename(&tmp, dir.join(format!("{key}.msnp"))).is_err()
         {
             let _ = std::fs::remove_file(&tmp);
+        }
+        touch_store(dir, key);
+        if let Some(cap) = self.cap {
+            evict_store(dir, cap);
+        }
+    }
+}
+
+/// Lists the store's snapshots as `(recency, file stem, path)` triples.
+/// Recency comes from the `<key>.lru` sidecar (0 when absent), stems break
+/// ties, so eviction order is fully deterministic.
+fn list_store(dir: &Path) -> Vec<(u64, String, PathBuf)> {
+    let Ok(entries) = std::fs::read_dir(dir) else {
+        return Vec::new();
+    };
+    let mut out = Vec::new();
+    for entry in entries.flatten() {
+        let path = entry.path();
+        if path.extension().is_some_and(|e| e == "msnp") {
+            let stem = path
+                .file_stem()
+                .map_or_else(String::new, |s| s.to_string_lossy().into_owned());
+            let seq = std::fs::read_to_string(path.with_extension("lru"))
+                .ok()
+                .and_then(|s| s.trim().parse().ok())
+                .unwrap_or(0);
+            out.push((seq, stem, path));
+        }
+    }
+    out.sort();
+    out
+}
+
+/// Stamps `key` as the store's most recently used snapshot: its `.lru`
+/// sidecar receives a sequence number above every existing one. The
+/// counter is derived from the store itself (not process state), so
+/// recency survives across sweep invocations.
+fn touch_store(dir: &Path, key: PrefixKey) {
+    let next = list_store(dir)
+        .iter()
+        .map(|(seq, _, _)| *seq)
+        .max()
+        .unwrap_or(0)
+        .saturating_add(1);
+    let _ = std::fs::write(dir.join(format!("{key}.lru")), format!("{next}\n"));
+}
+
+/// Deletes least-recently-used snapshots (and their sidecars) until at
+/// most `cap` remain. Best-effort, like every other store operation.
+fn evict_store(dir: &Path, cap: usize) {
+    let listed = list_store(dir);
+    for (_, _, path) in listed.iter().take(listed.len().saturating_sub(cap.max(1))) {
+        let _ = std::fs::remove_file(path);
+        let _ = std::fs::remove_file(path.with_extension("lru"));
+    }
+}
+
+/// Startup hygiene sweep: deletes snapshots whose envelope fails full
+/// validation (truncated writes, stale codec versions, checksum damage),
+/// their sidecars, leftover temp files, and orphaned sidecars whose
+/// snapshot is gone.
+fn cleanup_store(dir: &Path) {
+    let Ok(entries) = std::fs::read_dir(dir) else {
+        return;
+    };
+    for entry in entries.flatten() {
+        let path = entry.path();
+        let ext = path.extension().map(|e| e.to_string_lossy().into_owned());
+        match ext.as_deref() {
+            Some("msnp") => {
+                let valid =
+                    std::fs::read(&path).is_ok_and(|bytes| validate_envelope(&bytes).is_ok());
+                if !valid {
+                    let _ = std::fs::remove_file(&path);
+                    let _ = std::fs::remove_file(path.with_extension("lru"));
+                }
+            }
+            Some("lru") if !path.with_extension("msnp").exists() => {
+                let _ = std::fs::remove_file(&path);
+            }
+            Some("tmp") => {
+                let _ = std::fs::remove_file(&path);
+            }
+            _ => {}
         }
     }
 }
@@ -538,6 +731,17 @@ pub fn process_prefix_cache() -> Arc<PrefixCache> {
     Arc::clone(CACHE.get_or_init(PrefixCache::from_env))
 }
 
+/// One worker's locally collected results: submission index plus the
+/// job's statistics and speculation commit/replay tally.
+type WorkerResults = Vec<(usize, (SimStats, u64, u64))>;
+
+/// Cumulative speculation telemetry aggregated across a pool's batches.
+#[derive(Default)]
+struct SpecCounters {
+    commits: AtomicU64,
+    replays: AtomicU64,
+}
+
 /// Executes [`SimJob`] batches over a fixed number of worker threads.
 ///
 /// Cheap to clone: clones share the same baseline cache.
@@ -547,6 +751,8 @@ pub struct JobPool {
     cache: Arc<BaselineCache>,
     prefix: Arc<PrefixCache>,
     reuse_prefix: bool,
+    spec: SpecOptions,
+    spec_counters: Arc<SpecCounters>,
 }
 
 impl fmt::Debug for JobPool {
@@ -556,6 +762,7 @@ impl fmt::Debug for JobPool {
             .field("cache", &self.cache.stats())
             .field("prefix", &self.prefix.stats())
             .field("reuse_prefix", &self.reuse_prefix)
+            .field("spec", &self.spec)
             .finish()
     }
 }
@@ -580,6 +787,8 @@ impl JobPool {
             cache: process_cache(),
             prefix: process_prefix_cache(),
             reuse_prefix: true,
+            spec: SpecOptions::default(),
+            spec_counters: Arc::default(),
         }
     }
 
@@ -616,6 +825,29 @@ impl JobPool {
         self
     }
 
+    /// Overrides the speculative segment request (default: follow
+    /// `MASK_SPEC_SEGMENTS`). Like the shard request, it is budgeted
+    /// against the machine at batch time — and like everything else about
+    /// the engine, results are bit-identical at any segment count.
+    #[must_use]
+    pub fn with_spec_segments(mut self, segments: usize) -> Self {
+        self.spec = SpecOptions::with_segments(segments);
+        self
+    }
+
+    /// Cumulative speculation tally across this pool's batches:
+    /// `(commits, replays)` — segments whose predicted start state
+    /// verified against truth, and segments replayed from the true state.
+    #[must_use]
+    pub fn spec_stats(&self) -> (u64, u64) {
+        // Relaxed ordering: independent telemetry counters, read after the
+        // batches of interest have returned on this thread.
+        (
+            self.spec_counters.commits.load(Ordering::Relaxed),
+            self.spec_counters.replays.load(Ordering::Relaxed),
+        )
+    }
+
     /// The worker count this pool fans out over.
     #[must_use]
     pub fn workers(&self) -> usize {
@@ -641,10 +873,12 @@ impl JobPool {
     pub fn completion_summary(&self) -> String {
         let b = self.cache.stats();
         let p = self.prefix.stats();
+        let (commits, replays) = self.spec_stats();
         format!(
             "[mask-core] job pool: {} worker(s); baseline cache: {} entries, \
              {} hit(s) / {} miss(es); prefix cache: {} snapshot(s), \
-             {} warm-up(s) reused / {} simulated",
+             {} warm-up(s) reused / {} simulated; speculation: \
+             {commits} commit(s) / {replays} replay(s)",
             self.workers, b.entries, b.hits, b.misses, p.entries, p.hits, p.misses
         )
     }
@@ -688,8 +922,13 @@ impl JobPool {
         // Execute: fan the unique jobs out; output is keyed by work index,
         // so worker scheduling cannot affect what callers observe.
         let outputs = self.execute(&work);
-        // Assemble: scatter each unique result to every submitting slot.
-        for ((job, idxs), stats) in work.iter().zip(outputs) {
+        // Assemble: scatter each unique result to every submitting slot,
+        // and fold the per-job speculation tallies into the pool counters.
+        let mut spec_commits = 0u64;
+        let mut spec_replays = 0u64;
+        for ((job, idxs), (stats, commits, replays)) in work.iter().zip(outputs) {
+            spec_commits += commits;
+            spec_replays += replays;
             if job.is_alone() {
                 self.cache.insert(job.key(), stats.clone());
             }
@@ -697,6 +936,16 @@ impl JobPool {
                 results[i] = Some(stats.clone());
             }
         }
+        // Relaxed ordering: independent telemetry counters; nothing else
+        // is published through them.
+        self.spec_counters
+            .commits
+            .fetch_add(spec_commits, Ordering::Relaxed);
+        // Relaxed ordering for the same reason: the replay tally is read
+        // only after the batch joins.
+        self.spec_counters
+            .replays
+            .fetch_add(spec_replays, Ordering::Relaxed);
         if let (Some(start), Some(before), Some(p_before)) =
             (batch_start, cache_before, prefix_before)
         {
@@ -710,6 +959,8 @@ impl JobPool {
                 after.misses.saturating_sub(before.misses),
                 p_after.hits.saturating_sub(p_before.hits),
                 p_after.misses.saturating_sub(p_before.misses),
+                spec_commits,
+                spec_replays,
                 start.elapsed().as_micros() as u64,
             );
         }
@@ -719,25 +970,34 @@ impl JobPool {
             .collect()
     }
 
-    fn execute(&self, work: &[(&SimJob, Vec<usize>)]) -> Vec<SimStats> {
+    fn execute(&self, work: &[(&SimJob, Vec<usize>)]) -> Vec<(SimStats, u64, u64)> {
         let n_workers = self.workers.min(work.len());
-        // Budget the per-simulation shard request (MASK_SM_SHARDS) against
-        // the machine so `workers x shards` never oversubscribes it.
+        // Budget the per-simulation shard (MASK_SM_SHARDS) and speculative
+        // segment (MASK_SPEC_SEGMENTS) requests against the machine so
+        // `workers x shards x segments` never oversubscribes it.
         let avail = std::thread::available_parallelism().map_or(1, std::num::NonZeroUsize::get);
-        let requested = ShardOptions::default().requested();
-        let shards = clamp_shards(requested, n_workers.max(1), avail);
-        if shards < requested {
-            warn_shards_clamped(requested, shards, n_workers.max(1), avail);
+        let shards_req = ShardOptions::default().requested();
+        let segments_req = self.spec.requested();
+        let (shards, segments) = clamp_split(shards_req, segments_req, n_workers.max(1), avail);
+        if shards < shards_req || segments < segments_req {
+            warn_split_clamped(
+                shards_req,
+                shards,
+                segments_req,
+                segments,
+                n_workers.max(1),
+                avail,
+            );
         }
         let prefix = self.reuse_prefix.then(|| &*self.prefix);
         if n_workers <= 1 {
             return work
                 .iter()
-                .map(|(job, _)| run_one_timed(job, shards, 0, prefix))
+                .map(|(job, _)| run_one_timed(job, shards, segments, 0, prefix))
                 .collect();
         }
         let next = AtomicUsize::new(0);
-        let collected: Vec<Vec<(usize, SimStats)>> = std::thread::scope(|s| {
+        let collected: Vec<WorkerResults> = std::thread::scope(|s| {
             let handles: Vec<_> = (0..n_workers)
                 .map(|w| {
                     let next = &next;
@@ -752,7 +1012,10 @@ impl JobPool {
                             if i >= work.len() {
                                 break;
                             }
-                            local.push((i, run_one_timed(work[i].0, shards, lane, prefix)));
+                            local.push((
+                                i,
+                                run_one_timed(work[i].0, shards, segments, lane, prefix),
+                            ));
                         }
                         local
                     })
@@ -768,7 +1031,7 @@ impl JobPool {
                 })
                 .collect()
         });
-        let mut out: Vec<Option<SimStats>> = vec![None; work.len()];
+        let mut out: Vec<Option<(SimStats, u64, u64)>> = vec![None; work.len()];
         for (i, stats) in collected.into_iter().flatten() {
             out[i] = Some(stats);
         }
@@ -816,15 +1079,33 @@ mod tests {
     }
 
     #[test]
+    fn clamp_split_budgets_all_three_axes() {
+        // Everything fits: granted as requested.
+        assert_eq!(clamp_split(2, 4, 2, 16), (2, 4));
+        assert_eq!(clamp_split(1, 1, 4, 4), (1, 1));
+        // Shards win ties; segments take the remaining budget.
+        assert_eq!(clamp_split(4, 4, 2, 8), (4, 1));
+        assert_eq!(clamp_split(2, 8, 2, 16), (2, 4));
+        // Degenerate budget: a 1-CPU machine grants the serial frontend
+        // and serial time axis no matter what was requested.
+        assert_eq!(clamp_split(8, 8, 1, 1), (1, 1));
+        assert_eq!(clamp_split(1, 64, 1, 1), (1, 1));
+        // Zero-valued requests floor at 1 everywhere.
+        assert_eq!(clamp_split(0, 0, 0, 1), (1, 1));
+    }
+
+    #[test]
     fn clamp_warning_states_the_resolved_split() {
-        let msg = shards_clamped_message(8, 4, 2, 8);
+        let msg = split_clamped_message(8, 4, 4, 1, 2, 8);
         assert!(
-            msg.contains("2 job worker(s) x 4 SM shard(s)"),
+            msg.contains("2 job worker(s) x 4 SM shard(s) x 1 speculative segment(s)"),
             "message must state the resolved split, got: {msg}"
         );
         assert!(msg.contains("8 thread(s) total"), "got: {msg}");
         assert!(
-            msg.contains("MASK_JOBS (2)") && msg.contains("MASK_SM_SHARDS (8)"),
+            msg.contains("MASK_JOBS (2)")
+                && msg.contains("MASK_SM_SHARDS (8)")
+                && msg.contains("MASK_SPEC_SEGMENTS (4)"),
             "message must echo the requested configuration, got: {msg}"
         );
     }
@@ -1018,6 +1299,142 @@ mod tests {
         let c = jobs[0].run_with_prefix(Some(1), &third);
         assert_eq!(c, a, "corruption costs wall clock, never correctness");
         assert_eq!(third.stats().misses, 1, "re-simulated the warm-up");
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    /// A job whose measured phase spans several MASK epochs, so the
+    /// speculative segment runner has cut points to work with.
+    fn spec_job() -> SimJob {
+        let mut j = job(DesignKind::Mask, &[("HISTO", 2), ("GUP", 2)], 13);
+        j.gpu.mask.epoch_cycles = 500;
+        j
+    }
+
+    #[test]
+    fn speculative_measured_phase_is_bit_identical() {
+        let j = spec_job();
+        let serial = j.run_with_shards(Some(1));
+        for segments in [2, 4] {
+            let (stats, commits, replays) = j.run_with_spec(Some(1), segments);
+            assert_eq!(serial, stats, "segments={segments} must be bit-identical");
+            assert_eq!(
+                commits + replays,
+                segments as u64 - 1,
+                "every internal cut is verified exactly once"
+            );
+        }
+    }
+
+    #[test]
+    fn speculation_composes_with_prefix_reuse() {
+        let j = spec_job();
+        let oracle = j.run();
+        let prefix = PrefixCache::in_memory();
+        let warm = j.run_with_prefix(Some(1), &prefix); // seeds the cache
+        assert_eq!(oracle, warm);
+        // The prefix-restored simulator is the speculation's segment-0
+        // seed; composing the two must not change results.
+        let (stats, _, _) = j.run_with_prefix_spec(Some(1), 3, &prefix);
+        assert_eq!(oracle, stats);
+        assert_eq!(prefix.stats().hits, 1, "warm-up served from the cache");
+    }
+
+    #[test]
+    fn epoch_unsafe_measure_start_degrades_to_serial_speculation() {
+        let mut j = job(DesignKind::Mask, &[("GUP", 2)], 5);
+        // Measured phase starts strictly between epoch boundaries: no
+        // start snapshot may be taken, so the segment runner must fall
+        // back to the plain serial loop.
+        j.gpu.mask.epoch_cycles = 1_000;
+        j.warmup_cycles = 1_500;
+        j.max_cycles = 4_000;
+        assert!(!j.warmup_is_epoch_safe());
+        let (stats, commits, replays) = j.run_with_spec(Some(1), 4);
+        assert_eq!(stats, j.run_with_shards(Some(1)));
+        assert_eq!((commits, replays), (0, 0), "fell back to serial");
+    }
+
+    #[test]
+    fn job_pool_speculation_preserves_batch_results() {
+        let jobs: Vec<SimJob> = (0..3)
+            .map(|i| {
+                let mut j = spec_job();
+                j.seed = 20 + i;
+                j
+            })
+            .collect();
+        let plain = JobPool::with_workers(2)
+            .with_cache(BaselineCache::new())
+            .with_prefix_cache(PrefixCache::in_memory())
+            .run_batch(&jobs);
+        let pool = JobPool::with_workers(2)
+            .with_cache(BaselineCache::new())
+            .with_prefix_cache(PrefixCache::in_memory())
+            .with_spec_segments(3);
+        let spec = pool.run_batch(&jobs);
+        assert_eq!(plain, spec, "speculation must not change batch results");
+        let (commits, replays) = pool.spec_stats();
+        // The effective segment count is budget-clamped, so the exact
+        // tally is machine-dependent: at most segments-1 verifications
+        // per unique job, each counted as a commit or a replay.
+        assert!(commits + replays <= jobs.len() as u64 * 2);
+    }
+
+    /// A minimal but fully sealed (magic/version/key/checksum) snapshot
+    /// for exercising the on-disk store without running a simulation.
+    fn sealed(key: PrefixKey) -> Vec<u8> {
+        use mask_common::snapshot::SnapshotWriter;
+        let mut w = SnapshotWriter::new();
+        w.section("test");
+        w.u64(key.0);
+        w.seal(key)
+    }
+
+    #[test]
+    fn snapshot_store_evicts_least_recently_used() {
+        let dir = std::env::temp_dir().join(format!("mask-lru-test-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        let cache = PrefixCache::with_store(Some(dir.clone()), Some(2));
+        for k in [1u64, 2, 3] {
+            cache.store_disk(PrefixKey(k), &sealed(PrefixKey(k)));
+        }
+        // Cap 2: storing key 3 evicted the least recently used (key 1).
+        assert!(!dir.join(format!("{}.msnp", PrefixKey(1))).exists());
+        assert!(dir.join(format!("{}.msnp", PrefixKey(2))).exists());
+        assert!(dir.join(format!("{}.msnp", PrefixKey(3))).exists());
+        // A load refreshes recency: key 2 survives the next store and the
+        // now-least-recently-used key 3 is evicted instead.
+        assert!(cache.load_disk(PrefixKey(2)).is_some());
+        cache.store_disk(PrefixKey(4), &sealed(PrefixKey(4)));
+        assert!(dir.join(format!("{}.msnp", PrefixKey(2))).exists());
+        assert!(!dir.join(format!("{}.msnp", PrefixKey(3))).exists());
+        assert!(dir.join(format!("{}.msnp", PrefixKey(4))).exists());
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn store_startup_cleanup_removes_invalid_entries() {
+        let dir = std::env::temp_dir().join(format!("mask-clean-test-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        std::fs::create_dir_all(&dir).expect("store dir");
+        let key = PrefixKey(7);
+        std::fs::write(dir.join(format!("{key}.msnp")), sealed(key)).expect("valid snapshot");
+        std::fs::write(dir.join(format!("{key}.lru")), "1\n").expect("sidecar");
+        std::fs::write(dir.join("stale.msnp"), b"not a snapshot").expect("stale file");
+        std::fs::write(dir.join("orphan.lru"), "5\n").expect("orphan sidecar");
+        std::fs::write(dir.join("leftover.msnp.123.tmp"), b"partial").expect("temp file");
+        let _ = PrefixCache::with_store(Some(dir.clone()), None);
+        assert!(
+            dir.join(format!("{key}.msnp")).exists(),
+            "valid snapshot kept"
+        );
+        assert!(dir.join(format!("{key}.lru")).exists(), "its sidecar kept");
+        assert!(!dir.join("stale.msnp").exists(), "invalid envelope removed");
+        assert!(!dir.join("orphan.lru").exists(), "orphan sidecar removed");
+        assert!(
+            !dir.join("leftover.msnp.123.tmp").exists(),
+            "leftover temp file removed"
+        );
         let _ = std::fs::remove_dir_all(&dir);
     }
 }

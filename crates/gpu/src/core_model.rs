@@ -393,6 +393,90 @@ impl GpuCore {
         }
     }
 
+    /// Functional (timing-free) advance: retires up to `budget`
+    /// instructions from *ready* warps, completing memory operations
+    /// instantly through the page tables.
+    ///
+    /// This is the state predictor behind speculative epoch parallelism
+    /// (`crate::functional`), deliberately cheap and deliberately
+    /// approximate:
+    ///
+    /// * only issuable warps advance — warps parked in `XlatWait` /
+    ///   `DataWait` keep their registered waiters in the translation unit
+    ///   and L1 MSHR and are never woken here (waking them would trip the
+    ///   completion-path invariants and corrupt the detailed structures);
+    /// * translations go straight to [`TranslationUnit::functional_translate`]
+    ///   (allocating page-table frames exactly like the Ideal design's
+    ///   issue stage) and never touch the L1 TLB, L1 cache, or MSHRs, so
+    ///   no detailed timing state is perturbed;
+    /// * the budget models the core's peak of one instruction per cycle,
+    ///   with whole compute bursts retired in one step.
+    ///
+    /// Coarse counters (instructions, memory instructions, stalls) are
+    /// accrued so a predicted state carries plausible statistics.
+    pub(crate) fn functional_advance(
+        &mut self,
+        budget: u64,
+        xlat: &mut TranslationUnit,
+        stats: &mut AppStats,
+    ) {
+        let mut left = budget;
+        while left > 0 {
+            let Some(w) = self.select_warp() else {
+                // No issuable warp for the rest of the span: the detailed
+                // issue stage would count one stall per remaining cycle.
+                stats.stall_cycles += left;
+                return;
+            };
+            self.last = w;
+            if self.warps[w].state == WarpState::NeedOp {
+                let warp = &mut self.warps[w];
+                let compute = warp.trace.next_op_into(&mut warp.lines);
+                warp.xlat.clear();
+                warp.state = if compute > 0 {
+                    WarpState::Compute { left: compute }
+                } else {
+                    WarpState::MemReady
+                };
+            }
+            match self.warps[w].state {
+                WarpState::Compute { left: c } => {
+                    let burst = u64::from(c).min(left);
+                    stats.instructions += burst;
+                    left -= burst;
+                    self.warps[w].state = if u64::from(c) > burst {
+                        WarpState::Compute {
+                            left: c - burst as u32,
+                        }
+                    } else {
+                        WarpState::MemReady
+                    };
+                }
+                WarpState::MemReady => {
+                    stats.instructions += 1;
+                    stats.mem_instructions += 1;
+                    left -= 1;
+                    let mut vpns = std::mem::take(&mut self.scratch_vpns);
+                    vpns.clear();
+                    vpns.extend(
+                        self.warps[w]
+                            .lines
+                            .iter()
+                            .map(|va| va.vpn(self.page_size_log2)),
+                    );
+                    vpns.sort_unstable_by_key(|v| v.0);
+                    vpns.dedup();
+                    for &vpn in &vpns {
+                        let _ = xlat.functional_translate(self.asid, vpn);
+                    }
+                    self.scratch_vpns = vpns;
+                    self.warps[w].state = WarpState::NeedOp;
+                }
+                ref other => unreachable!("ready warp in non-issuable state {other:?}"),
+            }
+        }
+    }
+
     /// Delivers a resolved translation to this core's waiting warps.
     pub fn translation_done(
         &mut self,

@@ -1,0 +1,188 @@
+//! Functional fast-forward: a timing-free execution mode for state
+//! prediction.
+//!
+//! PR 3's idle fast-forward advances the clock over spans where *nothing*
+//! can happen and is therefore bit-exact. This module lifts that machinery
+//! into a first-class functional mode: [`GpuSim::run_functional`] advances
+//! a simulator over a span of any activity level by combining
+//!
+//! 1. the exact idle fast-forward wherever its preconditions hold, and
+//! 2. a cheap functional chunk everywhere else — ready warps retire
+//!    instructions at the core's peak rate with memory completed
+//!    instantly through the page tables
+//!    ([`crate::core_model::GpuCore::functional_advance`]), while parked
+//!    warps, caches, MSHRs, and DRAM state are left untouched.
+//!
+//! The result is a *predicted* state: traces, page tables, the clock, and
+//! coarse statistics advance; detailed cache/DRAM timing does not. The
+//! speculative segment runner (`crate::spec`) uses these predictions as
+//! segment start states and relies on snapshot comparison — never on this
+//! mode's accuracy — for correctness. [`FunctionalReport::exact`] records
+//! whether a span happened to be covered entirely by the exact idle path
+//! (in which case the prediction *is* the true state).
+//!
+//! Epoch-boundary bookkeeping (token redistribution, DRAM pressure
+//! update, L2 epoch reset, metrics frames) fires on exactly the same
+//! cycles as in detailed execution, so predicted states are always
+//! epoch-consistent and snapshot-safe at epoch multiples.
+
+use crate::sim::GpuSim;
+use mask_common::ids::Asid;
+
+/// What [`GpuSim::run_functional`] actually did over a span.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct FunctionalReport {
+    /// Cycles advanced by the exact idle fast-forward.
+    pub exact_cycles: u64,
+    /// Cycles advanced by the approximate functional chunks.
+    pub functional_cycles: u64,
+    /// Whether the whole span was covered by the exact idle path — if so
+    /// the resulting state is bit-identical to detailed execution.
+    pub exact: bool,
+}
+
+impl FunctionalReport {
+    fn absorb(&mut self, other: FunctionalReport) {
+        self.exact_cycles += other.exact_cycles;
+        self.functional_cycles += other.functional_cycles;
+        self.exact &= other.exact;
+    }
+}
+
+impl GpuSim {
+    /// Advances `cycles` in functional mode (see the module docs): exact
+    /// idle fast-forward where provable, instant-memory functional
+    /// execution elsewhere. Cheap — no per-cycle loop, no detailed cache
+    /// or DRAM modeling — and approximate unless the returned report says
+    /// [`FunctionalReport::exact`].
+    pub fn run_functional(&mut self, cycles: u64) -> FunctionalReport {
+        let end = self.now + cycles;
+        let mut report = FunctionalReport {
+            exact: true,
+            ..FunctionalReport::default()
+        };
+        while self.now < end {
+            if let Some(target) = self.idle_horizon(end) {
+                report.exact_cycles += target - self.now;
+                self.fast_forward(target - self.now);
+            } else {
+                report.absorb(self.functional_chunk(end));
+            }
+        }
+        report
+    }
+
+    /// One approximate functional chunk: advance to the next epoch
+    /// boundary (or `end`, whichever is first) in a single step.
+    fn functional_chunk(&mut self, end: u64) -> FunctionalReport {
+        let epoch = self.cfg.gpu.mask.epoch_cycles;
+        let target = self
+            .now
+            .checked_div(epoch)
+            .map_or(end, |q| end.min((q + 1) * epoch));
+        let delta = target - self.now;
+        debug_assert!(delta > 0);
+        // Ready warps retire at most `delta` instructions per core (the
+        // peak issue rate), memory completed instantly via the page
+        // tables. Split borrows: each core, the translation unit, and the
+        // per-app stats block are disjoint fields.
+        for i in 0..self.cores.len() {
+            let app = self.cores[i].asid.index();
+            self.cores[i].functional_advance(delta, &mut self.xlat, &mut self.stats.apps[app]);
+        }
+        // Clock + per-cycle sampling, in bulk (mirrors `fast_forward`).
+        self.xlat.fast_forward(delta);
+        for app in 0..self.n_apps {
+            let walks = self.xlat.concurrent_walks(Asid::new(app as u16)) as u64;
+            self.stats.apps[app].walk_cycles_integral += walks * delta;
+            self.stats.apps[app].walk_concurrency_max =
+                self.stats.apps[app].walk_concurrency_max.max(walks);
+            self.stats.apps[app].cycles += delta;
+        }
+        self.stats.cycles += delta;
+        self.now = target;
+        // Epoch boundary on its exact schedule (the chunk is capped at
+        // the next multiple above).
+        if epoch != 0 && self.now.is_multiple_of(epoch) {
+            let pressure = self.xlat.end_epoch(epoch);
+            self.dram.update_pressure(&pressure);
+            self.l2.end_epoch();
+            self.emit_epoch_metrics();
+        }
+        FunctionalReport {
+            exact_cycles: 0,
+            functional_cycles: delta,
+            exact: false,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::sim::AppSpec;
+    use mask_common::config::{DesignKind, SimConfig};
+    use mask_common::snapshot::PrefixKey;
+    use mask_workloads::app_by_name;
+
+    fn sim(cycles: u64) -> GpuSim {
+        let mut cfg = SimConfig::new(DesignKind::Mask).with_max_cycles(cycles);
+        cfg.gpu.n_cores = 4;
+        cfg.gpu.warps_per_core = 16;
+        let specs: Vec<AppSpec> = [("HISTO", 2), ("GUP", 2)]
+            .iter()
+            .map(|&(name, c)| AppSpec {
+                profile: app_by_name(name).expect("known app"),
+                n_cores: c,
+            })
+            .collect();
+        GpuSim::new(&cfg, &specs)
+    }
+
+    #[test]
+    fn functional_mode_advances_clock_and_work() {
+        let mut s = sim(10_000);
+        let report = s.run_functional(10_000);
+        assert_eq!(s.now(), 10_000);
+        assert_eq!(report.exact_cycles + report.functional_cycles, 10_000);
+        // Busy synthetic traces force the approximate path.
+        assert!(!report.exact);
+        assert!(report.functional_cycles > 0);
+        s.sync_stats();
+        assert!(s.stats().apps[0].instructions > 0, "traces must advance");
+        assert_eq!(s.stats().cycles, 10_000, "coarse stats track the clock");
+    }
+
+    #[test]
+    fn functional_mode_lands_on_epoch_safe_points() {
+        let mut s = sim(300_000);
+        let epoch = s.config().gpu.mask.epoch_cycles;
+        s.run_functional(2 * epoch);
+        assert!(s.at_epoch_safe_point());
+        // Snapshots of predicted states are well-formed envelopes.
+        let bytes = s.encode_snapshot(PrefixKey(1));
+        assert!(mask_common::snapshot::validate_envelope(&bytes).is_ok());
+    }
+
+    #[test]
+    fn functional_mode_is_deterministic() {
+        let run = || {
+            let mut s = sim(50_000);
+            s.run_functional(50_000);
+            s.encode_snapshot(PrefixKey(9))
+        };
+        assert_eq!(run(), run(), "functional prediction must be reproducible");
+    }
+
+    #[test]
+    fn predicted_state_resumes_detailed_execution() {
+        // A predicted state is a valid simulator state: detailed execution
+        // can continue from it without tripping any invariant.
+        let mut s = sim(20_000);
+        s.run_functional(10_000);
+        s.run(10_000);
+        s.sync_stats();
+        assert_eq!(s.now(), 20_000);
+        assert!(s.stats().apps[0].instructions > 0);
+    }
+}

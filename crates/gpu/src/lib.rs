@@ -15,7 +15,14 @@
 //!   with a serial merge tail, bit-identical to the serial loop;
 //! * [`sim`] — the top-level [`sim::GpuSim`] cycle loop connecting cores,
 //!   translation, the banked shared L2, and DRAM, with epoch handling and
-//!   statistics collection.
+//!   statistics collection;
+//! * [`functional`] — the timing-free functional fast-forward mode that
+//!   produces cheap *predicted* states for speculation;
+//! * [`spec`] — speculative epoch parallelism (`MASK_SPEC_SEGMENTS`): a
+//!   run's time axis is cut at epoch-safe snapshot points and the segments
+//!   execute concurrently from predicted start states, verified by
+//!   byte-exact snapshot comparison and replayed on mismatch, so results
+//!   stay bit-identical to the serial run at any segment count.
 //!
 //! The simulator models *one clock domain* and advances all components one
 //! cycle at a time; every latency figure of Table 1 (1-cycle L1s, 10-cycle
@@ -23,11 +30,15 @@
 //! crates.
 
 pub mod core_model;
+pub mod functional;
 pub mod shard;
 pub mod sim;
+pub mod spec;
 pub mod translation;
 
 pub use core_model::{DirectIssue, GpuCore, IssueSink};
+pub use functional::FunctionalReport;
 pub use shard::{run_shard, DeferredIssue, DeferredMiss, DeferredXlat, ShardOutput, ShardPool};
 pub use sim::{AppSpec, GpuSim, SampledRun};
+pub use spec::{run_speculative, SpecPlan, SpecReport};
 pub use translation::TranslationUnit;

@@ -76,15 +76,15 @@ pub struct SampledRun {
 /// The assembled GPU simulator.
 #[derive(Debug)]
 pub struct GpuSim {
-    cfg: SimConfig,
-    cores: Vec<GpuCore>,
-    xlat: TranslationUnit,
-    l2: SharedL2Cache,
-    dram: Dram,
-    stats: SimStats,
-    now: Cycle,
-    next_req_id: u64,
-    n_apps: usize,
+    pub(crate) cfg: SimConfig,
+    pub(crate) cores: Vec<GpuCore>,
+    pub(crate) xlat: TranslationUnit,
+    pub(crate) l2: SharedL2Cache,
+    pub(crate) dram: Dram,
+    pub(crate) stats: SimStats,
+    pub(crate) now: Cycle,
+    pub(crate) next_req_id: u64,
+    pub(crate) n_apps: usize,
     /// Reusable scratch buffer for L2-bound requests.
     scratch_l2: Vec<MemRequest>,
     scratch_pwc: Vec<(Asid, bool)>,
@@ -102,7 +102,7 @@ pub struct GpuSim {
     /// order (preserves the legacy wake ordering bit-for-bit).
     bucket_touched: Vec<usize>,
     /// Whether `run` may fast-forward over provably idle cycles.
-    skip_enabled: bool,
+    pub(crate) skip_enabled: bool,
     /// Sanitizer accounting session (0 when the sanitizer is disabled).
     san_session: u64,
     /// Sanitizer instance id for cycle-monotonicity tracking.
@@ -532,7 +532,7 @@ impl GpuSim {
     /// counters in the snapshot are current; it writes pure functions of
     /// simulator state that nothing reads back, so traced runs stay
     /// bit-identical to untraced ones.
-    fn emit_epoch_metrics(&mut self) {
+    pub(crate) fn emit_epoch_metrics(&mut self) {
         if mask_obs::tracing_active() {
             self.sync_stats();
             self.obs.on_epoch(self.now, &self.stats);
@@ -579,7 +579,7 @@ impl GpuSim {
     /// no-op, and the translation unit only accrues its epoch integral.
     /// The skip is also capped at the next epoch boundary so epoch-end
     /// work fires on exactly the same cycle as in step-by-step execution.
-    fn idle_horizon(&self, end: Cycle) -> Option<Cycle> {
+    pub(crate) fn idle_horizon(&self, end: Cycle) -> Option<Cycle> {
         if !self.skip_enabled {
             return None;
         }
@@ -610,7 +610,7 @@ impl GpuSim {
     /// Advances `delta` fully idle cycles at once, applying exactly the
     /// state changes `delta` calls to `step()` would have made under the
     /// `idle_horizon` preconditions.
-    fn fast_forward(&mut self, delta: u64) {
+    pub(crate) fn fast_forward(&mut self, delta: u64) {
         debug_assert!(delta > 0);
         // Each idle core's issue stage counts one stall per cycle.
         for c in &self.cores {

@@ -1,0 +1,426 @@
+//! Speculative epoch parallelism: run a simulation's *time axis* across a
+//! thread pool.
+//!
+//! A long detailed run of `E` epochs is cut into `S` segments at
+//! epoch-safe snapshot points. Segment 0 executes detailed simulation
+//! from the real state; segments `1..S` start concurrently from
+//! *predicted* start states produced by the functional fast-forward mode
+//! (`crate::functional`) — or from recorded true boundary snapshots of a
+//! prior identical run ([`SpecPlan::with_seeds`]). When segment `i`
+//! finishes, its true end-state snapshot is compared byte-for-byte
+//! (checksum first, [`mask_common::snapshot::snapshots_equal`]) against
+//! segment `i+1`'s speculated start state:
+//!
+//! * **match** → the speculative work commits, and segment `i+1`'s end
+//!   state becomes the next truth;
+//! * **mismatch** → segment `i+1` replays serially from the true state,
+//!   and its replayed end state becomes the next truth.
+//!
+//! Correctness never depends on prediction accuracy: the commit check is
+//! exact state equality, so the final state is **bit-identical to the
+//! serial run at any segment count** (restore-then-run ≡
+//! continue-in-place, the PR 8 snapshot property, applied inductively
+//! along the commit/replay chain). Prediction quality only moves the
+//! commit/replay ratio — and with the synthetic workloads' infinite
+//! instruction streams, cold functional predictions on busy spans
+//! essentially always replay; the speedup case is seeded re-runs (sweep
+//! campaigns re-visiting a configuration) and mostly-idle spans, which is
+//! why [`SpecReport::boundaries`] hands back seed material.
+//!
+//! Replicas are built by a caller-supplied **factory** (fresh
+//! `GpuSim::new`), never by cloning: a clone shares its source's
+//! sanitizer session, and restoring into it would double-issue the
+//! conservation events the restore path replays for in-flight requests.
+//!
+//! This module is a `parallelism` island (scoped threads + a ticket
+//! counter, like the shard pool) and a `hotpath` file under
+//! `cargo xtask lint`.
+
+use crate::sim::GpuSim;
+use mask_common::snapshot::{envelope_key, snapshots_equal, PrefixKey};
+use mask_obs::SpecPhase;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Mutex;
+
+/// Execution plan for one speculative run.
+#[derive(Debug, Default)]
+pub struct SpecPlan {
+    /// Requested segment count (clamped to the available epoch cuts).
+    segments: usize,
+    /// Worker threads for the detailed phase (default: one per segment).
+    threads: Option<usize>,
+    /// Recorded true boundary snapshots from a prior identical run, used
+    /// as predictions when they key-match the cut cycles.
+    seeds: Vec<Vec<u8>>,
+    /// Test hook: deliberately corrupt the functional prediction for this
+    /// segment index, forcing its verification to fail.
+    perturb: Option<usize>,
+}
+
+impl SpecPlan {
+    /// A plan cutting the run into (up to) `segments` time segments.
+    #[must_use]
+    pub fn new(segments: usize) -> Self {
+        SpecPlan {
+            segments,
+            threads: None,
+            seeds: Vec::new(),
+            perturb: None,
+        }
+    }
+
+    /// Caps the detailed phase at `n` concurrent worker threads (the
+    /// engine passes its budget share; `1` runs segments sequentially,
+    /// still exercising the full predict/verify/commit machinery).
+    #[must_use]
+    pub fn with_threads(mut self, n: usize) -> Self {
+        self.threads = Some(n);
+        self
+    }
+
+    /// Supplies recorded true boundary snapshots (a prior run's
+    /// [`SpecReport::boundaries`]) as predictions. Seeds are used only
+    /// when their count and envelope keys match this run's cut points;
+    /// otherwise the functional predictor runs as usual.
+    #[must_use]
+    pub fn with_seeds(mut self, seeds: Vec<Vec<u8>>) -> Self {
+        self.seeds = seeds;
+        self
+    }
+
+    /// Test hook: perturb the functional prediction for segment
+    /// `segment` (1-based among speculative segments) so its verification
+    /// deliberately fails and the replay path runs. Ignored when seeds
+    /// are in use.
+    #[must_use]
+    pub fn with_perturbation(mut self, segment: usize) -> Self {
+        self.perturb = Some(segment);
+        self
+    }
+}
+
+/// What a speculative run did: its commit/replay tally plus seed material
+/// for a future identical run.
+#[derive(Debug, Default)]
+pub struct SpecReport {
+    /// Effective segment count after clamping to the available epoch cuts
+    /// (1 = the run fell back to plain serial execution).
+    pub segments: usize,
+    /// Speculative segments whose predicted start state matched truth.
+    pub commits: u64,
+    /// Speculative segments replayed from the true state.
+    pub replays: u64,
+    /// Whether predictions came from caller-supplied seeds.
+    pub seeded: bool,
+    /// Functional predictions that were provably exact (their whole span
+    /// was covered by the idle fast-forward).
+    pub exact_predictions: u64,
+    /// True state snapshots at every internal cut, in cut order — pass to
+    /// [`SpecPlan::with_seeds`] to make an identical future run commit
+    /// every segment.
+    pub boundaries: Vec<Vec<u8>>,
+}
+
+/// One segment's finished replica plus its end-boundary snapshot (absent
+/// for the final segment, whose end may land mid-epoch).
+type SegmentSlot = Mutex<Option<(GpuSim, Option<Vec<u8>>)>>;
+
+/// Runs `sim` for `cycles` under speculative epoch parallelism and
+/// returns the advanced simulator plus the run's [`SpecReport`].
+///
+/// The result is bit-identical to `sim.run(cycles)` at any segment or
+/// thread count (see the module docs). Falls back to the plain serial
+/// run — reported as `segments == 1` — when the plan requests no
+/// parallelism, the span contains no epoch-safe cut, or the current cycle
+/// is not an epoch-safe snapshot point.
+///
+/// `factory` must build a fresh simulator with the same configuration and
+/// applications as `sim` (never a clone; see the module docs).
+///
+/// # Panics
+///
+/// Panics if `factory` builds a simulator whose configuration cannot
+/// restore `sim`'s snapshots.
+pub fn run_speculative<F>(
+    mut sim: GpuSim,
+    cycles: u64,
+    plan: &SpecPlan,
+    factory: F,
+) -> (GpuSim, SpecReport)
+where
+    F: Fn() -> GpuSim + Sync,
+{
+    let epoch = sim.cfg.gpu.mask.epoch_cycles;
+    let start = sim.now;
+    let end = start + cycles;
+    // Cut points are the epoch multiples strictly inside (start, end) —
+    // the epoch-safe cycles where snapshots may be taken and compared
+    // (an epoch of 0 means no boundaries exist: no cuts).
+    let first_cut = start.checked_div(epoch).map_or(end, |q| (q + 1) * epoch);
+    let n_cuts = if first_cut >= end {
+        0
+    } else {
+        ((end - 1 - first_cut) / epoch + 1) as usize
+    };
+    let segments = plan.segments.max(1).min(n_cuts + 1);
+    if cycles == 0 || segments <= 1 || !sim.at_epoch_safe_point() {
+        sim.run(cycles);
+        let report = SpecReport {
+            segments: 1,
+            ..SpecReport::default()
+        };
+        return (sim, report);
+    }
+
+    // Segment boundaries: start, S-1 cuts spread evenly over the
+    // available epoch multiples, end. Indices are strictly increasing
+    // because segments <= n_cuts + 1.
+    let mut bounds = Vec::with_capacity(segments + 1);
+    bounds.push(start);
+    for i in 1..segments {
+        let idx = (i * n_cuts) / segments;
+        bounds.push(first_cut + idx as u64 * epoch);
+    }
+    bounds.push(end);
+
+    let start_bytes = sim.encode_snapshot(PrefixKey(bounds[0]));
+    let skip = sim.skip_enabled;
+
+    // Predicted start states for segments 1..S: caller-recorded true
+    // boundaries when they match this run's cuts, else functional
+    // fast-forward predictions from the start state.
+    let seeded = plan.seeds.len() == segments - 1
+        && plan
+            .seeds
+            .iter()
+            .zip(&bounds[1..])
+            .all(|(s, &b)| envelope_key(s) == Some(PrefixKey(b)));
+    let mut exact_predictions = 0u64;
+    let mut owned_preds: Vec<Vec<u8>> = Vec::with_capacity(segments - 1);
+    if !seeded {
+        let mut predictor = factory();
+        predictor
+            .restore_snapshot(&start_bytes, PrefixKey(bounds[0]))
+            .expect("sealed start snapshot restores into a factory-fresh sim");
+        for i in 1..segments {
+            let r = predictor.run_functional(bounds[i] - bounds[i - 1]);
+            if r.exact {
+                exact_predictions += 1;
+            }
+            if plan.perturb == Some(i) {
+                // Guaranteed-divergent but structurally valid prediction:
+                // the request-id counter is part of the compared state and
+                // the functional mode never allocates ids.
+                predictor.next_req_id += 1;
+            }
+            mask_obs::hooks::spec_phase(i as u32, SpecPhase::Predict);
+            owned_preds.push(predictor.encode_snapshot(PrefixKey(bounds[i])));
+        }
+    }
+    let pred_at = |i: usize| -> &[u8] {
+        if seeded {
+            &plan.seeds[i - 1]
+        } else {
+            &owned_preds[i - 1]
+        }
+    };
+
+    // Detailed phase: every segment — segment 0 included — runs in a
+    // factory-fresh replica restored on its own worker thread (segment 0
+    // from the true start snapshot, the rest from their predictions).
+    // Restoring instead of moving the caller's simulator across threads
+    // keeps the sanitizer's thread-local conservation accounting
+    // coherent: `restore` re-issues in-flight request ids into the
+    // replica's own session, whereas a simulator carried onto a new
+    // thread would hold table state that thread's mirror has never seen.
+    // Restore-then-run is bit-identical to continuing in place, so the
+    // results are unchanged. Results land in per-segment slots.
+    drop(sim);
+    let mut slots: Vec<SegmentSlot> = Vec::with_capacity(segments);
+    for _ in 0..segments {
+        slots.push(Mutex::new(None));
+    }
+    let run_one = |i: usize| {
+        let bytes: &[u8] = if i == 0 { &start_bytes } else { pred_at(i) };
+        let mut replica = factory();
+        replica
+            .restore_snapshot(bytes, PrefixKey(bounds[i]))
+            .expect("sealed segment start snapshot restores into a factory-fresh sim");
+        replica.skip_enabled = skip;
+        replica.run(bounds[i + 1] - bounds[i]);
+        // The last segment's end state is the final result, not a
+        // verification input — no snapshot needed.
+        let end_state =
+            (i + 1 < segments).then(|| replica.encode_snapshot(PrefixKey(bounds[i + 1])));
+        *slots[i].lock().expect("segment result slot") = Some((replica, end_state));
+    };
+    let threads = plan.threads.unwrap_or(segments).clamp(1, segments);
+    if threads <= 1 {
+        for i in 0..segments {
+            run_one(i);
+        }
+    } else {
+        let ticket = AtomicUsize::new(0);
+        std::thread::scope(|scope| {
+            for _ in 0..threads {
+                scope.spawn(|| loop {
+                    // Relaxed ordering suffices: the ticket only needs
+                    // atomic uniqueness per index; every result is
+                    // published through its slot mutex and the scope join.
+                    let i = ticket.fetch_add(1, Ordering::Relaxed);
+                    if i >= segments {
+                        break;
+                    }
+                    run_one(i);
+                });
+            }
+        });
+    }
+    let mut taken: Vec<Option<(GpuSim, Option<Vec<u8>>)>> = Vec::with_capacity(segments);
+    for slot in slots {
+        taken.push(slot.into_inner().expect("segment result slot"));
+    }
+
+    // Serial commit/replay chain: truth flows left to right. Segment 0
+    // ran from the true start state, so its end snapshot is the truth at
+    // the first cut; each later segment commits iff its prediction
+    // byte-matches the truth, else it replays from the truth.
+    let mut commits = 0u64;
+    let mut replays = 0u64;
+    let mut boundaries: Vec<Vec<u8>> = Vec::with_capacity(segments - 1);
+    let (mut current, mut truth_end) = taken[0].take().expect("segment 0 ran");
+    for i in 1..segments {
+        let truth = truth_end.take().expect("internal boundary snapshot");
+        let (spec_sim, spec_end) = taken[i].take().expect("segment ran");
+        mask_obs::hooks::spec_phase(i as u32, SpecPhase::Verify);
+        if snapshots_equal(pred_at(i), &truth) {
+            commits += 1;
+            mask_obs::hooks::spec_phase(i as u32, SpecPhase::Commit);
+            current = spec_sim;
+            truth_end = spec_end;
+        } else {
+            replays += 1;
+            mask_obs::hooks::spec_phase(i as u32, SpecPhase::Replay);
+            drop((spec_sim, spec_end));
+            let mut r = factory();
+            r.restore_snapshot(&truth, PrefixKey(bounds[i]))
+                .expect("true boundary snapshot restores into a factory-fresh sim");
+            r.skip_enabled = skip;
+            r.run(bounds[i + 1] - bounds[i]);
+            truth_end = (i + 1 < segments).then(|| r.encode_snapshot(PrefixKey(bounds[i + 1])));
+            current = r;
+        }
+        boundaries.push(truth);
+    }
+    debug_assert_eq!(commits + replays, (segments - 1) as u64);
+    (
+        current,
+        SpecReport {
+            segments,
+            commits,
+            replays,
+            seeded,
+            exact_predictions,
+            boundaries,
+        },
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::sim::{AppSpec, GpuSim};
+    use mask_common::config::{DesignKind, SimConfig};
+    use mask_workloads::app_by_name;
+
+    fn build(cycles: u64) -> GpuSim {
+        let mut cfg = SimConfig::new(DesignKind::Mask).with_max_cycles(cycles);
+        cfg.gpu.n_cores = 4;
+        cfg.gpu.warps_per_core = 16;
+        cfg.gpu.mask.epoch_cycles = 2_000;
+        let specs: Vec<AppSpec> = [("HISTO", 2), ("GUP", 2)]
+            .iter()
+            .map(|&(name, c)| AppSpec {
+                profile: app_by_name(name).expect("known app"),
+                n_cores: c,
+            })
+            .collect();
+        GpuSim::new(&cfg, &specs)
+    }
+
+    fn final_state(sim: &GpuSim) -> Vec<u8> {
+        sim.encode_snapshot(PrefixKey(0xF1A7))
+    }
+
+    #[test]
+    fn speculative_run_is_bit_identical_to_serial() {
+        let cycles = 10_000; // 5 epochs
+        let mut oracle = build(cycles);
+        oracle.run(cycles);
+        for segments in [2, 3, 8] {
+            let (spec, report) =
+                run_speculative(build(cycles), cycles, &SpecPlan::new(segments), || {
+                    build(cycles)
+                });
+            assert_eq!(report.segments, segments.min(5));
+            assert_eq!(report.commits + report.replays, report.segments as u64 - 1);
+            assert_eq!(
+                final_state(&oracle),
+                final_state(&spec),
+                "{segments}-segment speculative state must equal serial"
+            );
+        }
+    }
+
+    #[test]
+    fn seeded_predictions_commit_every_segment() {
+        let cycles = 8_000;
+        let (_, first) =
+            run_speculative(build(cycles), cycles, &SpecPlan::new(4), || build(cycles));
+        assert_eq!(first.boundaries.len(), first.segments - 1);
+        let plan = SpecPlan::new(4).with_seeds(first.boundaries);
+        let (spec, second) = run_speculative(build(cycles), cycles, &plan, || build(cycles));
+        assert!(second.seeded, "matching seeds must be used");
+        assert_eq!(second.replays, 0, "true boundaries always verify");
+        assert_eq!(second.commits, second.segments as u64 - 1);
+        let mut oracle = build(cycles);
+        oracle.run(cycles);
+        assert_eq!(final_state(&oracle), final_state(&spec));
+    }
+
+    #[test]
+    fn perturbed_prediction_forces_replay_and_stays_correct() {
+        let cycles = 6_000;
+        let plan = SpecPlan::new(3).with_perturbation(1);
+        let (spec, report) = run_speculative(build(cycles), cycles, &plan, || build(cycles));
+        assert!(report.replays > 0, "perturbation must force a replay");
+        let mut oracle = build(cycles);
+        oracle.run(cycles);
+        assert_eq!(final_state(&oracle), final_state(&spec));
+    }
+
+    #[test]
+    fn spans_without_cuts_fall_back_to_serial() {
+        let cycles = 1_500; // under one epoch: no internal cut exists
+        let (spec, report) =
+            run_speculative(build(cycles), cycles, &SpecPlan::new(4), || build(cycles));
+        assert_eq!(report.segments, 1);
+        let mut spec = spec;
+        spec.sync_stats();
+        let mut oracle = build(cycles);
+        oracle.run(cycles);
+        oracle.sync_stats();
+        assert_eq!(oracle.stats(), spec.stats());
+    }
+
+    #[test]
+    fn single_thread_plan_still_speculates() {
+        let cycles = 8_000;
+        let plan = SpecPlan::new(4).with_threads(1);
+        let (spec, report) = run_speculative(build(cycles), cycles, &plan, || build(cycles));
+        assert_eq!(report.segments, 4);
+        let mut oracle = build(cycles);
+        oracle.run(cycles);
+        assert_eq!(final_state(&oracle), final_state(&spec));
+    }
+}

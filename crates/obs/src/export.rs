@@ -233,6 +233,13 @@ pub fn render(data: &TraceData) -> (String, String, Vec<String>) {
                      \"ts\":{cycle},\"pid\":1,\"tid\":{lane},\"args\":{{\"tokens\":{tokens}}}}}"
                 );
             }
+            Event::SpecSegment { segment, .. } => {
+                let _ = write!(
+                    ev,
+                    "{{\"name\":\"{name}\",\"cat\":\"{fam}\",\"ph\":\"i\",\"ts\":{cycle},\
+                     \"pid\":1,\"tid\":{lane},\"s\":\"t\",\"args\":{{\"segment\":{segment}}}}}"
+                );
+            }
         }
     }
     for span in &data.spans {

@@ -12,7 +12,7 @@
 //! rings of [`crate::ring`] (the parallelism-allowlisted module), which
 //! this file only calls into.
 
-use crate::event::{QueueKind, StallKind, TlbLevel};
+use crate::event::{QueueKind, SpecPhase, StallKind, TlbLevel};
 
 #[cfg(feature = "enabled")]
 use crate::event::Event;
@@ -123,6 +123,16 @@ pub fn token_epoch(asid: u16, tokens: u64) {
     crate::ring::record(Event::TokenEpoch { asid, tokens });
     #[cfg(not(feature = "enabled"))]
     let _ = (asid, tokens);
+}
+
+/// A speculative time segment reached lifecycle stage `phase`
+/// (predict/verify/commit/replay, see `mask-gpu`'s segment runner).
+#[inline(always)]
+pub fn spec_phase(segment: u32, phase: SpecPhase) {
+    #[cfg(feature = "enabled")]
+    crate::ring::record(Event::SpecSegment { segment, phase });
+    #[cfg(not(feature = "enabled"))]
+    let _ = (segment, phase);
 }
 
 /// Drains this thread's ring into the process-wide sink, tagged with

@@ -44,7 +44,7 @@ pub mod metrics;
 pub mod profile;
 pub mod ring;
 
-pub use event::{Event, QueueKind, Record, StallKind, TlbLevel};
+pub use event::{Event, QueueKind, Record, SpecPhase, StallKind, TlbLevel};
 
 /// Whether trace hooks are compiled in (the `enabled` feature).
 #[must_use]

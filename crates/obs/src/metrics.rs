@@ -106,8 +106,8 @@ impl EpochTracker {
     }
 }
 
-/// Emits one `job_pool` frame: pool occupancy plus baseline- and
-/// prefix-cache counters for a completed engine batch. Called by
+/// Emits one `job_pool` frame: pool occupancy plus baseline-/prefix-cache
+/// and speculation counters for a completed engine batch. Called by
 /// `mask-core`'s `JobPool` after `run_batch`; no-op unless tracing is
 /// live.
 #[allow(clippy::too_many_arguments)]
@@ -119,6 +119,8 @@ pub fn job_pool_frame(
     cache_misses: u64,
     prefix_hits: u64,
     prefix_misses: u64,
+    spec_commits: u64,
+    spec_replays: u64,
     wall_us: u64,
 ) {
     #[cfg(feature = "enabled")]
@@ -131,7 +133,9 @@ pub fn job_pool_frame(
              \"unique_jobs\":{unique_jobs},\"baseline_cache_hits\":{cache_hits},\
              \"baseline_cache_misses\":{cache_misses},\
              \"prefix_cache_hits\":{prefix_hits},\
-             \"prefix_cache_misses\":{prefix_misses},\"wall_us\":{wall_us}}}"
+             \"prefix_cache_misses\":{prefix_misses},\
+             \"spec_commits\":{spec_commits},\
+             \"spec_replays\":{spec_replays},\"wall_us\":{wall_us}}}"
         ));
     }
     #[cfg(not(feature = "enabled"))]
@@ -143,6 +147,8 @@ pub fn job_pool_frame(
         cache_misses,
         prefix_hits,
         prefix_misses,
+        spec_commits,
+        spec_replays,
         wall_us,
     );
 }

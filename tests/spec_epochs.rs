@@ -1,0 +1,222 @@
+//! Speculative epoch parallelism must be invisible in the results.
+//!
+//! `mask_gpu::spec::run_speculative` cuts a run's time axis into segments
+//! at epoch-safe snapshot points, executes them concurrently from
+//! predicted start states, and commits or replays each segment by
+//! byte-exact snapshot comparison. These properties pin the contract: a
+//! speculative run produces **byte-identical** machine state to the plain
+//! serial loop at any segment count — across seeds, every design preset,
+//! shard counts, tracing on or off, arbitrary run lengths, and even when
+//! predictions are deliberately corrupted so the replay path must run.
+
+use mask_common::snapshot::PrefixKey;
+use mask_core::prelude::*;
+use proptest::prelude::*;
+
+/// Segment counts exercised everywhere: minimal split, odd split, and more
+/// segments than the span has epoch cuts (clamped internally).
+const SEGMENTS: [usize; 3] = [2, 3, 8];
+
+/// Builds a small two-app simulation (4 cores, 16 warps/core) with a short
+/// token epoch so a few thousand cycles cross several epoch boundaries.
+fn build(design: DesignKind, seed: u64, cycles: u64, shards: usize) -> GpuSim {
+    let mut cfg = SimConfig::new(design)
+        .with_max_cycles(cycles)
+        .with_sm_shards(shards);
+    cfg.seed = seed;
+    cfg.gpu.n_cores = 4;
+    cfg.gpu.warps_per_core = 16;
+    cfg.gpu.mask.epoch_cycles = 2_000;
+    let specs: Vec<AppSpec> = [("HISTO", 2), ("GUP", 2)]
+        .iter()
+        .map(|&(name, c)| AppSpec {
+            profile: app_by_name(name).expect("known app"),
+            n_cores: c,
+        })
+        .collect();
+    GpuSim::new(&cfg, &specs)
+}
+
+/// The complete machine state as sealed snapshot bytes — the strongest
+/// equality available (covers caches, queues, PRNG streams, and stats).
+/// Stats are synced first: the derived lifetime counters are pure
+/// functions of state that live tracing refreshes at every epoch, so
+/// comparing unsynced bytes across tracing regimes would be ill-defined.
+fn state(sim: &mut GpuSim) -> Vec<u8> {
+    sim.sync_stats();
+    sim.encode_snapshot(PrefixKey(0xE0))
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(3))]
+
+    /// The core property: on every design preset, speculative execution
+    /// ends in byte-identical machine state at any segment count.
+    #[test]
+    fn speculation_is_byte_identical_across_presets(seed in 0u64..500) {
+        let cycles = 8_000; // 4 epochs: 3 internal cuts
+        for design in DesignKind::ALL {
+            let mut oracle = build(design, seed, cycles, 1);
+            oracle.run(cycles);
+            let want = state(&mut oracle);
+            for segments in SEGMENTS {
+                let (mut sim, report) = run_speculative(
+                    build(design, seed, cycles, 1),
+                    cycles,
+                    &SpecPlan::new(segments),
+                    || build(design, seed, cycles, 1),
+                );
+                prop_assert_eq!(report.segments, segments.min(4));
+                prop_assert_eq!(
+                    report.commits + report.replays,
+                    report.segments as u64 - 1
+                );
+                prop_assert_eq!(
+                    &want,
+                    &state(&mut sim),
+                    "design {} diverged at {} segments",
+                    design,
+                    segments
+                );
+            }
+        }
+    }
+
+    /// Speculation composes with the sharded SM frontend: segments of a
+    /// sharded simulation replay/commit identically.
+    #[test]
+    fn speculation_composes_with_sm_shards(seed in 0u64..200) {
+        let cycles = 8_000;
+        let mut oracle = build(DesignKind::Mask, seed, cycles, 1);
+        oracle.run(cycles);
+        let want = state(&mut oracle);
+        for shards in [1usize, 4] {
+            let (mut sim, _) = run_speculative(
+                build(DesignKind::Mask, seed, cycles, shards),
+                cycles,
+                &SpecPlan::new(3),
+                || build(DesignKind::Mask, seed, cycles, shards),
+            );
+            prop_assert_eq!(&want, &state(&mut sim), "diverged at {} shards", shards);
+        }
+    }
+
+    /// Arbitrary run lengths, including spans that end mid-epoch (the
+    /// final segment boundary is not snapshot-safe) and spans too short
+    /// to contain any cut at all.
+    #[test]
+    fn speculation_handles_arbitrary_run_lengths(extra in 0u64..6_000) {
+        let cycles = 1_000 + extra;
+        let mut oracle = build(DesignKind::Mask, 11, cycles, 1);
+        oracle.run(cycles);
+        oracle.sync_stats();
+        for segments in SEGMENTS {
+            let (mut sim, _) = run_speculative(
+                build(DesignKind::Mask, 11, cycles, 1),
+                cycles,
+                &SpecPlan::new(segments),
+                || build(DesignKind::Mask, 11, cycles, 1),
+            );
+            sim.sync_stats();
+            prop_assert_eq!(
+                oracle.stats(),
+                sim.stats(),
+                "diverged at {} segments over {} cycles",
+                segments,
+                cycles
+            );
+        }
+    }
+
+    /// The replay path under fire: a deliberately corrupted prediction
+    /// (the perturbation hook) must force at least one replay — and the
+    /// final state must still be byte-identical to serial, because
+    /// correctness never depends on prediction quality.
+    #[test]
+    fn perturbed_predictions_replay_and_converge(seed in 0u64..200) {
+        let cycles = 10_000; // 5 epochs: enough cuts for 4 real segments
+        let mut oracle = build(DesignKind::Mask, seed, cycles, 1);
+        oracle.run(cycles);
+        let want = state(&mut oracle);
+        for victim in [1usize, 2] {
+            let plan = SpecPlan::new(4).with_perturbation(victim);
+            let (mut sim, report) = run_speculative(
+                build(DesignKind::Mask, seed, cycles, 1),
+                cycles,
+                &plan,
+                || build(DesignKind::Mask, seed, cycles, 1),
+            );
+            prop_assert!(
+                report.replays > 0,
+                "perturbing segment {} must force a replay",
+                victim
+            );
+            prop_assert_eq!(&want, &state(&mut sim), "victim {} diverged", victim);
+        }
+    }
+}
+
+/// Tracing must not interact with speculation: hooks never feed back into
+/// simulation state, so speculative runs are identical with the trace
+/// collector on or off (and to the serial oracle either way).
+#[test]
+fn speculation_is_identical_with_tracing_on_and_off() {
+    let cycles = 8_000;
+    let mut oracle = build(DesignKind::Mask, 17, cycles, 1);
+    oracle.run(cycles);
+    let want = state(&mut oracle);
+    for on in [false, true] {
+        mask_obs::set_runtime(Some(on));
+        let (mut sim, report) = run_speculative(
+            build(DesignKind::Mask, 17, cycles, 1),
+            cycles,
+            &SpecPlan::new(3),
+            || build(DesignKind::Mask, 17, cycles, 1),
+        );
+        assert_eq!(report.segments, 3);
+        assert_eq!(
+            want,
+            state(&mut sim),
+            "tracing={on} changed speculation results"
+        );
+    }
+    mask_obs::set_runtime(None);
+}
+
+/// Seeded re-runs: the boundaries recorded by one speculative run are
+/// true states, so feeding them back as predictions for an identical run
+/// commits every segment — the case where speculation actually pays.
+#[test]
+fn recorded_boundaries_seed_a_fully_committing_rerun() {
+    let cycles = 8_000;
+    let mk = || build(DesignKind::Mask, 9, cycles, 1);
+    let (_, first) = run_speculative(mk(), cycles, &SpecPlan::new(4), mk);
+    assert_eq!(first.boundaries.len(), first.segments - 1);
+    let plan = SpecPlan::new(4).with_seeds(first.boundaries);
+    let (mut sim, second) = run_speculative(mk(), cycles, &plan, mk);
+    assert!(second.seeded, "matching recorded boundaries must be used");
+    assert_eq!(second.replays, 0, "true start states always verify");
+    assert_eq!(second.commits, second.segments as u64 - 1);
+    let mut oracle = mk();
+    oracle.run(cycles);
+    assert_eq!(state(&mut oracle), state(&mut sim));
+}
+
+/// Cycle-skipping composes with speculation: the skip flag propagates to
+/// every replica, and the skip machinery itself is deterministic.
+#[test]
+fn speculation_composes_with_cycle_skip() {
+    let cycles = 12_000;
+    for skip in [true, false] {
+        let mut oracle = build(DesignKind::Mask, 3, cycles, 1);
+        oracle.set_cycle_skip(skip);
+        oracle.run(cycles);
+        let want = state(&mut oracle);
+        let mut seed0 = build(DesignKind::Mask, 3, cycles, 1);
+        seed0.set_cycle_skip(skip);
+        let (mut sim, _) = run_speculative(seed0, cycles, &SpecPlan::new(4), || {
+            build(DesignKind::Mask, 3, cycles, 1)
+        });
+        assert_eq!(want, state(&mut sim), "skip={skip} diverged");
+    }
+}

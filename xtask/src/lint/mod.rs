@@ -22,7 +22,8 @@
 //! | `unwrap`          | no `.unwrap()` / bare `panic!` in library code               |
 //! | `parallelism`     | thread primitives only in the parallelism islands:           |
 //! |                   | `crates/core/src/engine*`, `crates/gpu/src/shard.rs`,        |
-//! |                   | `crates/obs/src/ring.rs`, and `crates/bench`                 |
+//! |                   | `crates/gpu/src/spec.rs`, `crates/obs/src/ring.rs`, and      |
+//! |                   | `crates/bench`                                               |
 //! | `hotpath`         | no heap traffic (`vec![`, `Vec::new()`, `.clone()`,          |
 //! |                   | `.collect`) in the per-cycle hot files outside constructors  |
 //! | `unsafe-audit`    | `unsafe` only inside the parallelism islands, and every use  |
@@ -176,9 +177,15 @@ impl Sink<'_> {
 /// *not* registered here: checkpoint encoding/decoding runs only at
 /// epoch-boundary snapshot points, never inside the per-cycle loop, so
 /// it may allocate freely (the fixture tests pin this decision down).
-pub(crate) const HOTPATH_FILES: [&str; 6] = [
+///
+/// The speculative segment runner (`crates/gpu/src/spec.rs`) *is*
+/// registered: its commit/verify loop sits between detailed segment runs
+/// and executes once per segment boundary per run, so a stray allocation
+/// there multiplies by the segment count on every speculative batch job.
+pub(crate) const HOTPATH_FILES: [&str; 7] = [
     "crates/gpu/src/sim.rs",
     "crates/gpu/src/shard.rs",
+    "crates/gpu/src/spec.rs",
     "crates/gpu/src/translation.rs",
     "crates/cache/src/l2.rs",
     "crates/dram/src/queues.rs",
@@ -358,6 +365,7 @@ pub(crate) fn lint_source(path: &Path, contents: &str) -> Vec<Violation> {
     let island = krate == "bench"
         || engine_file
         || norm.ends_with("crates/gpu/src/shard.rs")
+        || norm.ends_with("crates/gpu/src/spec.rs")
         || norm.ends_with("crates/obs/src/ring.rs");
     let env_entry = krate == "bench" || ENV_ENTRY_FILES.iter().any(|f| norm.ends_with(f));
     let ctx = FileCtx {

@@ -62,8 +62,9 @@ pub(crate) const RULES: [RuleInfo; 12] = [
         short: "thread primitive outside the parallelism islands",
         help: "std::thread/Mutex/RwLock/Condvar/mpsc/atomics stay inside \
                crates/core/src/engine*, crates/gpu/src/shard.rs, \
-               crates/obs/src/ring.rs, and crates/bench so the rest of the \
-               simulator remains single-threaded.",
+               crates/gpu/src/spec.rs, crates/obs/src/ring.rs, and \
+               crates/bench so the rest of the simulator remains \
+               single-threaded.",
     },
     RuleInfo {
         id: "hotpath",
@@ -200,8 +201,9 @@ fn pass_parallelism(ctx: &FileCtx<'_>, sink: &mut Sink<'_>) {
                     format!(
                         "`{prim}` outside the job engine; only \
                          crates/core/src/engine*, crates/gpu/src/shard.rs, \
-                         crates/obs/src/ring.rs (and crates/bench) may spawn \
-                         threads or share mutable state across them"
+                         crates/gpu/src/spec.rs, crates/obs/src/ring.rs (and \
+                         crates/bench) may spawn threads or share mutable \
+                         state across them"
                     ),
                     None,
                 );
@@ -328,8 +330,9 @@ fn pass_unsafe_audit(ctx: &FileCtx<'_>, sink: &mut Sink<'_>) {
                 "unsafe-audit",
                 "`unsafe` outside the declared parallelism islands \
                  (crates/core/src/engine*, crates/gpu/src/shard.rs, \
-                 crates/obs/src/ring.rs, crates/bench); the simulator model \
-                 itself must stay in safe Rust"
+                 crates/gpu/src/spec.rs, crates/obs/src/ring.rs, \
+                 crates/bench); the simulator model itself must stay in \
+                 safe Rust"
                     .into(),
                 None,
             );
@@ -519,7 +522,11 @@ mod tests {
     #[test]
     fn hot_file_predicate_matches_suffixes() {
         assert!(is_hot_file("/repo/crates/gpu/src/sim.rs"));
+        // The speculative segment runner's verify/commit loop is hot.
+        assert!(is_hot_file("/repo/crates/gpu/src/spec.rs"));
         assert!(!is_hot_file("/repo/crates/gpu/src/core_model.rs"));
+        // Functional fast-forward runs in epoch-sized chunks, not per cycle.
+        assert!(!is_hot_file("/repo/crates/gpu/src/functional.rs"));
         // The snapshot codec runs at epoch boundaries, not per cycle.
         assert!(!is_hot_file("/repo/crates/common/src/snapshot.rs"));
     }

@@ -576,6 +576,39 @@ fn shard_pool_may_use_thread_primitives_but_stays_hotpath_clean() {
 }
 
 #[test]
+fn spec_runner_may_use_thread_primitives_but_stays_hotpath_clean() {
+    // The speculative segment runner is a declared parallelism island…
+    let threads = "use std::sync::Mutex;\nstd::thread::scope(|s| {});\n";
+    assert!(lint("crates/gpu/src/spec.rs", threads).is_empty());
+    // …but the functional fast-forward mode it drives is not: predictions
+    // run on plain single-threaded replicas.
+    assert!(!lint("crates/gpu/src/functional.rs", threads).is_empty());
+    // And the hotpath rule still fires inside spec.rs — the per-boundary
+    // verify/commit loop must not allocate in steady state.
+    let alloc = "pub fn verify_segment(&mut self) {\n    let v = Vec::new();\n}\n";
+    assert_eq!(rules(&lint("crates/gpu/src/spec.rs", alloc)), ["hotpath"]);
+}
+
+#[test]
+fn red_env_determinism_functional_mode_must_not_read_env() {
+    // Functional fast-forward feeds speculative predictions; an env read
+    // there would let MASK_* settings fork replica behavior mid-run and
+    // silently change which segments commit.
+    let v = lint(
+        "crates/gpu/src/functional.rs",
+        "let n = std::env::var(\"MASK_SPEC_SEGMENTS\").ok();\n",
+    );
+    assert_eq!(rules(&v), ["env-determinism"]);
+    // The segment runner itself is no env entry point either: segment
+    // counts arrive resolved through SpecPlan.
+    let v = lint(
+        "crates/gpu/src/spec.rs",
+        "let n = std::env::var(\"MASK_SPEC_SEGMENTS\").ok();\n",
+    );
+    assert_eq!(rules(&v), ["env-determinism"]);
+}
+
+#[test]
 fn obs_ring_may_use_thread_primitives_but_hooks_stay_hotpath_clean() {
     // The tracer's ring-buffer module is the third parallelism island…
     let threads = "use std::sync::Mutex;\nstatic GATE: AtomicU8 = AtomicU8::new(0);\n";
