@@ -1,0 +1,398 @@
+//! The persistent content-addressed result store.
+//!
+//! Results are keyed by the job's canonical dedup key
+//! ([`SimJob::key`](mask_core::SimJob::key)) folded through FNV-1a — the
+//! same content addressing the engine's `BaselineCache`/`PrefixCache` use,
+//! extended to *every* job shape (not just alone baselines) and to disk.
+//! A repeat submission — same design spec, placement, cycle budget, seed,
+//! and full `GpuConfig` rendering — is answered from the store without
+//! simulating at all, across daemon restarts.
+//!
+//! On disk each result is one `<key>.msnp` file sealed by the versioned
+//! MSNP snapshot codec (`mask_common::snapshot`): magic, codec version,
+//! key echo, length, and FNV-1a checksum guard every byte, so a corrupt
+//! or torn file can never round-trip into a wrong answer — it fails
+//! validation and is deleted. The store borrows the full hygiene
+//! discipline of the engine's `MASK_SNAPSHOT_DIR` warm-up store:
+//!
+//! * writes go to `<key>.msnp.<pid>.tmp` and are atomically renamed in;
+//! * every use stamps a `.lru` sidecar whose sequence number is derived
+//!   from the store itself, so recency survives restarts;
+//! * `MASKD_STORE_CAP` evicts least-recently-used entries;
+//! * construction sweeps the directory, deleting files that fail envelope
+//!   validation, orphaned sidecars, and leftover temp files — the
+//!   crash-recovery contract of DESIGN.md §15.
+
+use mask_common::snapshot::{
+    validate_envelope, Fnv1a, PrefixKey, Snapshot, SnapshotError, SnapshotReader, SnapshotWriter,
+};
+use mask_common::stats::SimStats;
+use mask_core::SimJob;
+use std::collections::BTreeMap;
+use std::path::{Path, PathBuf};
+use std::sync::Mutex;
+
+/// The content address of a job: FNV-1a over the canonical rendering of
+/// its dedup key. Everything that distinguishes two simulations —
+/// design *spec* (not preset name), placement, cycle budgets, seed, and
+/// the complete `GpuConfig` — feeds the hash; the submitting tenant does
+/// not, so identical science shares one stored result.
+#[must_use]
+pub fn result_key(job: &SimJob) -> u64 {
+    let mut h = Fnv1a::new();
+    h.write(format!("{:?}", job.key()).as_bytes());
+    h.finish()
+}
+
+/// Store telemetry, served by `GET /store/stats`.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct StoreStats {
+    /// Results currently held in memory.
+    pub entries: usize,
+    /// Lookups answered (from memory or disk).
+    pub hits: u64,
+    /// Lookups that found nothing.
+    pub misses: u64,
+    /// Results inserted this process.
+    pub inserts: u64,
+    /// Results loaded from disk this process (subset of `hits`).
+    pub disk_loads: u64,
+}
+
+#[derive(Default)]
+struct Inner {
+    mem: BTreeMap<u64, SimStats>,
+    hits: u64,
+    misses: u64,
+    inserts: u64,
+    disk_loads: u64,
+}
+
+/// A content-addressed map from [`result_key`] to final statistics, with
+/// optional persistence. All methods are `&self`; the store is shared
+/// between the daemon's connection threads and its dispatcher.
+pub struct ResultStore {
+    dir: Option<PathBuf>,
+    cap: Option<usize>,
+    inner: Mutex<Inner>,
+}
+
+impl ResultStore {
+    /// An in-memory store (results die with the process).
+    #[must_use]
+    pub fn in_memory() -> Self {
+        ResultStore {
+            dir: None,
+            cap: None,
+            inner: Mutex::new(Inner::default()),
+        }
+    }
+
+    /// A store persisting under `dir` (created if missing), keeping at
+    /// most `cap` results on disk (LRU). Construction runs the hygiene
+    /// sweep: corrupt envelopes, orphaned `.lru` sidecars, and leftover
+    /// temp files from interrupted writes are deleted, never trusted.
+    #[must_use]
+    pub fn with_dir(dir: PathBuf, cap: Option<usize>) -> Self {
+        let _ = std::fs::create_dir_all(&dir);
+        cleanup_store(&dir);
+        ResultStore {
+            dir: Some(dir),
+            cap,
+            inner: Mutex::new(Inner::default()),
+        }
+    }
+
+    /// Builds the store a [`DaemonConfig`](crate::DaemonConfig) asks for.
+    #[must_use]
+    pub fn from_config(cfg: &crate::DaemonConfig) -> Self {
+        match &cfg.store_dir {
+            Some(dir) => ResultStore::with_dir(dir.clone(), cfg.store_cap),
+            None => ResultStore::in_memory(),
+        }
+    }
+
+    fn lock(&self) -> std::sync::MutexGuard<'_, Inner> {
+        // A poisoned store mutex means a panic mid-bookkeeping; the maps
+        // themselves are always structurally valid, so keep serving.
+        match self.inner.lock() {
+            Ok(g) => g,
+            Err(poisoned) => poisoned.into_inner(),
+        }
+    }
+
+    /// Looks up a result, falling back to disk on a memory miss. A disk
+    /// hit is promoted into memory and re-stamped as most recently used.
+    #[must_use]
+    pub fn get(&self, key: u64) -> Option<SimStats> {
+        let mut inner = self.lock();
+        if let Some(stats) = inner.mem.get(&key) {
+            let stats = stats.clone();
+            inner.hits += 1;
+            drop(inner);
+            if let Some(dir) = &self.dir {
+                touch_store(dir, PrefixKey(key));
+            }
+            return Some(stats);
+        }
+        if let Some(dir) = &self.dir {
+            if let Some(stats) = load_result(dir, key) {
+                inner.hits += 1;
+                inner.disk_loads += 1;
+                inner.mem.insert(key, stats.clone());
+                drop(inner);
+                touch_store(dir, PrefixKey(key));
+                return Some(stats);
+            }
+        }
+        inner.misses += 1;
+        None
+    }
+
+    /// Records a freshly simulated result under `key`, persisting it (and
+    /// enforcing the LRU cap) when the store is disk-backed.
+    pub fn insert(&self, key: u64, stats: &SimStats) {
+        let mut inner = self.lock();
+        inner.inserts += 1;
+        inner.mem.insert(key, stats.clone());
+        drop(inner);
+        let Some(dir) = &self.dir else { return };
+        let mut w = SnapshotWriter::new();
+        stats.snapshot(&mut w);
+        let bytes = w.seal(PrefixKey(key));
+        let name = format!("{}.msnp", PrefixKey(key));
+        let tmp = dir.join(format!("{name}.{}.tmp", std::process::id()));
+        let wrote = std::fs::write(&tmp, &bytes).is_ok();
+        if wrote && std::fs::rename(&tmp, dir.join(&name)).is_ok() {
+            touch_store(dir, PrefixKey(key));
+            if let Some(cap) = self.cap {
+                evict_store(dir, cap);
+            }
+        } else {
+            let _ = std::fs::remove_file(&tmp);
+        }
+    }
+
+    /// Current telemetry snapshot.
+    #[must_use]
+    pub fn stats(&self) -> StoreStats {
+        let inner = self.lock();
+        StoreStats {
+            entries: inner.mem.len(),
+            hits: inner.hits,
+            misses: inner.misses,
+            inserts: inner.inserts,
+            disk_loads: inner.disk_loads,
+        }
+    }
+
+    /// Results currently on disk (0 for in-memory stores).
+    #[must_use]
+    pub fn disk_entries(&self) -> usize {
+        self.dir.as_deref().map_or(0, |d| list_store(d).len())
+    }
+}
+
+fn decode_result(bytes: &[u8], key: u64) -> Result<SimStats, SnapshotError> {
+    // Two passes so the canonical `Snapshot for SimStats` impl does the
+    // decoding: a probe reads the app count (restore requires a pre-sized
+    // target), then the real pass restores into it.
+    let mut probe = SnapshotReader::open_keyed(bytes, PrefixKey(key))?;
+    probe.section("stats")?;
+    let n_apps = probe.seq()?;
+    let mut stats = SimStats::new(n_apps, 0);
+    let mut r = SnapshotReader::open_keyed(bytes, PrefixKey(key))?;
+    stats.restore(&mut r)?;
+    r.finish()?;
+    Ok(stats)
+}
+
+fn load_result(dir: &Path, key: u64) -> Option<SimStats> {
+    let path = dir.join(format!("{}.msnp", PrefixKey(key)));
+    let bytes = std::fs::read(&path).ok()?;
+    match decode_result(&bytes, key) {
+        Ok(stats) => Some(stats),
+        Err(_) => {
+            // Same policy as the engine's snapshot store: a file that
+            // fails validation is deleted, never trusted.
+            let _ = std::fs::remove_file(&path);
+            let _ = std::fs::remove_file(path.with_extension("lru"));
+            None
+        }
+    }
+}
+
+/// Store listing sorted by `(lru seq, stem)` — eviction order.
+fn list_store(dir: &Path) -> Vec<(u64, String, PathBuf)> {
+    let Ok(entries) = std::fs::read_dir(dir) else {
+        return Vec::new();
+    };
+    let mut out = Vec::new();
+    for entry in entries.flatten() {
+        let path = entry.path();
+        if path.extension().is_some_and(|e| e == "msnp") {
+            let stem = path
+                .file_stem()
+                .map_or_else(String::new, |s| s.to_string_lossy().into_owned());
+            let seq = std::fs::read_to_string(path.with_extension("lru"))
+                .ok()
+                .and_then(|s| s.trim().parse().ok())
+                .unwrap_or(0);
+            out.push((seq, stem, path));
+        }
+    }
+    out.sort();
+    out
+}
+
+/// Stamps `key` as most recently used: its `.lru` sidecar receives a
+/// sequence number above every existing one. Derived from the store
+/// itself, not process state, so recency survives restarts.
+fn touch_store(dir: &Path, key: PrefixKey) {
+    let next = list_store(dir)
+        .iter()
+        .map(|(seq, _, _)| *seq)
+        .max()
+        .unwrap_or(0)
+        .saturating_add(1);
+    let _ = std::fs::write(dir.join(format!("{key}.lru")), format!("{next}\n"));
+}
+
+/// Deletes least-recently-used results until at most `cap` remain.
+fn evict_store(dir: &Path, cap: usize) {
+    let listed = list_store(dir);
+    for (_, _, path) in listed.iter().take(listed.len().saturating_sub(cap.max(1))) {
+        let _ = std::fs::remove_file(path);
+        let _ = std::fs::remove_file(path.with_extension("lru"));
+    }
+}
+
+/// Startup hygiene sweep: deletes results whose envelope fails full
+/// validation (truncated writes, stale codec versions, checksum damage),
+/// orphaned sidecars, and leftover temp files.
+fn cleanup_store(dir: &Path) {
+    let Ok(entries) = std::fs::read_dir(dir) else {
+        return;
+    };
+    for entry in entries.flatten() {
+        let path = entry.path();
+        let ext = path.extension().map(|e| e.to_string_lossy().into_owned());
+        match ext.as_deref() {
+            Some("msnp") => {
+                let valid =
+                    std::fs::read(&path).is_ok_and(|bytes| validate_envelope(&bytes).is_ok());
+                if !valid {
+                    let _ = std::fs::remove_file(&path);
+                    let _ = std::fs::remove_file(path.with_extension("lru"));
+                }
+            }
+            Some("lru") if !path.with_extension("msnp").exists() => {
+                let _ = std::fs::remove_file(&path);
+            }
+            Some("tmp") => {
+                let _ = std::fs::remove_file(&path);
+            }
+            _ => {}
+        }
+    }
+}
+
+/// The sealed-envelope checksum a stored result would carry — exposed so
+/// job events can report it without re-reading the file.
+#[must_use]
+pub fn result_checksum(key: u64, stats: &SimStats) -> u64 {
+    let mut w = SnapshotWriter::new();
+    stats.snapshot(&mut w);
+    let bytes = w.seal(PrefixKey(key));
+    mask_common::snapshot::envelope_checksum(&bytes).unwrap_or(0)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample_stats(seed: u64) -> SimStats {
+        let mut s = SimStats::new(2, 4);
+        s.cycles = 1000 + seed;
+        s.dram_bus_busy = 10 * seed;
+        s.apps[0].instructions = 77 * seed;
+        s.apps[0].l1_tlb.record(true);
+        s.apps[1].dram_translation.requests = seed;
+        s
+    }
+
+    fn temp_dir(tag: &str) -> PathBuf {
+        let dir =
+            std::env::temp_dir().join(format!("maskd-store-test-{tag}-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        dir
+    }
+
+    #[test]
+    fn memory_store_round_trips() {
+        let store = ResultStore::in_memory();
+        assert_eq!(store.get(42), None);
+        let s = sample_stats(3);
+        store.insert(42, &s);
+        assert_eq!(store.get(42), Some(s));
+        let t = store.stats();
+        assert_eq!((t.entries, t.hits, t.misses, t.inserts), (1, 1, 1, 1));
+    }
+
+    #[test]
+    fn disk_store_survives_reopen_and_rejects_corruption() {
+        let dir = temp_dir("reopen");
+        let s = sample_stats(9);
+        {
+            let store = ResultStore::with_dir(dir.clone(), None);
+            store.insert(7, &s);
+        }
+        // Fresh store, fresh memory: the result comes back from disk.
+        let store = ResultStore::with_dir(dir.clone(), None);
+        assert_eq!(store.get(7), Some(s));
+        assert_eq!(store.stats().disk_loads, 1);
+
+        // Flip one payload byte: validation must reject and delete it.
+        let path = dir.join(format!("{}.msnp", PrefixKey(7)));
+        let mut bytes = std::fs::read(&path).expect("stored file");
+        let last = bytes.len() - 1;
+        bytes[last] ^= 0xff;
+        std::fs::write(&path, &bytes).expect("rewrite");
+        let store = ResultStore::with_dir(dir.clone(), None);
+        assert_eq!(store.get(7), None);
+        assert!(!path.exists());
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn cleanup_drops_tmp_orphan_and_corrupt_files() {
+        let dir = temp_dir("cleanup");
+        std::fs::create_dir_all(&dir).expect("mkdir");
+        std::fs::write(dir.join("dead.msnp.123.tmp"), b"partial").expect("write");
+        std::fs::write(dir.join(format!("{}.lru", PrefixKey(5))), b"3\n").expect("write");
+        std::fs::write(dir.join(format!("{}.msnp", PrefixKey(6))), b"garbage").expect("write");
+        let store = ResultStore::with_dir(dir.clone(), None);
+        assert_eq!(store.disk_entries(), 0);
+        let leftovers: Vec<_> = std::fs::read_dir(&dir)
+            .expect("readdir")
+            .flatten()
+            .collect();
+        assert!(leftovers.is_empty(), "hygiene sweep must empty the dir");
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn lru_cap_evicts_oldest() {
+        let dir = temp_dir("lru");
+        let store = ResultStore::with_dir(dir.clone(), Some(2));
+        for key in 1..=3u64 {
+            store.insert(key, &sample_stats(key));
+        }
+        assert_eq!(store.disk_entries(), 2);
+        // Key 1 was least recently used; a fresh store can't load it.
+        let fresh = ResultStore::with_dir(dir.clone(), Some(2));
+        assert_eq!(fresh.get(1), None);
+        assert!(fresh.get(3).is_some());
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+}

@@ -79,6 +79,23 @@ pub fn reset_collected() {
     ring::reset();
 }
 
+/// Drains the per-epoch JSONL metrics frames collected so far, leaving
+/// events, spans, and profile aggregates in place for a later full
+/// export. `maskd` calls this after each dispatched batch to stream
+/// epoch-metrics frames to job watchers; always empty unless the feature
+/// is compiled in and tracing is live.
+#[must_use]
+pub fn drain_frames() -> Vec<String> {
+    #[cfg(feature = "enabled")]
+    {
+        ring::take_frames()
+    }
+    #[cfg(not(feature = "enabled"))]
+    {
+        Vec::new()
+    }
+}
+
 /// Programmatically overrides the `MASK_TRACE` runtime gate.
 ///
 /// `Some(true)` forces tracing on, `Some(false)` forces it off, and `None`

@@ -19,7 +19,7 @@ pub const DEFAULT_CAPACITY: usize = 1 << 16;
 #[cfg(feature = "enabled")]
 pub(crate) use active::{
     add_merge_wait, add_stage, flush_events, push_frame, push_span, record, record_depth, reset,
-    runtime_enabled, set_cycle, set_runtime, take_snapshot,
+    runtime_enabled, set_cycle, set_runtime, take_frames, take_snapshot,
 };
 
 #[cfg(feature = "enabled")]
@@ -226,6 +226,13 @@ mod active {
     /// Appends one prebuilt JSONL metrics frame.
     pub(crate) fn push_frame(frame: String) {
         sink().frames.push(frame);
+    }
+
+    /// Drains only the collected JSONL metrics frames, leaving events,
+    /// spans, and stage timings in place for a later full snapshot
+    /// (`maskd` streams frames to job watchers between batches).
+    pub(crate) fn take_frames() -> Vec<String> {
+        std::mem::take(&mut sink().frames)
     }
 
     /// Appends one completed wall-clock span (engine timeline).

@@ -1,6 +1,17 @@
 #!/bin/bash
-cd /root/repo
+# Full test + bench sweep, logging output and per-stage exit codes.
+#
+# The recorded rc must be cargo's, not tee's: `rc=$?` after a pipeline
+# reports the status of the LAST command in it (tee, which nearly always
+# succeeds), silently masking test failures. `pipefail` makes the
+# pipeline's status the first failing command, and ${PIPESTATUS[0]} —
+# captured immediately after each pipeline, before any other command can
+# clobber it — is cargo's own exit code.
+set -o pipefail
+cd /root/repo || exit 1
 cargo test --workspace 2>&1 | tee /root/repo/test_output.txt
-echo "TESTS_DONE rc=$?" >> /root/repo/final_status.txt
+rc=${PIPESTATUS[0]}
+echo "TESTS_DONE rc=$rc" >> /root/repo/final_status.txt
 MASK_SIM_CYCLES=200000 cargo bench --workspace 2>&1 | tee /root/repo/bench_output.txt
-echo "BENCH_DONE rc=$?" >> /root/repo/final_status.txt
+rc=${PIPESTATUS[0]}
+echo "BENCH_DONE rc=$rc" >> /root/repo/final_status.txt

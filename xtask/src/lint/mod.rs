@@ -22,7 +22,8 @@
 //! | `unwrap`          | no `.unwrap()` / bare `panic!` in library code               |
 //! | `parallelism`     | thread primitives only in the parallelism islands:           |
 //! |                   | `crates/core/src/engine*`, `crates/gpu/src/shard.rs`,        |
-//! |                   | `crates/gpu/src/spec.rs`, `crates/obs/src/ring.rs`, and      |
+//! |                   | `crates/gpu/src/spec.rs`, `crates/obs/src/ring.rs`,          |
+//! |                   | `crates/maskd` (a threaded network daemon), and              |
 //! |                   | `crates/bench`                                               |
 //! | `hotpath`         | no heap traffic (`vec![`, `Vec::new()`, `.clone()`,          |
 //! |                   | `.collect`) in the per-cycle hot files outside constructors  |
@@ -193,15 +194,18 @@ pub(crate) const HOTPATH_FILES: [&str; 7] = [
 ];
 
 /// Designated environment-read entry points (the `env-determinism` rule):
-/// the shared config module, the tracer's gate/exporter, and the job
-/// engine (which resolves `MASK_SNAPSHOT_DIR` once when the process-wide
-/// prefix cache is built). `crates/bench` is exempt as a whole
-/// (wall-clock-facing harness code).
-pub(crate) const ENV_ENTRY_FILES: [&str; 4] = [
+/// the shared config module, the tracer's gate/exporter, the job engine
+/// (which resolves `MASK_SNAPSHOT_DIR` once when the process-wide prefix
+/// cache is built), and the daemon's config module (which resolves every
+/// `MASKD_*` knob once at boot — the server/queue/store layers must take
+/// a `DaemonConfig`, never read the environment themselves).
+/// `crates/bench` is exempt as a whole (wall-clock-facing harness code).
+pub(crate) const ENV_ENTRY_FILES: [&str; 5] = [
     "crates/common/src/config.rs",
     "crates/obs/src/ring.rs",
     "crates/obs/src/export.rs",
     "crates/core/src/engine.rs",
+    "crates/maskd/src/config.rs",
 ];
 
 /// Which crate (the `crates/<name>` component) a path belongs to, if any.
@@ -364,6 +368,10 @@ pub(crate) fn lint_source(path: &Path, contents: &str) -> Vec<Violation> {
     let engine_file = krate == "core" && norm.contains("src/engine");
     let island = krate == "bench"
         || engine_file
+        // The daemon is a threaded network server end to end (acceptor,
+        // per-connection handlers, dispatcher, condvar-held event
+        // streams): the whole crate is a declared island.
+        || krate == "maskd"
         || norm.ends_with("crates/gpu/src/shard.rs")
         || norm.ends_with("crates/gpu/src/spec.rs")
         || norm.ends_with("crates/obs/src/ring.rs");

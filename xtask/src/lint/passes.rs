@@ -62,9 +62,9 @@ pub(crate) const RULES: [RuleInfo; 12] = [
         short: "thread primitive outside the parallelism islands",
         help: "std::thread/Mutex/RwLock/Condvar/mpsc/atomics stay inside \
                crates/core/src/engine*, crates/gpu/src/shard.rs, \
-               crates/gpu/src/spec.rs, crates/obs/src/ring.rs, and \
-               crates/bench so the rest of the simulator remains \
-               single-threaded.",
+               crates/gpu/src/spec.rs, crates/obs/src/ring.rs, \
+               crates/maskd (a threaded network daemon), and crates/bench \
+               so the rest of the simulator remains single-threaded.",
     },
     RuleInfo {
         id: "hotpath",
@@ -104,16 +104,18 @@ pub(crate) const RULES: [RuleInfo; 12] = [
                of matching on named presets; DesignKind stays in \
                crates/common/src/config.rs (where the presets are defined), \
                crates/core (the experiment harnesses and job vocabulary), \
-               and crates/bench.",
+               crates/maskd (which names presets in wire documents), and \
+               crates/bench.",
     },
     RuleInfo {
         id: "env-determinism",
         short: "environment read outside the config entry points",
-        help: "std::env::var reads (MASK_* or otherwise) are only permitted \
-               in crates/common/src/config.rs, crates/obs/src/ring.rs, \
-               crates/obs/src/export.rs, and crates/bench; anywhere else a \
-               stage of the cycle loop could silently fork behavior on the \
-               environment.",
+        help: "std::env::var reads (MASK_* / MASKD_* or otherwise) are only \
+               permitted in crates/common/src/config.rs, \
+               crates/obs/src/ring.rs, crates/obs/src/export.rs, \
+               crates/core/src/engine.rs, crates/maskd/src/config.rs, and \
+               crates/bench; anywhere else a stage of the cycle loop could \
+               silently fork behavior on the environment.",
     },
 ];
 
@@ -396,10 +398,12 @@ fn pass_atomic_ordering(ctx: &FileCtx<'_>, sink: &mut Sink<'_>) {
 
 fn pass_design_predicates(ctx: &FileCtx<'_>, sink: &mut Sink<'_>) {
     // The preset table itself, the experiment/bench harnesses (which name
-    // designs for tables and plots), and the job vocabulary in mask-core
+    // designs for tables and plots), the job vocabulary in mask-core, and
+    // the daemon's wire format (which names presets in job documents)
     // legitimately speak in presets.
     if ctx.krate == "core"
         || ctx.krate == "bench"
+        || ctx.krate == "maskd"
         || (ctx.krate == "common" && ctx.file_name == "config.rs")
     {
         return;

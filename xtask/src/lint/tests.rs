@@ -307,6 +307,34 @@ fn clean_env_determinism_entry_points_may_read() {
 }
 
 #[test]
+fn maskd_is_a_parallelism_island_but_not_an_env_free_for_all() {
+    // The daemon crate is a declared island: its server/queue/store
+    // layers are threaded by design.
+    let threads = "let h = std::thread::spawn(f);\nlet m = std::sync::Mutex::new(0);\n";
+    assert!(lint("crates/maskd/src/server.rs", threads).is_empty());
+    // Island status does not exempt it from env-determinism: only the
+    // daemon's config module may read MASKD_* knobs...
+    let env = "let a = std::env::var(\"MASKD_ADDR\").ok();\n";
+    assert!(lint("crates/maskd/src/config.rs", env).is_empty());
+    // ...and an env read anywhere else in the crate is a violation.
+    assert_eq!(
+        rules(&lint("crates/maskd/src/server.rs", env)),
+        ["env-determinism"]
+    );
+}
+
+#[test]
+fn maskd_unsafe_still_needs_a_safety_comment() {
+    // Being an island admits `unsafe`, but the audit half of the rule
+    // still applies: without a SAFETY justification it fires.
+    let v = lint(
+        "crates/maskd/src/http.rs",
+        "pub fn f(p: *const u32) -> u32 {\n    unsafe { *p }\n}\n",
+    );
+    assert_eq!(rules(&v), ["unsafe-audit"]);
+}
+
+#[test]
 fn clean_env_determinism_engine_resolves_snapshot_dir() {
     // The job engine is a designated entry point: it resolves
     // MASK_SNAPSHOT_DIR once when the process-wide prefix cache is built.
